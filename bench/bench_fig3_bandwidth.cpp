@@ -1,0 +1,54 @@
+// Fig. 3 — Execution time for matrix size 2048 under varying per-lane
+// bandwidth and lane count.
+//
+// The paper sweeps 2/4/8/16 lanes at 2..64 Gbps per lane and reports that
+// the best configuration outperforms the worst by ~1109.9%, with scaling
+// saturating once the system turns compute-bound at high lane counts.
+#include "bench_util.hh"
+
+using namespace accesys;
+
+int main(int argc, char** argv)
+{
+    const bool quick = benchutil::quick_mode(argc, argv);
+    benchutil::header("bench_fig3_bandwidth", "paper Fig. 3",
+                      "GEMM 2048^3, lanes x lane-speed sweep, 256 B packets");
+
+    const std::uint32_t size = quick ? 512 : 2048;
+    const workload::GemmSpec spec{size, size, size, 7};
+
+    const std::vector<unsigned> lanes = {2, 4, 8, 16};
+    std::vector<double> speeds = {2, 4, 8, 16, 32, 64};
+    if (quick) {
+        speeds = {2, 8, 64};
+    }
+
+    std::printf("%8s", "Gbps\\ln");
+    for (const unsigned l : lanes) {
+        std::printf(" %11s%-2u", "x", l);
+    }
+    std::printf("   (execution time, ms)\n");
+
+    double worst = 0.0;
+    double best = 1e300;
+    for (const double s : speeds) {
+        std::printf("%8.0f", s);
+        for (const unsigned l : lanes) {
+            core::SystemConfig cfg = core::SystemConfig::paper_default();
+            cfg.pcie.lanes = l;
+            cfg.pcie.lane_gbps = s;
+            cfg.pcie.gen = pcie::Gen::gen3;
+            const double ms =
+                benchutil::gemm_ms(cfg, spec, core::Placement::host);
+            worst = std::max(worst, ms);
+            best = std::min(best, ms);
+            std::printf(" %13.2f", ms);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nworst/best execution-time ratio: %.1fx (paper: ~12.1x "
+                "i.e. +1109.9%%)\n",
+                worst / best);
+    return 0;
+}

@@ -1,0 +1,98 @@
+// Fig. 7 — Transformer (ViT) performance across memory locations and
+// interconnects.
+//
+// Four system configurations, as in §V-C:
+//   PCIe-2GB  : host DDR4,  2 GB/s PCIe, 256 B packets
+//   PCIe-8GB  : host DDR4,  8 GB/s PCIe, 256 B packets
+//   PCIe-64GB : host HBM2, 64 GB/s PCIe, 256 B packets
+//   DevMem    : device-side HBM2, 64 B packets
+// Reported as speedup over PCIe-2GB. Expected: PCIe-64GB reaches ~2.5-3.4x;
+// DevMem lands slightly *below* PCIe-64GB because Non-GEMM work suffers the
+// NUMA penalty of device memory.
+#include "bench_util.hh"
+
+using namespace accesys;
+
+namespace {
+
+struct ConfigPoint {
+    const char* label;
+    core::Placement place;
+    core::SystemConfig cfg;
+};
+
+std::vector<ConfigPoint> fig7_configs()
+{
+    std::vector<ConfigPoint> pts;
+
+    core::SystemConfig pcie2 = core::SystemConfig::paper_default();
+    pcie2.set_host_dram("DDR4");
+    pcie2.set_pcie_target_gbps(2.0, 4);
+    pcie2.set_packet_size(256);
+    pts.push_back({"PCIe-2GB", core::Placement::host, pcie2});
+
+    core::SystemConfig pcie8 = core::SystemConfig::paper_default();
+    pcie8.set_host_dram("DDR4");
+    pcie8.set_pcie_target_gbps(8.0, 8);
+    pcie8.set_packet_size(256);
+    pts.push_back({"PCIe-8GB", core::Placement::host, pcie8});
+
+    core::SystemConfig pcie64 = core::SystemConfig::paper_default();
+    pcie64.set_host_dram("HBM2");
+    pcie64.set_pcie_target_gbps(64.0, 16);
+    pcie64.set_packet_size(256);
+    pts.push_back({"PCIe-64GB", core::Placement::host, pcie64});
+
+    core::SystemConfig devmem = core::SystemConfig::paper_default();
+    devmem.set_devmem("HBM2");
+    devmem.set_packet_size(64);
+    // The DevMem system keeps a fast link for control and CPU NUMA traffic
+    // (data transfers bypass PCIe entirely via the device-side memory).
+    devmem.set_pcie_target_gbps(64.0, 16);
+    pts.push_back({"DevMem", core::Placement::devmem, devmem});
+
+    return pts;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const bool quick = benchutil::quick_mode(argc, argv);
+    benchutil::header("bench_fig7_transformer", "paper Fig. 7",
+                      "ViT inference across PCIe-2GB / 8GB / 64GB / DevMem");
+
+    std::vector<workload::VitConfig> models = {workload::VitConfig::base(),
+                                               workload::VitConfig::large(),
+                                               workload::VitConfig::huge()};
+    if (quick) {
+        models = {workload::VitConfig::base()};
+    }
+
+    auto configs = fig7_configs();
+
+    std::printf("%-10s", "model");
+    for (const auto& c : configs) {
+        std::printf(" %12s", c.label);
+    }
+    std::printf("   (speedup vs PCIe-2GB; exec ms in parens)\n");
+
+    for (const auto& model : models) {
+        std::printf("%-10s", model.name.c_str());
+        double base_ms = -1.0;
+        for (const auto& c : configs) {
+            core::System sys(c.cfg);
+            core::Runner runner(sys);
+            const auto res = runner.run_vit(model, c.place);
+            if (base_ms < 0) {
+                base_ms = res.ms();
+            }
+            std::printf(" %7.2fx(%0.0f)", base_ms / res.ms(), res.ms());
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\npaper: PCIe-64GB 2.5-3.4x over PCIe-2GB; DevMem slightly "
+                "below PCIe-64GB.\n");
+    return 0;
+}

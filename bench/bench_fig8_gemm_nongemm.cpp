@@ -1,0 +1,75 @@
+// Fig. 8 — GEMM vs Non-GEMM phase split of the Transformer workload.
+//
+// Same four configurations as Fig. 7, but runtime is split into the GEMM
+// (offload) and Non-GEMM (CPU vector op) phases. Expected: DevMem has the
+// best GEMM phase (highest local bandwidth) but by far the worst Non-GEMM
+// phase — the CPU reaches device memory across PCIe (NUMA), costing up to
+// several hundred percent versus host-memory configurations.
+#include "bench_util.hh"
+
+using namespace accesys;
+
+int main(int argc, char** argv)
+{
+    const bool quick = benchutil::quick_mode(argc, argv);
+    benchutil::header("bench_fig8_gemm_nongemm", "paper Fig. 8",
+                      "ViT phase split: GEMM vs Non-GEMM per configuration");
+
+    std::vector<workload::VitConfig> models = {workload::VitConfig::base(),
+                                               workload::VitConfig::large(),
+                                               workload::VitConfig::huge()};
+    if (quick) {
+        models = {workload::VitConfig::base()};
+    }
+
+    struct Point {
+        const char* label;
+        core::Placement place;
+        double pcie_gbps;
+        const char* mem;
+        std::uint32_t pkt;
+    };
+    const std::vector<Point> points = {
+        {"PCIe-2GB", core::Placement::host, 2.0, "DDR4", 256},
+        {"PCIe-8GB", core::Placement::host, 8.0, "DDR4", 256},
+        {"PCIe-64GB", core::Placement::host, 64.0, "HBM2", 256},
+        {"DevMem", core::Placement::devmem, 0.0, "HBM2", 64},
+    };
+
+    for (const auto& model : models) {
+        std::printf("\n%s (times in ms)\n", model.name.c_str());
+        std::printf("%-10s %10s %10s %10s %10s\n", "config", "total", "gemm",
+                    "nongemm", "other");
+        double host_nongemm = -1.0;
+        double devmem_nongemm = -1.0;
+        for (const auto& p : points) {
+            core::SystemConfig cfg = core::SystemConfig::paper_default();
+            cfg.set_packet_size(p.pkt);
+            if (p.place == core::Placement::host) {
+                cfg.set_host_dram(p.mem);
+                cfg.set_pcie_target_gbps(p.pcie_gbps);
+            } else {
+                cfg.set_devmem(p.mem);
+                // Control/NUMA link stays fast; data bypasses PCIe.
+                cfg.set_pcie_target_gbps(64.0, 16);
+            }
+            core::System sys(cfg);
+            core::Runner runner(sys);
+            const auto res = runner.run_vit(model, p.place);
+            const double ng = ticks_to_ms(res.nongemm_ticks);
+            if (p.place == core::Placement::host && host_nongemm < 0) {
+                host_nongemm = ng;
+            }
+            if (p.place == core::Placement::devmem) {
+                devmem_nongemm = ng;
+            }
+            std::printf("%-10s %10.1f %10.1f %10.1f %10.1f\n", p.label,
+                        res.ms(), ticks_to_ms(res.gemm_ticks), ng,
+                        ticks_to_ms(res.other_ticks()));
+        }
+        std::printf("DevMem Non-GEMM overhead vs PCIe configs: +%.0f%% "
+                    "(paper: up to +500%%)\n",
+                    (devmem_nongemm / host_nongemm - 1.0) * 100.0);
+    }
+    return 0;
+}

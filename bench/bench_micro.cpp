@@ -1,0 +1,125 @@
+// Micro-benchmarks (google-benchmark) for the simulation substrates:
+// event-queue throughput, cache lookups, DRAM timing, TLB, PCIe link
+// serialization and the systolic-array functional kernel. These guard the
+// simulator's own performance, which bounds how large a sweep the figure
+// benches can afford.
+#include <benchmark/benchmark.h>
+
+#include "accel/systolic_array.hh"
+#include "cache/cache.hh"
+#include "mem/dram_timing.hh"
+#include "mem/mem_ctrl.hh"
+#include "mem/traffic_gen.hh"
+#include "pcie/link.hh"
+#include "sim/simulator.hh"
+#include "smmu/tlb.hh"
+
+using namespace accesys;
+
+namespace {
+
+void bm_event_queue(benchmark::State& state)
+{
+    EventQueue q;
+    const int fanout = static_cast<int>(state.range(0));
+    std::vector<std::unique_ptr<Event>> events;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < fanout; ++i) {
+        events.push_back(std::make_unique<Event>(
+            "e" + std::to_string(i), [&fired] { ++fired; }));
+    }
+    for (auto _ : state) {
+        for (int i = 0; i < fanout; ++i) {
+            q.schedule(*events[i], q.now() + 1 + static_cast<Tick>(i % 7));
+        }
+        while (q.step()) {
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+}
+BENCHMARK(bm_event_queue)->Arg(16)->Arg(256)->Arg(4096);
+
+void bm_dram_stream(benchmark::State& state)
+{
+    mem::DramTiming dram(mem::ddr4_2400());
+    Tick t = 0;
+    Addr addr = 0;
+    for (auto _ : state) {
+        const auto acc = dram.access(addr, false, t);
+        t = acc.bus_busy_until;
+        addr += 64;
+        benchmark::DoNotOptimize(acc.data_ready);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_dram_stream);
+
+void bm_tlb_lookup(benchmark::State& state)
+{
+    smmu::Tlb tlb(1024, 4);
+    for (std::uint64_t vpn = 0; vpn < 1024; ++vpn) {
+        tlb.insert(vpn, vpn + 100);
+    }
+    std::uint64_t vpn = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup(vpn % 1024));
+        ++vpn;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_tlb_lookup);
+
+void bm_systolic_tile(benchmark::State& state)
+{
+    mem::BackingStore store;
+    const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+    std::vector<std::int8_t> data(16 * k, 3);
+    store.write(0x1000, data.data(), data.size());
+    store.write(0x100000, data.data(), data.size());
+    for (auto _ : state) {
+        accel::SystolicArray::compute_strip(store, 0x1000, 0x100000,
+                                            0x200000, 16, 16, k, 16);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            16 * 16 * k);
+}
+BENCHMARK(bm_systolic_tile)->Arg(64)->Arg(256)->Arg(1024);
+
+void bm_memctrl_traffic(benchmark::State& state)
+{
+    for (auto _ : state) {
+        Simulator sim;
+        mem::MemCtrlParams mp;
+        mp.dram = mem::ddr4_2400();
+        mem::MemCtrl ctrl(sim, "mem", mp, mem::AddrRange(0, 64 * kMiB));
+        mem::TrafficGenParams tp;
+        tp.total_bytes = 256 * kKiB;
+        tp.req_bytes = 64;
+        mem::TrafficGen gen(sim, "gen", tp);
+        gen.port().bind(ctrl.port());
+        sim.startup();
+        gen.start([&sim] { sim.request_exit("done"); });
+        sim.run();
+        benchmark::DoNotOptimize(gen.achieved_gbps());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            (256 * kKiB / 64));
+}
+BENCHMARK(bm_memctrl_traffic);
+
+void bm_pcie_serialize(benchmark::State& state)
+{
+    pcie::LinkParams lp;
+    lp.lanes = 16;
+    lp.lane_gbps = 16;
+    std::uint64_t bytes = 64;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lp.serialize_ticks(bytes));
+        bytes = (bytes * 7 + 3) % 4096 + 1;
+    }
+}
+BENCHMARK(bm_pcie_serialize);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench binary is self-contained: it builds fresh System instances,
+// runs the paper's sweep, and prints the same rows/series the paper
+// reports. Pass --quick for a reduced sweep (smaller matrices / fewer
+// points) when iterating.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/runner.hh"
+
+namespace benchutil {
+
+inline bool flag_present(int argc, char** argv, const char* flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+inline bool quick_mode(int argc, char** argv)
+{
+    return flag_present(argc, argv, "--quick");
+}
+
+inline void header(const char* bench, const char* paper_artefact,
+                   const char* what)
+{
+    std::printf("================================================================\n");
+    std::printf("%s — reproduces %s\n", bench, paper_artefact);
+    std::printf("%s\n", what);
+    std::printf("================================================================\n");
+}
+
+/// Build a system, offload one timing-only GEMM, tear down; returns the
+/// offload latency in milliseconds.
+inline double gemm_ms(const accesys::core::SystemConfig& cfg,
+                      const accesys::workload::GemmSpec& spec,
+                      accesys::core::Placement place)
+{
+    accesys::core::System sys(cfg);
+    accesys::core::Runner runner(sys);
+    return runner.run_gemm(spec, place).ms();
+}
+
+} // namespace benchutil

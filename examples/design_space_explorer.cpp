@@ -1,0 +1,65 @@
+// Design-space exploration: sweeps PCIe bandwidth x memory technology for a
+// GEMM workload and prints the efficiency frontier — the co-design use case
+// the paper's framework targets (§I contribution 1).
+//
+//   $ ./design_space_explorer [matrix-size]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/runner.hh"
+
+using namespace accesys;
+
+int main(int argc, char** argv)
+{
+    const std::uint32_t size =
+        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 512;
+    const workload::GemmSpec spec{size, size, size, 7};
+
+    const std::vector<double> pcie = {2, 4, 8, 16, 32};
+    const std::vector<std::string> mems = {"DDR4", "DDR5", "GDDR6", "HBM2"};
+
+    std::printf("GEMM %ux%ux%u throughput (GMAC/s) across the design space\n\n",
+                size, size, size);
+    std::printf("%10s", "PCIe\\mem");
+    for (const auto& m : mems) {
+        std::printf(" %9s", m.c_str());
+    }
+    std::printf("\n");
+
+    double best = 0;
+    std::string best_label;
+    for (const double bw : pcie) {
+        std::printf("%8.0fGB", bw);
+        for (const auto& m : mems) {
+            core::SystemConfig cfg = core::SystemConfig::paper_default();
+            cfg.set_host_dram(m);
+            cfg.set_pcie_target_gbps(bw);
+            core::System sys(cfg);
+            core::Runner runner(sys);
+            const auto res = runner.run_gemm(spec, core::Placement::host);
+            const double gmacs = res.gmacs(spec);
+            std::printf(" %9.1f", gmacs);
+            if (gmacs > best) {
+                best = gmacs;
+                best_label = m + " @ " + std::to_string(bw) + " GB/s";
+            }
+        }
+        std::printf("\n");
+    }
+
+    // Device-side memory reference point.
+    core::SystemConfig cfg = core::SystemConfig::paper_default();
+    cfg.set_devmem("HBM2");
+    core::System sys(cfg);
+    core::Runner runner(sys);
+    const auto dev = runner.run_gemm(spec, core::Placement::devmem);
+
+    std::printf("\nbest host config : %s (%.1f GMAC/s)\n", best_label.c_str(),
+                best);
+    std::printf("DevMem reference : HBM2 device-side (%.1f GMAC/s)\n",
+                dev.gmacs(spec));
+    std::printf("host/devmem gap  : %.0f%%\n", 100.0 * best / dev.gmacs(spec));
+    return 0;
+}

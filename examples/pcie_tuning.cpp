@@ -1,0 +1,66 @@
+// PCIe tuning walkthrough: shows how the framework's observability (stats
+// registry, link utilisation, SMMU counters) guides interconnect tuning —
+// lane count, packet size and SMMU on/off — for one workload.
+//
+//   $ ./pcie_tuning
+#include <cstdio>
+
+#include "core/runner.hh"
+
+using namespace accesys;
+
+namespace {
+
+void report(const char* label, core::SystemConfig cfg)
+{
+    const workload::GemmSpec spec{256, 256, 256, 7};
+    core::System sys(cfg);
+    core::Runner runner(sys);
+    const auto res = runner.run_gemm(spec, core::Placement::host);
+    std::printf("%-34s %8.3f ms  %6.1f GMAC/s  link-util %4.0f%%  "
+                "walks %5.0f\n",
+                label, res.ms(), res.gmacs(spec),
+                100.0 * sys.pcie_uplink().utilization(0),
+                sys.stat("smmu.ptw_count"));
+}
+
+} // namespace
+
+int main()
+{
+    std::printf("256^3 GEMM, DDR3-1600 host memory — tuning the interconnect\n\n");
+
+    core::SystemConfig cfg = core::SystemConfig::paper_default();
+    report("baseline (Gen2 x4, 256 B)", cfg);
+
+    cfg = core::SystemConfig::paper_default();
+    cfg.pcie.lanes = 16;
+    report("more lanes (Gen2 x16)", cfg);
+
+    cfg = core::SystemConfig::paper_default();
+    cfg.pcie.gen = pcie::Gen::gen4;
+    cfg.pcie.lane_gbps = 16.0;
+    report("faster gen (Gen4 x4)", cfg);
+
+    cfg = core::SystemConfig::paper_default();
+    cfg.set_packet_size(64);
+    report("small packets (64 B)", cfg);
+
+    cfg = core::SystemConfig::paper_default();
+    cfg.set_packet_size(4096);
+    report("huge packets (4096 B)", cfg);
+
+    cfg = core::SystemConfig::paper_default();
+    cfg.smmu.enabled = false;
+    report("no SMMU (physical addressing)", cfg);
+
+    cfg = core::SystemConfig::paper_default();
+    cfg.access_mode = core::AccessMode::dm;
+    report("DM mode (bypass caches)", cfg);
+
+    std::printf("\nTakeaway: with the Table II baseline the link is the\n"
+                "bottleneck — lanes/speed dominate; packet size shifts\n"
+                "efficiency by tens of percent; translation is nearly free\n"
+                "until the TLB thrashes (see bench_table4_translation).\n");
+    return 0;
+}

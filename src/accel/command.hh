@@ -1,0 +1,37 @@
+// Command descriptor exchanged between the host driver and the MatrixFlow
+// accelerator. The CPU writes one into host memory and rings the doorbell
+// with its address; the device DMA-fetches and executes it, then writes
+// `flag_value` to `flag_addr` (host memory) as the completion signal.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace accesys::accel {
+
+enum CommandFlags : std::uint32_t {
+    kCmdVerify = 1U << 0,       ///< run functional GEMM (tests)
+    kCmdDataInDevMem = 1U << 1, ///< operands/results in device-side memory
+};
+
+struct GemmCommand {
+    static constexpr std::uint32_t kMagic = 0x4D464C57; // "MFLW"
+
+    std::uint32_t magic = kMagic;
+    std::uint32_t flags = 0;
+    std::uint32_t m = 0; ///< rows of A / C
+    std::uint32_t n = 0; ///< cols of B / C
+    std::uint32_t k = 0; ///< reduction depth
+    std::uint32_t reserved = 0;
+    Addr addr_a = 0;     ///< A: m x k int8, row-major
+    Addr addr_b = 0;     ///< B transposed: n x k int8, row-major
+    Addr addr_c = 0;     ///< C: m x n int32, row-major
+    Addr flag_addr = 0;  ///< host address for the completion flag
+    std::uint64_t flag_value = 1;
+};
+
+static_assert(sizeof(GemmCommand) == 64,
+              "GemmCommand must be exactly one 64-byte descriptor");
+
+} // namespace accesys::accel

@@ -1,0 +1,136 @@
+#include "accel/data_mover.hh"
+
+#include <algorithm>
+
+namespace accesys::accel {
+
+void PcieDmaMover::submit(TransferJob job)
+{
+    const bool src_host = host_range_.contains(job.src);
+    const bool dst_host = host_range_.contains(job.dst);
+    ensure(src_host != dst_host,
+           "PCIe transfer must cross the host boundary exactly once");
+
+    dma::DmaJob dj;
+    if (src_host) {
+        dj.dir = dma::DmaJob::Dir::host_to_dev;
+        dj.host_addr = job.src;
+        dj.dev_addr = job.dst;
+    } else {
+        dj.dir = dma::DmaJob::Dir::dev_to_host;
+        dj.host_addr = job.dst;
+        dj.dev_addr = job.src;
+    }
+    dj.bytes = job.bytes;
+    dj.on_complete = std::move(job.on_complete);
+    engine_->submit(std::move(dj));
+}
+
+DevMemMover::DevMemMover(Simulator& sim, std::string name,
+                         const Params& params, mem::AddrRange devmem_range,
+                         mem::BackingStore& store)
+    : SimObject(sim, std::move(name)),
+      params_(params),
+      devmem_range_(devmem_range),
+      store_(&store),
+      port_(this->name() + ".port", *this)
+{
+    require_cfg(params_.request_bytes >= 16 && params_.max_outstanding >= 1,
+                this->name(), ": bad mover parameters");
+}
+
+void DevMemMover::submit(TransferJob job)
+{
+    ensure(job.bytes > 0 && job.bytes < (1ULL << 24), name(),
+           ": transfer size out of range");
+    if (!devmem_range_.contains(job.src)) {
+        // Write path (scratchpad -> device memory): snapshot now, since the
+        // producer may reuse its staging buffer before the writes drain.
+        store_->copy(job.dst, job.src, job.bytes);
+    }
+    auto js = std::make_unique<JobState>();
+    js->job = std::move(job);
+    js->id = next_id_++;
+    js->reads_devmem = devmem_range_.contains(js->job.src);
+    by_id_[js->id] = js.get();
+    active_.push_back(std::move(js));
+    pump();
+}
+
+void DevMemMover::pump()
+{
+    if (pumping_) {
+        return;
+    }
+    pumping_ = true;
+    for (auto& jsp : active_) {
+        JobState& js = *jsp;
+        while (js.issued < js.job.bytes && !blocked_ &&
+               outstanding_ < params_.max_outstanding) {
+            const auto chunk =
+                static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                    params_.request_bytes, js.job.bytes - js.issued));
+            const std::uint64_t off = js.issued;
+
+            mem::PacketPtr pkt;
+            if (js.reads_devmem) {
+                pkt = mem::Packet::make_read(js.job.src + off, chunk);
+                ++reads_;
+            } else {
+                // Data was snapshotted at submit(); the non-posted write
+                // tracks completion timing and ordering only.
+                pkt = mem::Packet::make_write(js.job.dst + off, chunk);
+                ++writes_;
+            }
+            // Responses carry (job id, offset) for reassembly.
+            pkt->set_tag((js.id << 24) | off);
+            if (!port_.send_req(pkt)) {
+                blocked_ = true;
+                break;
+            }
+            ++outstanding_;
+            js.issued += chunk;
+            bytes_ += chunk;
+        }
+        if (blocked_ || outstanding_ >= params_.max_outstanding) {
+            break;
+        }
+    }
+    pumping_ = false;
+    reap();
+}
+
+void DevMemMover::reap()
+{
+    while (!active_.empty() &&
+           active_.front()->finished >= active_.front()->job.bytes) {
+        std::function<void()> cb =
+            std::move(active_.front()->job.on_complete);
+        by_id_.erase(active_.front()->id);
+        active_.pop_front();
+        if (cb) {
+            cb();
+        }
+    }
+}
+
+bool DevMemMover::recv_resp(mem::PacketPtr& pkt)
+{
+    const std::uint64_t id = pkt->tag() >> 24;
+    const std::uint64_t off = pkt->tag() & ((1ULL << 24) - 1);
+    const auto it = by_id_.find(id);
+    ensure(it != by_id_.end(), name(), ": response for unknown job");
+    JobState& js = *it->second;
+    const auto chunk = pkt->size();
+
+    if (js.reads_devmem) {
+        store_->copy(js.job.dst + off, js.job.src + off, chunk);
+    }
+    js.finished += chunk;
+    --outstanding_;
+    pkt.reset();
+    pump();
+    return true;
+}
+
+} // namespace accesys::accel

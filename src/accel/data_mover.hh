@@ -1,0 +1,108 @@
+// Data-movement abstraction used by the accelerator controller.
+//
+// The controller schedules tile transfers without knowing which transport
+// carries them:
+//   * PcieDmaMover  — wraps the PCIe DMA engine (host-side memory paths).
+//   * DevMemMover   — issues direct requests to the device-side memory
+//                     controller (the paper's "arrow 6" bypass of PCIe).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "dma/dma_engine.hh"
+#include "mem/addr_range.hh"
+#include "mem/port.hh"
+#include "sim/simulator.hh"
+
+namespace accesys::accel {
+
+struct TransferJob {
+    Addr src = 0;
+    Addr dst = 0;
+    std::uint64_t bytes = 0;
+    std::function<void()> on_complete;
+};
+
+class DataMover {
+  public:
+    virtual ~DataMover() = default;
+    virtual void submit(TransferJob job) = 0;
+};
+
+/// Routes transfers through the endpoint's PCIe DMA engine. Exactly one of
+/// src/dst must fall inside the host address range.
+class PcieDmaMover final : public DataMover {
+  public:
+    PcieDmaMover(dma::DmaEngine& engine, mem::AddrRange host_range)
+        : engine_(&engine), host_range_(host_range)
+    {
+    }
+
+    void submit(TransferJob job) override;
+
+  private:
+    dma::DmaEngine* engine_;
+    mem::AddrRange host_range_;
+};
+
+/// Pulls/pushes data against the device-side memory controller directly.
+class DevMemMover final : public SimObject,
+                          public DataMover,
+                          private mem::Requestor {
+  public:
+    struct Params {
+        std::uint32_t request_bytes = 256;
+        unsigned max_outstanding = 64;
+    };
+
+    DevMemMover(Simulator& sim, std::string name, const Params& params,
+                mem::AddrRange devmem_range, mem::BackingStore& store);
+
+    [[nodiscard]] mem::RequestPort& port() noexcept { return port_; }
+
+    void submit(TransferJob job) override;
+
+    [[nodiscard]] bool idle() const { return active_.empty(); }
+
+  private:
+    bool recv_resp(mem::PacketPtr& pkt) override;
+    void retry_req() override
+    {
+        blocked_ = false;
+        pump();
+    }
+
+    struct JobState {
+        TransferJob job;
+        std::uint64_t id = 0;
+        std::uint64_t issued = 0;
+        std::uint64_t finished = 0;
+        bool reads_devmem = false; ///< src is device memory (load path)
+    };
+
+    void pump();
+    void reap();
+
+    Params params_;
+    mem::AddrRange devmem_range_;
+    mem::BackingStore* store_;
+    mem::RequestPort port_;
+    /// Jobs pipeline: chunks are issued from every job in admission order,
+    /// bounded only by the shared outstanding-request window.
+    std::deque<std::unique_ptr<JobState>> active_;
+    std::unordered_map<std::uint64_t, JobState*> by_id_;
+    std::uint64_t next_id_ = 0;
+    unsigned outstanding_ = 0;
+    bool blocked_ = false;
+    bool pumping_ = false;
+
+    stats::Scalar reads_{stat_group(), "reads", "device-memory reads issued"};
+    stats::Scalar writes_{stat_group(), "writes",
+                          "device-memory writes issued"};
+    stats::Scalar bytes_{stat_group(), "bytes", "bytes moved"};
+};
+
+} // namespace accesys::accel

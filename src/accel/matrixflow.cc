@@ -1,0 +1,382 @@
+#include "accel/matrixflow.hh"
+
+#include <algorithm>
+
+namespace accesys::accel {
+
+namespace {
+
+/// Scratchpad header area: descriptor scratch + completion-flag scratch.
+constexpr Addr kDescScratch = 0;
+constexpr Addr kFlagScratch = 64;
+constexpr Addr kDataBase = 256;
+
+} // namespace
+
+void MatrixFlowParams::validate() const
+{
+    sa.validate();
+    dma.validate();
+    require_cfg(local_buffer_bytes >= 16 * kKiB,
+                "MatrixFlow local buffer must be at least 16 KiB");
+    require_cfg(cmd_fifo_depth >= 1, "MatrixFlow needs a command slot");
+}
+
+MatrixFlowDevice::MatrixFlowDevice(Simulator& sim, std::string name,
+                                   const MatrixFlowParams& params,
+                                   mem::BackingStore& store,
+                                   mem::AddrRange host_range)
+    : Endpoint(sim, std::move(name), params.ep,
+               {mem::AddrRange::with_size(params.bar0_base,
+                                          params.bar0_size)}),
+      params_(params),
+      store_(&store),
+      host_range_(host_range),
+      sa_(params.sa),
+      dma_(sim, this->name() + ".dma", params.dma, *this, store),
+      pcie_mover_(dma_, host_range),
+      aperture_port_(this->name() + ".aperture", *this),
+      aperture_q_(sim, this->name() + ".aperture_q",
+                  [this](mem::PacketPtr& pkt) {
+                      return aperture_port_.send_req(pkt);
+                  })
+{
+    params_.validate();
+    compute_event_.set_name(this->name() + ".compute_done");
+    compute_event_.set_callback([this] { compute_done(); });
+}
+
+void MatrixFlowDevice::attach_devmem(mem::AddrRange devmem_range,
+                                     mem::ResponsePort& mover_port,
+                                     mem::ResponsePort& aperture_port)
+{
+    ensure(devmem_mover_ == nullptr, name(), ": devmem already attached");
+    devmem_range_ = devmem_range;
+    devmem_mover_ = std::make_unique<DevMemMover>(
+        sim(), name() + ".devmem_mover", params_.devmem_mover, devmem_range,
+        *store_);
+    devmem_mover_->port().bind(mover_port);
+    aperture_port_.bind(aperture_port);
+}
+
+// --- MMIO registers ---------------------------------------------------------
+
+std::uint64_t MatrixFlowDevice::mmio_read(Addr addr, std::uint32_t /*size*/)
+{
+    switch (addr) {
+    case kRegStatus:
+        return busy() ? 1 : 0;
+    case kRegCmdCount:
+        return commands_done();
+    case kRegTileCount:
+        return static_cast<std::uint64_t>(n_tiles_.value());
+    default:
+        return 0;
+    }
+}
+
+void MatrixFlowDevice::mmio_write(Addr addr, std::uint32_t /*size*/,
+                                  std::uint64_t value)
+{
+    if (addr == kRegDoorbell) {
+        doorbell(static_cast<Addr>(value));
+    }
+    // Other offsets: write-ignored (reserved).
+}
+
+// --- command handling -------------------------------------------------------
+
+void MatrixFlowDevice::doorbell(Addr desc_addr)
+{
+    ensure(cmd_fifo_.size() < params_.cmd_fifo_depth, name(),
+           ": command FIFO overflow (driver must respect depth ",
+           params_.cmd_fifo_depth, ")");
+    cmd_fifo_.push_back(desc_addr);
+    fetch_next_command();
+}
+
+void MatrixFlowDevice::fetch_next_command()
+{
+    if (fetching_ || run_.has_value() || cmd_fifo_.empty()) {
+        return;
+    }
+    fetching_ = true;
+    const Addr desc = cmd_fifo_.front();
+    cmd_fifo_.pop_front();
+
+    pcie_mover_.submit(TransferJob{
+        desc, params_.local_base + kDescScratch, sizeof(GemmCommand),
+        [this] {
+            fetching_ = false;
+            const auto cmd = store_->read_obj<GemmCommand>(
+                params_.local_base + kDescScratch);
+            ensure(cmd.magic == GemmCommand::kMagic, name(),
+                   ": bad descriptor magic");
+            start_run(cmd);
+        }});
+}
+
+void MatrixFlowDevice::start_run(const GemmCommand& cmd)
+{
+    ensure(cmd.m > 0 && cmd.n > 0 && cmd.k > 0, name(),
+           ": degenerate GEMM command");
+    Run run;
+    run.cmd = cmd;
+
+    if ((cmd.flags & kCmdDataInDevMem) != 0) {
+        ensure(devmem_mover_ != nullptr, name(),
+               ": DevMem command without device memory attached");
+        run.mover = devmem_mover_.get();
+    } else {
+        run.mover = &pcie_mover_;
+    }
+
+    // Choose the column-block width so that one B panel, two A strips and
+    // one C strip fit in the scratchpad (minus the header area), bounded by
+    // the dataflow's reuse policy (max_block_cols).
+    const std::uint64_t budget =
+        params_.local_buffer_bytes - kDataBase;
+    const std::uint64_t a_bytes = 2ULL * 16 * cmd.k;
+    const std::uint64_t cap =
+        params_.max_block_cols > 0 ? params_.max_block_cols : 256;
+    std::uint32_t jb = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(cap, align_up(cmd.n, 16)));
+    while (jb > 16 &&
+           static_cast<std::uint64_t>(jb) * cmd.k + a_bytes +
+                   static_cast<std::uint64_t>(jb) * 16 * 4 >
+               budget) {
+        jb -= 16;
+    }
+    require_cfg(static_cast<std::uint64_t>(jb) * cmd.k + a_bytes +
+                        static_cast<std::uint64_t>(jb) * 16 * 4 <=
+                    budget,
+                name(), ": K=", cmd.k,
+                " too deep for the local buffer; enlarge it");
+
+    run.jb_cols = jb;
+    run.num_jblocks = static_cast<std::uint32_t>(div_ceil(cmd.n, jb));
+    run.num_strips = static_cast<std::uint32_t>(div_ceil(cmd.m, 16));
+
+    const Addr base = params_.local_base + kDataBase;
+    run.buf_b = base;
+    run.buf_a[0] = base + static_cast<Addr>(jb) * cmd.k;
+    run.buf_a[1] = run.buf_a[0] + static_cast<Addr>(16) * cmd.k;
+    run.buf_c = run.buf_a[1] + static_cast<Addr>(16) * cmd.k;
+
+    run_.emplace(std::move(run));
+    start_block();
+}
+
+void MatrixFlowDevice::start_block()
+{
+    Run& r = *run_;
+    r.b_loaded = false;
+    r.a_slot_ready = {false, false};
+    r.a_slot_strip = {-1, -1};
+    r.next_compute_strip = 0;
+    r.next_load_strip = 0;
+
+    const std::uint32_t col0 = r.cur_jb * r.jb_cols;
+    r.cur_cols = std::min(r.jb_cols, r.cmd.n - col0);
+
+    // B panel: `cur_cols` rows of B-transposed, each k bytes — contiguous.
+    r.mover->submit(TransferJob{
+        r.cmd.addr_b + static_cast<Addr>(col0) * r.cmd.k, r.buf_b,
+        static_cast<std::uint64_t>(r.cur_cols) * r.cmd.k, [this] {
+            Run& rr = *run_;
+            rr.b_loaded = true;
+            // Kick the A pipeline: fill both slots.
+            load_a_strip(0);
+            if (rr.num_strips > 1) {
+                load_a_strip(1);
+            }
+            try_compute();
+        }});
+}
+
+std::uint32_t MatrixFlowDevice::strip_rows(std::uint32_t strip) const
+{
+    const Run& r = *run_;
+    return std::min<std::uint32_t>(16, r.cmd.m - strip * 16);
+}
+
+void MatrixFlowDevice::load_a_strip(std::uint32_t strip)
+{
+    Run& r = *run_;
+    if (strip >= r.num_strips) {
+        return;
+    }
+    const unsigned slot = strip % 2;
+    ensure(!r.a_slot_ready[slot] && r.a_slot_strip[slot] != strip, name(),
+           ": A-slot scheduling bug");
+    r.a_slot_strip[slot] = strip;
+    r.next_load_strip = strip + 1;
+
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(strip_rows(strip)) * r.cmd.k;
+    r.mover->submit(TransferJob{
+        r.cmd.addr_a + static_cast<Addr>(strip) * 16 * r.cmd.k,
+        r.buf_a[slot], bytes, [this, strip] {
+            Run& rr = *run_;
+            rr.a_slot_ready[strip % 2] = true;
+            try_compute();
+        }});
+}
+
+void MatrixFlowDevice::try_compute()
+{
+    Run& r = *run_;
+    if (r.computing || !r.b_loaded ||
+        r.next_compute_strip >= r.num_strips) {
+        return;
+    }
+    const std::uint32_t strip = r.next_compute_strip;
+    const unsigned slot = strip % 2;
+    if (!r.a_slot_ready[slot] ||
+        r.a_slot_strip[slot] != static_cast<std::int64_t>(strip)) {
+        return;
+    }
+
+    r.computing = true;
+    const auto tiles = static_cast<std::uint32_t>(div_ceil(r.cur_cols, 16));
+    const Tick dur = sa_.strip_ticks(tiles, r.cmd.k);
+    n_tiles_ += tiles;
+    compute_ticks_ += static_cast<double>(dur);
+    schedule(compute_event_, now() + dur);
+}
+
+void MatrixFlowDevice::compute_done()
+{
+    Run& r = *run_;
+    const std::uint32_t strip = r.next_compute_strip;
+    const unsigned slot = strip % 2;
+
+    if ((r.cmd.flags & kCmdVerify) != 0) {
+        SystolicArray::compute_strip(*store_, r.buf_a[slot], r.buf_b,
+                                     r.buf_c, strip_rows(strip), r.cur_cols,
+                                     r.cmd.k, r.cur_cols);
+    }
+    write_c_strip(strip);
+
+    // Release the slot and prefetch the next-but-one strip into it.
+    r.a_slot_ready[slot] = false;
+    r.a_slot_strip[slot] = -1;
+    r.computing = false;
+    ++r.next_compute_strip;
+    if (r.next_load_strip < r.num_strips) {
+        load_a_strip(r.next_load_strip);
+    }
+
+    if (r.next_compute_strip >= r.num_strips) {
+        block_done();
+        return;
+    }
+    try_compute();
+}
+
+void MatrixFlowDevice::write_c_strip(std::uint32_t strip)
+{
+    Run& r = *run_;
+    const std::uint32_t rows = strip_rows(strip);
+    const std::uint32_t col0 = r.cur_jb * r.jb_cols;
+    // C rows are strided in the destination: one job per row segment.
+    for (std::uint32_t row = 0; row < rows; ++row) {
+        const Addr dst =
+            r.cmd.addr_c +
+            (static_cast<Addr>(strip) * 16 + row) * r.cmd.n * 4 +
+            static_cast<Addr>(col0) * 4;
+        ++r.outstanding_c_jobs;
+        r.mover->submit(TransferJob{
+            r.buf_c + static_cast<Addr>(row) * r.cur_cols * 4, dst,
+            static_cast<std::uint64_t>(r.cur_cols) * 4, [this] {
+                Run& rr = *run_;
+                ensure(rr.outstanding_c_jobs > 0, name(),
+                       ": C write accounting bug");
+                --rr.outstanding_c_jobs;
+                if (rr.all_blocks_issued && rr.outstanding_c_jobs == 0) {
+                    run_complete();
+                }
+            }});
+    }
+}
+
+void MatrixFlowDevice::block_done()
+{
+    Run& r = *run_;
+    ++r.cur_jb;
+    if (r.cur_jb < r.num_jblocks) {
+        start_block();
+        return;
+    }
+    r.all_blocks_issued = true;
+    if (r.outstanding_c_jobs == 0) {
+        run_complete();
+    }
+}
+
+void MatrixFlowDevice::run_complete()
+{
+    Run& r = *run_;
+    // Post the completion flag to host memory. It rides the same posted
+    // path as the C data, so it cannot overtake the results.
+    store_->write_obj(params_.local_base + kFlagScratch, r.cmd.flag_value);
+    const Addr flag_addr = r.cmd.flag_addr;
+    pcie_mover_.submit(TransferJob{
+        params_.local_base + kFlagScratch, flag_addr, 8, [this] {
+            ++n_commands_;
+            run_.reset();
+            fetch_next_command();
+        }});
+}
+
+// --- DMA plumbing ------------------------------------------------------------
+
+void MatrixFlowDevice::recv_dma_completion(const pcie::Tlp& cpl)
+{
+    dma_.on_completion(cpl);
+}
+
+// --- device-memory aperture (CPU NUMA path) ---------------------------------
+
+void MatrixFlowDevice::recv_tlp(unsigned port_idx, pcie::TlpPtr tlp)
+{
+    const bool is_aperture_mem =
+        devmem_mover_ != nullptr && tlp->type != pcie::TlpType::completion &&
+        devmem_range_.contains(tlp->addr);
+    if (!is_aperture_mem) {
+        Endpoint::recv_tlp(port_idx, std::move(tlp));
+        return;
+    }
+
+    const Tick ready = now() + ticks_from_ns(params_.ep.latency_ns);
+    if (tlp->type == pcie::TlpType::mem_read) {
+        ++n_aperture_reads_;
+        const std::uint64_t atag = next_aperture_tag_++;
+        aperture_reads_[atag] =
+            ApertureRead{tlp->tag, tlp->requester, tlp->length};
+        auto pkt = mem::Packet::make_read(tlp->addr, tlp->length);
+        pkt->set_tag(atag);
+        aperture_q_.push(std::move(pkt), ready);
+    } else {
+        ++n_aperture_writes_;
+        auto pkt = mem::Packet::make_write(tlp->addr, tlp->length);
+        pkt->flags.posted = true;
+        aperture_q_.push(std::move(pkt), ready);
+    }
+    // CPU-side functional data is already consistent via the BackingStore.
+    release_pcie_ingress(tlp->payload_bytes());
+}
+
+bool MatrixFlowDevice::recv_resp(mem::PacketPtr& pkt)
+{
+    const auto it = aperture_reads_.find(pkt->tag());
+    ensure(it != aperture_reads_.end(), name(), ": stray aperture response");
+    const ApertureRead ar = it->second;
+    aperture_reads_.erase(it);
+    send_tlp(pcie::make_completion(ar.length, ar.pcie_tag, ar.requester, 0,
+                                   true));
+    pkt.reset();
+    return true;
+}
+
+} // namespace accesys::accel

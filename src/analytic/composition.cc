@@ -1,0 +1,35 @@
+#include "analytic/composition.hh"
+
+#include <cmath>
+
+namespace accesys::analytic {
+
+double exec_time(const SystemPerf& sys, double w)
+{
+    sys.validate();
+    require_cfg(w >= 0.0 && w <= 1.0, "Non-GEMM fraction must be in [0,1]");
+    return sys.t_other + (1.0 - w) / sys.p_gemm + w / sys.p_nongemm;
+}
+
+std::optional<double> crossover_nongemm_frac(const SystemPerf& a,
+                                             const SystemPerf& b)
+{
+    a.validate();
+    b.validate();
+    // T_a(w) - T_b(w) = (c_a - c_b) + w * (s_a - s_b), with
+    //   c = t_other + 1/p_gemm,  s = 1/p_nongemm - 1/p_gemm.
+    const double c = (a.t_other + 1.0 / a.p_gemm) -
+                     (b.t_other + 1.0 / b.p_gemm);
+    const double s = (1.0 / a.p_nongemm - 1.0 / a.p_gemm) -
+                     (1.0 / b.p_nongemm - 1.0 / b.p_gemm);
+    if (s == 0.0) {
+        return std::nullopt; // parallel lines: no unique crossover
+    }
+    const double w = -c / s;
+    if (w <= 0.0 || w >= 1.0 || !std::isfinite(w)) {
+        return std::nullopt;
+    }
+    return w;
+}
+
+} // namespace accesys::analytic

@@ -1,0 +1,43 @@
+// GEMM / Non-GEMM composition model (paper §V-D2):
+//
+//   T_overall(w) = T_other + (1 - w) / P_GEMM + w / P_NonGEMM
+//
+// where `w` is the Non-GEMM fraction of a unit workload and P_* are the
+// phase throughputs of a given system configuration. The crossover solver
+// reproduces the Fig. 9 thresholds at which DevMem overtakes a PCIe system.
+#pragma once
+
+#include <optional>
+
+#include "sim/error.hh"
+
+namespace accesys::analytic {
+
+struct SystemPerf {
+    double t_other = 0.0;   ///< fixed time for other operations
+    double p_gemm = 1.0;    ///< GEMM throughput (work units / time)
+    double p_nongemm = 1.0; ///< Non-GEMM throughput
+
+    void validate() const
+    {
+        require_cfg(p_gemm > 0 && p_nongemm > 0,
+                    "phase throughputs must be positive");
+    }
+};
+
+/// Total execution time for Non-GEMM fraction `w` in [0, 1].
+[[nodiscard]] double exec_time(const SystemPerf& sys, double w);
+
+/// Non-GEMM fraction at which systems `a` and `b` take equal time, if one
+/// exists inside (0, 1). With the linear model this is a closed form.
+[[nodiscard]] std::optional<double> crossover_nongemm_frac(
+    const SystemPerf& a, const SystemPerf& b);
+
+/// Convenience: the paper quotes thresholds as the *GEMM* fraction above
+/// which DevMem wins; this converts a Non-GEMM crossover to that form.
+[[nodiscard]] inline double as_gemm_threshold(double nongemm_crossover)
+{
+    return 1.0 - nongemm_crossover;
+}
+
+} // namespace accesys::analytic

@@ -1,0 +1,35 @@
+#include "analytic/roofline.hh"
+
+#include <algorithm>
+
+namespace accesys::analytic {
+
+double transfer_ns_per_tile(const RooflineParams& p)
+{
+    p.validate();
+    return p.bytes_per_tile / p.bandwidth_gbps; // bytes / (GB/s) = ns
+}
+
+double tile_time_ns(const RooflineParams& p, double compute_ns)
+{
+    return std::max(compute_ns, transfer_ns_per_tile(p)) +
+           p.fixed_overhead_ns;
+}
+
+double knee_compute_ns(const RooflineParams& p)
+{
+    return transfer_ns_per_tile(p);
+}
+
+std::vector<RooflinePoint> roofline_series(
+    const RooflineParams& p, const std::vector<double>& compute_ns_values)
+{
+    std::vector<RooflinePoint> out;
+    out.reserve(compute_ns_values.size());
+    for (const double c : compute_ns_values) {
+        out.push_back(RooflinePoint{c, tile_time_ns(p, c)});
+    }
+    return out;
+}
+
+} // namespace accesys::analytic

@@ -1,0 +1,49 @@
+// Analytic roofline for the accelerator system (paper Fig. 2).
+//
+// With per-tile compute time t_c and per-tile transfer time t_m (bytes over
+// the binding bandwidth), a deeply pipelined tile loop runs at
+//   T(tile) ~ max(t_c, t_m)
+// so normalized execution time plateaus once t_c drops below t_m — the
+// knee the paper marks at ~1.5 us. Benches overlay this prediction on the
+// simulated series.
+#pragma once
+
+#include <vector>
+
+#include "sim/error.hh"
+
+namespace accesys::analytic {
+
+struct RooflineParams {
+    double bytes_per_tile = 0.0;     ///< operand traffic per output tile
+    double bandwidth_gbps = 8.0;     ///< binding transfer bandwidth
+    double fixed_overhead_ns = 0.0;  ///< per-tile constant (control, latency)
+
+    void validate() const
+    {
+        require_cfg(bytes_per_tile > 0 && bandwidth_gbps > 0,
+                    "roofline needs positive traffic and bandwidth");
+    }
+};
+
+/// Transfer-bound floor: time to move one tile's operands, in ns.
+[[nodiscard]] double transfer_ns_per_tile(const RooflineParams& p);
+
+/// Predicted per-tile time for a given compute time (ns).
+[[nodiscard]] double tile_time_ns(const RooflineParams& p,
+                                  double compute_ns);
+
+/// Compute time at which the system transitions between the
+/// transfer-bound plateau and the compute-bound linear region.
+[[nodiscard]] double knee_compute_ns(const RooflineParams& p);
+
+struct RooflinePoint {
+    double compute_ns;
+    double predicted_tile_ns;
+};
+
+/// Evaluate the model across a sweep of compute times.
+[[nodiscard]] std::vector<RooflinePoint> roofline_series(
+    const RooflineParams& p, const std::vector<double>& compute_ns_values);
+
+} // namespace accesys::analytic

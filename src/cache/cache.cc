@@ -1,0 +1,258 @@
+#include "cache/cache.hh"
+
+#include <algorithm>
+
+namespace accesys::cache {
+
+void CacheParams::validate() const
+{
+    require_cfg(is_pow2(line_bytes) && line_bytes >= 16,
+                "cache line size must be a power of two >= 16");
+    require_cfg(assoc >= 1, "cache associativity must be >= 1");
+    require_cfg(size_bytes % (static_cast<std::uint64_t>(line_bytes) * assoc) ==
+                    0,
+                "cache size must be a multiple of line*assoc");
+    require_cfg(num_sets() >= 1, "cache must have at least one set");
+    require_cfg(mshrs >= 1 && targets_per_mshr >= 1,
+                "cache needs at least one MSHR and one target");
+}
+
+Cache::Cache(Simulator& sim, std::string name, const CacheParams& params)
+    : SimObject(sim, std::move(name)),
+      params_(params),
+      cpu_port_(this->name() + ".cpu_side", *this),
+      mem_port_(this->name() + ".mem_side", *this),
+      resp_q_(sim, this->name() + ".resp_q",
+              [this](mem::PacketPtr& pkt) { return cpu_port_.send_resp(pkt); }),
+      mem_q_(sim, this->name() + ".mem_q",
+             [this](mem::PacketPtr& pkt) { return mem_port_.send_req(pkt); }),
+      fill_requestor_(mem::alloc_requestor_id())
+{
+    params_.validate();
+    lines_.resize(params_.num_sets() * params_.assoc);
+    resp_q_.set_drain_hook([this] { maybe_unblock(); });
+}
+
+Cache::Line* Cache::find_line(Addr addr)
+{
+    const Addr la = line_addr(addr);
+    const std::uint64_t set = set_index(addr);
+    Line* base = &lines_[set * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == la) {
+            return &base[w];
+        }
+    }
+    return nullptr;
+}
+
+const Cache::Line* Cache::find_line(Addr addr) const
+{
+    return const_cast<Cache*>(this)->find_line(addr);
+}
+
+bool Cache::contains_line(Addr addr) const
+{
+    return find_line(addr) != nullptr;
+}
+
+bool Cache::line_dirty(Addr addr) const
+{
+    const Line* l = find_line(addr);
+    return l != nullptr && l->dirty;
+}
+
+Cache::Line& Cache::pick_victim(Addr addr)
+{
+    const std::uint64_t set = set_index(addr);
+    Line* base = &lines_[set * params_.assoc];
+    // Invalid way first.
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (!base[w].valid) {
+            return base[w];
+        }
+    }
+    if (params_.repl == CacheParams::Repl::random) {
+        return base[rng_.below(params_.assoc)];
+    }
+    Line* victim = base;
+    for (unsigned w = 1; w < params_.assoc; ++w) {
+        if (base[w].lru < victim->lru) {
+            victim = &base[w];
+        }
+    }
+    return *victim;
+}
+
+void Cache::evict(Line& victim, Addr /*set_example_addr*/)
+{
+    if (!victim.valid) {
+        return;
+    }
+    if (victim.dirty) {
+        ++n_writebacks_;
+        auto wb = mem::Packet::make_write(victim.tag, params_.line_bytes);
+        wb->set_requestor(fill_requestor_);
+        wb->flags.posted = true;
+        mem_q_.push(std::move(wb), now());
+    }
+    victim.valid = false;
+    victim.dirty = false;
+}
+
+void Cache::install(Addr addr, bool dirty)
+{
+    Line& victim = pick_victim(addr);
+    evict(victim, addr);
+    victim.tag = line_addr(addr);
+    victim.valid = true;
+    victim.dirty = dirty;
+    touch(victim);
+}
+
+bool Cache::recv_req(mem::PacketPtr& pkt)
+{
+    if (line_addr(pkt->addr()) != line_addr(pkt->end_addr() - 1)) {
+        panic(name(), ": request straddles a line: ", pkt->describe());
+    }
+
+    // Uncacheable traffic bypasses the lookup (DM mode / MMIO). An
+    // uncacheable write must still kill any cached copy of the line, or a
+    // later cacheable read would hit stale timing state.
+    if (pkt->flags.uncacheable) {
+        ++n_bypasses_;
+        if (pkt->is_write()) {
+            if (Line* line = find_line(pkt->addr()); line != nullptr) {
+                line->valid = false;
+                line->dirty = false;
+            }
+        }
+        mem_q_.push(std::move(pkt), now());
+        return true;
+    }
+
+    const Tick lookup_done = now() + ticks_from_ns(params_.lookup_latency_ns);
+
+    if (Line* line = find_line(pkt->addr()); line != nullptr) {
+        ++n_hits_;
+        touch(*line);
+        if (pkt->is_write()) {
+            line->dirty = true;
+        }
+        if (pkt->flags.posted && pkt->is_write()) {
+            return true; // posted write absorbed by the cache
+        }
+        pkt->make_response();
+        resp_q_.push(std::move(pkt), lookup_done);
+        return true;
+    }
+
+    ++n_misses_;
+
+    // Whole-line write: install without a fill read.
+    if (pkt->is_write() && pkt->size() == params_.line_bytes) {
+        install(pkt->addr(), true);
+        if (!(pkt->flags.posted)) {
+            pkt->make_response();
+            resp_q_.push(std::move(pkt), lookup_done);
+        }
+        return true;
+    }
+
+    const Addr laddr = line_addr(pkt->addr());
+    auto it = mshrs_.find(laddr);
+    if (it != mshrs_.end()) {
+        if (it->second.targets.size() >= params_.targets_per_mshr) {
+            ++n_mshr_rejects_;
+            blocked_upstream_ = true;
+            return false;
+        }
+        it->second.targets.push_back(std::move(pkt));
+        return true;
+    }
+
+    if (mshrs_.size() >= params_.mshrs) {
+        ++n_mshr_rejects_;
+        blocked_upstream_ = true;
+        return false;
+    }
+
+    Mshr& mshr = mshrs_[laddr];
+    mshr.targets.push_back(std::move(pkt));
+    mshr.fill_sent = true;
+
+    auto fill = mem::Packet::make_read(laddr, params_.line_bytes);
+    fill->set_requestor(fill_requestor_);
+    fill->set_tag(laddr);
+    mem_q_.push(std::move(fill), lookup_done);
+    return true;
+}
+
+bool Cache::recv_resp(mem::PacketPtr& pkt)
+{
+    if (pkt->requestor() != fill_requestor_) {
+        // Response to a bypassed (uncacheable) request: forward upstream.
+        resp_q_.push(std::move(pkt), now());
+        return true;
+    }
+    // One of our fills came back.
+    handle_fill(pkt->tag());
+    return true;
+}
+
+void Cache::handle_fill(Addr laddr)
+{
+    auto it = mshrs_.find(laddr);
+    ensure(it != mshrs_.end(), name(), ": fill without MSHR @0x", std::hex,
+           laddr);
+
+    bool dirty = false;
+    for (const auto& t : it->second.targets) {
+        dirty |= t->is_write();
+    }
+    install(laddr, dirty);
+
+    const Tick done = now() + ticks_from_ns(params_.fill_latency_ns);
+    for (auto& t : it->second.targets) {
+        if (t->flags.posted && t->is_write()) {
+            continue;
+        }
+        t->make_response();
+        resp_q_.push(std::move(t), done);
+    }
+    mshrs_.erase(it);
+    maybe_unblock();
+}
+
+void Cache::maybe_unblock()
+{
+    if (blocked_upstream_ && mshrs_.size() < params_.mshrs) {
+        blocked_upstream_ = false;
+        cpu_port_.send_retry_req();
+    }
+}
+
+void Cache::snoop_invalidate(Addr addr, std::uint32_t size)
+{
+    for (Addr a = line_addr(addr); a < addr + size;
+         a += params_.line_bytes) {
+        if (Line* line = find_line(a); line != nullptr) {
+            line->valid = false;
+            line->dirty = false;
+            ++n_snoop_invalidations_;
+        }
+    }
+}
+
+void Cache::snoop_clean(Addr addr, std::uint32_t size)
+{
+    for (Addr a = line_addr(addr); a < addr + size;
+         a += params_.line_bytes) {
+        if (Line* line = find_line(a); line != nullptr && line->dirty) {
+            line->dirty = false;
+            ++n_snoop_cleans_;
+        }
+    }
+}
+
+} // namespace accesys::cache

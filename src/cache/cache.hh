@@ -1,0 +1,153 @@
+// Set-associative write-back cache with MSHR-based miss handling.
+//
+// One instance serves as L1D, L1I, LLC, IOCache or device-side cache — only
+// the parameters differ (paper Table II). Features:
+//   * write-allocate with a whole-line write fast path (no fill read for
+//     full-line writes, which matters for streaming DMA),
+//   * bounded MSHRs with multiple targets per miss (hit-under-miss),
+//   * uncacheable bypass (DM access mode forwards straight through),
+//   * bus-snoop hooks implementing invalidation-based MSI-lite coherence
+//     (see mem::Snooper — functional data is coherent by construction, the
+//     snoops maintain timing-relevant line state).
+//
+// Requests must not straddle a cache line; fabric bridges (PCIe root
+// complex, CPU) split accesses at line granularity.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "mem/packet.hh"
+#include "mem/port.hh"
+#include "mem/xbar.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+namespace accesys::cache {
+
+struct CacheParams {
+    std::uint64_t size_bytes = 64 * kKiB;
+    unsigned assoc = 4;
+    std::uint32_t line_bytes = 64;
+    double lookup_latency_ns = 2.0; ///< tag+data access (hit path)
+    double fill_latency_ns = 1.0;   ///< install-to-response on the miss path
+    std::size_t mshrs = 8;          ///< outstanding distinct line misses
+    std::size_t targets_per_mshr = 16;
+    enum class Repl { lru, random };
+    Repl repl = Repl::lru;
+
+    void validate() const;
+
+    [[nodiscard]] std::uint64_t num_sets() const
+    {
+        return size_bytes / line_bytes / assoc;
+    }
+};
+
+class Cache final : public SimObject,
+                    public mem::Snooper,
+                    private mem::Responder,
+                    private mem::Requestor {
+  public:
+    Cache(Simulator& sim, std::string name, const CacheParams& params);
+
+    /// Upstream port (CPU / bridge side).
+    [[nodiscard]] mem::ResponsePort& cpu_side() noexcept { return cpu_port_; }
+    /// Downstream port (memory side).
+    [[nodiscard]] mem::RequestPort& mem_side() noexcept { return mem_port_; }
+
+    [[nodiscard]] const CacheParams& params() const noexcept
+    {
+        return params_;
+    }
+
+    // Probes for tests.
+    [[nodiscard]] bool contains_line(Addr addr) const;
+    [[nodiscard]] bool line_dirty(Addr addr) const;
+    [[nodiscard]] std::uint64_t hits() const
+    {
+        return static_cast<std::uint64_t>(n_hits_.value());
+    }
+    [[nodiscard]] std::uint64_t misses() const
+    {
+        return static_cast<std::uint64_t>(n_misses_.value());
+    }
+
+    // mem::Snooper
+    void snoop_invalidate(Addr addr, std::uint32_t size) override;
+    void snoop_clean(Addr addr, std::uint32_t size) override;
+
+  private:
+    struct Line {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;
+    };
+
+    struct Mshr {
+        std::vector<mem::PacketPtr> targets;
+        bool fill_sent = false;
+    };
+
+    // mem::Responder (cpu side)
+    bool recv_req(mem::PacketPtr& pkt) override;
+    void retry_resp() override { resp_q_.retry(); }
+
+    // mem::Requestor (mem side)
+    bool recv_resp(mem::PacketPtr& pkt) override;
+    void retry_req() override { mem_q_.retry(); }
+
+    [[nodiscard]] Addr line_addr(Addr a) const
+    {
+        return align_down(a, params_.line_bytes);
+    }
+    [[nodiscard]] std::uint64_t set_index(Addr a) const
+    {
+        return (a / params_.line_bytes) % params_.num_sets();
+    }
+
+    [[nodiscard]] Line* find_line(Addr addr);
+    [[nodiscard]] const Line* find_line(Addr addr) const;
+    Line& pick_victim(Addr addr);
+    void install(Addr addr, bool dirty);
+    void evict(Line& victim, Addr set_example_addr);
+    void touch(Line& line) { line.lru = ++lru_clock_; }
+    void handle_fill(Addr laddr);
+    void maybe_unblock();
+
+    CacheParams params_;
+    mem::ResponsePort cpu_port_;
+    mem::RequestPort mem_port_;
+    mem::PacketQueue resp_q_; ///< responses upstream
+    mem::PacketQueue mem_q_;  ///< fills / writebacks / bypasses downstream
+
+    std::vector<Line> lines_; ///< sets * assoc, row-major by set
+    std::unordered_map<Addr, Mshr> mshrs_;
+    std::uint64_t lru_clock_ = 0;
+    std::uint32_t fill_requestor_; ///< marks packets this cache created
+    Rng rng_;
+    bool blocked_upstream_ = false;
+
+    stats::Scalar n_hits_{stat_group(), "hits", "demand hits"};
+    stats::Scalar n_misses_{stat_group(), "misses", "demand misses"};
+    stats::Scalar n_writebacks_{stat_group(), "writebacks",
+                                "dirty lines written back"};
+    stats::Scalar n_bypasses_{stat_group(), "bypasses",
+                              "uncacheable requests forwarded"};
+    stats::Scalar n_snoop_invalidations_{stat_group(), "snoop_invalidations",
+                                         "lines dropped by bus snoops"};
+    stats::Scalar n_snoop_cleans_{stat_group(), "snoop_cleans",
+                                  "dirty lines demoted by bus snoops"};
+    stats::Scalar n_mshr_rejects_{stat_group(), "mshr_rejects",
+                                  "requests refused: MSHRs exhausted"};
+    stats::ValueFn hit_rate_{stat_group(), "hit_rate",
+                             "demand hit fraction", [this] {
+                                 const double t =
+                                     n_hits_.value() + n_misses_.value();
+                                 return t == 0.0 ? 0.0
+                                                 : n_hits_.value() / t;
+                             }};
+};
+
+} // namespace accesys::cache

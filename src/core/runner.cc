@@ -1,0 +1,190 @@
+#include "core/runner.hh"
+
+#include <algorithm>
+
+#include "accel/command.hh"
+
+namespace accesys::core {
+
+namespace {
+
+/// The doorbell register's system address.
+Addr doorbell_addr(const System& sys)
+{
+    return sys.config().accel.bar0_base + accel::kRegDoorbell;
+}
+
+} // namespace
+
+GemmRunResult Runner::run_gemm(const workload::GemmSpec& spec,
+                               Placement place, bool verify)
+{
+    System& sys = *sys_;
+    ensure(spec.m > 0 && spec.n > 0 && spec.k > 0, "degenerate GEMM spec");
+
+    const Addr a = sys.alloc(place, spec.a_bytes());
+    const Addr bt = sys.alloc(place, spec.b_bytes());
+    const Addr c = sys.alloc(place, spec.c_bytes());
+    const Addr flag = sys.alloc_host(64);
+    const Addr desc = sys.alloc_host(64);
+
+    sys.map_host_pages(flag, 8);
+    sys.map_host_pages(desc, sizeof(accel::GemmCommand));
+    if (place == Placement::host) {
+        sys.map_host_pages(a, spec.a_bytes());
+        sys.map_host_pages(bt, spec.b_bytes());
+        sys.map_host_pages(c, spec.c_bytes());
+    }
+
+    std::vector<std::int32_t> golden;
+    if (verify) {
+        workload::init_gemm_data(sys.store(), spec, a, bt);
+        golden = workload::gemm_golden(sys.store(), spec, a, bt);
+    }
+
+    accel::GemmCommand cmd;
+    cmd.flags = (verify ? accel::kCmdVerify : 0U) |
+                (place == Placement::devmem ? accel::kCmdDataInDevMem : 0U);
+    cmd.m = spec.m;
+    cmd.n = spec.n;
+    cmd.k = spec.k;
+    cmd.addr_a = a;
+    cmd.addr_b = bt;
+    cmd.addr_c = c;
+    cmd.flag_addr = flag;
+    cmd.flag_value = 1;
+
+    GemmRunResult res;
+    std::vector<cpu::CpuOp> prog;
+    prog.push_back(cpu::Call{[&sys, &res, desc, cmd] {
+        res.start = sys.sim().now();
+        sys.store().write_obj(desc, cmd); // driver fills the descriptor
+    }});
+    prog.push_back(cpu::MmioWrite{doorbell_addr(sys), desc});
+    prog.push_back(cpu::PollFlag{flag, cmd.flag_value});
+    prog.push_back(cpu::Call{[&sys, &res] { res.end = sys.sim().now(); }});
+
+    sys.host_cpu().run_program(std::move(prog), [&sys] {
+        sys.sim().request_exit("gemm complete");
+    });
+    const RunResult rr = sys.sim().run();
+    ensure(rr.cause == ExitCause::exit_requested,
+           "GEMM run deadlocked: simulation drained at tick ", rr.end_tick);
+
+    if (verify) {
+        res.mismatches = workload::gemm_check(sys.store(), spec, c, golden);
+        res.verified = res.mismatches == 0;
+    }
+    return res;
+}
+
+VitRunResult Runner::run_vit(const workload::VitConfig& cfg, Placement place)
+{
+    System& sys = *sys_;
+    const auto ops = workload::lower_vit(cfg);
+
+    // Activation ping-pong buffers sized for the largest operand of any op.
+    std::uint64_t act_a_bytes = 0;
+    std::uint64_t act_c_bytes = 0;
+    for (const auto& op : ops) {
+        if (op.kind == workload::VitOp::Kind::gemm) {
+            act_a_bytes = std::max(act_a_bytes, op.a_bytes());
+            act_c_bytes = std::max(act_c_bytes, op.c_bytes());
+        } else {
+            act_c_bytes = std::max(act_c_bytes, op.bytes_in);
+            act_a_bytes = std::max(act_a_bytes, op.bytes_out);
+        }
+    }
+
+    const Addr act_a = sys.alloc(place, act_a_bytes);
+    const Addr act_c = sys.alloc(place, act_c_bytes);
+    const Addr flag = sys.alloc_host(64);
+    const Addr desc = sys.alloc_host(64);
+    sys.map_host_pages(flag, 8);
+    sys.map_host_pages(desc, sizeof(accel::GemmCommand));
+    if (place == Placement::host) {
+        sys.map_host_pages(act_a, act_a_bytes);
+        sys.map_host_pages(act_c, act_c_bytes);
+    }
+
+    // Distinct weights per GEMM (real models never reuse them).
+    std::vector<Addr> weights;
+    weights.reserve(ops.size());
+    for (const auto& op : ops) {
+        if (op.kind == workload::VitOp::Kind::gemm) {
+            const Addr w = sys.alloc(place, op.b_bytes());
+            if (place == Placement::host) {
+                sys.map_host_pages(w, op.b_bytes());
+            }
+            weights.push_back(w);
+        } else {
+            weights.push_back(0);
+        }
+    }
+
+    VitRunResult res;
+    // `mark` lives on the heap: the program outlives this stack frame only
+    // within run(), but shared_ptr keeps the lambdas self-contained.
+    auto mark = std::make_shared<Tick>(0);
+
+    std::vector<cpu::CpuOp> prog;
+    prog.push_back(
+        cpu::Call{[&sys, &res] { res.start = sys.sim().now(); }});
+
+    std::uint64_t flag_value = 0;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const auto& op = ops[i];
+        if (op.kind == workload::VitOp::Kind::gemm) {
+            ++flag_value;
+            accel::GemmCommand cmd;
+            cmd.flags =
+                place == Placement::devmem ? accel::kCmdDataInDevMem : 0U;
+            cmd.m = op.m;
+            cmd.n = op.n;
+            cmd.k = op.k;
+            cmd.addr_a = act_a;
+            cmd.addr_b = weights[i];
+            cmd.addr_c = act_c;
+            cmd.flag_addr = flag;
+            cmd.flag_value = flag_value;
+
+            prog.push_back(cpu::Call{[&sys, mark, desc, cmd] {
+                *mark = sys.sim().now();
+                sys.store().write_obj(desc, cmd);
+            }});
+            prog.push_back(cpu::MmioWrite{doorbell_addr(sys), desc});
+            prog.push_back(cpu::PollFlag{flag, flag_value});
+            prog.push_back(cpu::Call{[&sys, &res, mark] {
+                res.gemm_ticks += sys.sim().now() - *mark;
+                ++res.gemm_cmds;
+            }});
+        } else {
+            cpu::VectorOp vop;
+            vop.label = op.label;
+            vop.in_addr = act_c;
+            vop.bytes_in = op.bytes_in;
+            vop.out_addr = act_a;
+            vop.bytes_out = op.bytes_out;
+            vop.alu_ops = op.alu_ops;
+
+            prog.push_back(cpu::Call{
+                [&sys, mark] { *mark = sys.sim().now(); }});
+            prog.push_back(std::move(vop));
+            prog.push_back(cpu::Call{[&sys, &res, mark] {
+                res.nongemm_ticks += sys.sim().now() - *mark;
+                ++res.vector_ops;
+            }});
+        }
+    }
+    prog.push_back(cpu::Call{[&sys, &res] { res.end = sys.sim().now(); }});
+
+    sys.host_cpu().run_program(std::move(prog), [&sys] {
+        sys.sim().request_exit("vit complete");
+    });
+    const RunResult rr = sys.sim().run();
+    ensure(rr.cause == ExitCause::exit_requested,
+           "ViT run deadlocked: simulation drained at tick ", rr.end_tick);
+    return res;
+}
+
+} // namespace accesys::core

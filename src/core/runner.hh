@@ -1,0 +1,64 @@
+// Experiment runner: drives workloads through a System exactly the way the
+// paper's software stack does — the CPU writes a command descriptor into
+// host memory, rings the accelerator's doorbell over MMIO, and polls a
+// completion flag the device DMA-writes back; Non-GEMM operators run on the
+// CPU between offloads.
+#pragma once
+
+#include "core/system.hh"
+#include "workload/gemm.hh"
+#include "workload/vit.hh"
+
+namespace accesys::core {
+
+struct GemmRunResult {
+    Tick start = 0;
+    Tick end = 0;
+    bool verified = false;
+    std::uint64_t mismatches = 0;
+
+    [[nodiscard]] Tick elapsed() const { return end - start; }
+    [[nodiscard]] double ms() const { return ticks_to_ms(elapsed()); }
+
+    /// Achieved GEMM throughput in GMAC/s.
+    [[nodiscard]] double gmacs(const workload::GemmSpec& spec) const
+    {
+        return spec.macs() / ticks_to_sec(elapsed()) / 1e9;
+    }
+};
+
+struct VitRunResult {
+    Tick start = 0;
+    Tick end = 0;
+    Tick gemm_ticks = 0;    ///< time in offload phases (doorbell -> flag)
+    Tick nongemm_ticks = 0; ///< time in CPU vector ops
+    std::uint64_t gemm_cmds = 0;
+    std::uint64_t vector_ops = 0;
+
+    [[nodiscard]] Tick elapsed() const { return end - start; }
+    [[nodiscard]] double ms() const { return ticks_to_ms(elapsed()); }
+    [[nodiscard]] Tick other_ticks() const
+    {
+        return elapsed() - gemm_ticks - nongemm_ticks;
+    }
+};
+
+class Runner {
+  public:
+    explicit Runner(System& sys) : sys_(&sys) {}
+
+    /// Offload one GEMM. With `verify`, operands are randomised and the
+    /// result is bit-compared against a golden model (exercising the full
+    /// functional DMA path).
+    GemmRunResult run_gemm(const workload::GemmSpec& spec, Placement place,
+                           bool verify = false);
+
+    /// Run one full ViT inference; returns the phase-split timing that
+    /// Figs. 7 and 8 report.
+    VitRunResult run_vit(const workload::VitConfig& cfg, Placement place);
+
+  private:
+    System* sys_;
+};
+
+} // namespace accesys::core

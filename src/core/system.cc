@@ -1,0 +1,155 @@
+#include "core/system.hh"
+
+namespace accesys::core {
+
+namespace {
+
+/// Host-memory carve-outs: workload data grows from 16 MiB; the page-table
+/// arena occupies the top 128 MiB.
+constexpr Addr kDataBase = 16 * kMiB;
+constexpr std::uint64_t kPtArenaBytes = 128 * kMiB;
+
+} // namespace
+
+System::System(const SystemConfig& cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    build();
+}
+
+System::~System() = default;
+
+void System::build()
+{
+    const mem::AddrRange host = host_range();
+    const Addr pt_root = cfg_.host_dram_bytes - kPtArenaBytes;
+    ptable_ = std::make_unique<smmu::PageTable>(
+        store_, pt_root, pt_root + smmu::kPageBytes, cfg_.host_dram_bytes);
+    host_alloc_next_ = kDataBase;
+    host_alloc_limit_ = pt_root;
+    devmem_alloc_next_ = cfg_.devmem_base;
+
+    // --- coherent MemBus ----------------------------------------------------
+    membus_ = std::make_unique<mem::Xbar>(sim_, "membus", cfg_.membus);
+
+    // --- CPU cluster ----------------------------------------------------------
+    cpu_ = std::make_unique<cpu::HostCpu>(sim_, "cpu0", cfg_.cpu, store_);
+    l1d_ = std::make_unique<cache::Cache>(sim_, "l1d", cfg_.l1d);
+    cpu_->mem_port().bind(l1d_->cpu_side());
+    mem::ResponsePort& cpu_up = membus_->add_upstream("cpu_side");
+    l1d_->mem_side().bind(cpu_up);
+    membus_->register_snooper(*l1d_, cpu_up);
+
+    // --- LLC + host memory (memory-side cache) -------------------------------
+    llc_ = std::make_unique<cache::Cache>(sim_, "llc", cfg_.llc);
+    membus_->add_downstream("llc_side", host).bind(llc_->cpu_side());
+    if (cfg_.host_simple) {
+        host_simple_mem_ = std::make_unique<mem::SimpleMem>(
+            sim_, "hostmem", cfg_.host_simple_mem, host);
+        llc_->mem_side().bind(host_simple_mem_->port());
+    } else {
+        host_mem_ = std::make_unique<mem::MemCtrl>(sim_, "hostmem",
+                                                   cfg_.host_mem, host);
+        llc_->mem_side().bind(host_mem_->port());
+    }
+
+    // --- inbound DMA path: RC -> SMMU -> IOCache -> MemBus --------------------
+    iocache_ = std::make_unique<cache::Cache>(sim_, "iocache", cfg_.iocache);
+    mem::ResponsePort& io_up = membus_->add_upstream("io_side");
+    iocache_->mem_side().bind(io_up);
+    membus_->register_snooper(*iocache_, io_up);
+
+    smmu_ = std::make_unique<smmu::Smmu>(sim_, "smmu", cfg_.smmu, *ptable_,
+                                         store_);
+    smmu_->mem_side().bind(iocache_->cpu_side());
+
+    pcie::RcParams rc_params = cfg_.rc;
+    rc_params.device_addresses_virtual = cfg_.smmu.enabled;
+    rc_params.inbound_uncacheable = cfg_.access_mode == AccessMode::dm;
+    rc_ = std::make_unique<pcie::RootComplex>(sim_, "rc", rc_params);
+    rc_->mem_side().bind(smmu_->dev_side());
+
+    // CPU-visible PCIe window: BAR0 plus (optionally) the DevMem aperture.
+    const Addr window_end = cfg_.enable_devmem
+                                ? cfg_.devmem_base + cfg_.devmem_bytes
+                                : cfg_.accel.bar0_base + cfg_.accel.bar0_size;
+    const mem::AddrRange pcie_window(cfg_.accel.bar0_base, window_end);
+    membus_->add_downstream("pcie_side", pcie_window).bind(rc_->mmio_side());
+    cpu_->add_uncacheable_range(pcie_window);
+
+    // --- PCIe hierarchy --------------------------------------------------------
+    link_up_ = std::make_unique<pcie::PcieLink>(sim_, "link_up", cfg_.pcie);
+    link_dn_ = std::make_unique<pcie::PcieLink>(sim_, "link_dn", cfg_.pcie);
+    pcie_switch_ = std::make_unique<pcie::PcieSwitch>(sim_, "pcie_sw",
+                                                      cfg_.pcie_switch);
+    rc_->connect_pcie(link_up_->end_a());
+    pcie_switch_->set_upstream(link_up_->end_b());
+
+    accel_ = std::make_unique<accel::MatrixFlowDevice>(sim_, "mf", cfg_.accel,
+                                                       store_, host);
+    std::vector<mem::AddrRange> device_bars = {mem::AddrRange::with_size(
+        cfg_.accel.bar0_base, cfg_.accel.bar0_size)};
+    if (cfg_.enable_devmem) {
+        device_bars.push_back(devmem_range());
+    }
+    pcie_switch_->add_downstream(link_dn_->end_a(), device_bars,
+                                 accel_->device_id());
+    accel_->connect_pcie(link_dn_->end_b());
+
+    // --- device-side memory -----------------------------------------------------
+    if (cfg_.enable_devmem) {
+        devmem_xbar_ = std::make_unique<mem::Xbar>(sim_, "devmem_xbar",
+                                                   cfg_.devmem_xbar);
+        if (cfg_.devmem_simple) {
+            devmem_simple_mem_ = std::make_unique<mem::SimpleMem>(
+                sim_, "devmem", cfg_.devmem_simple_mem, devmem_range());
+            devmem_xbar_->add_downstream("mem_side", devmem_range())
+                .bind(devmem_simple_mem_->port());
+        } else {
+            devmem_mem_ = std::make_unique<mem::MemCtrl>(
+                sim_, "devmem", cfg_.devmem_mem, devmem_range());
+            devmem_xbar_->add_downstream("mem_side", devmem_range())
+                .bind(devmem_mem_->port());
+        }
+        mem::ResponsePort& mover_up = devmem_xbar_->add_upstream("mover");
+        mem::ResponsePort& aperture_up =
+            devmem_xbar_->add_upstream("aperture");
+        accel_->attach_devmem(devmem_range(), mover_up, aperture_up);
+    }
+}
+
+Addr System::alloc_host(std::uint64_t bytes, std::uint64_t align)
+{
+    host_alloc_next_ = align_up(host_alloc_next_, align);
+    const Addr addr = host_alloc_next_;
+    host_alloc_next_ += bytes;
+    ensure(host_alloc_next_ <= host_alloc_limit_,
+           "host workload arena exhausted");
+    return addr;
+}
+
+Addr System::alloc_devmem(std::uint64_t bytes, std::uint64_t align)
+{
+    ensure(cfg_.enable_devmem, "device memory is not enabled");
+    devmem_alloc_next_ = align_up(devmem_alloc_next_, align);
+    const Addr addr = devmem_alloc_next_;
+    devmem_alloc_next_ += bytes;
+    ensure(devmem_alloc_next_ <= cfg_.devmem_base + cfg_.devmem_bytes,
+           "device memory arena exhausted");
+    return addr;
+}
+
+Addr System::alloc(Placement place, std::uint64_t bytes, std::uint64_t align)
+{
+    return place == Placement::host ? alloc_host(bytes, align)
+                                    : alloc_devmem(bytes, align);
+}
+
+void System::map_host_pages(Addr addr, std::uint64_t size)
+{
+    const Addr first = align_down(addr, smmu::kPageBytes);
+    const Addr last = align_up(addr + size, smmu::kPageBytes);
+    ptable_->map_identity(first, last - first);
+}
+
+} // namespace accesys::core

@@ -1,0 +1,101 @@
+// Full-system assembly: CPU cluster, coherent MemBus, caches, host memory,
+// SMMU, PCIe hierarchy (RC - switch - endpoint), the MatrixFlow accelerator
+// and optional device-side memory — the paper's Fig. 1 topology.
+//
+//   CPU -> L1D ------------------.
+//                                 MemBus (coherent, snooping)
+//   RC.mem <- SMMU <- IOCache ---'      |-> LLC -> host MemCtrl
+//      ^                                '-> RC.mmio (PCIe window)
+//      |  PCIe link (RC - switch - device)
+//   MatrixFlow endpoint [DMA engine | systolic array | local buffer]
+//      '-> DevMem xbar -> DevMem ctrl   (when device memory is enabled)
+#pragma once
+
+#include <memory>
+
+#include "core/system_config.hh"
+#include "mem/backing_store.hh"
+#include "smmu/page_table.hh"
+
+namespace accesys::core {
+
+class System {
+  public:
+    explicit System(const SystemConfig& cfg);
+    ~System();
+
+    System(const System&) = delete;
+    System& operator=(const System&) = delete;
+
+    [[nodiscard]] Simulator& sim() noexcept { return sim_; }
+    [[nodiscard]] mem::BackingStore& store() noexcept { return store_; }
+    [[nodiscard]] const SystemConfig& config() const noexcept { return cfg_; }
+
+    [[nodiscard]] cpu::HostCpu& host_cpu() noexcept { return *cpu_; }
+    [[nodiscard]] accel::MatrixFlowDevice& accelerator() noexcept
+    {
+        return *accel_;
+    }
+    [[nodiscard]] smmu::Smmu& smmu() noexcept { return *smmu_; }
+    [[nodiscard]] smmu::PageTable& page_table() noexcept { return *ptable_; }
+    [[nodiscard]] pcie::PcieLink& pcie_uplink() noexcept { return *link_up_; }
+
+    [[nodiscard]] mem::AddrRange host_range() const noexcept
+    {
+        return mem::AddrRange(0, cfg_.host_dram_bytes);
+    }
+    [[nodiscard]] mem::AddrRange devmem_range() const noexcept
+    {
+        return mem::AddrRange::with_size(cfg_.devmem_base,
+                                         cfg_.devmem_bytes);
+    }
+
+    /// Bump-allocate workload memory (page-aligned by default).
+    [[nodiscard]] Addr alloc_host(std::uint64_t bytes,
+                                  std::uint64_t align = 4096);
+    [[nodiscard]] Addr alloc_devmem(std::uint64_t bytes,
+                                    std::uint64_t align = 4096);
+    [[nodiscard]] Addr alloc(Placement place, std::uint64_t bytes,
+                             std::uint64_t align = 4096);
+
+    /// Identity-map host pages covering [addr, addr+size) for device access.
+    void map_host_pages(Addr addr, std::uint64_t size);
+
+    /// Stat lookup shorthand (throws on unknown names).
+    [[nodiscard]] double stat(const std::string& name)
+    {
+        return sim_.stats().value(name);
+    }
+    [[nodiscard]] stats::Registry& stats() noexcept { return sim_.stats(); }
+
+  private:
+    void build();
+
+    SystemConfig cfg_;
+    Simulator sim_;
+    mem::BackingStore store_;
+
+    std::unique_ptr<smmu::PageTable> ptable_;
+    std::unique_ptr<mem::Xbar> membus_;
+    std::unique_ptr<cpu::HostCpu> cpu_;
+    std::unique_ptr<cache::Cache> l1d_;
+    std::unique_ptr<cache::Cache> llc_;
+    std::unique_ptr<cache::Cache> iocache_;
+    std::unique_ptr<mem::MemCtrl> host_mem_;
+    std::unique_ptr<mem::SimpleMem> host_simple_mem_;
+    std::unique_ptr<smmu::Smmu> smmu_;
+    std::unique_ptr<pcie::RootComplex> rc_;
+    std::unique_ptr<pcie::PcieSwitch> pcie_switch_;
+    std::unique_ptr<pcie::PcieLink> link_up_;
+    std::unique_ptr<pcie::PcieLink> link_dn_;
+    std::unique_ptr<accel::MatrixFlowDevice> accel_;
+    std::unique_ptr<mem::Xbar> devmem_xbar_;
+    std::unique_ptr<mem::MemCtrl> devmem_mem_;
+    std::unique_ptr<mem::SimpleMem> devmem_simple_mem_;
+
+    Addr host_alloc_next_ = 0;
+    Addr devmem_alloc_next_ = 0;
+    Addr host_alloc_limit_ = 0;
+};
+
+} // namespace accesys::core

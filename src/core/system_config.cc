@@ -1,0 +1,123 @@
+#include "core/system_config.hh"
+
+#include "mem/dram_config.hh"
+
+namespace accesys::core {
+
+SystemConfig SystemConfig::paper_default()
+{
+    SystemConfig cfg;
+
+    // CPU cluster — ARM-class core at 1 GHz.
+    cfg.cpu.freq_ghz = 1.0;
+
+    cfg.l1d.size_bytes = 64 * kKiB;
+    cfg.l1d.assoc = 4;
+    cfg.l1d.line_bytes = 64;
+    cfg.l1d.lookup_latency_ns = 1.0;
+    cfg.l1d.mshrs = 8;
+
+    cfg.llc.size_bytes = 2 * kMiB;
+    cfg.llc.assoc = 16;
+    cfg.llc.line_bytes = 64;
+    cfg.llc.lookup_latency_ns = 8.0;
+    cfg.llc.mshrs = 32;
+
+    cfg.iocache.size_bytes = 32 * kKiB;
+    cfg.iocache.assoc = 4;
+    cfg.iocache.line_bytes = 64;
+    cfg.iocache.lookup_latency_ns = 2.0;
+    cfg.iocache.mshrs = 32;
+
+    // Host memory: DDR3-1600 8x8, 4 GB.
+    cfg.host_mem.dram = mem::ddr3_1600();
+    cfg.host_dram_bytes = 4 * kGiB;
+
+    cfg.membus.coherent = true;
+    cfg.membus.width_gbps = 128.0;
+    cfg.membus.request_latency_ns = 3.0;
+    cfg.membus.response_latency_ns = 3.0;
+
+    // PCIe 2.0, 4 lanes at 4 Gb/s; RC 150 ns; switch 50 ns.
+    cfg.pcie.gen = pcie::Gen::gen2;
+    cfg.pcie.lanes = 4;
+    cfg.pcie.lane_gbps = 4.0;
+    cfg.rc.latency_ns = 150.0;
+    cfg.pcie_switch.latency_ns = 50.0;
+
+    // SMMU sized so the Table IV study shows the paper's capacity cliff:
+    // the 2048^3 working set exceeds the main TLB and triggers a PTW storm,
+    // and the narrow walker makes those walks visible in execution time.
+    cfg.smmu.utlb_entries = 16;
+    cfg.smmu.utlb_assoc = 16;
+    cfg.smmu.tlb_entries = 2048;
+    cfg.smmu.tlb_assoc = 8;
+    cfg.smmu.walk_slots = 1;
+    cfg.smmu.pwc_entries = 16;
+
+    // Accelerator: 16x16 MatrixFlow systolic array at 1 GHz.
+    cfg.accel.sa.rows = 16;
+    cfg.accel.sa.cols = 16;
+    cfg.accel.sa.freq_ghz = 1.0;
+    cfg.accel.local_buffer_bytes = 256 * kKiB;
+
+    // Device-side memory defaults (enabled per experiment).
+    cfg.devmem_mem.dram = mem::hbm2();
+    cfg.devmem_xbar.coherent = false;
+    cfg.devmem_xbar.width_gbps = 256.0;
+    cfg.devmem_xbar.request_latency_ns = 2.0;
+    cfg.devmem_xbar.response_latency_ns = 2.0;
+    cfg.devmem_xbar.queue_capacity = 64;
+    cfg.devmem_mem.read_queue_capacity = 64;
+
+    cfg.set_packet_size(256);
+    return cfg;
+}
+
+void SystemConfig::set_packet_size(std::uint32_t bytes)
+{
+    accel.dma.request_bytes = bytes;
+    accel.dma.write_bytes = bytes;
+    rc.max_payload_bytes = bytes;
+}
+
+void SystemConfig::set_pcie_target_gbps(double gbps, unsigned lanes,
+                                        pcie::Gen gen)
+{
+    pcie = pcie::LinkParams::from_target_gbps(gbps, lanes, gen);
+}
+
+void SystemConfig::set_host_dram(const std::string& preset)
+{
+    host_mem.dram = mem::dram_params_by_name(preset);
+    host_simple = false;
+}
+
+void SystemConfig::set_devmem(const std::string& preset)
+{
+    enable_devmem = true;
+    devmem_mem.dram = mem::dram_params_by_name(preset);
+    devmem_simple = false;
+}
+
+void SystemConfig::validate() const
+{
+    cpu.validate();
+    l1d.validate();
+    llc.validate();
+    iocache.validate();
+    host_mem.dram.validate();
+    pcie.validate();
+    rc.validate();
+    smmu.validate();
+    accel.validate();
+    if (enable_devmem && !devmem_simple) {
+        devmem_mem.dram.validate();
+    }
+    require_cfg(host_dram_bytes >= 256 * kMiB,
+                "host DRAM must be at least 256 MiB (page tables live there)");
+    require_cfg(accel.bar0_base >= host_dram_bytes,
+                "BAR0 must not overlap host DRAM");
+}
+
+} // namespace accesys::core

@@ -1,0 +1,90 @@
+// Top-level system configuration (defaults follow paper Table II) and the
+// address map shared by every experiment.
+#pragma once
+
+#include "accel/matrixflow.hh"
+#include "cache/cache.hh"
+#include "cpu/host_cpu.hh"
+#include "mem/mem_ctrl.hh"
+#include "mem/xbar.hh"
+#include "pcie/link.hh"
+#include "pcie/root_complex.hh"
+#include "pcie/switch.hh"
+#include "smmu/smmu.hh"
+
+namespace accesys::core {
+
+/// Paper §III-C memory access methods (DevMem is a data-placement choice,
+/// expressed per command; DC vs DM selects the inbound fabric path).
+enum class AccessMode {
+    dc, ///< direct cache: inbound DMA flows through IOCache / LLC
+    dm, ///< direct memory: inbound DMA bypasses the cache hierarchy
+};
+
+/// Where a workload's tensors live.
+enum class Placement {
+    host,   ///< host DRAM, reached over PCIe by the accelerator
+    devmem, ///< device-side memory, reached over PCIe by the CPU (NUMA)
+};
+
+struct SystemConfig {
+    // --- CPU cluster (Table II) ---------------------------------------------
+    cpu::CpuParams cpu;
+    cache::CacheParams l1d;
+    cache::CacheParams llc;
+    cache::CacheParams iocache;
+
+    // --- host memory ----------------------------------------------------------
+    mem::MemCtrlParams host_mem;
+    bool host_simple = false; ///< use SimpleMem instead of the DRAM model
+    mem::SimpleMemParams host_simple_mem;
+    std::uint64_t host_dram_bytes = 4 * kGiB;
+
+    // --- fabric ---------------------------------------------------------------
+    mem::XbarParams membus;
+
+    // --- PCIe (Table II: v2.0, 4 Gb/s lanes, x4) -----------------------------
+    pcie::LinkParams pcie;
+    pcie::RcParams rc;
+    pcie::SwitchParams pcie_switch;
+
+    // --- SMMU -----------------------------------------------------------------
+    smmu::SmmuParams smmu;
+
+    // --- accelerator ----------------------------------------------------------
+    accel::MatrixFlowParams accel;
+
+    // --- device-side memory ---------------------------------------------------
+    bool enable_devmem = false;
+    mem::MemCtrlParams devmem_mem;
+    bool devmem_simple = false;
+    mem::SimpleMemParams devmem_simple_mem;
+    std::uint64_t devmem_bytes = 8 * kGiB;
+    mem::XbarParams devmem_xbar;
+    Addr devmem_base = 0x200000000000ULL;
+
+    AccessMode access_mode = AccessMode::dc;
+
+    /// Table II configuration: ARM 1 GHz, 64 kB D$, 2 MB LLC, 32 kB IOCache,
+    /// DDR3-1600 host memory, PCIe 2.0 x4 @ 4 Gb/s, RC 150 ns, switch 50 ns.
+    [[nodiscard]] static SystemConfig paper_default();
+
+    /// Set the DMA request size and the RC completion payload limit together
+    /// — the paper's single "packet size" knob (Fig. 4).
+    void set_packet_size(std::uint32_t bytes);
+
+    /// Replace the PCIe link with one of `gbps` effective bandwidth,
+    /// mirroring the paper's "PCIe-xGB" system labels.
+    void set_pcie_target_gbps(double gbps, unsigned lanes = 8,
+                              pcie::Gen gen = pcie::Gen::gen3);
+
+    /// Select the host DRAM technology by preset name ("DDR4", "HBM2", ...).
+    void set_host_dram(const std::string& preset);
+
+    /// Enable device-side memory with the given DRAM technology.
+    void set_devmem(const std::string& preset);
+
+    void validate() const;
+};
+
+} // namespace accesys::core

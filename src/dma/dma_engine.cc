@@ -1,0 +1,166 @@
+#include "dma/dma_engine.hh"
+
+#include <algorithm>
+
+namespace accesys::dma {
+
+void DmaParams::validate() const
+{
+    require_cfg(channels >= 1, "DMA needs at least one channel");
+    require_cfg(is_pow2(request_bytes) && request_bytes >= 16,
+                "DMA request size must be a power of two >= 16");
+    require_cfg(is_pow2(write_bytes) && write_bytes >= 16,
+                "DMA write size must be a power of two >= 16");
+    require_cfg(window_bytes >= request_bytes,
+                "DMA window must hold at least one request");
+    require_cfg(max_tags >= 1 && max_tags <= 256,
+                "DMA tags must be in 1..256 (8-bit PCIe tag field)");
+}
+
+DmaEngine::DmaEngine(Simulator& sim, std::string name,
+                     const DmaParams& params, DmaPort& port,
+                     mem::BackingStore& store)
+    : SimObject(sim, std::move(name)),
+      params_(params),
+      port_(&port),
+      store_(&store),
+      tags_(params.max_tags)
+{
+    params_.validate();
+}
+
+void DmaEngine::set_request_bytes(std::uint32_t bytes)
+{
+    ensure(idle(), name(), ": cannot change request size mid-transfer");
+    params_.request_bytes = bytes;
+    params_.validate();
+}
+
+void DmaEngine::submit(DmaJob job)
+{
+    ensure(job.bytes > 0, name(), ": zero-length DMA job");
+    if (job.dir == DmaJob::Dir::dev_to_host) {
+        // Snapshot the device data now: the producer may reuse its staging
+        // buffer before the posted writes drain (models a drain FIFO).
+        store_->copy(job.host_addr, job.dev_addr, job.bytes);
+    }
+    queued_.push_back(std::move(job));
+    pump();
+}
+
+void DmaEngine::pump()
+{
+    // `on_sent` callbacks can fire synchronously from dma_send and re-enter
+    // pump() while we iterate `active_`; fold nested calls into the loop.
+    if (pumping_) {
+        repump_ = true;
+        return;
+    }
+    pumping_ = true;
+    do {
+        repump_ = false;
+        while (active_.size() < params_.channels && !queued_.empty()) {
+            auto js = std::make_unique<JobState>();
+            js->job = std::move(queued_.front());
+            queued_.pop_front();
+            active_.push_back(std::move(js));
+        }
+        // Round-robin service across the active channels.
+        for (auto& js : active_) {
+            if (js->job.dir == DmaJob::Dir::host_to_dev) {
+                pump_read(*js);
+            } else {
+                pump_write(*js);
+            }
+        }
+        // Reap any job that completed during pumping.
+        for (auto it = active_.begin(); it != active_.end();) {
+            if ((*it)->finished >= (*it)->job.bytes) {
+                std::function<void()> cb = std::move((*it)->job.on_complete);
+                it = active_.erase(it);
+                ++jobs_done_;
+                if (cb) {
+                    cb();
+                }
+            } else {
+                ++it;
+            }
+        }
+        if (!queued_.empty() && active_.size() < params_.channels) {
+            repump_ = true; // a channel freed during reaping
+        }
+    } while (repump_);
+    pumping_ = false;
+}
+
+void DmaEngine::pump_read(JobState& js)
+{
+    while (js.issued < js.job.bytes && tags_in_use_ < params_.max_tags &&
+           window_in_use_ + params_.request_bytes <= params_.window_bytes) {
+        const auto chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            params_.request_bytes, js.job.bytes - js.issued));
+        // Find a free tag.
+        unsigned tag = 0;
+        while (tag < tags_.size() && tags_[tag].busy) {
+            ++tag;
+        }
+        ensure(tag < tags_.size(), name(), ": tag accounting broken");
+        tags_[tag] = TagState{&js, js.issued, chunk, true};
+        ++tags_in_use_;
+        window_in_use_ += chunk;
+
+        port_->dma_send(pcie::make_mem_read(js.job.host_addr + js.issued,
+                                            chunk,
+                                            static_cast<std::uint8_t>(tag),
+                                            port_->dma_device_id()),
+                        {});
+        ++reads_issued_;
+        js.issued += chunk;
+    }
+}
+
+void DmaEngine::pump_write(JobState& js)
+{
+    while (js.issued < js.job.bytes &&
+           port_->dma_egress_depth() < params_.max_egress) {
+        const auto chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            params_.write_bytes, js.job.bytes - js.issued));
+        const std::uint64_t off = js.issued;
+
+        JobState* jsp = &js;
+        port_->dma_send(
+            pcie::make_mem_write(js.job.host_addr + off, chunk,
+                                 port_->dma_device_id()),
+            [this, jsp, chunk] {
+                jsp->finished += chunk;
+                bytes_written_ += chunk;
+                if (jsp->finished >= jsp->job.bytes) {
+                    pump(); // reap + refill the channel
+                }
+            });
+        ++writes_issued_;
+        js.issued += chunk;
+    }
+}
+
+void DmaEngine::on_completion(const pcie::Tlp& cpl)
+{
+    ensure(cpl.tag < tags_.size() && tags_[cpl.tag].busy, name(),
+           ": completion for idle tag ", static_cast<int>(cpl.tag));
+    if (!cpl.is_last) {
+        return; // partial completion; wait for the final chunk
+    }
+    TagState& ts = tags_[cpl.tag];
+    JobState& js = *ts.job;
+
+    store_->copy(js.job.dev_addr + ts.offset, js.job.host_addr + ts.offset,
+                 ts.bytes);
+    bytes_read_ += ts.bytes;
+    js.finished += ts.bytes;
+    window_in_use_ -= ts.bytes;
+    ts.busy = false;
+    --tags_in_use_;
+    pump();
+}
+
+} // namespace accesys::dma

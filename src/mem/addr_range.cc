@@ -1,0 +1,25 @@
+#include "mem/addr_range.hh"
+
+#include <sstream>
+
+namespace accesys::mem {
+
+std::string AddrRange::describe() const
+{
+    std::ostringstream os;
+    os << "[0x" << std::hex << start_ << ", 0x" << end_ << ")" << std::dec;
+    return os.str();
+}
+
+void check_disjoint(const std::vector<AddrRange>& ranges)
+{
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+        for (std::size_t j = i + 1; j < ranges.size(); ++j) {
+            require_cfg(!ranges[i].overlaps(ranges[j]),
+                        "overlapping address ranges: ",
+                        ranges[i].describe(), " vs ", ranges[j].describe());
+        }
+    }
+}
+
+} // namespace accesys::mem

@@ -1,0 +1,83 @@
+// Half-open byte address ranges used for fabric routing and memory maps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/error.hh"
+#include "sim/types.hh"
+
+namespace accesys::mem {
+
+class AddrRange {
+  public:
+    constexpr AddrRange() = default;
+
+    /// [start, end) — end exclusive.
+    constexpr AddrRange(Addr start, Addr end) : start_(start), end_(end)
+    {
+        if (end < start) {
+            throw ConfigError("AddrRange end before start");
+        }
+    }
+
+    [[nodiscard]] static constexpr AddrRange with_size(Addr start,
+                                                       std::uint64_t size)
+    {
+        return AddrRange(start, start + size);
+    }
+
+    [[nodiscard]] constexpr Addr start() const noexcept { return start_; }
+    [[nodiscard]] constexpr Addr end() const noexcept { return end_; }
+    [[nodiscard]] constexpr std::uint64_t size() const noexcept
+    {
+        return end_ - start_;
+    }
+    [[nodiscard]] constexpr bool empty() const noexcept
+    {
+        return end_ == start_;
+    }
+
+    [[nodiscard]] constexpr bool contains(Addr a) const noexcept
+    {
+        return a >= start_ && a < end_;
+    }
+
+    /// True when [a, a+size) lies fully inside this range.
+    [[nodiscard]] constexpr bool contains(Addr a,
+                                          std::uint64_t size) const noexcept
+    {
+        return a >= start_ && a + size <= end_;
+    }
+
+    [[nodiscard]] constexpr bool overlaps(const AddrRange& o) const noexcept
+    {
+        return start_ < o.end_ && o.start_ < end_;
+    }
+
+    /// Offset of `a` from the range base.
+    [[nodiscard]] constexpr std::uint64_t offset(Addr a) const
+    {
+        if (!contains(a)) {
+            throw SimError("address outside range");
+        }
+        return a - start_;
+    }
+
+    [[nodiscard]] std::string describe() const;
+
+    friend constexpr bool operator==(const AddrRange& a,
+                                     const AddrRange& b) noexcept
+    {
+        return a.start_ == b.start_ && a.end_ == b.end_;
+    }
+
+  private:
+    Addr start_ = 0;
+    Addr end_ = 0;
+};
+
+/// Validates that `ranges` are pairwise non-overlapping (throws ConfigError).
+void check_disjoint(const std::vector<AddrRange>& ranges);
+
+} // namespace accesys::mem

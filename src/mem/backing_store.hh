@@ -1,0 +1,113 @@
+// Sparse functional memory image shared by a whole simulated system.
+//
+// Timing packets carry no payload; endpoints read/write this store when a
+// transaction logically completes. Storage is allocated lazily in fixed
+// chunks so multi-GB address spaces cost only what is touched.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/error.hh"
+#include "sim/types.hh"
+
+namespace accesys::mem {
+
+class BackingStore {
+  public:
+    static constexpr std::uint64_t kChunkBytes = 64 * kKiB;
+
+    BackingStore() = default;
+    BackingStore(const BackingStore&) = delete;
+    BackingStore& operator=(const BackingStore&) = delete;
+
+    void write(Addr addr, const void* src, std::uint64_t n)
+    {
+        const auto* p = static_cast<const std::uint8_t*>(src);
+        while (n > 0) {
+            const std::uint64_t off = addr % kChunkBytes;
+            const std::uint64_t run = std::min(n, kChunkBytes - off);
+            std::memcpy(chunk_for(addr) + off, p, run);
+            addr += run;
+            p += run;
+            n -= run;
+        }
+    }
+
+    void read(Addr addr, void* dst, std::uint64_t n) const
+    {
+        auto* p = static_cast<std::uint8_t*>(dst);
+        while (n > 0) {
+            const std::uint64_t off = addr % kChunkBytes;
+            const std::uint64_t run = std::min(n, kChunkBytes - off);
+            const std::uint8_t* c = find_chunk(addr);
+            if (c != nullptr) {
+                std::memcpy(p, c + off, run);
+            } else {
+                std::memset(p, 0, run); // untouched memory reads as zero
+            }
+            addr += run;
+            p += run;
+            n -= run;
+        }
+    }
+
+    template <typename T>
+    void write_obj(Addr addr, const T& v)
+    {
+        write(addr, &v, sizeof(T));
+    }
+
+    template <typename T>
+    [[nodiscard]] T read_obj(Addr addr) const
+    {
+        T v;
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    /// Copy `n` bytes from `src` to `dst` within the store.
+    void copy(Addr dst, Addr src, std::uint64_t n)
+    {
+        // Chunked bounce copy; fine for simulation volumes.
+        std::uint8_t buf[4096];
+        while (n > 0) {
+            const std::uint64_t run = std::min<std::uint64_t>(n, sizeof(buf));
+            read(src, buf, run);
+            write(dst, buf, run);
+            src += run;
+            dst += run;
+            n -= run;
+        }
+    }
+
+    [[nodiscard]] std::size_t chunks_allocated() const noexcept
+    {
+        return chunks_.size();
+    }
+
+  private:
+    std::uint8_t* chunk_for(Addr addr)
+    {
+        const std::uint64_t key = addr / kChunkBytes;
+        auto& slot = chunks_[key];
+        if (!slot) {
+            slot = std::make_unique<std::uint8_t[]>(kChunkBytes);
+            std::memset(slot.get(), 0, kChunkBytes);
+        }
+        return slot.get();
+    }
+
+    [[nodiscard]] const std::uint8_t* find_chunk(Addr addr) const
+    {
+        const auto it = chunks_.find(addr / kChunkBytes);
+        return it == chunks_.end() ? nullptr : it->second.get();
+    }
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>>
+        chunks_;
+};
+
+} // namespace accesys::mem

@@ -1,0 +1,187 @@
+#include "mem/dram_config.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace accesys::mem {
+
+void DramParams::validate() const
+{
+    require_cfg(channels >= 1 && channels <= 64, name,
+                ": channels out of range");
+    require_cfg(data_width_bits % 8 == 0 && data_width_bits > 0, name,
+                ": width must be a multiple of 8 bits");
+    require_cfg(data_rate_mts > 0, name, ": zero data rate");
+    require_cfg(is_pow2(banks), name, ": banks must be a power of two");
+    require_cfg(is_pow2(burst_length), name,
+                ": burst length must be a power of two");
+    require_cfg(is_pow2(row_bytes) && row_bytes >= burst_bytes(), name,
+                ": row must be a power of two and hold a burst");
+    require_cfg(tCL_ns > 0 && tRCD_ns > 0 && tRP_ns > 0, name,
+                ": core timings must be positive");
+    require_cfg(tRAS_ns >= tRCD_ns, name, ": tRAS must cover tRCD");
+}
+
+DramParams ddr3_1600()
+{
+    DramParams p;
+    p.name = "DDR3-1600";
+    p.channels = 1;
+    p.data_width_bits = 64;
+    p.data_rate_mts = 1600;
+    p.banks = 8;
+    p.burst_length = 8;
+    p.row_bytes = 8 * kKiB;
+    p.tCL_ns = 13.75;
+    p.tRCD_ns = 13.75;
+    p.tRP_ns = 13.75;
+    p.tRAS_ns = 35.0;
+    p.tRFC_ns = 260.0;
+    return p;
+}
+
+DramParams ddr4_2400()
+{
+    DramParams p;
+    p.name = "DDR4-2400";
+    p.channels = 1;
+    p.data_width_bits = 64;
+    p.data_rate_mts = 2400;
+    p.banks = 16;
+    p.burst_length = 8;
+    p.row_bytes = 8 * kKiB;
+    p.tCL_ns = 14.16;
+    p.tRCD_ns = 14.16;
+    p.tRP_ns = 14.16;
+    p.tRAS_ns = 32.0;
+    p.tRFC_ns = 350.0;
+    return p;
+}
+
+DramParams ddr5_3200()
+{
+    DramParams p;
+    p.name = "DDR5-3200";
+    p.channels = 2;
+    p.data_width_bits = 32;
+    p.data_rate_mts = 3200;
+    p.banks = 32;
+    p.burst_length = 16;
+    p.row_bytes = 4 * kKiB;
+    p.tCL_ns = 15.0;
+    p.tRCD_ns = 15.0;
+    p.tRP_ns = 15.0;
+    p.tRAS_ns = 32.0;
+    p.tRFC_ns = 295.0;
+    return p;
+}
+
+DramParams hbm2()
+{
+    DramParams p;
+    p.name = "HBM2";
+    p.channels = 2;
+    p.data_width_bits = 128;
+    p.data_rate_mts = 2000;
+    p.banks = 16;
+    p.burst_length = 4;
+    p.row_bytes = 1 * kKiB;
+    p.tCL_ns = 14.0;
+    p.tRCD_ns = 14.0;
+    p.tRP_ns = 14.0;
+    p.tRAS_ns = 33.0;
+    p.tRFC_ns = 260.0;
+    return p;
+}
+
+DramParams gddr5()
+{
+    DramParams p;
+    p.name = "GDDR5";
+    p.channels = 2;
+    p.data_width_bits = 64;
+    p.data_rate_mts = 1750;
+    p.banks = 16;
+    p.burst_length = 8;
+    p.row_bytes = 2 * kKiB;
+    p.tCL_ns = 12.0;
+    p.tRCD_ns = 14.0;
+    p.tRP_ns = 14.0;
+    p.tRAS_ns = 32.0;
+    p.tRFC_ns = 200.0;
+    return p;
+}
+
+DramParams gddr6()
+{
+    DramParams p;
+    p.name = "GDDR6";
+    p.channels = 2;
+    p.data_width_bits = 64;
+    p.data_rate_mts = 2000;
+    p.banks = 16;
+    p.burst_length = 16;
+    p.row_bytes = 2 * kKiB;
+    p.tCL_ns = 12.0;
+    p.tRCD_ns = 14.0;
+    p.tRP_ns = 14.0;
+    p.tRAS_ns = 32.0;
+    p.tRFC_ns = 200.0;
+    return p;
+}
+
+DramParams lpddr5()
+{
+    DramParams p;
+    p.name = "LPDDR5";
+    p.channels = 2;
+    p.data_width_bits = 32;
+    p.data_rate_mts = 3200;
+    p.banks = 16;
+    p.burst_length = 16;
+    p.row_bytes = 4 * kKiB;
+    p.tCL_ns = 18.0;
+    p.tRCD_ns = 18.0;
+    p.tRP_ns = 21.0;
+    p.tRAS_ns = 42.0;
+    p.tRFC_ns = 280.0;
+    return p;
+}
+
+DramParams dram_params_by_name(const std::string& name)
+{
+    std::string lower(name.size(), '\0');
+    std::transform(name.begin(), name.end(), lower.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    if (lower == "ddr3" || lower == "ddr3-1600") {
+        return ddr3_1600();
+    }
+    if (lower == "ddr4" || lower == "ddr4-2400") {
+        return ddr4_2400();
+    }
+    if (lower == "ddr5" || lower == "ddr5-3200") {
+        return ddr5_3200();
+    }
+    if (lower == "hbm" || lower == "hbm2") {
+        return hbm2();
+    }
+    if (lower == "gddr5") {
+        return gddr5();
+    }
+    if (lower == "gddr6") {
+        return gddr6();
+    }
+    if (lower == "lpddr5") {
+        return lpddr5();
+    }
+    throw ConfigError("unknown DRAM preset: " + name);
+}
+
+std::vector<std::string> dram_preset_names()
+{
+    return {"DDR3-1600", "DDR4-2400", "DDR5-3200", "HBM2",
+            "GDDR5",     "GDDR6",     "LPDDR5"};
+}
+
+} // namespace accesys::mem

@@ -1,0 +1,91 @@
+// DRAM technology presets (paper Table III plus companions used in Fig. 5).
+//
+// Each preset captures the first-order characteristics that differentiate
+// memory technologies at system level: channel count, per-channel width,
+// data rate, bank count, burst length, row size and core timing parameters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/error.hh"
+#include "sim/types.hh"
+
+namespace accesys::mem {
+
+struct DramParams {
+    std::string name;
+
+    unsigned channels = 1;         ///< independent channels
+    unsigned data_width_bits = 64; ///< per channel
+    unsigned data_rate_mts = 1600; ///< mega-transfers per second per pin
+    unsigned banks = 8;            ///< per channel
+    unsigned burst_length = 8;     ///< transfers per burst
+    std::uint64_t row_bytes = 8 * kKiB; ///< row-buffer size
+
+    // Core timings.
+    double tCL_ns = 13.75;
+    double tRCD_ns = 13.75;
+    double tRP_ns = 13.75;
+    double tRAS_ns = 35.0;
+    double tRFC_ns = 260.0;
+    double tREFI_ns = 7800.0;
+    bool refresh_enabled = true;
+
+    // --- derived ------------------------------------------------------------
+
+    /// Bytes moved by one burst on one channel (the access granularity).
+    [[nodiscard]] std::uint32_t burst_bytes() const
+    {
+        return data_width_bits / 8 * burst_length;
+    }
+
+    /// Duration of one burst in ticks.
+    [[nodiscard]] Tick burst_ticks() const
+    {
+        // One transfer every 1e6/data_rate picoseconds.
+        return static_cast<Tick>(burst_length * 1e6 /
+                                 static_cast<double>(data_rate_mts));
+    }
+
+    /// Peak bandwidth of one channel in GB/s.
+    [[nodiscard]] double channel_peak_gbps() const
+    {
+        return data_width_bits / 8.0 * data_rate_mts / 1000.0;
+    }
+
+    /// Aggregate peak bandwidth in GB/s (matches paper Table III).
+    [[nodiscard]] double peak_gbps() const
+    {
+        return channel_peak_gbps() * channels;
+    }
+
+    [[nodiscard]] Tick tCL() const { return ticks_from_ns(tCL_ns); }
+    [[nodiscard]] Tick tRCD() const { return ticks_from_ns(tRCD_ns); }
+    [[nodiscard]] Tick tRP() const { return ticks_from_ns(tRP_ns); }
+    [[nodiscard]] Tick tRAS() const { return ticks_from_ns(tRAS_ns); }
+    [[nodiscard]] Tick tRFC() const { return ticks_from_ns(tRFC_ns); }
+    [[nodiscard]] Tick tREFI() const { return ticks_from_ns(tREFI_ns); }
+
+    /// Sanity-check the parameter set; throws ConfigError on nonsense.
+    void validate() const;
+};
+
+// Presets. Channel/width/rate figures follow paper Table III where the
+// technology appears there; companions (DDR3 Table II, GDDR5/LPDDR5 Fig. 5)
+// use representative JEDEC-flavoured values.
+[[nodiscard]] DramParams ddr3_1600();
+[[nodiscard]] DramParams ddr4_2400();
+[[nodiscard]] DramParams ddr5_3200();
+[[nodiscard]] DramParams hbm2();
+[[nodiscard]] DramParams gddr5();
+[[nodiscard]] DramParams gddr6();
+[[nodiscard]] DramParams lpddr5();
+
+/// Lookup by case-insensitive name ("ddr4", "HBM2", ...).
+[[nodiscard]] DramParams dram_params_by_name(const std::string& name);
+
+/// All preset names, for sweeps and help text.
+[[nodiscard]] std::vector<std::string> dram_preset_names();
+
+} // namespace accesys::mem

@@ -1,0 +1,93 @@
+#include "mem/dram_timing.hh"
+
+#include <algorithm>
+
+namespace accesys::mem {
+
+DramTiming::DramTiming(const DramParams& params) : params_(params)
+{
+    params_.validate();
+    channels_.resize(params_.channels);
+    for (auto& ch : channels_) {
+        ch.banks.resize(params_.banks);
+        ch.next_refresh = params_.tREFI();
+    }
+}
+
+DramTiming::Coord DramTiming::decode(Addr addr) const
+{
+    // Interleave channels at burst granularity, banks at row granularity:
+    //   [ row | bank | channel | offset-in-burst ]
+    // Streaming accesses then spread across channels and keep rows open.
+    const std::uint64_t burst = addr / params_.burst_bytes();
+    const unsigned channel =
+        static_cast<unsigned>(burst % params_.channels);
+    const std::uint64_t rows_space =
+        burst / params_.channels * params_.burst_bytes() / params_.row_bytes;
+    const unsigned bank = static_cast<unsigned>(rows_space % params_.banks);
+    const std::uint64_t row = rows_space / params_.banks;
+    return Coord{channel, bank, row};
+}
+
+Tick DramTiming::apply_refresh(Channel& ch, Tick t)
+{
+    if (!params_.refresh_enabled) {
+        return t;
+    }
+    while (t >= ch.next_refresh) {
+        const Tick refresh_end = ch.next_refresh + params_.tRFC();
+        for (auto& bank : ch.banks) {
+            // Refresh closes all rows and stalls the banks.
+            bank.open_row = kNoRow;
+            bank.ready_at = std::max(bank.ready_at, refresh_end);
+        }
+        ch.bus_free = std::max(ch.bus_free, refresh_end);
+        ch.next_refresh += params_.tREFI();
+        ++refreshes_;
+        t = std::max(t, refresh_end);
+    }
+    return t;
+}
+
+DramTiming::Access DramTiming::access(Addr addr, bool is_write, Tick t)
+{
+    const Coord c = decode(addr);
+    Channel& ch = channels_[c.channel];
+    Bank& bank = ch.banks[c.bank];
+
+    t = apply_refresh(ch, t);
+    Tick cmd = std::max(t, bank.ready_at);
+
+    bool row_hit = false;
+    if (bank.open_row == c.row) {
+        row_hit = true;
+        ++row_hits_;
+    } else {
+        ++row_misses_;
+        // Precharge (if a row is open and tRAS allows) then activate.
+        if (bank.open_row != kNoRow) {
+            cmd = std::max(cmd, bank.act_done);
+            cmd += params_.tRP();
+        }
+        cmd += params_.tRCD();
+        bank.open_row = c.row;
+        bank.act_done = cmd + params_.tRAS();
+    }
+
+    // CAS latency applies once per access (latency); throughput is bounded
+    // by column-command pacing (tCCD ~= one burst) and data-bus occupancy,
+    // so back-to-back row hits stream at the full burst rate.
+    const Tick cas_done = cmd + params_.tCL();
+    const Tick burst_start = std::max(cas_done, ch.bus_free);
+    const Tick data_ready = burst_start + params_.burst_ticks();
+    ch.bus_free = data_ready;
+
+    // Next column command to this bank; writes add a recovery window.
+    bank.ready_at = cmd + (is_write ? params_.burst_ticks() * 2
+                                    : params_.burst_ticks());
+    ++bursts_;
+
+    return Access{data_ready, ch.bus_free, row_hit, c.channel};
+}
+
+} // namespace accesys::mem

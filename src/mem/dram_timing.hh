@@ -1,0 +1,96 @@
+// Bank-state DRAM timing engine.
+//
+// Models, per channel: an open-row bank state machine (ACT/PRE/CAS timing),
+// a shared data bus that serialises bursts (the bandwidth bound), and
+// periodic refresh windows. Requests larger than the access granularity are
+// split into bursts by the caller (MemCtrl).
+//
+// This is the "ramulator2-like" substitute described in DESIGN.md: it
+// reproduces the first-order latency/bandwidth/row-locality differences
+// between DRAM technologies without cycle-accurate command scheduling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/dram_config.hh"
+#include "sim/types.hh"
+
+namespace accesys::mem {
+
+class DramTiming {
+  public:
+    explicit DramTiming(const DramParams& params);
+
+    struct Access {
+        Tick data_ready;     ///< tick the last data beat arrives
+        Tick bus_busy_until; ///< earliest tick the channel can start another burst
+        bool row_hit;
+        unsigned channel;
+    };
+
+    /// Timing for one burst-sized access starting no earlier than `t`.
+    [[nodiscard]] Access access(Addr addr, bool is_write, Tick t);
+
+    /// Would `addr` hit the currently-open row? (FR-FCFS scheduling probe.)
+    [[nodiscard]] bool peek_row_hit(Addr addr) const
+    {
+        const Coord c = decode(addr);
+        return channels_[c.channel].banks[c.bank].open_row == c.row;
+    }
+
+    [[nodiscard]] const DramParams& params() const noexcept
+    {
+        return params_;
+    }
+
+    // Aggregate counters (read by MemCtrl stats).
+    [[nodiscard]] std::uint64_t row_hits() const noexcept
+    {
+        return row_hits_;
+    }
+    [[nodiscard]] std::uint64_t row_misses() const noexcept
+    {
+        return row_misses_;
+    }
+    [[nodiscard]] std::uint64_t bursts() const noexcept { return bursts_; }
+    [[nodiscard]] std::uint64_t refreshes() const noexcept
+    {
+        return refreshes_;
+    }
+
+    /// Address decomposition, exposed for tests.
+    struct Coord {
+        unsigned channel;
+        unsigned bank;
+        std::uint64_t row;
+    };
+    [[nodiscard]] Coord decode(Addr addr) const;
+
+  private:
+    static constexpr std::uint64_t kNoRow = ~0ULL;
+
+    struct Bank {
+        std::uint64_t open_row = kNoRow;
+        Tick ready_at = 0;    ///< earliest next column command
+        Tick act_done = 0;    ///< tRAS horizon of the current activation
+    };
+
+    struct Channel {
+        std::vector<Bank> banks;
+        Tick bus_free = 0;
+        Tick next_refresh = 0;
+    };
+
+    /// Apply any refresh windows that open before `t` on channel `ch`.
+    Tick apply_refresh(Channel& ch, Tick t);
+
+    DramParams params_;
+    std::vector<Channel> channels_;
+    std::uint64_t row_hits_ = 0;
+    std::uint64_t row_misses_ = 0;
+    std::uint64_t bursts_ = 0;
+    std::uint64_t refreshes_ = 0;
+};
+
+} // namespace accesys::mem

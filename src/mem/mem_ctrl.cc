@@ -1,0 +1,221 @@
+#include "mem/mem_ctrl.hh"
+
+#include <algorithm>
+
+namespace accesys::mem {
+
+namespace {
+
+/// Picoseconds one byte occupies a link of `gbps` gigabytes/second.
+double ps_per_byte(double gbps)
+{
+    return 1000.0 / gbps;
+}
+
+} // namespace
+
+MemCtrl::MemCtrl(Simulator& sim, std::string name,
+                 const MemCtrlParams& params, AddrRange range)
+    : SimObject(sim, std::move(name)),
+      params_(params),
+      range_(range),
+      dram_(params.dram),
+      port_(this->name() + ".port", *this),
+      resp_q_(sim, this->name() + ".resp_q",
+              [this](PacketPtr& pkt) { return port_.send_resp(pkt); }),
+      issue_event_(this->name() + ".issue", [this] { issue_next(); })
+{
+    require_cfg(params_.read_queue_capacity > 0 &&
+                    params_.write_queue_capacity > 0,
+                this->name(), ": zero queue capacity");
+}
+
+double MemCtrl::row_hit_rate() const
+{
+    const auto total = dram_.row_hits() + dram_.row_misses();
+    return total == 0
+               ? 0.0
+               : static_cast<double>(dram_.row_hits()) /
+                     static_cast<double>(total);
+}
+
+bool MemCtrl::recv_req(PacketPtr& pkt)
+{
+    if (!range_.contains(pkt->addr(), pkt->size())) {
+        panic(name(), ": request outside range: ", pkt->describe());
+    }
+
+    if (pkt->is_read()) {
+        if (read_q_full()) {
+            ++retries_;
+            blocked_upstream_ = true;
+            return false;
+        }
+        ++n_reads_;
+        pkt->set_created_at(now());
+        read_q_.push_back(std::move(pkt));
+    } else {
+        if (write_q_full()) {
+            ++retries_;
+            blocked_upstream_ = true;
+            return false;
+        }
+        ++n_writes_;
+        write_q_.push_back(WriteJob{pkt->addr(), pkt->size()});
+        // Writes are acknowledged at admission (posted semantics at the
+        // controller); the job object keeps consuming DRAM bandwidth.
+        if (!pkt->flags.posted) {
+            pkt->make_response();
+            resp_q_.push(std::move(pkt),
+                         now() + ticks_from_ns(params_.frontend_latency_ns));
+        }
+    }
+    schedule_issue();
+    return true;
+}
+
+void MemCtrl::schedule_issue()
+{
+    if (read_q_.empty() && write_q_.empty()) {
+        return;
+    }
+    const Tick when = std::max(now(), issue_free_);
+    if (!issue_event_.scheduled()) {
+        schedule(issue_event_, when);
+    } else if (issue_event_.when() > when) {
+        reschedule(issue_event_, when);
+    }
+}
+
+void MemCtrl::service_dram(Addr addr, std::uint32_t size, bool is_write,
+                           Tick& completion)
+{
+    const std::uint32_t atom = dram_.params().burst_bytes();
+    const Addr first = align_down(addr, atom);
+    const Addr last = align_up(addr + size, atom);
+    const Tick start = std::max(now(), issue_free_);
+    for (Addr a = first; a < last; a += atom) {
+        const auto acc = dram_.access(a, is_write, start);
+        completion = std::max(completion, acc.data_ready);
+    }
+    // Pace the next issue so the queue drains at (at most) peak bandwidth.
+    const auto bytes = static_cast<double>(last - first);
+    issue_free_ = start + static_cast<Tick>(
+                              bytes * ps_per_byte(dram_.params().peak_gbps()));
+}
+
+void MemCtrl::issue_next()
+{
+    // Hysteresis-based write drain: start when the write queue is filling,
+    // keep going until it is nearly empty or reads are starved.
+    const auto high = static_cast<std::size_t>(
+        params_.write_drain_threshold *
+        static_cast<double>(params_.write_queue_capacity));
+    if (write_q_.size() >= high || read_q_.empty()) {
+        draining_writes_ = !write_q_.empty();
+    } else if (write_q_.size() <= params_.write_queue_capacity / 8) {
+        draining_writes_ = false;
+    }
+
+    if (draining_writes_ && !write_q_.empty()) {
+        const WriteJob job = write_q_.front();
+        write_q_.pop_front();
+        Tick completion = 0;
+        service_dram(job.addr, job.size, true, completion);
+        bytes_written_ += job.size;
+    } else if (!read_q_.empty()) {
+        // FR-FCFS: prefer a row-hitting read within the window, else oldest.
+        std::size_t pick = 0;
+        const std::size_t window =
+            std::min(params_.frfcfs_window, read_q_.size());
+        for (std::size_t i = 0; i < window; ++i) {
+            if (dram_.peek_row_hit(read_q_[i]->addr())) {
+                pick = i;
+                break;
+            }
+        }
+        PacketPtr pkt = std::move(read_q_[pick]);
+        read_q_.erase(read_q_.begin() + static_cast<std::ptrdiff_t>(pick));
+
+        Tick completion = 0;
+        service_dram(pkt->addr(), pkt->size(), false, completion);
+        bytes_read_ += pkt->size();
+
+        const Tick done =
+            completion + ticks_from_ns(params_.backend_latency_ns);
+        read_latency_ns_.sample(ticks_to_ns(done - pkt->created_at()));
+        pkt->make_response();
+        resp_q_.push(std::move(pkt), done);
+    }
+
+    maybe_unblock();
+    schedule_issue();
+}
+
+void MemCtrl::maybe_unblock()
+{
+    if (blocked_upstream_ && !read_q_full() && !write_q_full()) {
+        blocked_upstream_ = false;
+        port_.send_retry_req();
+    }
+}
+
+SimpleMem::SimpleMem(Simulator& sim, std::string name,
+                     const SimpleMemParams& params, AddrRange range)
+    : SimObject(sim, std::move(name)),
+      params_(params),
+      range_(range),
+      port_(this->name() + ".port", *this),
+      resp_q_(sim, this->name() + ".resp_q", [this](PacketPtr& pkt) {
+          const bool ok = port_.send_resp(pkt);
+          if (ok) {
+              --in_flight_;
+              if (blocked_upstream_) {
+                  blocked_upstream_ = false;
+                  port_.send_retry_req();
+              }
+          }
+          return ok;
+      })
+{
+    require_cfg(params_.bandwidth_gbps > 0, this->name(), ": zero bandwidth");
+}
+
+bool SimpleMem::recv_req(PacketPtr& pkt)
+{
+    if (!range_.contains(pkt->addr(), pkt->size())) {
+        panic(name(), ": request outside range: ", pkt->describe());
+    }
+    if (in_flight_ >= params_.queue_capacity) {
+        blocked_upstream_ = true;
+        return false;
+    }
+
+    // Serialise on the memory's internal bus, then add the access latency.
+    const Tick ser = static_cast<Tick>(static_cast<double>(pkt->size()) *
+                                       ps_per_byte(params_.bandwidth_gbps));
+    bus_free_ = std::max(bus_free_, now()) + ser;
+    const Tick done = bus_free_ + ticks_from_ns(params_.latency_ns);
+
+    bytes_ += pkt->size();
+    if (pkt->is_read()) {
+        ++n_reads_;
+    } else {
+        ++n_writes_;
+    }
+
+    const bool posted = pkt->flags.posted && pkt->is_write();
+    if (!posted) {
+        ++in_flight_;
+        pkt->make_response();
+        resp_q_.push(std::move(pkt), done);
+    }
+    return true;
+}
+
+void SimpleMem::retry_resp()
+{
+    resp_q_.retry();
+}
+
+} // namespace accesys::mem

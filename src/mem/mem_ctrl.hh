@@ -1,0 +1,135 @@
+// Memory controller: bounded read/write queues, FR-FCFS scheduling, and a
+// DramTiming backend. Used for host DRAM and (with a different preset) for
+// accelerator device-side memory.
+//
+// Write handling follows the usual controller idiom: writes are acknowledged
+// once accepted (their latency is the queue admission) but still occupy the
+// DRAM data bus when drained, so they consume real bandwidth.
+#pragma once
+
+#include <deque>
+
+#include "mem/addr_range.hh"
+#include "mem/dram_timing.hh"
+#include "mem/port.hh"
+#include "sim/simulator.hh"
+
+namespace accesys::mem {
+
+struct MemCtrlParams {
+    DramParams dram;
+    std::size_t read_queue_capacity = 32;
+    std::size_t write_queue_capacity = 64;
+    /// Queue admission / decode pipeline.
+    double frontend_latency_ns = 10.0;
+    /// Response path back to the fabric.
+    double backend_latency_ns = 10.0;
+    /// FR-FCFS: how deep into the read queue to look for row hits.
+    std::size_t frfcfs_window = 16;
+    /// Start draining writes above this fill fraction.
+    double write_drain_threshold = 0.75;
+};
+
+class MemCtrl final : public SimObject, private Responder {
+  public:
+    MemCtrl(Simulator& sim, std::string name, const MemCtrlParams& params,
+            AddrRange range);
+
+    /// Fabric-facing port (bind an upstream RequestPort to it).
+    [[nodiscard]] ResponsePort& port() noexcept { return port_; }
+    [[nodiscard]] const AddrRange& range() const noexcept { return range_; }
+    [[nodiscard]] const DramParams& dram_params() const noexcept
+    {
+        return dram_.params();
+    }
+
+    /// Row-hit fraction over all bursts so far (test/diagnostic hook).
+    [[nodiscard]] double row_hit_rate() const;
+
+  private:
+    // Responder interface.
+    bool recv_req(PacketPtr& pkt) override;
+    void retry_resp() override { resp_q_.retry(); }
+
+    struct WriteJob {
+        Addr addr;
+        std::uint32_t size;
+    };
+
+    void schedule_issue();
+    void issue_next();
+    void service_dram(Addr addr, std::uint32_t size, bool is_write,
+                      Tick& completion);
+    void maybe_unblock();
+    [[nodiscard]] bool read_q_full() const
+    {
+        return read_q_.size() >= params_.read_queue_capacity;
+    }
+    [[nodiscard]] bool write_q_full() const
+    {
+        return write_q_.size() >= params_.write_queue_capacity;
+    }
+
+    MemCtrlParams params_;
+    AddrRange range_;
+    DramTiming dram_;
+    ResponsePort port_;
+    PacketQueue resp_q_;
+    Event issue_event_;
+
+    std::deque<PacketPtr> read_q_;
+    std::deque<WriteJob> write_q_;
+    Tick issue_free_ = 0;  ///< aggregate issue pacing (tracks peak bandwidth)
+    bool draining_writes_ = false;
+    bool blocked_upstream_ = false;
+
+    stats::Scalar n_reads_{stat_group(), "reads", "read requests accepted"};
+    stats::Scalar n_writes_{stat_group(), "writes",
+                            "write requests accepted"};
+    stats::Scalar bytes_read_{stat_group(), "bytes_read",
+                              "bytes returned to the fabric"};
+    stats::Scalar bytes_written_{stat_group(), "bytes_written",
+                                 "bytes drained to DRAM"};
+    stats::Average read_latency_ns_{
+        stat_group(), "read_latency_ns",
+        "accept-to-data latency of reads in nanoseconds"};
+    stats::Scalar retries_{stat_group(), "retries",
+                           "requests refused due to full queues"};
+    stats::ValueFn row_hit_rate_{stat_group(), "row_hit_rate",
+                                 "row-buffer hit fraction",
+                                 [this] { return row_hit_rate(); }};
+};
+
+/// Fixed-latency / fixed-bandwidth memory (Fig. 6 sweeps, unit tests).
+struct SimpleMemParams {
+    double latency_ns = 30.0;
+    double bandwidth_gbps = 25.6;
+    std::size_t queue_capacity = 64;
+};
+
+class SimpleMem final : public SimObject, private Responder {
+  public:
+    SimpleMem(Simulator& sim, std::string name, const SimpleMemParams& params,
+              AddrRange range);
+
+    [[nodiscard]] ResponsePort& port() noexcept { return port_; }
+    [[nodiscard]] const AddrRange& range() const noexcept { return range_; }
+
+  private:
+    bool recv_req(PacketPtr& pkt) override;
+    void retry_resp() override;
+
+    SimpleMemParams params_;
+    AddrRange range_;
+    ResponsePort port_;
+    PacketQueue resp_q_;
+    Tick bus_free_ = 0;
+    std::size_t in_flight_ = 0;
+    bool blocked_upstream_ = false;
+
+    stats::Scalar n_reads_{stat_group(), "reads", "read requests"};
+    stats::Scalar n_writes_{stat_group(), "writes", "write requests"};
+    stats::Scalar bytes_{stat_group(), "bytes", "total bytes transferred"};
+};
+
+} // namespace accesys::mem

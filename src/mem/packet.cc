@@ -1,0 +1,30 @@
+#include "mem/packet.hh"
+
+#include <sstream>
+
+namespace accesys::mem {
+
+std::uint32_t alloc_requestor_id()
+{
+    static std::uint32_t next = 1;
+    return next++;
+}
+
+std::string Packet::describe() const
+{
+    std::ostringstream os;
+    os << to_string(cmd_) << " addr=0x" << std::hex << addr_ << std::dec
+       << " size=" << size_ << " req=" << requestor_ << " tag=" << tag_;
+    if (flags.uncacheable) {
+        os << " UC";
+    }
+    if (flags.from_device) {
+        os << " DEV";
+    }
+    if (flags.needs_translation) {
+        os << " VA";
+    }
+    return os.str();
+}
+
+} // namespace accesys::mem

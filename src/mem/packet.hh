@@ -1,0 +1,194 @@
+// Memory-system packets.
+//
+// A Packet describes one timing transaction (command, address, size). The
+// functional data image lives in a global BackingStore that endpoints touch
+// when the transaction logically completes (gem5-style timing/functional
+// split), so timing packets are payload-free and cheap. Small inline payloads
+// are supported for MMIO/config writes.
+//
+// Responses reuse the request object: `make_response()` flips the command in
+// place, preserving the route stack that intermediate fabric components
+// (xbars, switches) pushed on the way down.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/error.hh"
+#include "sim/types.hh"
+
+namespace accesys::mem {
+
+/// Process-wide unique requestor-id allocator; every component that
+/// originates packets (CPU, caches, DMA channels, walkers) draws one so
+/// responses can be attributed and self-created packets recognised.
+[[nodiscard]] std::uint32_t alloc_requestor_id();
+
+enum class MemCmd : std::uint8_t {
+    read_req,
+    read_resp,
+    write_req,
+    write_resp,
+};
+
+[[nodiscard]] constexpr const char* to_string(MemCmd cmd)
+{
+    switch (cmd) {
+    case MemCmd::read_req: return "ReadReq";
+    case MemCmd::read_resp: return "ReadResp";
+    case MemCmd::write_req: return "WriteReq";
+    case MemCmd::write_resp: return "WriteResp";
+    }
+    return "?";
+}
+
+/// Packet attribute flags.
+struct PktFlags {
+    /// Bypass all caches on the path (DM access mode, MMIO).
+    bool uncacheable = false;
+    /// Originates from a device (inbound DMA) rather than a CPU.
+    bool from_device = false;
+    /// Address is virtual in the device's address space; an SMMU on the
+    /// path must translate it before it reaches physical memory.
+    bool needs_translation = false;
+    /// Posted write: no response expected by the requestor.
+    bool posted = false;
+};
+
+class Packet;
+using PacketPtr = std::unique_ptr<Packet>;
+
+class Packet {
+  public:
+    Packet(MemCmd cmd, Addr addr, std::uint32_t size)
+        : cmd_(cmd), addr_(addr), size_(size)
+    {
+    }
+
+    [[nodiscard]] static PacketPtr make_read(Addr addr, std::uint32_t size)
+    {
+        return std::make_unique<Packet>(MemCmd::read_req, addr, size);
+    }
+
+    [[nodiscard]] static PacketPtr make_write(Addr addr, std::uint32_t size)
+    {
+        return std::make_unique<Packet>(MemCmd::write_req, addr, size);
+    }
+
+    // --- command -----------------------------------------------------------
+    [[nodiscard]] MemCmd cmd() const noexcept { return cmd_; }
+    [[nodiscard]] bool is_read() const noexcept
+    {
+        return cmd_ == MemCmd::read_req || cmd_ == MemCmd::read_resp;
+    }
+    [[nodiscard]] bool is_write() const noexcept { return !is_read(); }
+    [[nodiscard]] bool is_request() const noexcept
+    {
+        return cmd_ == MemCmd::read_req || cmd_ == MemCmd::write_req;
+    }
+    [[nodiscard]] bool is_response() const noexcept { return !is_request(); }
+
+    /// Turn this request into its response in place.
+    void make_response()
+    {
+        ensure(is_request(), "make_response on a response packet");
+        cmd_ = (cmd_ == MemCmd::read_req) ? MemCmd::read_resp
+                                          : MemCmd::write_resp;
+    }
+
+    // --- addressing --------------------------------------------------------
+    [[nodiscard]] Addr addr() const noexcept { return addr_; }
+    void set_addr(Addr a) noexcept { addr_ = a; }
+    [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
+    [[nodiscard]] Addr end_addr() const noexcept { return addr_ + size_; }
+
+    /// Original (pre-translation) address; valid after an SMMU translated.
+    [[nodiscard]] Addr orig_addr() const noexcept { return orig_addr_; }
+    void record_translation(Addr new_addr)
+    {
+        orig_addr_ = addr_;
+        addr_ = new_addr;
+        flags.needs_translation = false;
+    }
+
+    // --- identity / bookkeeping -------------------------------------------
+    [[nodiscard]] std::uint32_t requestor() const noexcept
+    {
+        return requestor_;
+    }
+    void set_requestor(std::uint32_t id) noexcept { requestor_ = id; }
+
+    [[nodiscard]] std::uint64_t tag() const noexcept { return tag_; }
+    void set_tag(std::uint64_t t) noexcept { tag_ = t; }
+
+    [[nodiscard]] Tick created_at() const noexcept { return created_at_; }
+    void set_created_at(Tick t) noexcept { created_at_ = t; }
+
+    PktFlags flags;
+
+    // --- route stack -------------------------------------------------------
+    // Fabric components push the ingress-port index when forwarding a
+    // request and pop it to steer the response back.
+    void push_route(std::uint16_t port) { route_.push_back(port); }
+
+    [[nodiscard]] std::uint16_t pop_route()
+    {
+        ensure(!route_.empty(), "response route stack underflow");
+        const std::uint16_t p = route_.back();
+        route_.pop_back();
+        return p;
+    }
+
+    [[nodiscard]] std::size_t route_depth() const noexcept
+    {
+        return route_.size();
+    }
+
+    // --- optional inline payload (MMIO/config writes) ----------------------
+    [[nodiscard]] bool has_payload() const noexcept
+    {
+        return !payload_.empty();
+    }
+    [[nodiscard]] const std::vector<std::uint8_t>& payload() const noexcept
+    {
+        return payload_;
+    }
+    void set_payload(std::vector<std::uint8_t> bytes)
+    {
+        payload_ = std::move(bytes);
+    }
+
+    template <typename T>
+    void set_payload_value(const T& v)
+    {
+        payload_.resize(sizeof(T));
+        std::memcpy(payload_.data(), &v, sizeof(T));
+    }
+
+    template <typename T>
+    [[nodiscard]] T payload_value() const
+    {
+        ensure(payload_.size() >= sizeof(T), "payload too small");
+        T v;
+        std::memcpy(&v, payload_.data(), sizeof(T));
+        return v;
+    }
+
+    [[nodiscard]] std::string describe() const;
+
+  private:
+    MemCmd cmd_;
+    Addr addr_;
+    std::uint32_t size_;
+    Addr orig_addr_ = 0;
+    std::uint32_t requestor_ = 0;
+    std::uint64_t tag_ = 0;
+    Tick created_at_ = 0;
+    std::vector<std::uint16_t> route_;
+    std::vector<std::uint8_t> payload_;
+};
+
+} // namespace accesys::mem

@@ -1,0 +1,204 @@
+// Timing ports with a gem5-style retry protocol, plus a queued-egress helper.
+//
+// Protocol summary:
+//   * A requestor owns a RequestPort; a responder owns a ResponsePort; the
+//     two are bound 1:1.
+//   * RequestPort::send_req(pkt) delivers to the responder. A `false` return
+//     means "busy": the caller keeps ownership and must wait for
+//     Requestor::retry_req() before re-sending. At most one blocked request
+//     per port.
+//   * Responses flow the other way with the symmetric rules.
+//   * `PacketQueue` implements the common egress pattern: schedule a packet
+//     to leave at a future tick, retry automatically on backpressure.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "mem/packet.hh"
+#include "sim/simulator.hh"
+
+namespace accesys::mem {
+
+/// Interface a component implements to own a RequestPort.
+class Requestor {
+  public:
+    virtual ~Requestor() = default;
+
+    /// A response arrived. Return false to backpressure (peer will retry).
+    virtual bool recv_resp(PacketPtr& pkt) = 0;
+
+    /// The responder unblocked; re-send the deferred request now.
+    virtual void retry_req() = 0;
+};
+
+/// Interface a component implements to own a ResponsePort.
+class Responder {
+  public:
+    virtual ~Responder() = default;
+
+    /// A request arrived. Return false to backpressure (peer will retry).
+    virtual bool recv_req(PacketPtr& pkt) = 0;
+
+    /// The requestor unblocked; re-send the deferred response now.
+    virtual void retry_resp() = 0;
+};
+
+class ResponsePort;
+
+class RequestPort {
+  public:
+    RequestPort(std::string name, Requestor& owner)
+        : name_(std::move(name)), owner_(&owner)
+    {
+    }
+
+    void bind(ResponsePort& peer);
+    [[nodiscard]] bool bound() const noexcept { return peer_ != nullptr; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Send a request to the bound responder. On `false` the caller keeps
+    /// `pkt` and must wait for retry_req().
+    [[nodiscard]] bool send_req(PacketPtr& pkt);
+
+    /// Notify the responder that this side can accept responses again.
+    void send_retry_resp();
+
+  private:
+    friend class ResponsePort;
+    std::string name_;
+    Requestor* owner_;
+    ResponsePort* peer_ = nullptr;
+    bool want_retry_ = false; ///< peer owes us a request retry
+};
+
+class ResponsePort {
+  public:
+    ResponsePort(std::string name, Responder& owner)
+        : name_(std::move(name)), owner_(&owner)
+    {
+    }
+
+    void bind(RequestPort& peer) { peer.bind(*this); }
+    [[nodiscard]] bool bound() const noexcept { return peer_ != nullptr; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Send a response to the bound requestor. On `false` the caller keeps
+    /// `pkt` and must wait for retry_resp().
+    [[nodiscard]] bool send_resp(PacketPtr& pkt);
+
+    /// Notify the requestor that this side can accept requests again.
+    void send_retry_req();
+
+  private:
+    friend class RequestPort;
+    std::string name_;
+    Responder* owner_;
+    RequestPort* peer_ = nullptr;
+    bool want_retry_ = false; ///< peer owes us a response retry
+};
+
+/// Deferred-egress queue: packets become sendable at a scheduled tick and are
+/// pushed out in order, transparently honouring peer backpressure.
+///
+/// The queue is transport-agnostic: the owner provides the actual send
+/// functor (usually wrapping RequestPort::send_req or
+/// ResponsePort::send_resp) and arranges for `retry()` to be called from the
+/// matching retry hook.
+class PacketQueue {
+  public:
+    using SendFn = std::function<bool(PacketPtr&)>;
+
+    PacketQueue(Simulator& sim, std::string name, SendFn send)
+        : sim_(&sim),
+          send_(std::move(send)),
+          send_event_(name + ".send", [this] { try_send(); })
+    {
+    }
+
+    /// Queue `pkt` to be sent no earlier than `ready` (absolute tick).
+    void push(PacketPtr pkt, Tick ready)
+    {
+        q_.push_back(Entry{std::move(pkt), ready});
+        if (!blocked_) {
+            arm();
+        }
+    }
+
+    /// Queue `pkt` for immediate send.
+    void push_now(PacketPtr pkt) { push(std::move(pkt), sim_->now()); }
+
+    /// Peer signalled readiness: resume sending.
+    void retry()
+    {
+        blocked_ = false;
+        try_send();
+    }
+
+    /// Invoked after each packet leaves the queue (used by bounded owners to
+    /// wake requestors they previously refused).
+    void set_drain_hook(std::function<void()> hook)
+    {
+        drain_hook_ = std::move(hook);
+    }
+
+    [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
+    [[nodiscard]] bool blocked() const noexcept { return blocked_; }
+
+    /// Tick at which the head entry becomes sendable (kMaxTick when empty).
+    [[nodiscard]] Tick head_ready() const noexcept
+    {
+        return q_.empty() ? kMaxTick : q_.front().ready;
+    }
+
+  private:
+    struct Entry {
+        PacketPtr pkt;
+        Tick ready;
+    };
+
+    void arm()
+    {
+        // While blocked, progress comes from retry(), not from the event.
+        if (q_.empty() || blocked_) {
+            return;
+        }
+        const Tick when = std::max(q_.front().ready, sim_->now());
+        if (!send_event_.scheduled()) {
+            sim_->queue().schedule(send_event_, when);
+        } else if (send_event_.when() > when) {
+            sim_->queue().reschedule(send_event_, when);
+        }
+    }
+
+    void try_send()
+    {
+        bool sent_any = false;
+        while (!q_.empty() && !blocked_ && q_.front().ready <= sim_->now()) {
+            PacketPtr& pkt = q_.front().pkt;
+            if (!send_(pkt)) {
+                blocked_ = true;
+                break;
+            }
+            q_.pop_front();
+            sent_any = true;
+        }
+        arm();
+        if (sent_any && drain_hook_) {
+            drain_hook_();
+        }
+    }
+
+    Simulator* sim_;
+    SendFn send_;
+    Event send_event_;
+    std::deque<Entry> q_;
+    std::function<void()> drain_hook_;
+    bool blocked_ = false;
+};
+
+} // namespace accesys::mem

@@ -1,0 +1,125 @@
+#include "pcie/endpoint.hh"
+
+#include <cstring>
+
+namespace accesys::pcie {
+
+Endpoint::Endpoint(Simulator& sim, std::string name,
+                   const EndpointParams& params,
+                   std::vector<mem::AddrRange> bars)
+    : SimObject(sim, std::move(name)), params_(params), bars_(std::move(bars))
+{
+    require_cfg(params_.device_id != 0,
+                "endpoint device id 0 is reserved for the host");
+    process_event_.set_name(this->name() + ".process");
+    process_event_.set_callback([this] { process_delayed(); });
+}
+
+void Endpoint::connect_pcie(PciePort& port)
+{
+    ensure(pcie_port_ == nullptr, name(), ": PCIe port already connected");
+    pcie_port_ = &port;
+    port.attach(*this, 0);
+}
+
+void Endpoint::release_pcie_ingress(std::uint32_t payload_bytes)
+{
+    ensure(pcie_port_ != nullptr, name(), ": endpoint not connected");
+    pcie_port_->release_ingress(payload_bytes);
+}
+
+Addr Endpoint::bar_offset(Addr addr) const
+{
+    for (const auto& bar : bars_) {
+        if (bar.contains(addr)) {
+            return addr - bar.start();
+        }
+    }
+    panic(name(), ": address 0x", std::hex, addr, " not in any BAR");
+}
+
+void Endpoint::recv_tlp(unsigned /*port_idx*/, TlpPtr tlp)
+{
+    const Tick ready = now() + ticks_from_ns(params_.latency_ns);
+    delay_q_.push_back(Delayed{ready, std::move(tlp)});
+    if (!process_event_.scheduled()) {
+        schedule(process_event_, ready);
+    }
+}
+
+void Endpoint::process_delayed()
+{
+    while (!delay_q_.empty() && delay_q_.front().ready <= now()) {
+        TlpPtr tlp = std::move(delay_q_.front().tlp);
+        delay_q_.pop_front();
+        const std::uint32_t ingress_cost = tlp->payload_bytes();
+
+        switch (tlp->type) {
+        case TlpType::mem_read: {
+            ++mmio_reads_;
+            const std::uint64_t value =
+                mmio_read(bar_offset(tlp->addr), tlp->length);
+            auto cpl =
+                make_completion(tlp->length, tlp->tag, tlp->requester, 0,
+                                true);
+            cpl->payload.resize(tlp->length);
+            std::memcpy(cpl->payload.data(), &value,
+                        std::min<std::size_t>(tlp->length, sizeof(value)));
+            send_tlp(std::move(cpl));
+            break;
+        }
+        case TlpType::mem_write: {
+            ++mmio_writes_;
+            std::uint64_t value = 0;
+            if (!tlp->payload.empty()) {
+                std::memcpy(&value, tlp->payload.data(),
+                            std::min<std::size_t>(tlp->payload.size(),
+                                                  sizeof(value)));
+            }
+            mmio_write(bar_offset(tlp->addr), tlp->length, value);
+            break;
+        }
+        case TlpType::completion:
+            ++dma_completions_;
+            recv_dma_completion(*tlp);
+            break;
+        }
+        pcie_port_->release_ingress(ingress_cost);
+    }
+    if (!delay_q_.empty() && !process_event_.scheduled()) {
+        schedule(process_event_, delay_q_.front().ready);
+    }
+}
+
+void Endpoint::credit_avail(unsigned /*port_idx*/)
+{
+    kick_egress();
+    tx_ready();
+}
+
+void Endpoint::send_tlp(TlpPtr tlp, std::function<void()> on_sent)
+{
+    egress_q_.push_back(Staged{std::move(tlp), std::move(on_sent)});
+    kick_egress();
+}
+
+std::size_t Endpoint::egress_depth() const
+{
+    return egress_q_.size();
+}
+
+void Endpoint::kick_egress()
+{
+    ensure(pcie_port_ != nullptr, name(), ": endpoint not connected");
+    while (!egress_q_.empty() && pcie_port_->can_send(*egress_q_.front().tlp)) {
+        Staged staged = std::move(egress_q_.front());
+        egress_q_.pop_front();
+        pcie_port_->send(std::move(staged.tlp));
+        ++tlps_sent_;
+        if (staged.on_sent) {
+            staged.on_sent();
+        }
+    }
+}
+
+} // namespace accesys::pcie

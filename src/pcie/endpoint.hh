@@ -1,0 +1,100 @@
+// PCIe endpoint base class: BAR-mapped register file plus DMA TLP plumbing.
+//
+// Subclasses (e.g. the MatrixFlow accelerator device) implement the MMIO
+// register hooks and receive DMA read completions; they transmit via
+// `send_tlp()`, which stages into a credit-gated egress queue.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "mem/addr_range.hh"
+#include "pcie/link.hh"
+#include "sim/simulator.hh"
+
+namespace accesys::pcie {
+
+struct EndpointParams {
+    std::uint16_t device_id = 1; ///< requester id (0 is the host)
+    double latency_ns = 20.0;    ///< device controller ingress latency
+};
+
+class Endpoint : public SimObject, public PcieNode {
+  public:
+    Endpoint(Simulator& sim, std::string name, const EndpointParams& params,
+             std::vector<mem::AddrRange> bars);
+
+    void connect_pcie(PciePort& port);
+
+    [[nodiscard]] std::uint16_t device_id() const noexcept
+    {
+        return params_.device_id;
+    }
+    [[nodiscard]] const std::vector<mem::AddrRange>& bars() const noexcept
+    {
+        return bars_;
+    }
+
+    // PcieNode
+    void recv_tlp(unsigned port_idx, TlpPtr tlp) override;
+    void credit_avail(unsigned port_idx) override;
+
+  protected:
+    /// Register read at BAR-relative `addr`; returns the register value.
+    virtual std::uint64_t mmio_read(Addr addr, std::uint32_t size) = 0;
+
+    /// Register write at BAR-relative `addr`.
+    virtual void mmio_write(Addr addr, std::uint32_t size,
+                            std::uint64_t value) = 0;
+
+    /// A DMA read completion arrived (tag identifies the request).
+    virtual void recv_dma_completion(const Tlp& cpl) = 0;
+
+    /// Transmit credits became available; DMA engines can push more.
+    virtual void tx_ready() {}
+
+    /// Stage a TLP for transmission; `on_sent` fires when it hits the wire.
+    void send_tlp(TlpPtr tlp, std::function<void()> on_sent = {});
+
+    /// Number of TLPs waiting for wire/credits.
+    [[nodiscard]] std::size_t egress_depth() const;
+
+    /// Translate an absolute BAR address to a BAR-relative offset.
+    [[nodiscard]] Addr bar_offset(Addr addr) const;
+
+    /// Free ingress buffer for a TLP a subclass consumed in its own
+    /// recv_tlp override (bypassing the base delay stage).
+    void release_pcie_ingress(std::uint32_t payload_bytes);
+
+  private:
+    void process_delayed();
+
+    EndpointParams params_;
+    std::vector<mem::AddrRange> bars_;
+    PciePort* pcie_port_ = nullptr;
+
+    struct Staged {
+        TlpPtr tlp;
+        std::function<void()> on_sent;
+    };
+    std::deque<Staged> egress_q_;
+    void kick_egress();
+
+    struct Delayed {
+        Tick ready;
+        TlpPtr tlp;
+    };
+    std::deque<Delayed> delay_q_;
+    Event process_event_{"", nullptr};
+
+    stats::Scalar mmio_reads_{stat_group(), "mmio_reads",
+                              "register reads served"};
+    stats::Scalar mmio_writes_{stat_group(), "mmio_writes",
+                               "register writes served"};
+    stats::Scalar dma_completions_{stat_group(), "dma_completions",
+                                   "DMA completions received"};
+    stats::Scalar tlps_sent_{stat_group(), "tlps_sent", "TLPs transmitted"};
+};
+
+} // namespace accesys::pcie

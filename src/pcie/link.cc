@@ -1,0 +1,155 @@
+#include "pcie/link.hh"
+
+#include <algorithm>
+
+namespace accesys::pcie {
+
+void LinkParams::validate() const
+{
+    require_cfg(lanes == 1 || lanes == 2 || lanes == 4 || lanes == 8 ||
+                    lanes == 16 || lanes == 32,
+                "PCIe lane count must be a standard width (got ", lanes, ")");
+    require_cfg(lane_gbps > 0, "lane speed must be positive");
+    require_cfg(hdr_credits > 0 && data_credit_bytes > 0,
+                "flow-control credits must be non-zero");
+}
+
+LinkParams LinkParams::from_target_gbps(double gbps, unsigned lanes, Gen gen)
+{
+    require_cfg(gbps > 0, "target bandwidth must be positive");
+    LinkParams p;
+    p.lanes = lanes;
+    p.gen = gen;
+    p.lane_gbps = gbps * 8.0 / (lanes * encoding_efficiency(gen));
+    return p;
+}
+
+void PciePort::attach(PcieNode& node, unsigned node_port_idx)
+{
+    ensure(node_ == nullptr, "PCIe port attached twice");
+    node_ = &node;
+    node_port_idx_ = node_port_idx;
+}
+
+bool PciePort::can_send(const Tlp& tlp) const
+{
+    return tx_hdr_credits_ >= 1 && tx_data_credits_ >= tlp.payload_bytes();
+}
+
+void PciePort::send(TlpPtr tlp)
+{
+    ensure(link_ != nullptr, "PCIe port not part of a link");
+    ensure(can_send(*tlp), "PCIe send without credits");
+    tx_hdr_credits_ -= 1;
+    tx_data_credits_ -= tlp->payload_bytes();
+    link_->transmit(side_, std::move(tlp));
+}
+
+void PciePort::release_ingress(std::uint32_t payload_bytes)
+{
+    ensure(link_ != nullptr, "PCIe port not part of a link");
+    // Credits freed on our ingress return to the peer's transmitter.
+    link_->queue_credit_return(1 - side_, 1, payload_bytes);
+}
+
+PcieLink::PcieLink(Simulator& sim, std::string name, const LinkParams& params)
+    : SimObject(sim, std::move(name)), params_(params)
+{
+    params_.validate();
+    for (unsigned side = 0; side < 2; ++side) {
+        ports_[side].link_ = this;
+        ports_[side].side_ = side;
+        ports_[side].tx_hdr_credits_ = params_.hdr_credits;
+        ports_[side].tx_data_credits_ = params_.data_credit_bytes;
+    }
+    dirs_[0].deliver_event.set_name(this->name() + ".deliver_ab");
+    dirs_[0].deliver_event.set_callback([this] { deliver(0); });
+    dirs_[1].deliver_event.set_name(this->name() + ".deliver_ba");
+    dirs_[1].deliver_event.set_callback([this] { deliver(1); });
+    dirs_[0].credit_event.set_name(this->name() + ".credit_ab");
+    dirs_[0].credit_event.set_callback([this] { credit(0); });
+    dirs_[1].credit_event.set_name(this->name() + ".credit_ba");
+    dirs_[1].credit_event.set_callback([this] { credit(1); });
+}
+
+double PcieLink::utilization(unsigned dir) const
+{
+    const Tick elapsed = now();
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(dirs_[dir].busy_ticks) /
+                              static_cast<double>(elapsed);
+}
+
+void PcieLink::transmit(unsigned from_side, TlpPtr tlp)
+{
+    // dir 0 carries a->b (from side 0), dir 1 carries b->a.
+    Direction& d = dirs_[from_side];
+
+    const std::uint64_t bytes = wire_bytes(*tlp);
+    const Tick start = std::max(now(), d.busy_until);
+    const Tick ser = params_.serialize_ticks(bytes);
+    d.busy_until = start + ser;
+    d.busy_ticks += ser;
+    const Tick arrival =
+        d.busy_until + ticks_from_ns(params_.propagation_delay_ns);
+
+    ++tlps_;
+    payload_bytes_ += tlp->payload_bytes();
+    wire_bytes_ += static_cast<double>(bytes);
+
+    d.in_flight.push_back(InFlight{arrival, std::move(tlp)});
+    if (!d.deliver_event.scheduled()) {
+        schedule(d.deliver_event, arrival);
+    }
+}
+
+void PcieLink::deliver(unsigned dir)
+{
+    Direction& d = dirs_[dir];
+    while (!d.in_flight.empty() && d.in_flight.front().arrival <= now()) {
+        TlpPtr tlp = std::move(d.in_flight.front().tlp);
+        d.in_flight.pop_front();
+        PciePort& rx = ports_[1 - dir]; // dir 0 lands at end_b (side 1)
+        ensure(rx.node_ != nullptr, name(), ": unattached PCIe port");
+        rx.node_->recv_tlp(rx.node_port_idx_, std::move(tlp));
+    }
+    if (!d.in_flight.empty()) {
+        schedule(d.deliver_event, d.in_flight.front().arrival);
+    }
+}
+
+void PcieLink::queue_credit_return(unsigned to_side, unsigned hdr,
+                                   std::uint64_t data)
+{
+    // Direction index named by the side whose transmitter gets the credits.
+    Direction& d = dirs_[to_side];
+    const Tick arrival = now() + ticks_from_ns(params_.propagation_delay_ns);
+    d.credit_returns.push_back(CreditReturn{arrival, hdr, data});
+    if (!d.credit_event.scheduled()) {
+        schedule(d.credit_event, arrival);
+    }
+}
+
+void PcieLink::credit(unsigned dir)
+{
+    Direction& d = dirs_[dir];
+    bool granted = false;
+    while (!d.credit_returns.empty() &&
+           d.credit_returns.front().arrival <= now()) {
+        const CreditReturn cr = d.credit_returns.front();
+        d.credit_returns.pop_front();
+        ports_[dir].tx_hdr_credits_ += cr.hdr;
+        ports_[dir].tx_data_credits_ += cr.data;
+        granted = true;
+    }
+    if (granted) {
+        PciePort& tx = ports_[dir];
+        ensure(tx.node_ != nullptr, name(), ": unattached PCIe port");
+        tx.node_->credit_avail(tx.node_port_idx_);
+    }
+    if (!d.credit_returns.empty()) {
+        schedule(d.credit_event, d.credit_returns.front().arrival);
+    }
+}
+
+} // namespace accesys::pcie

@@ -1,0 +1,197 @@
+// PCIe link: full-duplex serialization with credit-based flow control.
+//
+// A link joins two PcieNodes. Each direction independently serialises TLPs
+// at the line rate (lanes × lane speed × encoding efficiency) and delivers
+// them after a propagation delay. Transmission is gated by credits that
+// mirror the receiver's ingress buffer (header slots + payload bytes);
+// receivers release credits when they consume or forward a TLP, and the
+// release travels back with the propagation delay.
+//
+// The `tlp_overhead_bytes` parameter lumps TLP header, LCRC, sequence number
+// and framing symbols; DLLP (ack/fc) bandwidth is not modelled and is noted
+// as a simplification in DESIGN.md.
+#pragma once
+
+#include <deque>
+
+#include "pcie/tlp.hh"
+#include "sim/simulator.hh"
+
+namespace accesys::pcie {
+
+struct LinkParams {
+    unsigned lanes = 4;
+    double lane_gbps = 4.0; ///< raw line rate per lane (paper sweeps 2..64)
+    Gen gen = Gen::gen2;
+    double propagation_delay_ns = 5.0;
+    std::uint32_t tlp_overhead_bytes = 24;
+    /// Receiver ingress buffering advertised as credits, per direction.
+    unsigned hdr_credits = 64;
+    std::uint64_t data_credit_bytes = 16 * kKiB;
+
+    /// Effective payload-agnostic bandwidth in GB/s (after encoding).
+    [[nodiscard]] double effective_gbps() const
+    {
+        return lanes * lane_gbps * encoding_efficiency(gen) / 8.0;
+    }
+
+    /// Picoseconds to serialise `bytes` on the wire.
+    [[nodiscard]] Tick serialize_ticks(std::uint64_t bytes) const
+    {
+        return static_cast<Tick>(static_cast<double>(bytes) * 1000.0 /
+                                 effective_gbps());
+    }
+
+    void validate() const;
+
+    /// Configure (lanes, lane speed) for a target *effective* bandwidth,
+    /// mirroring the paper's "PCIe-xGB" system labels.
+    [[nodiscard]] static LinkParams from_target_gbps(double gbps,
+                                                     unsigned lanes = 8,
+                                                     Gen gen = Gen::gen3);
+};
+
+class PcieLink;
+
+/// Receiving interface implemented by RC / switch / endpoints.
+class PcieNode {
+  public:
+    virtual ~PcieNode() = default;
+
+    /// A TLP fully arrived into this node's ingress buffer on `port_idx`.
+    /// The node must eventually call PciePort::release_ingress() with the
+    /// same TLP's cost to free the buffer.
+    virtual void recv_tlp(unsigned port_idx, TlpPtr tlp) = 0;
+
+    /// Transmit credits became available on `port_idx` — kick egress queues.
+    virtual void credit_avail(unsigned /*port_idx*/) {}
+};
+
+/// One end of a link. Owned by the link, used by the attached node.
+class PciePort {
+  public:
+    /// Attach the consuming node; `node_port_idx` is the node's local index
+    /// for this port (passed back in recv_tlp / credit_avail).
+    void attach(PcieNode& node, unsigned node_port_idx);
+
+    /// Would the peer's ingress accept this TLP right now?
+    [[nodiscard]] bool can_send(const Tlp& tlp) const;
+
+    /// Transmit (requires can_send). Consumes peer-ingress credits.
+    void send(TlpPtr tlp);
+
+    /// The node consumed/forwarded a TLP received on this port: free the
+    /// ingress buffer (one header slot + `payload_bytes` of data buffer)
+    /// and return the credits to the peer's transmitter.
+    void release_ingress(std::uint32_t payload_bytes);
+
+    [[nodiscard]] unsigned hdr_credits() const noexcept
+    {
+        return tx_hdr_credits_;
+    }
+    [[nodiscard]] std::uint64_t data_credits() const noexcept
+    {
+        return tx_data_credits_;
+    }
+
+  private:
+    friend class PcieLink;
+    PcieLink* link_ = nullptr;
+    unsigned side_ = 0; ///< 0 = end_a, 1 = end_b
+    PcieNode* node_ = nullptr;
+    unsigned node_port_idx_ = 0;
+    // Transmit-side view of the peer's ingress buffer.
+    unsigned tx_hdr_credits_ = 0;
+    std::uint64_t tx_data_credits_ = 0;
+};
+
+/// FIFO egress staging in front of a PciePort; drains as credits allow.
+class TlpQueue {
+  public:
+    explicit TlpQueue(PciePort& port) : port_(&port) {}
+
+    void push(TlpPtr tlp)
+    {
+        q_.push_back(std::move(tlp));
+        kick();
+    }
+
+    /// Send as many queued TLPs as credits permit (call from credit_avail).
+    void kick()
+    {
+        while (!q_.empty() && port_->can_send(*q_.front())) {
+            port_->send(std::move(q_.front()));
+            q_.pop_front();
+        }
+    }
+
+    [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
+
+  private:
+    PciePort* port_;
+    std::deque<TlpPtr> q_;
+};
+
+/// The wire. Symmetric; see file header for the model.
+class PcieLink final : public SimObject {
+  public:
+    PcieLink(Simulator& sim, std::string name, const LinkParams& params);
+
+    [[nodiscard]] PciePort& end_a() noexcept { return ports_[0]; }
+    [[nodiscard]] PciePort& end_b() noexcept { return ports_[1]; }
+    [[nodiscard]] const LinkParams& params() const noexcept
+    {
+        return params_;
+    }
+
+    /// Wire footprint of a TLP (payload + lumped overhead).
+    [[nodiscard]] std::uint64_t wire_bytes(const Tlp& tlp) const
+    {
+        return tlp.payload_bytes() + params_.tlp_overhead_bytes;
+    }
+
+    /// Observed utilisation of direction a->b / b->a so far (0..1).
+    [[nodiscard]] double utilization(unsigned dir) const;
+
+  private:
+    friend class PciePort;
+
+    struct InFlight {
+        Tick arrival;
+        TlpPtr tlp;
+    };
+
+    struct CreditReturn {
+        Tick arrival;
+        unsigned hdr;
+        std::uint64_t data;
+    };
+
+    struct Direction {
+        Tick busy_until = 0;
+        std::deque<InFlight> in_flight;
+        std::deque<CreditReturn> credit_returns;
+        Event deliver_event;
+        Event credit_event;
+        std::uint64_t busy_ticks = 0; ///< for utilisation stats
+    };
+
+    void transmit(unsigned from_side, TlpPtr tlp);
+    void queue_credit_return(unsigned to_side, unsigned hdr,
+                             std::uint64_t data);
+    void deliver(unsigned dir);
+    void credit(unsigned dir);
+
+    LinkParams params_;
+    PciePort ports_[2];
+    Direction dirs_[2]; ///< dirs_[0]: a->b, dirs_[1]: b->a
+
+    stats::Scalar tlps_{stat_group(), "tlps", "TLPs transported"};
+    stats::Scalar payload_bytes_{stat_group(), "payload_bytes",
+                                 "payload bytes transported"};
+    stats::Scalar wire_bytes_{stat_group(), "wire_bytes",
+                              "total wire bytes incl. overhead"};
+};
+
+} // namespace accesys::pcie

@@ -1,0 +1,263 @@
+#include "pcie/root_complex.hh"
+
+#include <algorithm>
+
+namespace accesys::pcie {
+
+void RcParams::validate() const
+{
+    require_cfg(is_pow2(host_split_bytes) && host_split_bytes >= 16,
+                "RC host split must be a power of two >= 16");
+    require_cfg(is_pow2(max_payload_bytes) && max_payload_bytes >= 32,
+                "RC max payload must be a power of two >= 32");
+    require_cfg(max_inbound_reads > 0, "RC needs at least one inbound slot");
+    require_cfg(mmio_tags > 0 && mmio_tags <= 256,
+                "RC MMIO tags must be in 1..256");
+}
+
+RootComplex::RootComplex(Simulator& sim, std::string name,
+                         const RcParams& params)
+    : SimObject(sim, std::move(name)),
+      params_(params),
+      mem_port_(this->name() + ".mem_side", *this),
+      mmio_port_(this->name() + ".mmio_side", *this),
+      mem_q_(sim, this->name() + ".mem_q",
+             [this](mem::PacketPtr& pkt) { return mem_port_.send_req(pkt); }),
+      mmio_resp_q_(sim, this->name() + ".mmio_resp_q",
+                   [this](mem::PacketPtr& pkt) {
+                       return mmio_port_.send_resp(pkt);
+                   }),
+      mmio_pending_(params.mmio_tags),
+      mmio_tag_free_(params.mmio_tags, 1),
+      requestor_id_(mem::alloc_requestor_id())
+{
+    params_.validate();
+    process_event_.set_name(this->name() + ".process");
+    process_event_.set_callback([this] { process_delayed(); });
+    // When the fabric queue drains, head-of-line stalls may clear.
+    mem_q_.set_drain_hook([this] {
+        if (!delay_q_.empty() && !process_event_.scheduled()) {
+            schedule(process_event_, std::max(now(), delay_q_.front().ready));
+        }
+    });
+}
+
+void RootComplex::connect_pcie(PciePort& port)
+{
+    ensure(pcie_port_ == nullptr, name(), ": PCIe port already connected");
+    pcie_port_ = &port;
+    port.attach(*this, 0);
+    egress_ = std::make_unique<TlpQueue>(port);
+}
+
+void RootComplex::recv_tlp(unsigned /*port_idx*/, TlpPtr tlp)
+{
+    const Tick ready = now() + ticks_from_ns(params_.latency_ns);
+    delay_q_.push_back(Delayed{ready, std::move(tlp)});
+    if (!process_event_.scheduled()) {
+        schedule(process_event_, ready);
+    }
+}
+
+void RootComplex::credit_avail(unsigned /*port_idx*/)
+{
+    if (egress_) {
+        egress_->kick();
+    }
+}
+
+void RootComplex::process_delayed()
+{
+    while (!delay_q_.empty() && delay_q_.front().ready <= now()) {
+        Tlp& head = *delay_q_.front().tlp;
+
+        if (head.type == TlpType::mem_read) {
+            const std::size_t chunks =
+                split_count(head.addr, head.length);
+            if (inbound_reads_.size() >= params_.max_inbound_reads ||
+                mem_q_.size() + chunks > params_.mem_queue_capacity) {
+                ++hol_stalls_;
+                return; // keep ingress credits held: upstream back-pressure
+            }
+            service_read(head);
+        } else if (head.type == TlpType::mem_write) {
+            const std::size_t chunks =
+                split_count(head.addr, head.length);
+            if (mem_q_.size() + chunks > params_.mem_queue_capacity) {
+                ++hol_stalls_;
+                return;
+            }
+            service_write(head);
+        } else {
+            service_completion(std::move(delay_q_.front().tlp));
+            delay_q_.pop_front();
+            continue;
+        }
+
+        pcie_port_->release_ingress(head.payload_bytes());
+        delay_q_.pop_front();
+    }
+    if (!delay_q_.empty() && !process_event_.scheduled()) {
+        schedule(process_event_, delay_q_.front().ready);
+    }
+}
+
+void RootComplex::service_read(Tlp& tlp)
+{
+    ++inbound_read_tlps_;
+    const std::uint32_t key = read_key(tlp.requester, tlp.tag);
+    ensure(inbound_reads_.find(key) == inbound_reads_.end(), name(),
+           ": duplicate inbound read tag ", key);
+
+    InboundRead state;
+    state.addr = tlp.addr;
+    state.size = tlp.length;
+    state.tag = tlp.tag;
+    state.requester = tlp.requester;
+    state.chunk_done.assign(split_count(tlp.addr, tlp.length), false);
+    inbound_reads_.emplace(key, std::move(state));
+
+    for (std::uint32_t off = 0, chunk = 0; off < tlp.length; ++chunk) {
+        const std::uint32_t n = split_span(tlp.addr, tlp.length, off);
+        auto pkt = mem::Packet::make_read(tlp.addr + off, n);
+        pkt->set_requestor(requestor_id_);
+        pkt->set_tag((static_cast<std::uint64_t>(key) << 16) | chunk);
+        pkt->flags.from_device = true;
+        pkt->flags.needs_translation = params_.device_addresses_virtual;
+        pkt->flags.uncacheable = params_.inbound_uncacheable;
+        mem_q_.push(std::move(pkt), now());
+        off += n;
+    }
+}
+
+void RootComplex::service_write(Tlp& tlp)
+{
+    ++inbound_write_tlps_;
+    for (std::uint32_t off = 0; off < tlp.length;) {
+        const std::uint32_t n = split_span(tlp.addr, tlp.length, off);
+        auto pkt = mem::Packet::make_write(tlp.addr + off, n);
+        pkt->set_requestor(requestor_id_);
+        pkt->flags.from_device = true;
+        pkt->flags.posted = true;
+        pkt->flags.needs_translation = params_.device_addresses_virtual;
+        // Sub-line writes (completion flags, MSI-style signals) go
+        // uncacheable so they reach the bus and snoop-invalidate pollers.
+        pkt->flags.uncacheable =
+            params_.inbound_uncacheable || n < params_.host_split_bytes;
+        mem_q_.push(std::move(pkt), now());
+        off += n;
+    }
+}
+
+void RootComplex::service_completion(TlpPtr tlp)
+{
+    // Completion for an outbound (CPU MMIO) read.
+    const std::uint8_t tag = tlp->tag;
+    ensure(tag < mmio_pending_.size() && mmio_pending_[tag] != nullptr,
+           name(), ": stray MMIO completion tag ", static_cast<int>(tag));
+    mem::PacketPtr pkt = std::move(mmio_pending_[tag]);
+    mmio_tag_free_[tag] = 1;
+
+    pkt->make_response();
+    if (!tlp->payload.empty()) {
+        pkt->set_payload(tlp->payload);
+    }
+    mmio_resp_q_.push(std::move(pkt), now());
+    pcie_port_->release_ingress(tlp->payload_bytes());
+
+    if (mmio_blocked_upstream_) {
+        mmio_blocked_upstream_ = false;
+        mmio_port_.send_retry_req();
+    }
+}
+
+bool RootComplex::recv_resp(mem::PacketPtr& pkt)
+{
+    // Only inbound-read chunks generate responses (writes are posted).
+    if (pkt->cmd() != mem::MemCmd::read_resp) {
+        panic(name(), ": unexpected fabric response: ", pkt->describe());
+    }
+    const auto key = static_cast<std::uint32_t>(pkt->tag() >> 16);
+    const auto chunk = static_cast<std::uint32_t>(pkt->tag() & 0xFFFF);
+
+    auto it = inbound_reads_.find(key);
+    ensure(it != inbound_reads_.end(), name(), ": response for unknown read");
+    ensure(chunk < it->second.chunk_done.size(), name(), ": bad chunk index");
+    it->second.chunk_done[chunk] = true;
+
+    advance_completions(key);
+    return true;
+}
+
+void RootComplex::advance_completions(std::uint32_t key)
+{
+    auto it = inbound_reads_.find(key);
+    InboundRead& rd = it->second;
+
+    for (;;) {
+        if (rd.emitted >= rd.size) {
+            break;
+        }
+        const std::uint32_t span =
+            std::min(params_.max_payload_bytes, rd.size - rd.emitted);
+        const std::uint32_t first = chunk_index(rd.addr, rd.emitted);
+        const std::uint32_t last =
+            chunk_index(rd.addr, rd.emitted + span - 1);
+        bool all_done = true;
+        for (std::uint32_t c = first; c <= last; ++c) {
+            all_done &= static_cast<bool>(rd.chunk_done[c]);
+        }
+        if (!all_done) {
+            return;
+        }
+        const bool is_last = rd.emitted + span >= rd.size;
+        egress_->push(make_completion(span, rd.tag, rd.requester, rd.emitted,
+                                      is_last));
+        ++completions_sent_;
+        rd.emitted += span;
+        if (is_last) {
+            inbound_reads_.erase(it);
+            // A service slot freed: head-of-line stall may clear.
+            if (!delay_q_.empty() && !process_event_.scheduled()) {
+                schedule(process_event_,
+                         std::max(now(), delay_q_.front().ready));
+            }
+            return;
+        }
+    }
+}
+
+bool RootComplex::recv_req(mem::PacketPtr& pkt)
+{
+    if (pkt->is_write()) {
+        ++mmio_writes_;
+        auto tlp = make_mem_write(pkt->addr(), pkt->size(), 0);
+        tlp->payload = pkt->payload();
+        egress_->push(std::move(tlp));
+        if (!pkt->flags.posted) {
+            // MMIO writes are posted on the wire; ack the fabric now.
+            pkt->make_response();
+            mmio_resp_q_.push(std::move(pkt), now());
+        }
+        return true;
+    }
+
+    // MMIO read: needs a completion tag.
+    const auto free_it =
+        std::find(mmio_tag_free_.begin(), mmio_tag_free_.end(), 1);
+    if (free_it == mmio_tag_free_.end()) {
+        mmio_blocked_upstream_ = true;
+        return false;
+    }
+    const auto tag =
+        static_cast<std::uint8_t>(free_it - mmio_tag_free_.begin());
+    *free_it = 0;
+    ++mmio_reads_;
+
+    auto tlp = make_mem_read(pkt->addr(), pkt->size(), tag, 0);
+    mmio_pending_[tag] = std::move(pkt);
+    egress_->push(std::move(tlp));
+    return true;
+}
+
+} // namespace accesys::pcie

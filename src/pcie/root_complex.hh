@@ -1,0 +1,163 @@
+// PCIe Root Complex: the host-side bridge between the PCIe hierarchy and the
+// coherent memory fabric.
+//
+// Inbound (device -> host):
+//   * MRd TLPs are accepted (up to `max_inbound_reads` concurrently),
+//     split into `host_split_bytes` fabric reads (the RCB-style split that
+//     keeps cache-line-sized requests on the coherent side), and answered
+//     with in-order CplD TLPs of at most `max_payload_bytes` each.
+//   * MWr TLPs are split into posted fabric writes.
+//   * Inbound requests are marked `needs_translation` when the device
+//     operates on virtual addresses; the SMMU on the fabric path translates.
+//
+// Outbound (CPU -> device):
+//   * Fabric requests arriving on `mmio_side()` (routed there by the MemBus
+//     BAR range) become MRd/MWr TLPs; MMIO writes are posted, reads wait
+//     for the device completion (bounded tag pool).
+//
+// Every TLP is charged `latency_ns` (paper Table II: 150 ns) in a
+// store-and-forward stage whose head-of-line stalls — together with the
+// ingress credits held until service — provide the back-pressure behaviour
+// the packet-size study (Fig. 4) measures.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/port.hh"
+#include "pcie/link.hh"
+#include "sim/simulator.hh"
+
+namespace accesys::pcie {
+
+struct RcParams {
+    double latency_ns = 150.0;
+    std::uint32_t host_split_bytes = 64;
+    std::uint32_t max_payload_bytes = 256;
+    std::size_t max_inbound_reads = 64;
+    std::size_t mem_queue_capacity = 128;
+    std::size_t mmio_tags = 32;
+    /// Devices issue virtual addresses (SMMU present on the fabric path).
+    bool device_addresses_virtual = true;
+    /// DM access mode: all inbound DMA bypasses the cache hierarchy.
+    bool inbound_uncacheable = false;
+
+    void validate() const;
+};
+
+class RootComplex final : public SimObject,
+                          public PcieNode,
+                          private mem::Requestor,
+                          private mem::Responder {
+  public:
+    RootComplex(Simulator& sim, std::string name, const RcParams& params);
+
+    /// Connect the link end that faces the switch/device hierarchy.
+    void connect_pcie(PciePort& port);
+
+    /// Fabric-facing request port (DMA traffic into the memory system).
+    [[nodiscard]] mem::RequestPort& mem_side() noexcept { return mem_port_; }
+
+    /// Fabric-facing response port (CPU MMIO to device BARs).
+    [[nodiscard]] mem::ResponsePort& mmio_side() noexcept
+    {
+        return mmio_port_;
+    }
+
+    // PcieNode
+    void recv_tlp(unsigned port_idx, TlpPtr tlp) override;
+    void credit_avail(unsigned port_idx) override;
+
+  private:
+    // mem::Requestor (mem_side)
+    bool recv_resp(mem::PacketPtr& pkt) override;
+    void retry_req() override { mem_q_.retry(); }
+
+    // mem::Responder (mmio_side)
+    bool recv_req(mem::PacketPtr& pkt) override;
+    void retry_resp() override { mmio_resp_q_.retry(); }
+
+    struct InboundRead {
+        Addr addr = 0;
+        std::uint32_t size = 0;
+        std::uint8_t tag = 0;
+        std::uint16_t requester = 0;
+        std::vector<bool> chunk_done;
+        std::uint32_t emitted = 0; ///< bytes already completed, in order
+    };
+
+    void process_delayed();
+    void service_read(Tlp& tlp);
+    void service_write(Tlp& tlp);
+    void service_completion(TlpPtr tlp);
+    void advance_completions(std::uint32_t key);
+
+    // Inbound requests are split at host_split_bytes-aligned boundaries
+    // (unaligned DMA may yield short head/tail chunks).
+    [[nodiscard]] std::uint32_t split_span(Addr base, std::uint32_t len,
+                                           std::uint32_t off) const
+    {
+        const std::uint32_t align = params_.host_split_bytes;
+        const auto to_boundary =
+            static_cast<std::uint32_t>(align - (base + off) % align);
+        return std::min(to_boundary, len - off);
+    }
+    [[nodiscard]] std::uint32_t split_count(Addr base,
+                                            std::uint32_t len) const
+    {
+        const std::uint32_t align = params_.host_split_bytes;
+        return static_cast<std::uint32_t>(
+            (align_up(base + len, align) - align_down(base, align)) / align);
+    }
+    [[nodiscard]] std::uint32_t chunk_index(Addr base,
+                                            std::uint32_t off) const
+    {
+        const std::uint32_t align = params_.host_split_bytes;
+        return static_cast<std::uint32_t>(
+            (align_down(base + off, align) - align_down(base, align)) /
+            align);
+    }
+    [[nodiscard]] static std::uint32_t read_key(std::uint16_t requester,
+                                                std::uint8_t tag)
+    {
+        return (static_cast<std::uint32_t>(requester) << 8) | tag;
+    }
+
+    RcParams params_;
+    PciePort* pcie_port_ = nullptr;
+    std::unique_ptr<TlpQueue> egress_;
+
+    mem::RequestPort mem_port_;
+    mem::ResponsePort mmio_port_;
+    mem::PacketQueue mem_q_;
+    mem::PacketQueue mmio_resp_q_;
+
+    struct Delayed {
+        Tick ready;
+        TlpPtr tlp;
+    };
+    std::deque<Delayed> delay_q_;
+    Event process_event_{"", nullptr};
+
+    std::unordered_map<std::uint32_t, InboundRead> inbound_reads_;
+    std::vector<mem::PacketPtr> mmio_pending_; ///< indexed by MMIO tag
+    std::vector<std::uint8_t> mmio_tag_free_;
+    std::uint32_t requestor_id_;
+    bool mmio_blocked_upstream_ = false;
+
+    stats::Scalar inbound_read_tlps_{stat_group(), "inbound_read_tlps",
+                                     "device MRd TLPs serviced"};
+    stats::Scalar inbound_write_tlps_{stat_group(), "inbound_write_tlps",
+                                      "device MWr TLPs serviced"};
+    stats::Scalar completions_sent_{stat_group(), "completions_sent",
+                                    "CplD TLPs generated"};
+    stats::Scalar mmio_reads_{stat_group(), "mmio_reads",
+                              "CPU reads forwarded to devices"};
+    stats::Scalar mmio_writes_{stat_group(), "mmio_writes",
+                               "CPU writes forwarded to devices"};
+    stats::Scalar hol_stalls_{stat_group(), "hol_stalls",
+                              "head-of-line stalls in the service stage"};
+};
+
+} // namespace accesys::pcie

@@ -1,0 +1,105 @@
+#include "pcie/switch.hh"
+
+namespace accesys::pcie {
+
+PcieSwitch::PcieSwitch(Simulator& sim, std::string name,
+                       const SwitchParams& params)
+    : SimObject(sim, std::move(name)), params_(params)
+{
+    egress_.resize(1); // slot 0 reserved for the upstream port
+    forward_event_.set_name(this->name() + ".forward");
+    forward_event_.set_callback([this] {
+        while (!delay_q_.empty() && delay_q_.front().ready <= now()) {
+            Delayed d = std::move(delay_q_.front());
+            delay_q_.pop_front();
+            const unsigned out = route(*d.tlp);
+            if (out == 0) {
+                ++upstream_tlps_;
+            } else {
+                ++downstream_tlps_;
+            }
+            egress_[out].q.push_back(
+                Egress::Staged{std::move(d.tlp), d.from});
+            kick(out);
+        }
+        if (!delay_q_.empty()) {
+            schedule(forward_event_, delay_q_.front().ready);
+        }
+    });
+}
+
+void PcieSwitch::set_upstream(PciePort& port)
+{
+    ensure(egress_[0].port == nullptr, name(), ": upstream already set");
+    egress_[0].port = &port;
+    port.attach(*this, 0);
+}
+
+void PcieSwitch::add_downstream(PciePort& port,
+                                std::vector<mem::AddrRange> bars,
+                                std::uint16_t device_id)
+{
+    require_cfg(device_id != 0, name(),
+                ": device id 0 is reserved for the host");
+    const auto idx = static_cast<unsigned>(egress_.size());
+    egress_.emplace_back();
+    egress_.back().port = &port;
+    downstream_.push_back(Downstream{std::move(bars), device_id});
+    by_device_[device_id] = idx;
+    port.attach(*this, idx);
+}
+
+unsigned PcieSwitch::route(const Tlp& tlp) const
+{
+    if (tlp.type == TlpType::completion) {
+        if (tlp.requester == 0) {
+            return 0;
+        }
+        const auto it = by_device_.find(tlp.requester);
+        ensure(it != by_device_.end(), name(),
+               ": completion for unknown device ", tlp.requester);
+        return it->second;
+    }
+    for (std::size_t i = 0; i < downstream_.size(); ++i) {
+        for (const auto& bar : downstream_[i].bars) {
+            if (bar.contains(tlp.addr, tlp.length == 0 ? 1 : tlp.length)) {
+                return static_cast<unsigned>(i + 1);
+            }
+        }
+    }
+    return 0; // host memory
+}
+
+void PcieSwitch::recv_tlp(unsigned port_idx, TlpPtr tlp)
+{
+    // Store-and-forward: the TLP is only routed after the switch latency.
+    const Tick ready = now() + ticks_from_ns(params_.latency_ns);
+    delay_q_.push_back(Delayed{ready, std::move(tlp), port_idx});
+    if (!forward_event_.scheduled()) {
+        schedule(forward_event_, ready);
+    }
+}
+
+void PcieSwitch::credit_avail(unsigned port_idx)
+{
+    kick(port_idx);
+}
+
+void PcieSwitch::kick(unsigned egress_idx)
+{
+    Egress& e = egress_[egress_idx];
+    ensure(e.port != nullptr, name(), ": egress port not connected");
+    while (!e.q.empty() && e.port->can_send(*e.q.front().tlp)) {
+        Egress::Staged staged = std::move(e.q.front());
+        e.q.pop_front();
+        const std::uint32_t cost = staged.tlp->payload_bytes();
+        e.port->send(std::move(staged.tlp));
+        // Departure frees our ingress buffer for the port it arrived on.
+        ensure(egress_[staged.from].port != nullptr, name(),
+               ": ingress port vanished");
+        egress_[staged.from].port->release_ingress(cost);
+        ++forwarded_;
+    }
+}
+
+} // namespace accesys::pcie

@@ -1,0 +1,89 @@
+// PCIe switch: one upstream port, N downstream ports, store-and-forward.
+//
+// Routing rules:
+//   * memory TLPs (MRd/MWr) whose address falls in a downstream BAR go to
+//     that downstream port; all other memory TLPs go upstream (host memory).
+//   * completions route by requester id (0 = root complex / host).
+//
+// Each forwarded TLP is charged the switch latency (paper Table II: 50 ns)
+// before entering the egress queue; ingress buffer space (and thus the
+// upstream transmitter's credits) is released only once the TLP leaves on
+// the egress wire, which is what makes large packets "stall at each
+// component" (paper §V-B1b).
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/addr_range.hh"
+#include "pcie/link.hh"
+#include "sim/simulator.hh"
+
+namespace accesys::pcie {
+
+struct SwitchParams {
+    double latency_ns = 50.0;
+};
+
+class PcieSwitch final : public SimObject, public PcieNode {
+  public:
+    PcieSwitch(Simulator& sim, std::string name, const SwitchParams& params);
+
+    /// Connect the port that faces the root complex.
+    void set_upstream(PciePort& port);
+
+    /// Connect a device-facing port. `bars` are the address ranges owned by
+    /// the device behind it; `device_id` its requester id (non-zero).
+    void add_downstream(PciePort& port,
+                        std::vector<mem::AddrRange> bars,
+                        std::uint16_t device_id);
+
+    // PcieNode
+    void recv_tlp(unsigned port_idx, TlpPtr tlp) override;
+    void credit_avail(unsigned port_idx) override;
+
+  private:
+    struct Egress {
+        PciePort* port = nullptr;
+        /// TLPs staged for this egress; `from` is the ingress port index
+        /// whose buffer is released once the TLP departs.
+        struct Staged {
+            TlpPtr tlp;
+            unsigned from;
+        };
+        std::deque<Staged> q;
+    };
+
+    struct Downstream {
+        std::vector<mem::AddrRange> bars;
+        std::uint16_t device_id = 0;
+    };
+
+    [[nodiscard]] unsigned route(const Tlp& tlp) const;
+    void kick(unsigned egress_idx);
+
+    SwitchParams params_;
+    /// Egress ports; index 0 = upstream. Deque: elements hold move-only
+    /// queues and must never relocate.
+    std::deque<Egress> egress_;
+    std::vector<Downstream> downstream_; ///< parallel to egress_[1..]
+    std::unordered_map<std::uint16_t, unsigned> by_device_;
+
+    /// Ingress-side store-and-forward delay stage.
+    struct Delayed {
+        Tick ready;
+        TlpPtr tlp;
+        unsigned from;
+    };
+    std::deque<Delayed> delay_q_;
+    Event forward_event_{"", nullptr};
+
+    stats::Scalar forwarded_{stat_group(), "forwarded", "TLPs forwarded"};
+    stats::Scalar upstream_tlps_{stat_group(), "upstream_tlps",
+                                 "TLPs routed toward the root complex"};
+    stats::Scalar downstream_tlps_{stat_group(), "downstream_tlps",
+                                   "TLPs routed toward endpoints"};
+};
+
+} // namespace accesys::pcie

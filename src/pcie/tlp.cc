@@ -1,0 +1,56 @@
+#include "pcie/tlp.hh"
+
+#include <sstream>
+
+namespace accesys::pcie {
+
+std::string Tlp::describe() const
+{
+    std::ostringstream os;
+    os << to_string(type) << " addr=0x" << std::hex << addr << std::dec
+       << " len=" << length << " tag=" << static_cast<int>(tag) << " req="
+       << requester;
+    if (type == TlpType::completion) {
+        os << " off=" << byte_offset << (is_last ? " last" : "");
+    }
+    return os.str();
+}
+
+TlpPtr make_mem_read(Addr addr, std::uint32_t length, std::uint8_t tag,
+                     std::uint16_t requester)
+{
+    auto tlp = std::make_unique<Tlp>();
+    tlp->type = TlpType::mem_read;
+    tlp->addr = addr;
+    tlp->length = length;
+    tlp->tag = tag;
+    tlp->requester = requester;
+    return tlp;
+}
+
+TlpPtr make_mem_write(Addr addr, std::uint32_t length,
+                      std::uint16_t requester)
+{
+    auto tlp = std::make_unique<Tlp>();
+    tlp->type = TlpType::mem_write;
+    tlp->addr = addr;
+    tlp->length = length;
+    tlp->requester = requester;
+    return tlp;
+}
+
+TlpPtr make_completion(std::uint32_t length, std::uint8_t tag,
+                       std::uint16_t requester, std::uint32_t byte_offset,
+                       bool is_last)
+{
+    auto tlp = std::make_unique<Tlp>();
+    tlp->type = TlpType::completion;
+    tlp->length = length;
+    tlp->tag = tag;
+    tlp->requester = requester;
+    tlp->byte_offset = byte_offset;
+    tlp->is_last = is_last;
+    return tlp;
+}
+
+} // namespace accesys::pcie

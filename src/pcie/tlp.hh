@@ -1,0 +1,110 @@
+// Transaction Layer Packets (TLPs) and PCIe generation/encoding helpers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/error.hh"
+#include "sim/types.hh"
+
+namespace accesys::pcie {
+
+/// PCIe generation: determines line encoding efficiency.
+enum class Gen : std::uint8_t {
+    gen1, ///< 2.5 GT/s class, 8b/10b
+    gen2, ///< 5 GT/s class, 8b/10b
+    gen3, ///< 8 GT/s class, 128b/130b
+    gen4,
+    gen5,
+    gen6, ///< PAM4/FLIT; efficiency approximated as 242/256
+};
+
+[[nodiscard]] constexpr double encoding_efficiency(Gen g)
+{
+    switch (g) {
+    case Gen::gen1:
+    case Gen::gen2:
+        return 0.8; // 8b/10b
+    case Gen::gen3:
+    case Gen::gen4:
+    case Gen::gen5:
+        return 128.0 / 130.0;
+    case Gen::gen6:
+        return 242.0 / 256.0; // FLIT-mode approximation
+    }
+    return 1.0;
+}
+
+[[nodiscard]] constexpr const char* to_string(Gen g)
+{
+    switch (g) {
+    case Gen::gen1: return "Gen1";
+    case Gen::gen2: return "Gen2";
+    case Gen::gen3: return "Gen3";
+    case Gen::gen4: return "Gen4";
+    case Gen::gen5: return "Gen5";
+    case Gen::gen6: return "Gen6";
+    }
+    return "?";
+}
+
+enum class TlpType : std::uint8_t {
+    mem_read,   ///< MRd — non-posted, expects completion(s) with data
+    mem_write,  ///< MWr — posted
+    completion, ///< CplD — carries read data back to the requester
+};
+
+[[nodiscard]] constexpr const char* to_string(TlpType t)
+{
+    switch (t) {
+    case TlpType::mem_read: return "MRd";
+    case TlpType::mem_write: return "MWr";
+    case TlpType::completion: return "CplD";
+    }
+    return "?";
+}
+
+/// One transaction-layer packet.
+///
+/// `length` is the payload byte count for MWr/CplD and the *requested* byte
+/// count for MRd (which carries no payload on the wire). Completions for one
+/// MRd may be split; `byte_offset`/`is_last` let the requester reassemble.
+struct Tlp {
+    TlpType type = TlpType::mem_read;
+    Addr addr = 0;               ///< target address (MRd/MWr); 0 for CplD
+    std::uint32_t length = 0;
+    std::uint8_t tag = 0;        ///< transaction tag (MRd and its CplDs)
+    std::uint16_t requester = 0; ///< requester id (endpoint/port number)
+    std::uint32_t byte_offset = 0; ///< CplD: offset of this chunk in the request
+    bool is_last = true;           ///< CplD: final completion of the request
+
+    /// Small functional payload for MMIO register traffic (DMA data stays in
+    /// the global BackingStore; see DESIGN.md on the timing/functional split).
+    std::vector<std::uint8_t> payload;
+
+    [[nodiscard]] bool has_payload() const noexcept
+    {
+        return type != TlpType::mem_read;
+    }
+
+    [[nodiscard]] std::uint32_t payload_bytes() const noexcept
+    {
+        return has_payload() ? length : 0;
+    }
+
+    [[nodiscard]] std::string describe() const;
+};
+
+using TlpPtr = std::unique_ptr<Tlp>;
+
+[[nodiscard]] TlpPtr make_mem_read(Addr addr, std::uint32_t length,
+                                   std::uint8_t tag, std::uint16_t requester);
+[[nodiscard]] TlpPtr make_mem_write(Addr addr, std::uint32_t length,
+                                    std::uint16_t requester);
+[[nodiscard]] TlpPtr make_completion(std::uint32_t length, std::uint8_t tag,
+                                     std::uint16_t requester,
+                                     std::uint32_t byte_offset, bool is_last);
+
+} // namespace accesys::pcie

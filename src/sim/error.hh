@@ -1,0 +1,73 @@
+// Error-reporting policy for the accesys libraries.
+//
+//   * `ConfigError`  — the user supplied an impossible configuration. Thrown
+//     from constructors/builders; callers are expected to be able to catch it.
+//   * `SimError`     — an internal invariant was violated while simulating.
+//   * `ensure(...)`  — cheap always-on check that throws SimError.
+//   * `panic(...)`   — [[noreturn]] convenience for unreachable states.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace accesys {
+
+class ConfigError : public std::runtime_error {
+  public:
+    explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class SimError : public std::logic_error {
+  public:
+    explicit SimError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+inline void cat_into(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void cat_into(std::ostringstream& os, const T& v, const Rest&... rest)
+{
+    os << v;
+    cat_into(os, rest...);
+}
+
+} // namespace detail
+
+/// Concatenate arbitrary stream-printable values into a string.
+template <typename... Ts>
+std::string strcat_msg(const Ts&... vs)
+{
+    std::ostringstream os;
+    detail::cat_into(os, vs...);
+    return os.str();
+}
+
+/// Abort simulation with an internal error.
+template <typename... Ts>
+[[noreturn]] void panic(const Ts&... vs)
+{
+    throw SimError(strcat_msg("panic: ", vs...));
+}
+
+/// Always-on invariant check (unlike assert(), survives NDEBUG builds).
+template <typename... Ts>
+void ensure(bool cond, const Ts&... vs)
+{
+    if (!cond) {
+        throw SimError(strcat_msg("invariant violated: ", vs...));
+    }
+}
+
+/// Configuration validation helper: throws ConfigError when `cond` is false.
+template <typename... Ts>
+void require_cfg(bool cond, const Ts&... vs)
+{
+    if (!cond) {
+        throw ConfigError(strcat_msg(vs...));
+    }
+}
+
+} // namespace accesys

@@ -1,0 +1,200 @@
+// Discrete-event core: `Event` handles and the `EventQueue` scheduler.
+//
+// Events are long-lived objects owned by components and (re)scheduled many
+// times; the queue stores lightweight entries and uses lazy deletion, so
+// deschedule/reschedule are O(1) and pop skips stale entries. Determinism:
+// ties on (tick, priority) break by schedule order (monotonic sequence).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/error.hh"
+#include "sim/types.hh"
+
+namespace accesys {
+
+class EventQueue;
+
+/// Priorities: lower value runs earlier within the same tick.
+enum : int {
+    kPrioEarly = -100,  ///< bookkeeping that must precede normal activity
+    kPrioDefault = 0,
+    kPrioLate = 100,    ///< e.g. stat sampling after the tick's activity
+};
+
+/// A schedulable callback. Construct once, schedule as often as needed.
+class Event {
+  public:
+    using Callback = std::function<void()>;
+
+    Event() = default;
+    Event(std::string name, Callback cb, int priority = kPrioDefault)
+        : name_(std::move(name)), cb_(std::move(cb)), priority_(priority)
+    {
+    }
+
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+
+    /// Replace the callback; must not be scheduled.
+    void set_callback(Callback cb)
+    {
+        ensure(!scheduled_, "Event::set_callback while scheduled: ", name_);
+        cb_ = std::move(cb);
+    }
+
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    [[nodiscard]] bool scheduled() const noexcept { return scheduled_; }
+    [[nodiscard]] Tick when() const noexcept { return when_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] int priority() const noexcept { return priority_; }
+
+  private:
+    friend class EventQueue;
+
+    std::string name_;
+    Callback cb_;
+    int priority_ = kPrioDefault;
+    Tick when_ = 0;
+    std::uint64_t generation_ = 0; ///< bumped on every schedule
+    bool scheduled_ = false;
+};
+
+/// Min-heap event scheduler; also the keeper of simulated time.
+class EventQueue {
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    [[nodiscard]] Tick now() const noexcept { return now_; }
+
+    /// Schedule `ev` at absolute tick `when` (>= now).
+    void schedule(Event& ev, Tick when)
+    {
+        ensure(!ev.scheduled_, "double schedule of event ", ev.name_);
+        ensure(when >= now_, "schedule in the past: ", ev.name_, " at ", when,
+               " now ", now_);
+        ev.when_ = when;
+        ev.generation_ = ++next_generation_;
+        ev.scheduled_ = true;
+        heap_.push(Entry{when, ev.priority_, next_seq_++, ev.generation_,
+                         &ev});
+        ++stat_scheduled_;
+    }
+
+    /// Schedule `ev` `delta` ticks from now.
+    void schedule_in(Event& ev, Tick delta) { schedule(ev, now_ + delta); }
+
+    /// Remove `ev` from the schedule (no-op entry left in heap).
+    void deschedule(Event& ev)
+    {
+        ensure(ev.scheduled_, "deschedule of idle event ", ev.name_);
+        ev.scheduled_ = false;
+    }
+
+    /// Move an event (scheduled or not) to a new absolute time.
+    void reschedule(Event& ev, Tick when)
+    {
+        if (ev.scheduled_) {
+            deschedule(ev);
+        }
+        schedule(ev, when);
+    }
+
+    /// True when no live (non-squashed) events remain.
+    [[nodiscard]] bool empty()
+    {
+        prune();
+        return heap_.empty();
+    }
+
+    /// Tick of the next live event, or kMaxTick when empty.
+    [[nodiscard]] Tick next_event_tick()
+    {
+        prune();
+        return heap_.empty() ? kMaxTick : heap_.top().when;
+    }
+
+    /// Name of the next live event (debugging aid); empty when drained.
+    [[nodiscard]] std::string next_event_name()
+    {
+        prune();
+        return heap_.empty() ? std::string{} : heap_.top().ev->name();
+    }
+
+    /// Execute the single next event; returns false when none remain.
+    bool step();
+
+    /// Run until the queue drains or simulated time would pass `max_tick`
+    /// (events at exactly `max_tick` still run). Returns events processed.
+    std::uint64_t run(Tick max_tick = kMaxTick);
+
+    /// Total events executed since construction.
+    [[nodiscard]] std::uint64_t events_processed() const noexcept
+    {
+        return stat_processed_;
+    }
+
+    [[nodiscard]] std::uint64_t events_scheduled() const noexcept
+    {
+        return stat_scheduled_;
+    }
+
+    /// Advance time with no event execution (used by drained fast-forward).
+    void warp_to(Tick when)
+    {
+        ensure(when >= now_, "warp into the past");
+        ensure(empty() || heap_.top().when >= when,
+               "warp past a pending event");
+        now_ = when;
+    }
+
+  private:
+    struct Entry {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        std::uint64_t generation;
+        Event* ev;
+    };
+
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const noexcept
+        {
+            if (a.when != b.when) {
+                return a.when > b.when;
+            }
+            if (a.priority != b.priority) {
+                return a.priority > b.priority;
+            }
+            return a.seq > b.seq;
+        }
+    };
+
+    /// Drop squashed entries off the top of the heap.
+    void prune()
+    {
+        while (!heap_.empty()) {
+            const Entry& top = heap_.top();
+            if (top.ev->scheduled_ && top.ev->generation_ == top.generation) {
+                return;
+            }
+            heap_.pop();
+        }
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t next_generation_ = 0;
+    std::uint64_t stat_processed_ = 0;
+    std::uint64_t stat_scheduled_ = 0;
+};
+
+} // namespace accesys

@@ -1,0 +1,55 @@
+#include "sim/logging.hh"
+
+#include <atomic>
+
+namespace accesys::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::warn};
+std::atomic<std::ostream*> g_sink{nullptr};
+
+const char* level_name(Level lvl)
+{
+    switch (lvl) {
+    case Level::off: return "off";
+    case Level::warn: return "warn";
+    case Level::info: return "info";
+    case Level::debug: return "debug";
+    case Level::trace: return "trace";
+    }
+    return "?";
+}
+
+} // namespace
+
+Level level() noexcept
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void set_level(Level lvl) noexcept
+{
+    g_level.store(lvl, std::memory_order_relaxed);
+}
+
+void set_sink(std::ostream* os) noexcept
+{
+    g_sink.store(os, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void emit(Level lvl, Tick now, const std::string& who, const std::string& msg)
+{
+    std::ostream* os = g_sink.load(std::memory_order_relaxed);
+    if (os == nullptr) {
+        os = &std::cerr;
+    }
+    (*os) << now << " [" << level_name(lvl) << "] " << who << ": " << msg
+          << '\n';
+}
+
+} // namespace detail
+
+} // namespace accesys::log

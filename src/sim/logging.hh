@@ -1,0 +1,62 @@
+// Lightweight component-tagged trace logging.
+//
+// Logging is globally gated by a level so that hot paths pay only a branch
+// when tracing is off. Components pass their instance name; the sink is a
+// plain ostream (stderr by default, redirectable for tests).
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace accesys::log {
+
+enum class Level : int {
+    off = 0,
+    warn = 1,
+    info = 2,
+    debug = 3,
+    trace = 4,
+};
+
+/// Global log level; defaults to `warn`.
+Level level() noexcept;
+void set_level(Level lvl) noexcept;
+
+/// Redirect log output (nullptr restores stderr). Non-owning.
+void set_sink(std::ostream* os) noexcept;
+
+/// True when messages at `lvl` would be emitted.
+inline bool enabled(Level lvl) noexcept
+{
+    return static_cast<int>(lvl) <= static_cast<int>(level());
+}
+
+namespace detail {
+void emit(Level lvl, Tick now, const std::string& who, const std::string& msg);
+
+inline void build(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void build(std::ostringstream& os, const T& v, const Rest&... rest)
+{
+    os << v;
+    build(os, rest...);
+}
+} // namespace detail
+
+/// Emit a message at `lvl` attributed to component `who` at time `now`.
+template <typename... Ts>
+void write(Level lvl, Tick now, const std::string& who, const Ts&... vs)
+{
+    if (!enabled(lvl)) {
+        return;
+    }
+    std::ostringstream os;
+    detail::build(os, vs...);
+    detail::emit(lvl, now, who, os.str());
+}
+
+} // namespace accesys::log

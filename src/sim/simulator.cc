@@ -1,0 +1,68 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+namespace accesys {
+
+void Simulator::startup()
+{
+    if (started_) {
+        return;
+    }
+    started_ = true;
+    // Objects may attach more objects during startup; index loop is safe.
+    for (std::size_t i = 0; i < objects_.size(); ++i) {
+        objects_[i]->startup();
+    }
+}
+
+RunResult Simulator::run(Tick max_tick)
+{
+    startup();
+    exit_requested_ = false;
+    exit_reason_.clear();
+
+    RunResult res;
+    std::uint64_t n = 0;
+    for (;;) {
+        if (exit_requested_) {
+            res.cause = ExitCause::exit_requested;
+            res.exit_reason = exit_reason_;
+            break;
+        }
+        const Tick next = queue_.next_event_tick();
+        if (next == kMaxTick) {
+            res.cause = ExitCause::queue_drained;
+            break;
+        }
+        if (next > max_tick) {
+            res.cause = ExitCause::horizon_reached;
+            queue_.warp_to(max_tick);
+            break;
+        }
+        queue_.step();
+        ++n;
+    }
+    res.end_tick = queue_.now();
+    res.events = n;
+    return res;
+}
+
+void Simulator::detach(SimObject& obj) noexcept
+{
+    objects_.erase(std::remove(objects_.begin(), objects_.end(), &obj),
+                   objects_.end());
+}
+
+SimObject::SimObject(Simulator& sim, std::string name)
+    : sim_(&sim), name_(std::move(name)), stats_(sim.stats(), name_)
+{
+    sim_->attach(*this);
+}
+
+SimObject::~SimObject()
+{
+    sim_->detach(*this);
+}
+
+} // namespace accesys

@@ -1,0 +1,145 @@
+// Top-level simulation container: event queue + stats registry + run control.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace accesys {
+
+class SimObject;
+
+/// Why a Simulator::run() call returned.
+enum class ExitCause {
+    queue_drained,   ///< no live events remain
+    exit_requested,  ///< a component called request_exit()
+    horizon_reached, ///< max_tick passed without drain/exit
+};
+
+struct RunResult {
+    ExitCause cause = ExitCause::queue_drained;
+    std::string exit_reason;      ///< set for ExitCause::exit_requested
+    Tick end_tick = 0;            ///< simulated time when run() returned
+    std::uint64_t events = 0;     ///< events executed by this run() call
+};
+
+/// Owns the event queue and the stat registry; SimObjects attach to it.
+class Simulator {
+  public:
+    Simulator() = default;
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
+    [[nodiscard]] Tick now() const noexcept { return queue_.now(); }
+    [[nodiscard]] stats::Registry& stats() noexcept { return stats_; }
+
+    /// Ask the run loop to stop after the current event.
+    void request_exit(std::string reason)
+    {
+        exit_requested_ = true;
+        exit_reason_ = std::move(reason);
+    }
+
+    [[nodiscard]] bool exit_requested() const noexcept
+    {
+        return exit_requested_;
+    }
+
+    /// Invoke SimObject::startup() on every attached object (once).
+    void startup();
+
+    /// Run until drain, requested exit, or `max_tick`.
+    RunResult run(Tick max_tick = kMaxTick);
+
+  private:
+    friend class SimObject;
+    void attach(SimObject& obj) { objects_.push_back(&obj); }
+    void detach(SimObject& obj) noexcept;
+
+    EventQueue queue_;
+    stats::Registry stats_;
+    std::vector<SimObject*> objects_;
+    bool started_ = false;
+    bool exit_requested_ = false;
+    std::string exit_reason_;
+};
+
+/// Base class for every named simulated component.
+class SimObject {
+  public:
+    SimObject(Simulator& sim, std::string name);
+    virtual ~SimObject();
+
+    SimObject(const SimObject&) = delete;
+    SimObject& operator=(const SimObject&) = delete;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] Simulator& sim() noexcept { return *sim_; }
+    [[nodiscard]] Tick now() const noexcept { return sim_->now(); }
+
+    /// Hook called once before the first run(); wiring must be complete.
+    virtual void startup() {}
+
+  protected:
+    void schedule(Event& ev, Tick when) { sim_->queue().schedule(ev, when); }
+    void schedule_in(Event& ev, Tick delta)
+    {
+        sim_->queue().schedule_in(ev, delta);
+    }
+    void reschedule(Event& ev, Tick when)
+    {
+        sim_->queue().reschedule(ev, when);
+    }
+    void deschedule(Event& ev) { sim_->queue().deschedule(ev); }
+
+    [[nodiscard]] stats::Group& stat_group() noexcept { return stats_; }
+
+  private:
+    Simulator* sim_;
+    std::string name_;
+    stats::Group stats_;
+};
+
+/// Mixin describing a clock domain (period in ticks).
+class Clocked {
+  public:
+    explicit Clocked(Tick period) : period_(period)
+    {
+        ensure(period > 0, "zero clock period");
+    }
+
+    [[nodiscard]] Tick clock_period() const noexcept { return period_; }
+
+    [[nodiscard]] Tick cycles_to_ticks(Cycles c) const noexcept
+    {
+        return c * period_;
+    }
+
+    [[nodiscard]] Cycles ticks_to_cycles(Tick t) const noexcept
+    {
+        return t / period_;
+    }
+
+    /// First clock edge at or after `now`. (Periods are arbitrary tick
+    /// counts — e.g. 1 GHz = 1000 ticks — so this must not assume a
+    /// power-of-two period.)
+    [[nodiscard]] Tick next_edge(Tick now) const noexcept
+    {
+        return (now + period_ - 1) / period_ * period_;
+    }
+
+    /// Frequency in GHz implied by the period.
+    [[nodiscard]] double freq_ghz() const noexcept
+    {
+        return 1000.0 / static_cast<double>(period_);
+    }
+
+  private:
+    Tick period_;
+};
+
+} // namespace accesys

@@ -1,0 +1,170 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace accesys::stats {
+
+Stat::Stat(Group& group, std::string name, std::string desc)
+    : full_name_(group.prefix().empty() ? std::move(name)
+                                        : group.prefix() + "." + name),
+      desc_(std::move(desc)),
+      group_(&group)
+{
+    group_->registry_->add(*this);
+}
+
+Stat::~Stat()
+{
+    group_->registry_->remove(*this);
+}
+
+void Scalar::write_text(std::ostream& os) const
+{
+    os << full_name() << " " << v_;
+}
+
+void Scalar::write_json(std::ostream& os) const
+{
+    os << "\"" << full_name() << "\": " << v_;
+}
+
+void Average::write_text(std::ostream& os) const
+{
+    os << full_name() << " mean=" << mean() << " count=" << count_
+       << " total=" << sum_;
+}
+
+void Average::write_json(std::ostream& os) const
+{
+    os << "\"" << full_name() << "\": {\"mean\": " << mean()
+       << ", \"count\": " << count_ << ", \"total\": " << sum_ << "}";
+}
+
+void Distribution::write_text(std::ostream& os) const
+{
+    os << full_name() << " mean=" << mean() << " min=" << min()
+       << " max=" << max() << " stddev=" << stddev() << " count=" << count_;
+}
+
+void Distribution::write_json(std::ostream& os) const
+{
+    os << "\"" << full_name() << "\": {\"mean\": " << mean()
+       << ", \"min\": " << min() << ", \"max\": " << max()
+       << ", \"stddev\": " << stddev() << ", \"count\": " << count_ << "}";
+}
+
+Histogram::Histogram(Group& group, std::string name, std::string desc,
+                     double lo, double hi, std::size_t buckets)
+    : Stat(group, std::move(name), std::move(desc)),
+      lo_(lo),
+      hi_(hi),
+      bucket_width_((hi - lo) / static_cast<double>(buckets)),
+      buckets_(buckets, 0)
+{
+    ensure(hi > lo && buckets > 0, "bad histogram bounds for ", full_name());
+}
+
+void Histogram::sample(double v, std::uint64_t n)
+{
+    if (v < lo_) {
+        underflow_ += n;
+    } else if (v >= hi_) {
+        overflow_ += n;
+    } else {
+        const auto idx = static_cast<std::size_t>((v - lo_) / bucket_width_);
+        buckets_[std::min(idx, buckets_.size() - 1)] += n;
+    }
+    count_ += n;
+    sum_ += v * static_cast<double>(n);
+}
+
+void Histogram::write_text(std::ostream& os) const
+{
+    os << full_name() << " count=" << count_ << " mean=" << value()
+       << " under=" << underflow_ << " over=" << overflow_;
+}
+
+void Histogram::write_json(std::ostream& os) const
+{
+    os << "\"" << full_name() << "\": {\"count\": " << count_
+       << ", \"mean\": " << value() << ", \"underflow\": " << underflow_
+       << ", \"overflow\": " << overflow_ << ", \"buckets\": [";
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        os << (i ? ", " : "") << buckets_[i];
+    }
+    os << "]}";
+}
+
+void Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = 0.0;
+}
+
+void ValueFn::write_text(std::ostream& os) const
+{
+    os << full_name() << " " << value();
+}
+
+void ValueFn::write_json(std::ostream& os) const
+{
+    os << "\"" << full_name() << "\": " << value();
+}
+
+void Registry::add(Stat& s)
+{
+    const auto [it, inserted] = stats_.emplace(s.full_name(), &s);
+    (void)it;
+    ensure(inserted, "duplicate stat name: ", s.full_name());
+}
+
+void Registry::remove(const Stat& s) noexcept
+{
+    stats_.erase(s.full_name());
+}
+
+const Stat* Registry::find(const std::string& full_name) const
+{
+    const auto it = stats_.find(full_name);
+    return it == stats_.end() ? nullptr : it->second;
+}
+
+double Registry::value(const std::string& full_name) const
+{
+    const Stat* s = find(full_name);
+    ensure(s != nullptr, "unknown stat: ", full_name);
+    return s->value();
+}
+
+void Registry::write_text(std::ostream& os) const
+{
+    for (const auto& [name, stat] : stats_) {
+        stat->write_text(os);
+        os << '\n';
+    }
+}
+
+void Registry::write_json(std::ostream& os) const
+{
+    os << "{\n";
+    bool first = true;
+    for (const auto& [name, stat] : stats_) {
+        if (!first) {
+            os << ",\n";
+        }
+        first = false;
+        os << "  ";
+        stat->write_json(os);
+    }
+    os << "\n}\n";
+}
+
+void Registry::reset_all()
+{
+    for (auto& [name, stat] : stats_) {
+        stat->reset();
+    }
+}
+
+} // namespace accesys::stats

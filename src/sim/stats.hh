@@ -1,0 +1,256 @@
+// Statistics framework: named, hierarchical, dumpable counters.
+//
+// Components declare stats as data members bound to a `stats::Group`; the
+// group registers them under "<group-prefix>.<stat-name>" in a `Registry`
+// and removes them again on destruction, so component lifetime is free to
+// be shorter than registry lifetime. Benches read stats by name; humans get
+// text or JSON dumps.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/error.hh"
+
+namespace accesys::stats {
+
+class Group;
+
+/// Base class for all statistics.
+class Stat {
+  public:
+    Stat(Group& group, std::string name, std::string desc);
+    virtual ~Stat();
+
+    Stat(const Stat&) = delete;
+    Stat& operator=(const Stat&) = delete;
+
+    [[nodiscard]] const std::string& full_name() const { return full_name_; }
+    [[nodiscard]] const std::string& desc() const { return desc_; }
+
+    /// Primary scalar reading (used by Registry::value()).
+    [[nodiscard]] virtual double value() const = 0;
+    virtual void write_text(std::ostream& os) const = 0;
+    virtual void write_json(std::ostream& os) const = 0;
+    virtual void reset() = 0;
+
+  private:
+    std::string full_name_;
+    std::string desc_;
+    Group* group_;
+};
+
+/// Monotonic counter / accumulated quantity.
+class Scalar : public Stat {
+  public:
+    using Stat::Stat;
+
+    Scalar& operator++()
+    {
+        v_ += 1.0;
+        return *this;
+    }
+    Scalar& operator+=(double d)
+    {
+        v_ += d;
+        return *this;
+    }
+    void set(double d) { v_ = d; }
+
+    [[nodiscard]] double value() const override { return v_; }
+    void write_text(std::ostream& os) const override;
+    void write_json(std::ostream& os) const override;
+    void reset() override { v_ = 0.0; }
+
+  private:
+    double v_ = 0.0;
+};
+
+/// Mean over samples; also exposes count and total.
+class Average : public Stat {
+  public:
+    using Stat::Stat;
+
+    void sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    [[nodiscard]] double mean() const
+    {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] double total() const { return sum_; }
+
+    [[nodiscard]] double value() const override { return mean(); }
+    void write_text(std::ostream& os) const override;
+    void write_json(std::ostream& os) const override;
+    void reset() override
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/// Min/max/mean/stddev summary of a sampled distribution.
+class Distribution : public Stat {
+  public:
+    using Stat::Stat;
+
+    void sample(double v)
+    {
+        if (count_ == 0) {
+            min_ = max_ = v;
+        } else {
+            min_ = std::min(min_, v);
+            max_ = std::max(max_, v);
+        }
+        sum_ += v;
+        sum_sq_ += v * v;
+        ++count_;
+    }
+
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] double mean() const
+    {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+    [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+    [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+    [[nodiscard]] double stddev() const
+    {
+        if (count_ < 2) {
+            return 0.0;
+        }
+        const double n = static_cast<double>(count_);
+        const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+        return var <= 0.0 ? 0.0 : std::sqrt(var);
+    }
+
+    [[nodiscard]] double value() const override { return mean(); }
+    void write_text(std::ostream& os) const override;
+    void write_json(std::ostream& os) const override;
+    void reset() override
+    {
+        sum_ = sum_sq_ = min_ = max_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/// Fixed-bucket histogram over [lo, hi) with under/overflow buckets.
+class Histogram : public Stat {
+  public:
+    Histogram(Group& group, std::string name, std::string desc, double lo,
+              double hi, std::size_t buckets);
+
+    void sample(double v, std::uint64_t n = 1);
+
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] const std::vector<std::uint64_t>& buckets() const
+    {
+        return buckets_;
+    }
+    [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+    [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
+    [[nodiscard]] double value() const override
+    {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+    void write_text(std::ostream& os) const override;
+    void write_json(std::ostream& os) const override;
+    void reset() override;
+
+  private:
+    double lo_;
+    double hi_;
+    double bucket_width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/// Stat whose value is computed on demand (a gem5 "formula").
+class ValueFn : public Stat {
+  public:
+    ValueFn(Group& group, std::string name, std::string desc,
+            std::function<double()> fn)
+        : Stat(group, std::move(name), std::move(desc)), fn_(std::move(fn))
+    {
+    }
+
+    [[nodiscard]] double value() const override { return fn_ ? fn_() : 0.0; }
+    void write_text(std::ostream& os) const override;
+    void write_json(std::ostream& os) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/// Flat name -> Stat* table. Non-owning: stats deregister themselves.
+class Registry {
+  public:
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    void add(Stat& s);
+    void remove(const Stat& s) noexcept;
+
+    /// Stat lookup; returns nullptr if absent.
+    [[nodiscard]] const Stat* find(const std::string& full_name) const;
+
+    /// Value of a stat by name; throws SimError if absent.
+    [[nodiscard]] double value(const std::string& full_name) const;
+
+    void write_text(std::ostream& os) const;
+    void write_json(std::ostream& os) const;
+    void reset_all();
+
+    [[nodiscard]] std::size_t size() const { return stats_.size(); }
+
+  private:
+    std::map<std::string, Stat*> stats_;
+};
+
+/// Prefix-scoped factory/owner context for a component's stats.
+class Group {
+  public:
+    Group(Registry& registry, std::string prefix)
+        : registry_(&registry), prefix_(std::move(prefix))
+    {
+    }
+
+    [[nodiscard]] Registry& registry() { return *registry_; }
+    [[nodiscard]] const std::string& prefix() const { return prefix_; }
+
+  private:
+    friend class Stat;
+    Registry* registry_;
+    std::string prefix_;
+};
+
+} // namespace accesys::stats

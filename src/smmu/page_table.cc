@@ -1,0 +1,76 @@
+#include "smmu/page_table.hh"
+
+namespace accesys::smmu {
+
+PageTable::PageTable(mem::BackingStore& store, Addr root_base,
+                     Addr alloc_base, Addr alloc_limit)
+    : store_(&store),
+      root_base_(root_base),
+      alloc_next_(alloc_base),
+      alloc_limit_(alloc_limit)
+{
+    require_cfg(root_base % kPageBytes == 0, "page table root not aligned");
+    require_cfg(alloc_base % kPageBytes == 0 && alloc_limit > alloc_base,
+                "bad page-table arena");
+    // Zero the root table so absent entries read as invalid.
+    const std::uint8_t zeros[kPageBytes] = {};
+    store_->write(root_base_, zeros, kPageBytes);
+}
+
+Addr PageTable::alloc_table()
+{
+    ensure(alloc_next_ + kPageBytes <= alloc_limit_,
+           "page-table arena exhausted");
+    const Addr t = alloc_next_;
+    alloc_next_ += kPageBytes;
+    ++tables_allocated_;
+    const std::uint8_t zeros[kPageBytes] = {};
+    store_->write(t, zeros, kPageBytes);
+    return t;
+}
+
+void PageTable::map(Addr va, Addr pa, std::uint64_t size)
+{
+    ensure(va % kPageBytes == 0 && pa % kPageBytes == 0,
+           "map addresses must be page-aligned");
+    for (std::uint64_t off = 0; off < size; off += kPageBytes) {
+        Addr table = root_base_;
+        const Addr v = va + off;
+        for (unsigned lvl = 0; lvl < kLevels - 1; ++lvl) {
+            const Addr pte_addr =
+                table + static_cast<Addr>(level_index(v, lvl)) * 8;
+            std::uint64_t pte = store_->read_obj<std::uint64_t>(pte_addr);
+            if ((pte & kPteValid) == 0) {
+                const Addr next = alloc_table();
+                pte = (next & kPteAddrMask) | kPteValid;
+                store_->write_obj(pte_addr, pte);
+            }
+            table = pte & kPteAddrMask;
+        }
+        const Addr leaf_addr =
+            table + static_cast<Addr>(level_index(v, kLevels - 1)) * 8;
+        const std::uint64_t had =
+            store_->read_obj<std::uint64_t>(leaf_addr);
+        if ((had & kPteValid) == 0) {
+            ++pages_mapped_;
+        }
+        store_->write_obj(leaf_addr,
+                          ((pa + off) & kPteAddrMask) | kPteValid);
+    }
+}
+
+Addr PageTable::translate(Addr va) const
+{
+    Addr table = root_base_;
+    for (unsigned lvl = 0; lvl < kLevels; ++lvl) {
+        const Addr pte_addr =
+            table + static_cast<Addr>(level_index(va, lvl)) * 8;
+        const std::uint64_t pte = store_->read_obj<std::uint64_t>(pte_addr);
+        ensure((pte & kPteValid) != 0, "translation fault at VA 0x", std::hex,
+               va, " level ", std::dec, lvl);
+        table = pte & kPteAddrMask;
+    }
+    return table | (va & (kPageBytes - 1));
+}
+
+} // namespace accesys::smmu

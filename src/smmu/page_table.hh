@@ -1,0 +1,78 @@
+// Four-level page table (4 KB granule, 48-bit VA, ARM-flavoured layout).
+//
+// Tables live in the functional BackingStore, so the SMMU's page-table
+// walker performs *real* memory reads through the simulated fabric — walk
+// latency is produced by the memory system, not a constant.
+//
+// Layout per level: 9 VA bits each — L0[47:39] L1[38:30] L2[29:21] L3[20:12].
+// PTE: bit 0 = valid, bits [51:12] = physical address of next table / page.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/backing_store.hh"
+#include "sim/error.hh"
+#include "sim/types.hh"
+
+namespace accesys::smmu {
+
+inline constexpr unsigned kPageShift = 12;
+inline constexpr std::uint64_t kPageBytes = 1ULL << kPageShift;
+inline constexpr unsigned kLevels = 4;
+inline constexpr unsigned kBitsPerLevel = 9;
+inline constexpr std::uint64_t kPteValid = 1ULL;
+inline constexpr std::uint64_t kPteAddrMask = 0x000FFFFFFFFFF000ULL;
+
+[[nodiscard]] constexpr std::uint64_t vpn_of(Addr va)
+{
+    return va >> kPageShift;
+}
+
+/// Index of `va` within the level-`lvl` table (lvl 0 = root).
+[[nodiscard]] constexpr unsigned level_index(Addr va, unsigned lvl)
+{
+    const unsigned shift = kPageShift + kBitsPerLevel * (kLevels - 1 - lvl);
+    return static_cast<unsigned>((va >> shift) & ((1U << kBitsPerLevel) - 1));
+}
+
+class PageTable {
+  public:
+    /// `root_base` — physical address of the root (L0) table;
+    /// `alloc_base`/`alloc_limit` — bump-allocation arena for lower tables.
+    /// All must lie within simulated host memory.
+    PageTable(mem::BackingStore& store, Addr root_base, Addr alloc_base,
+              Addr alloc_limit);
+
+    /// Map [va, va+size) to [pa, pa+size); both must be page-aligned.
+    void map(Addr va, Addr pa, std::uint64_t size);
+
+    /// Identity-map [addr, addr+size) (VA == PA). Used by the system
+    /// builder so functional data can be addressed uniformly while
+    /// translation *timing* remains fully modelled.
+    void map_identity(Addr addr, std::uint64_t size) { map(addr, addr, size); }
+
+    /// Functional walk (no timing) — for tests and sanity checks.
+    [[nodiscard]] Addr translate(Addr va) const;
+
+    [[nodiscard]] Addr root() const noexcept { return root_base_; }
+    [[nodiscard]] std::uint64_t pages_mapped() const noexcept
+    {
+        return pages_mapped_;
+    }
+    [[nodiscard]] std::uint64_t tables_allocated() const noexcept
+    {
+        return tables_allocated_;
+    }
+
+  private:
+    [[nodiscard]] Addr alloc_table();
+
+    mem::BackingStore* store_;
+    Addr root_base_;
+    Addr alloc_next_;
+    Addr alloc_limit_;
+    std::uint64_t pages_mapped_ = 0;
+    std::uint64_t tables_allocated_ = 0;
+};
+
+} // namespace accesys::smmu

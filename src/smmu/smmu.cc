@@ -1,0 +1,242 @@
+#include "smmu/smmu.hh"
+
+#include <algorithm>
+
+namespace accesys::smmu {
+
+void SmmuParams::validate() const
+{
+    require_cfg(walk_slots >= 1 && walk_slots <= 64,
+                "SMMU walk slots must be in 1..64");
+    require_cfg(max_pending >= walk_slots,
+                "SMMU max_pending must cover the walk slots");
+}
+
+Smmu::Smmu(Simulator& sim, std::string name, const SmmuParams& params,
+           PageTable& table, mem::BackingStore& store)
+    : SimObject(sim, std::move(name)),
+      params_(params),
+      table_(&table),
+      store_(&store),
+      dev_port_(this->name() + ".dev_side", *this),
+      mem_port_(this->name() + ".mem_side", *this),
+      dev_resp_q_(sim, this->name() + ".dev_resp_q",
+                  [this](mem::PacketPtr& pkt) {
+                      return dev_port_.send_resp(pkt);
+                  }),
+      mem_q_(sim, this->name() + ".mem_q",
+             [this](mem::PacketPtr& pkt) { return mem_port_.send_req(pkt); }),
+      utlb_(params.utlb_entries, params.utlb_assoc),
+      tlb_(params.tlb_entries, params.tlb_assoc),
+      walks_(params.walk_slots),
+      walker_requestor_(mem::alloc_requestor_id())
+{
+    params_.validate();
+}
+
+bool Smmu::recv_req(mem::PacketPtr& pkt)
+{
+    if (!params_.enabled || !pkt->flags.needs_translation) {
+        ++st_bypassed_;
+        mem_q_.push(std::move(pkt), now());
+        return true;
+    }
+
+    if (pending_count_ >= params_.max_pending) {
+        blocked_upstream_ = true;
+        return false;
+    }
+
+    const Addr va = pkt->addr();
+    if (va / kPageBytes != (pkt->end_addr() - 1) / kPageBytes) {
+        panic(name(), ": request crosses a page: ", pkt->describe());
+    }
+    const std::uint64_t vpn = vpn_of(va);
+    const Tick arrived = now();
+
+    if (auto ppn = utlb_.lookup(vpn); ppn.has_value()) {
+        finish_translation(std::move(pkt), *ppn, arrived,
+                           now() + ticks_from_ns(params_.utlb_hit_latency_ns));
+        return true;
+    }
+
+    if (auto ppn = tlb_.lookup(vpn); ppn.has_value()) {
+        utlb_.insert(vpn, *ppn);
+        finish_translation(std::move(pkt), *ppn, arrived,
+                           now() + ticks_from_ns(params_.tlb_hit_latency_ns));
+        return true;
+    }
+
+    // TLB miss: join (or start) a walk for this VPN.
+    ++pending_count_;
+    auto& waiters = walk_pending_[vpn];
+    waiters.push_back(PendingPkt{std::move(pkt), arrived});
+    if (waiters.size() == 1) {
+        start_walk_or_queue(vpn);
+    }
+    return true;
+}
+
+void Smmu::finish_translation(mem::PacketPtr pkt, std::uint64_t ppn,
+                              Tick arrived, Tick done_at)
+{
+    const Addr pa = (ppn << kPageShift) | (pkt->addr() & (kPageBytes - 1));
+    pkt->record_translation(pa);
+
+    ++translations_;
+    ++st_translations_;
+    const double lat_ns = ticks_to_ns(done_at - arrived);
+    total_translation_ns_ += lat_ns;
+    st_trans_ns_.sample(lat_ns);
+
+    mem_q_.push(std::move(pkt), done_at);
+}
+
+void Smmu::start_walk_or_queue(std::uint64_t vpn)
+{
+    for (unsigned slot = 0; slot < walks_.size(); ++slot) {
+        if (!walks_[slot].active) {
+            start_walk(slot, vpn);
+            return;
+        }
+    }
+    walk_queue_.push_back(vpn);
+}
+
+void Smmu::start_walk(unsigned slot, std::uint64_t vpn)
+{
+    Walk& w = walks_[slot];
+    w.active = true;
+    w.vpn = vpn;
+    w.started = now();
+    w.level = 0;
+    w.table = table_->root();
+
+    // Page-walk cache: resume from the deepest cached level.
+    for (unsigned lvl = kLevels - 2; lvl + 1 > 0; --lvl) {
+        if (const Addr* t = pwc_find(lvl, pwc_prefix(vpn, lvl));
+            t != nullptr) {
+            w.level = lvl + 1;
+            w.table = *t;
+            break;
+        }
+    }
+
+    ++ptw_count_;
+    ++st_ptw_;
+    issue_pte_read(slot);
+}
+
+void Smmu::issue_pte_read(unsigned slot)
+{
+    Walk& w = walks_[slot];
+    const Addr va = w.vpn << kPageShift;
+    const Addr pte_addr =
+        w.table + static_cast<Addr>(level_index(va, w.level)) * 8;
+    auto pkt = mem::Packet::make_read(pte_addr, 8);
+    pkt->set_requestor(walker_requestor_);
+    pkt->set_tag(slot);
+    pkt->flags.uncacheable = params_.walker_uncacheable;
+    ++st_pte_reads_;
+    mem_q_.push(std::move(pkt), now());
+}
+
+bool Smmu::recv_resp(mem::PacketPtr& pkt)
+{
+    if (pkt->requestor() == walker_requestor_) {
+        walker_response(*pkt);
+        return true;
+    }
+    dev_resp_q_.push(std::move(pkt), now());
+    return true;
+}
+
+void Smmu::walker_response(const mem::Packet& pkt)
+{
+    const auto slot = static_cast<unsigned>(pkt.tag());
+    ensure(slot < walks_.size() && walks_[slot].active, name(),
+           ": stray walker response");
+    Walk& w = walks_[slot];
+
+    const auto pte = store_->read_obj<std::uint64_t>(pkt.addr());
+    ensure((pte & kPteValid) != 0, name(), ": translation fault for VPN 0x",
+           std::hex, w.vpn, " at level ", std::dec, w.level);
+    const Addr next = pte & kPteAddrMask;
+
+    if (w.level < kLevels - 1) {
+        pwc_insert(w.level, pwc_prefix(w.vpn, w.level), next);
+        w.table = next;
+        ++w.level;
+        issue_pte_read(slot);
+        return;
+    }
+    complete_walk(slot, next >> kPageShift);
+}
+
+void Smmu::complete_walk(unsigned slot, std::uint64_t ppn)
+{
+    Walk& w = walks_[slot];
+    const double walk_ns = ticks_to_ns(now() - w.started);
+    total_ptw_ns_ += walk_ns;
+    st_ptw_ns_.sample(walk_ns);
+
+    tlb_.insert(w.vpn, ppn);
+    utlb_.insert(w.vpn, ppn);
+
+    auto it = walk_pending_.find(w.vpn);
+    ensure(it != walk_pending_.end(), name(), ": walk with no waiters");
+    for (auto& waiting : it->second) {
+        ensure(pending_count_ > 0, name(), ": pending underflow");
+        --pending_count_;
+        finish_translation(std::move(waiting.pkt), ppn, waiting.arrived,
+                           now());
+    }
+    walk_pending_.erase(it);
+    w.active = false;
+
+    if (!walk_queue_.empty()) {
+        const std::uint64_t next_vpn = walk_queue_.front();
+        walk_queue_.pop_front();
+        start_walk(slot, next_vpn);
+    }
+    maybe_unblock();
+}
+
+void Smmu::maybe_unblock()
+{
+    if (blocked_upstream_ && pending_count_ < params_.max_pending) {
+        blocked_upstream_ = false;
+        dev_port_.send_retry_req();
+    }
+}
+
+void Smmu::pwc_insert(unsigned level, std::uint64_t prefix, Addr table)
+{
+    if (params_.pwc_entries == 0) {
+        return;
+    }
+    const PwcKey key{level, prefix};
+    pwc_[key] = {table, ++pwc_clock_};
+    if (pwc_.size() > params_.pwc_entries) {
+        // Evict the least recently used entry.
+        auto lru = pwc_.begin();
+        for (auto it = pwc_.begin(); it != pwc_.end(); ++it) {
+            if (it->second.second < lru->second.second) {
+                lru = it;
+            }
+        }
+        pwc_.erase(lru);
+    }
+}
+
+const Addr* Smmu::pwc_find(unsigned level, std::uint64_t prefix)
+{
+    const auto it = pwc_.find(PwcKey{level, prefix});
+    if (it == pwc_.end()) {
+        return nullptr;
+    }
+    it->second.second = ++pwc_clock_;
+    return &it->second.first;
+}
+
+} // namespace accesys::smmu

@@ -1,0 +1,118 @@
+// Set-associative TLB with LRU replacement (used for both the micro-TLB and
+// the main SMMU TLB; only entry counts/associativity differ).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/error.hh"
+#include "sim/types.hh"
+
+namespace accesys::smmu {
+
+class Tlb {
+  public:
+    Tlb(std::size_t entries, unsigned assoc)
+        : entries_(entries), assoc_(assoc)
+    {
+        require_cfg(entries > 0 && assoc > 0 && entries % assoc == 0,
+                    "TLB entries must be a positive multiple of assoc");
+        require_cfg(is_pow2(entries / assoc),
+                    "TLB set count must be a power of two");
+        slots_.resize(entries);
+    }
+
+    /// VPN -> PPN lookup; updates LRU and hit/miss counters.
+    [[nodiscard]] std::optional<std::uint64_t> lookup(std::uint64_t vpn)
+    {
+        ++lookups_;
+        Slot* base = set_base(vpn);
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (base[w].valid && base[w].vpn == vpn) {
+                base[w].lru = ++clock_;
+                ++hits_;
+                return base[w].ppn;
+            }
+        }
+        ++misses_;
+        return std::nullopt;
+    }
+
+    /// Probe without touching counters or LRU state.
+    [[nodiscard]] bool contains(std::uint64_t vpn) const
+    {
+        const Slot* base = set_base(vpn);
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (base[w].valid && base[w].vpn == vpn) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void insert(std::uint64_t vpn, std::uint64_t ppn)
+    {
+        Slot* base = set_base(vpn);
+        Slot* victim = base;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (!base[w].valid) {
+                victim = &base[w];
+                break;
+            }
+            if (base[w].lru < victim->lru) {
+                victim = &base[w];
+            }
+        }
+        if (victim->valid) {
+            ++evictions_;
+        }
+        *victim = Slot{vpn, ppn, ++clock_, true};
+    }
+
+    void flush()
+    {
+        for (auto& s : slots_) {
+            s.valid = false;
+        }
+    }
+
+    [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
+    [[nodiscard]] std::uint64_t lookups() const noexcept { return lookups_; }
+    [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+    [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+    [[nodiscard]] std::uint64_t evictions() const noexcept
+    {
+        return evictions_;
+    }
+
+  private:
+    struct Slot {
+        std::uint64_t vpn = 0;
+        std::uint64_t ppn = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    [[nodiscard]] Slot* set_base(std::uint64_t vpn)
+    {
+        const std::size_t sets = entries_ / assoc_;
+        return &slots_[(vpn & (sets - 1)) * assoc_];
+    }
+    [[nodiscard]] const Slot* set_base(std::uint64_t vpn) const
+    {
+        const std::size_t sets = entries_ / assoc_;
+        return &slots_[(vpn & (sets - 1)) * assoc_];
+    }
+
+    std::size_t entries_;
+    unsigned assoc_;
+    std::vector<Slot> slots_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace accesys::smmu

@@ -1,0 +1,81 @@
+// Vision Transformer workload models (paper §IV-B) and their lowering to
+// the operations the simulated system executes.
+//
+// Each encoder layer lowers to GEMM ops (offloaded to the accelerator) and
+// Non-GEMM vector ops (LayerNorm, softmax, GELU, requantisation, residual
+// adds) executed by the host CPU — the split the paper profiles in §V-D.
+//
+// Data convention: activations and weights are int8; GEMM outputs are int32
+// and the CPU's requantisation ops read them back to int8 (that is the
+// 4-byte-in / 1-byte-out traffic of the requant vector ops).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace accesys::workload {
+
+struct VitConfig {
+    std::string name;
+    unsigned layers = 12;
+    unsigned hidden = 768;
+    unsigned heads = 12;
+    unsigned mlp_ratio = 4;
+    unsigned seq = 197; ///< 14x14 patches + CLS token
+
+    [[nodiscard]] unsigned head_dim() const { return hidden / heads; }
+
+    /// Paper §IV-B: ViT base / large / huge.
+    [[nodiscard]] static VitConfig base();
+    [[nodiscard]] static VitConfig large();
+    [[nodiscard]] static VitConfig huge();
+    [[nodiscard]] static VitConfig by_name(const std::string& name);
+};
+
+struct VitOp {
+    enum class Kind { gemm, vector };
+    Kind kind = Kind::gemm;
+    std::string label;
+
+    // kind == gemm
+    std::uint32_t m = 0;
+    std::uint32_t n = 0;
+    std::uint32_t k = 0;
+
+    // kind == vector
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t alu_ops = 0;
+
+    [[nodiscard]] std::uint64_t a_bytes() const
+    {
+        return static_cast<std::uint64_t>(m) * k;
+    }
+    [[nodiscard]] std::uint64_t b_bytes() const
+    {
+        return static_cast<std::uint64_t>(n) * k;
+    }
+    [[nodiscard]] std::uint64_t c_bytes() const
+    {
+        return static_cast<std::uint64_t>(m) * n * 4;
+    }
+};
+
+/// Lower a full inference (all encoder layers) to an ordered op list.
+[[nodiscard]] std::vector<VitOp> lower_vit(const VitConfig& cfg);
+
+struct VitSummary {
+    double gemm_macs = 0;
+    std::uint64_t gemm_count = 0;
+    std::uint64_t vector_count = 0;
+    std::uint64_t vector_bytes = 0;
+    std::uint64_t vector_alu_ops = 0;
+    std::uint64_t max_gemm_operand_bytes = 0; ///< largest single operand
+};
+
+[[nodiscard]] VitSummary summarize(const std::vector<VitOp>& ops);
+
+} // namespace accesys::workload

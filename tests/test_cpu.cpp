@@ -1,0 +1,212 @@
+// Tests for the host CPU op-trace executor.
+#include "test_util.hh"
+
+#include "cpu/host_cpu.hh"
+#include "mem/mem_ctrl.hh"
+
+namespace accesys::cpu {
+namespace {
+
+using mem::AddrRange;
+
+struct CpuFixture : ::testing::Test {
+    Simulator sim;
+    mem::BackingStore store;
+    CpuParams params;
+    mem::SimpleMemParams mem_params;
+
+    std::unique_ptr<HostCpu> cpu;
+    std::unique_ptr<mem::SimpleMem> memory;
+    bool done = false;
+
+    void build()
+    {
+        cpu = std::make_unique<HostCpu>(sim, "cpu", params, store);
+        memory = std::make_unique<mem::SimpleMem>(sim, "mem", mem_params,
+                                                  AddrRange(0, kGiB));
+        cpu->mem_port().bind(memory->port());
+    }
+
+    void run(std::vector<CpuOp> prog)
+    {
+        cpu->run_program(std::move(prog), [this] { done = true; });
+        test::drain(sim);
+    }
+};
+
+TEST_F(CpuFixture, EmptyProgramCompletes)
+{
+    build();
+    run({});
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(cpu->idle());
+}
+
+TEST_F(CpuFixture, CallsRunInOrderAtZeroCost)
+{
+    build();
+    std::vector<int> order;
+    run({Call{[&] { order.push_back(1); }},
+         Call{[&] { order.push_back(2); }},
+         Call{[&] { order.push_back(3); }}});
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(CpuFixture, DelayAdvancesTime)
+{
+    build();
+    run({Delay{100}});
+    EXPECT_TRUE(done);
+    // 100 cycles at 1 GHz = 100 ns (plus the initial clock-edge alignment).
+    EXPECT_GE(sim.now(), ticks_from_ns(100.0));
+    EXPECT_LE(sim.now(), ticks_from_ns(102.0));
+}
+
+TEST_F(CpuFixture, MmioWriteWaitsForAck)
+{
+    mem_params.latency_ns = 80.0;
+    build();
+    run({MmioWrite{0x1000, 42}});
+    EXPECT_TRUE(done);
+    EXPECT_GE(sim.now(), ticks_from_ns(80.0));
+    EXPECT_EQ(sim.stats().value("cpu.mmio_writes"), 1.0);
+}
+
+TEST_F(CpuFixture, PollFlagSpinsUntilValueAppears)
+{
+    build();
+    // A side event sets the flag after 2 us.
+    Event setter("setter", [this] { store.write_obj<std::uint64_t>(0x2000, 7); });
+    sim.queue().schedule(setter, 2 * kTicksPerUs);
+
+    run({PollFlag{0x2000, 7}});
+    EXPECT_TRUE(done);
+    EXPECT_GE(sim.now(), 2 * kTicksPerUs);
+    EXPECT_GE(sim.stats().value("cpu.polls"), 2.0);
+}
+
+TEST_F(CpuFixture, PollBackoffReducesPollCount)
+{
+    params.poll_interval_cycles = 50;
+    params.poll_interval_max_cycles = 4096;
+    build();
+    Event setter("setter", [this] { store.write_obj<std::uint64_t>(0x2000, 1); });
+    sim.queue().schedule(setter, 100 * kTicksPerUs);
+    run({PollFlag{0x2000, 1}});
+    // Without backoff ~2000 polls would be needed; with doubling far fewer.
+    EXPECT_LT(sim.stats().value("cpu.polls"), 60.0);
+}
+
+TEST_F(CpuFixture, VectorOpStreamsBytes)
+{
+    build();
+    VectorOp op;
+    op.label = "softmax";
+    op.in_addr = 0x10000;
+    op.bytes_in = 4096;
+    op.out_addr = 0x20000;
+    op.bytes_out = 1024;
+    op.alu_ops = 64; // negligible
+    run({std::move(op)});
+    EXPECT_TRUE(done);
+    EXPECT_EQ(sim.stats().value("cpu.vector_ops"), 1.0);
+    EXPECT_EQ(sim.stats().value("cpu.vector_bytes"), 5120.0);
+    EXPECT_EQ(sim.stats().value("mem.reads"), 64.0);  // 4096/64 lines
+    EXPECT_EQ(sim.stats().value("mem.writes"), 16.0); // posted lines
+}
+
+TEST_F(CpuFixture, AluBoundVectorOpTakesComputeTime)
+{
+    params.simd_lanes = 4;
+    mem_params.latency_ns = 1.0;
+    mem_params.bandwidth_gbps = 1000.0;
+    build();
+    VectorOp op;
+    op.in_addr = 0x10000;
+    op.bytes_in = 64;
+    op.alu_ops = 400000; // 100k cycles at 4 lanes
+    run({std::move(op)});
+    EXPECT_GE(sim.now(), 100000 * period_from_ghz(1.0));
+}
+
+TEST_F(CpuFixture, MemBoundVectorOpScalesWithBandwidth)
+{
+    mem_params.bandwidth_gbps = 1.0; // slow memory
+    mem_params.latency_ns = 5.0;
+    build();
+    VectorOp op;
+    op.in_addr = 0;
+    op.bytes_in = 64 * kKiB;
+    op.alu_ops = 1;
+    run({std::move(op)});
+    // 64 KiB at 1 GB/s is ~65 us.
+    EXPECT_GE(sim.now(), 60 * kTicksPerUs);
+}
+
+TEST_F(CpuFixture, UncacheableWindowThrottles)
+{
+    params.mem_window = 8;
+    params.uncacheable_window = 1;
+    mem_params.latency_ns = 100.0;
+    mem_params.bandwidth_gbps = 1000.0;
+    build();
+    cpu->add_uncacheable_range(AddrRange(0x100000, 0x200000));
+
+    VectorOp cached;
+    cached.in_addr = 0x10000;
+    cached.bytes_in = 64 * 64;
+    run({std::move(cached)});
+    const Tick cached_time = sim.now();
+
+    done = false;
+    VectorOp uncached;
+    uncached.in_addr = 0x100000;
+    uncached.bytes_in = 64 * 64;
+    std::vector<CpuOp> prog;
+    prog.push_back(std::move(uncached));
+    cpu->run_program(std::move(prog), [this] { done = true; });
+    test::drain(sim);
+    const Tick uncached_time = sim.now() - cached_time;
+    EXPECT_TRUE(done);
+    // Window 1 vs 8 at 100 ns latency: roughly 8x slower.
+    EXPECT_GT(uncached_time, cached_time * 4);
+}
+
+TEST_F(CpuFixture, ProgramsChainViaOnDone)
+{
+    build();
+    int phase = 0;
+    cpu->run_program({Delay{10}}, [&] {
+        phase = 1;
+        cpu->run_program({Delay{10}}, [&] { phase = 2; });
+    });
+    test::drain(sim);
+    EXPECT_EQ(phase, 2);
+}
+
+TEST_F(CpuFixture, SecondRunWhileBusyThrows)
+{
+    build();
+    cpu->run_program({Delay{1000}}, {});
+    EXPECT_THROW(cpu->run_program({Delay{1}}, {}), SimError);
+    test::drain(sim);
+}
+
+TEST(CpuParams, Validation)
+{
+    CpuParams p;
+    p.freq_ghz = 0;
+    EXPECT_THROW(p.validate(), ConfigError);
+    p = {};
+    p.mem_window = 0;
+    EXPECT_THROW(p.validate(), ConfigError);
+    p = {};
+    p.line_bytes = 50;
+    EXPECT_THROW(p.validate(), ConfigError);
+    p = {};
+    p.simd_lanes = 0;
+    EXPECT_THROW(p.validate(), ConfigError);
+}
+
+} // namespace
+} // namespace accesys::cpu

@@ -1,0 +1,199 @@
+// Tests for DRAM presets (Table III) and the bank-state timing engine.
+#include <gtest/gtest.h>
+
+#include "mem/dram_config.hh"
+#include "mem/dram_timing.hh"
+
+namespace accesys::mem {
+namespace {
+
+TEST(DramConfig, PresetsValidate)
+{
+    for (const auto& name : dram_preset_names()) {
+        EXPECT_NO_THROW(dram_params_by_name(name).validate()) << name;
+    }
+}
+
+TEST(DramConfig, LookupIsCaseInsensitiveAndAliased)
+{
+    EXPECT_EQ(dram_params_by_name("ddr4").name, "DDR4-2400");
+    EXPECT_EQ(dram_params_by_name("HBM").name, "HBM2");
+    EXPECT_EQ(dram_params_by_name("hbm2").name, "HBM2");
+    EXPECT_THROW(dram_params_by_name("sram"), ConfigError);
+}
+
+// Table III peak bandwidth figures must reproduce exactly.
+struct BwCase {
+    const char* name;
+    double gbps;
+};
+
+class TableIIIBandwidth : public ::testing::TestWithParam<BwCase> {};
+
+TEST_P(TableIIIBandwidth, PeakMatchesPaper)
+{
+    const auto p = dram_params_by_name(GetParam().name);
+    EXPECT_NEAR(p.peak_gbps(), GetParam().gbps, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, TableIIIBandwidth,
+    ::testing::Values(BwCase{"DDR3", 12.8}, BwCase{"DDR4", 19.2},
+                      BwCase{"DDR5", 25.6}, BwCase{"HBM2", 64.0},
+                      BwCase{"GDDR6", 32.0}));
+
+TEST(DramConfig, DerivedQuantities)
+{
+    const auto p = ddr4_2400();
+    EXPECT_EQ(p.burst_bytes(), 64u);             // 64-bit x BL8
+    EXPECT_EQ(p.burst_ticks(), 3333u);           // 8 transfers at 2400 MT/s
+    EXPECT_NEAR(p.channel_peak_gbps(), 19.2, 0.01);
+}
+
+TEST(DramConfig, ValidationCatchesNonsense)
+{
+    auto p = ddr4_2400();
+    p.banks = 3;
+    EXPECT_THROW(p.validate(), ConfigError);
+
+    p = ddr4_2400();
+    p.row_bytes = 16; // smaller than one burst
+    EXPECT_THROW(p.validate(), ConfigError);
+
+    p = ddr4_2400();
+    p.tRAS_ns = 1.0; // below tRCD
+    EXPECT_THROW(p.validate(), ConfigError);
+}
+
+struct TimingFixture : ::testing::Test {
+    DramParams params = ddr4_2400();
+    void disable_refresh() { params.refresh_enabled = false; }
+};
+
+TEST_F(TimingFixture, FirstAccessPaysActivateAndCas)
+{
+    disable_refresh();
+    DramTiming dram(params);
+    const auto acc = dram.access(0, false, 0);
+    EXPECT_FALSE(acc.row_hit);
+    // tRCD + tCL + burst.
+    const Tick expect =
+        params.tRCD() + params.tCL() + params.burst_ticks();
+    EXPECT_EQ(acc.data_ready, expect);
+}
+
+TEST_F(TimingFixture, RowHitSkipsActivate)
+{
+    disable_refresh();
+    DramTiming dram(params);
+    (void)dram.access(0, false, 0);
+    const auto acc = dram.access(64, false, 0);
+    EXPECT_TRUE(acc.row_hit);
+    EXPECT_EQ(dram.row_hits(), 1u);
+    EXPECT_EQ(dram.row_misses(), 1u);
+}
+
+TEST_F(TimingFixture, SequentialStreamHitsPeakBandwidth)
+{
+    disable_refresh();
+    DramTiming dram(params);
+    Tick t = 0;
+    Addr a = 0;
+    constexpr int kBursts = 1000;
+    Tick last_ready = 0;
+    for (int i = 0; i < kBursts; ++i) {
+        const auto acc = dram.access(a, false, t);
+        last_ready = acc.data_ready;
+        a += params.burst_bytes();
+    }
+    const double secs = ticks_to_sec(last_ready);
+    const double gbps = kBursts * params.burst_bytes() / secs / 1e9;
+    EXPECT_GT(gbps, 0.9 * params.peak_gbps());
+}
+
+TEST_F(TimingFixture, RowConflictCostsPrechargeActivate)
+{
+    disable_refresh();
+    DramTiming dram(params);
+    const auto first = dram.access(0, false, 0);
+    // Same bank, different row: decode maps rows via row_bytes * banks.
+    const Addr conflict = params.row_bytes * params.banks;
+    const auto c0 = dram.decode(0);
+    const auto c1 = dram.decode(conflict);
+    ASSERT_EQ(c0.bank, c1.bank);
+    ASSERT_NE(c0.row, c1.row);
+    const auto second = dram.access(conflict, false, first.data_ready);
+    EXPECT_FALSE(second.row_hit);
+    EXPECT_GE(second.data_ready - first.data_ready,
+              params.tRP() + params.tRCD());
+}
+
+TEST_F(TimingFixture, ChannelInterleaveAtBurstGranularity)
+{
+    auto p = hbm2(); // 2 channels
+    DramTiming dram(p);
+    const auto c0 = dram.decode(0);
+    const auto c1 = dram.decode(p.burst_bytes());
+    EXPECT_NE(c0.channel, c1.channel);
+}
+
+TEST_F(TimingFixture, RefreshBlocksBank)
+{
+    DramTiming dram(params); // refresh on
+    // Access right after the first tREFI window must see refresh delay.
+    const Tick t = params.tREFI() + 1;
+    const auto acc = dram.access(0, false, t);
+    EXPECT_GE(acc.data_ready, params.tREFI() + params.tRFC());
+    EXPECT_GE(dram.refreshes(), 1u);
+}
+
+TEST_F(TimingFixture, PeekRowHitDoesNotMutate)
+{
+    disable_refresh();
+    DramTiming dram(params);
+    (void)dram.access(0, false, 0);
+    const auto hits_before = dram.row_hits();
+    EXPECT_TRUE(dram.peek_row_hit(64));
+    EXPECT_FALSE(dram.peek_row_hit(params.row_bytes * params.banks));
+    EXPECT_EQ(dram.row_hits(), hits_before);
+}
+
+TEST_F(TimingFixture, WritesPaceSlowerThanReads)
+{
+    disable_refresh();
+    DramTiming dram(params);
+    // Same-bank consecutive writes have a longer recovery than reads.
+    (void)dram.access(0, true, 0);
+    const auto w2 = dram.access(64, true, 0);
+    DramTiming dram_r(params);
+    (void)dram_r.access(0, false, 0);
+    const auto r2 = dram_r.access(64, false, 0);
+    EXPECT_GT(w2.data_ready, r2.data_ready);
+}
+
+// Property over all presets: streaming reads reach >= 85% of peak.
+class PresetStream : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PresetStream, StreamEfficiency)
+{
+    auto p = dram_params_by_name(GetParam());
+    p.refresh_enabled = false;
+    DramTiming dram(p);
+    Addr a = 0;
+    Tick last = 0;
+    constexpr int kBursts = 2000;
+    for (int i = 0; i < kBursts; ++i) {
+        last = dram.access(a, false, 0).data_ready;
+        a += p.burst_bytes();
+    }
+    const double gbps =
+        kBursts * p.burst_bytes() / ticks_to_sec(last) / 1e9;
+    EXPECT_GT(gbps, 0.85 * p.peak_gbps()) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetStream,
+                         ::testing::Values("DDR3", "DDR4", "DDR5", "HBM2",
+                                           "GDDR5", "GDDR6", "LPDDR5"));
+
+} // namespace
+} // namespace accesys::mem

@@ -1,0 +1,123 @@
+// Integration tests: ViT inference across the paper's four system
+// configurations, checking phase accounting and the qualitative orderings
+// the evaluation section reports.
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+
+namespace accesys::core {
+namespace {
+
+workload::VitConfig tiny_vit()
+{
+    // One encoder layer with small hidden size: exercises the whole driver
+    // and both op kinds while staying fast enough for CI.
+    return workload::VitConfig{"ViT-Test", 1, 192, 3, 4, 197};
+}
+
+struct VitPoint {
+    const char* label;
+    Placement place;
+    double pcie_gbps;
+    const char* mem;
+    std::uint32_t pkt;
+};
+
+VitRunResult run_point(const VitPoint& p, const workload::VitConfig& model)
+{
+    SystemConfig cfg = SystemConfig::paper_default();
+    cfg.set_packet_size(p.pkt);
+    if (p.place == Placement::host) {
+        cfg.set_host_dram(p.mem);
+        cfg.set_pcie_target_gbps(p.pcie_gbps);
+    } else {
+        cfg.set_devmem(p.mem);
+        cfg.set_pcie_target_gbps(64.0, 16);
+    }
+    System sys(cfg);
+    Runner runner(sys);
+    return runner.run_vit(model, p.place);
+}
+
+TEST(IntegrationVit, PhaseAccountingConsistent)
+{
+    const auto model = tiny_vit();
+    const auto res = run_point(
+        VitPoint{"PCIe-8GB", Placement::host, 8.0, "DDR4", 256}, model);
+
+    const auto sum = workload::summarize(workload::lower_vit(model));
+    EXPECT_EQ(res.gemm_cmds, sum.gemm_count);
+    EXPECT_EQ(res.vector_ops, sum.vector_count);
+    EXPECT_GT(res.gemm_ticks, 0u);
+    EXPECT_GT(res.nongemm_ticks, 0u);
+    EXPECT_LE(res.gemm_ticks + res.nongemm_ticks, res.elapsed());
+    // "Other" (driver glue) must be a small remainder.
+    EXPECT_LT(res.other_ticks(), res.elapsed() / 4);
+}
+
+TEST(IntegrationVit, BandwidthOrderingHolds)
+{
+    const auto model = tiny_vit();
+    const auto r2 = run_point(
+        VitPoint{"PCIe-2GB", Placement::host, 2.0, "DDR4", 256}, model);
+    const auto r8 = run_point(
+        VitPoint{"PCIe-8GB", Placement::host, 8.0, "DDR4", 256}, model);
+    const auto r64 = run_point(
+        VitPoint{"PCIe-64GB", Placement::host, 64.0, "HBM2", 256}, model);
+
+    // Paper Fig. 7: more PCIe bandwidth, faster inference.
+    EXPECT_GT(r2.elapsed(), r8.elapsed());
+    EXPECT_GT(r8.elapsed(), r64.elapsed());
+    // Non-GEMM work runs on the CPU from host memory: roughly constant.
+    const double ng2 = ticks_to_ms(r2.nongemm_ticks);
+    const double ng64 = ticks_to_ms(r64.nongemm_ticks);
+    EXPECT_NEAR(ng2, ng64, 0.25 * ng2);
+}
+
+TEST(IntegrationVit, DevMemTradeoffMatchesFig8)
+{
+    const auto model = tiny_vit();
+    const auto pcie64 = run_point(
+        VitPoint{"PCIe-64GB", Placement::host, 64.0, "HBM2", 256}, model);
+    const auto devmem = run_point(
+        VitPoint{"DevMem", Placement::devmem, 0.0, "HBM2", 64}, model);
+
+    // Paper Fig. 8: DevMem wins the GEMM phase...
+    EXPECT_LT(devmem.gemm_ticks, pcie64.gemm_ticks);
+    // ...but loses Non-GEMM badly (NUMA penalty), by a multi-x factor.
+    EXPECT_GT(devmem.nongemm_ticks, 2 * pcie64.nongemm_ticks);
+    // Paper Fig. 7: overall, DevMem lands behind PCIe-64GB.
+    EXPECT_GT(devmem.elapsed(), pcie64.elapsed());
+}
+
+TEST(IntegrationVit, CommandsMatchAcceleratorCounters)
+{
+    const auto model = tiny_vit();
+    SystemConfig cfg = SystemConfig::paper_default();
+    cfg.set_pcie_target_gbps(8.0);
+    System sys(cfg);
+    Runner runner(sys);
+    const auto res = runner.run_vit(model, Placement::host);
+    EXPECT_EQ(sys.stat("mf.commands"), static_cast<double>(res.gemm_cmds));
+    EXPECT_EQ(sys.stat("cpu0.vector_ops"),
+              static_cast<double>(res.vector_ops));
+    // Every command polls at least once.
+    EXPECT_GE(sys.stat("cpu0.polls"), static_cast<double>(res.gemm_cmds));
+}
+
+TEST(IntegrationVit, DevMemUsesAperture)
+{
+    const auto model = tiny_vit();
+    SystemConfig cfg = SystemConfig::paper_default();
+    cfg.set_devmem("HBM2");
+    cfg.set_packet_size(64);
+    System sys(cfg);
+    Runner runner(sys);
+    (void)runner.run_vit(model, Placement::devmem);
+    // CPU Non-GEMM reads crossed PCIe into device memory.
+    EXPECT_GT(sys.stat("mf.aperture_reads"), 0.0);
+    EXPECT_GT(sys.stat("mf.aperture_writes"), 0.0);
+}
+
+} // namespace
+} // namespace accesys::core

@@ -1,0 +1,89 @@
+// Tests for the trace-logging facility.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/error.hh"
+#include "sim/logging.hh"
+
+namespace accesys {
+namespace {
+
+struct LogFixture : ::testing::Test {
+    std::ostringstream sink;
+
+    void SetUp() override
+    {
+        log::set_sink(&sink);
+        log::set_level(log::Level::warn);
+    }
+    void TearDown() override
+    {
+        log::set_sink(nullptr);
+        log::set_level(log::Level::warn);
+    }
+};
+
+TEST_F(LogFixture, SuppressedBelowLevel)
+{
+    log::set_level(log::Level::warn);
+    log::write(log::Level::debug, 123, "comp", "hidden");
+    EXPECT_TRUE(sink.str().empty());
+}
+
+TEST_F(LogFixture, EmittedAtOrAboveLevel)
+{
+    log::set_level(log::Level::debug);
+    log::write(log::Level::debug, 123, "comp", "visible ", 42);
+    const auto out = sink.str();
+    EXPECT_NE(out.find("123"), std::string::npos);
+    EXPECT_NE(out.find("comp"), std::string::npos);
+    EXPECT_NE(out.find("visible 42"), std::string::npos);
+    EXPECT_NE(out.find("[debug]"), std::string::npos);
+}
+
+TEST_F(LogFixture, OffSilencesEverything)
+{
+    log::set_level(log::Level::off);
+    log::write(log::Level::warn, 1, "c", "nope");
+    EXPECT_TRUE(sink.str().empty());
+}
+
+TEST_F(LogFixture, EnabledPredicateMatchesLevel)
+{
+    log::set_level(log::Level::info);
+    EXPECT_TRUE(log::enabled(log::Level::warn));
+    EXPECT_TRUE(log::enabled(log::Level::info));
+    EXPECT_FALSE(log::enabled(log::Level::debug));
+}
+
+TEST(ErrorHelpers, EnsurePassesAndThrows)
+{
+    EXPECT_NO_THROW(ensure(true, "fine"));
+    EXPECT_THROW(ensure(false, "bad thing ", 7), SimError);
+    try {
+        ensure(false, "bad thing ", 7);
+    } catch (const SimError& e) {
+        EXPECT_NE(std::string(e.what()).find("bad thing 7"),
+                  std::string::npos);
+    }
+}
+
+TEST(ErrorHelpers, PanicAlwaysThrows)
+{
+    EXPECT_THROW(panic("unreachable ", 1), SimError);
+}
+
+TEST(ErrorHelpers, RequireCfgThrowsConfigError)
+{
+    EXPECT_NO_THROW(require_cfg(true, "ok"));
+    EXPECT_THROW(require_cfg(false, "bad config"), ConfigError);
+}
+
+TEST(ErrorHelpers, StrcatMsgFormats)
+{
+    EXPECT_EQ(strcat_msg("a=", 1, " b=", 2.5), "a=1 b=2.5");
+}
+
+} // namespace
+} // namespace accesys

@@ -1,0 +1,265 @@
+// Tests for the PCIe switch and root complex: routing, store-and-forward
+// latency, inbound read splitting / completion assembly, MMIO bridging.
+#include "test_util.hh"
+
+#include "pcie/endpoint.hh"
+#include "pcie/link.hh"
+#include "pcie/root_complex.hh"
+#include "pcie/switch.hh"
+
+namespace accesys::pcie {
+namespace {
+
+using mem::AddrRange;
+using mem::Packet;
+using test::MockRequestor;
+using test::MockResponder;
+
+/// Minimal endpoint recording what reaches the device.
+class ProbeDevice final : public Endpoint {
+  public:
+    ProbeDevice(Simulator& sim, std::string name, std::uint16_t id,
+                std::vector<AddrRange> bars)
+        : Endpoint(sim, std::move(name), EndpointParams{id, 5.0},
+                   std::move(bars))
+    {
+    }
+
+    std::uint64_t mmio_read(Addr addr, std::uint32_t) override
+    {
+        reads.push_back(addr);
+        return 0xAB00 + addr;
+    }
+    void mmio_write(Addr addr, std::uint32_t, std::uint64_t value) override
+    {
+        writes.emplace_back(addr, value);
+    }
+    void recv_dma_completion(const Tlp& cpl) override
+    {
+        completions.push_back(cpl);
+        if (cpl.is_last) {
+            ++reads_done;
+        }
+    }
+
+    using Endpoint::send_tlp; // expose for the test driver
+
+    std::vector<Addr> reads;
+    std::vector<std::pair<Addr, std::uint64_t>> writes;
+    std::vector<Tlp> completions;
+    int reads_done = 0;
+};
+
+constexpr Addr kBar0 = 0x100000000000ULL;
+
+struct FabricFixture : ::testing::Test {
+    Simulator sim;
+    RcParams rc_params;
+    SwitchParams sw_params;
+    LinkParams link_params;
+
+    std::unique_ptr<RootComplex> rc;
+    std::unique_ptr<PcieSwitch> sw;
+    std::unique_ptr<PcieLink> up;
+    std::unique_ptr<PcieLink> dn;
+    std::unique_ptr<ProbeDevice> dev;
+    MockResponder fabric{"fabric"};   // answers RC mem-side requests
+    MockRequestor cpu{"cpu"};         // drives RC mmio-side
+
+    void build()
+    {
+        rc_params.device_addresses_virtual = false;
+        rc = std::make_unique<RootComplex>(sim, "rc", rc_params);
+        sw = std::make_unique<PcieSwitch>(sim, "sw", sw_params);
+        up = std::make_unique<PcieLink>(sim, "up", link_params);
+        dn = std::make_unique<PcieLink>(sim, "dn", link_params);
+        dev = std::make_unique<ProbeDevice>(
+            sim, "dev", 1,
+            std::vector<AddrRange>{AddrRange::with_size(kBar0, 64 * kKiB)});
+
+        rc->connect_pcie(up->end_a());
+        sw->set_upstream(up->end_b());
+        sw->add_downstream(dn->end_a(),
+                           {AddrRange::with_size(kBar0, 64 * kKiB)}, 1);
+        dev->connect_pcie(dn->end_b());
+
+        rc->mem_side().bind(fabric.port());
+        cpu.port().bind(rc->mmio_side());
+    }
+
+    void serve_fabric()
+    {
+        test::drain(sim);
+        while (!fabric.requests.empty()) {
+            // Posted writes need no answer.
+            if (fabric.requests.front()->flags.posted) {
+                fabric.requests.pop_front();
+                continue;
+            }
+            ASSERT_TRUE(fabric.answer_one());
+            test::drain(sim);
+        }
+    }
+};
+
+TEST_F(FabricFixture, MmioWriteReachesDeviceRegisters)
+{
+    build();
+    auto pkt = Packet::make_write(kBar0 + 0x8, 8);
+    pkt->set_payload_value<std::uint64_t>(0x1234);
+    ASSERT_TRUE(cpu.port().send_req(pkt));
+    test::drain(sim);
+
+    ASSERT_EQ(dev->writes.size(), 1u);
+    EXPECT_EQ(dev->writes[0].first, 0x8u);
+    EXPECT_EQ(dev->writes[0].second, 0x1234u);
+    // CPU got the posted-write ack.
+    ASSERT_EQ(cpu.responses.size(), 1u);
+}
+
+TEST_F(FabricFixture, MmioReadRoundTripCarriesValue)
+{
+    build();
+    auto pkt = Packet::make_read(kBar0 + 0x10, 8);
+    ASSERT_TRUE(cpu.port().send_req(pkt));
+    test::drain(sim);
+
+    ASSERT_EQ(dev->reads.size(), 1u);
+    ASSERT_EQ(cpu.responses.size(), 1u);
+    EXPECT_EQ(cpu.responses[0]->payload_value<std::uint64_t>(),
+              0xAB00u + 0x10u);
+}
+
+TEST_F(FabricFixture, MmioLatencyIncludesRcAndSwitch)
+{
+    rc_params.latency_ns = 150.0;
+    sw_params.latency_ns = 50.0;
+    build();
+    auto pkt = Packet::make_write(kBar0, 8);
+    ASSERT_TRUE(cpu.port().send_req(pkt));
+    test::drain(sim);
+    // Request path: switch 50 + device 5 + wire; the RC charges its latency
+    // on the *inbound* side, so one-way MMIO writes see at least switch+dev.
+    EXPECT_GE(sim.now(), ticks_from_ns(55.0));
+}
+
+TEST_F(FabricFixture, DeviceReadSplitsIntoLineRequests)
+{
+    build();
+    dev->send_tlp(make_mem_read(0x1000, 256, /*tag=*/5, /*requester=*/1));
+    test::drain(sim);
+    ASSERT_EQ(fabric.requests.size(), 4u); // 256 B at 64 B granularity
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(fabric.requests[i]->addr(),
+                  0x1000u + static_cast<Addr>(i) * 64);
+        EXPECT_EQ(fabric.requests[i]->size(), 64u);
+        EXPECT_TRUE(fabric.requests[i]->flags.from_device);
+    }
+}
+
+TEST_F(FabricFixture, CompletionsAssembleAtMaxPayload)
+{
+    rc_params.max_payload_bytes = 128;
+    build();
+    dev->send_tlp(make_mem_read(0x1000, 256, 5, 1));
+    serve_fabric();
+
+    // 256 B returned as two 128 B completions, last flagged.
+    ASSERT_EQ(dev->completions.size(), 2u);
+    EXPECT_EQ(dev->completions[0].length, 128u);
+    EXPECT_EQ(dev->completions[0].byte_offset, 0u);
+    EXPECT_FALSE(dev->completions[0].is_last);
+    EXPECT_EQ(dev->completions[1].byte_offset, 128u);
+    EXPECT_TRUE(dev->completions[1].is_last);
+    EXPECT_EQ(dev->reads_done, 1);
+}
+
+TEST_F(FabricFixture, UnalignedReadSplitsAtAlignedBoundaries)
+{
+    build();
+    dev->send_tlp(make_mem_read(0x1010, 128, 6, 1));
+    test::drain(sim);
+    ASSERT_EQ(fabric.requests.size(), 3u); // 48 + 64 + 16
+    EXPECT_EQ(fabric.requests[0]->size(), 48u);
+    EXPECT_EQ(fabric.requests[1]->size(), 64u);
+    EXPECT_EQ(fabric.requests[2]->size(), 16u);
+    serve_fabric();
+    EXPECT_EQ(dev->reads_done, 1);
+}
+
+TEST_F(FabricFixture, DeviceWriteSplitsPosted)
+{
+    build();
+    dev->send_tlp(make_mem_write(0x2000, 128, 1));
+    test::drain(sim);
+    ASSERT_EQ(fabric.requests.size(), 2u);
+    EXPECT_TRUE(fabric.requests[0]->flags.posted);
+    EXPECT_TRUE(fabric.requests[0]->is_write());
+}
+
+TEST_F(FabricFixture, SubLineDeviceWriteMarkedUncacheable)
+{
+    build();
+    dev->send_tlp(make_mem_write(0x3000, 8, 1)); // completion-flag idiom
+    test::drain(sim);
+    ASSERT_EQ(fabric.requests.size(), 1u);
+    EXPECT_TRUE(fabric.requests[0]->flags.uncacheable);
+}
+
+TEST_F(FabricFixture, DmModeMarksAllInboundUncacheable)
+{
+    rc_params.inbound_uncacheable = true;
+    build();
+    dev->send_tlp(make_mem_read(0x1000, 128, 2, 1));
+    test::drain(sim);
+    ASSERT_EQ(fabric.requests.size(), 2u);
+    EXPECT_TRUE(fabric.requests[0]->flags.uncacheable);
+}
+
+TEST_F(FabricFixture, ConcurrentReadsKeepTagsApart)
+{
+    build();
+    dev->send_tlp(make_mem_read(0x1000, 64, 1, 1));
+    dev->send_tlp(make_mem_read(0x8000, 64, 2, 1));
+    serve_fabric();
+    EXPECT_EQ(dev->reads_done, 2);
+    // Each read produced exactly one completion with its own tag.
+    ASSERT_EQ(dev->completions.size(), 2u);
+    EXPECT_NE(dev->completions[0].tag, dev->completions[1].tag);
+}
+
+TEST_F(FabricFixture, SwitchRoutesByDeviceIdForCompletions)
+{
+    build();
+    // An MMIO read's completion must come back through the switch to the
+    // host (requester 0) — exercised by the round trip test; here we check
+    // a device-originated read's completion routes to the device.
+    dev->send_tlp(make_mem_read(0x4000, 64, 9, 1));
+    serve_fabric();
+    ASSERT_EQ(dev->completions.size(), 1u);
+    EXPECT_EQ(dev->completions[0].tag, 9);
+}
+
+TEST(RcParams, Validation)
+{
+    RcParams p;
+    p.host_split_bytes = 48;
+    EXPECT_THROW(p.validate(), ConfigError);
+    p = {};
+    p.max_payload_bytes = 16;
+    EXPECT_THROW(p.validate(), ConfigError);
+    p = {};
+    p.mmio_tags = 0;
+    EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(SwitchRules, DeviceIdZeroReserved)
+{
+    Simulator sim;
+    PcieSwitch sw(sim, "sw", SwitchParams{});
+    PcieLink link(sim, "l", LinkParams{});
+    EXPECT_THROW(sw.add_downstream(link.end_a(), {}, 0), ConfigError);
+}
+
+} // namespace
+} // namespace accesys::pcie

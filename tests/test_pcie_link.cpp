@@ -1,0 +1,247 @@
+// Tests for TLPs, PCIe generations and the credit-gated link model.
+#include <gtest/gtest.h>
+
+#include "pcie/link.hh"
+#include "sim/simulator.hh"
+
+namespace accesys::pcie {
+namespace {
+
+TEST(Tlp, FactoriesAndPayloadRules)
+{
+    auto rd = make_mem_read(0x1000, 256, 7, 3);
+    EXPECT_EQ(rd->type, TlpType::mem_read);
+    EXPECT_FALSE(rd->has_payload());
+    EXPECT_EQ(rd->payload_bytes(), 0u); // MRd carries no data on the wire
+    EXPECT_EQ(rd->length, 256u);
+    EXPECT_EQ(rd->tag, 7);
+    EXPECT_EQ(rd->requester, 3);
+
+    auto wr = make_mem_write(0x2000, 128, 3);
+    EXPECT_EQ(wr->payload_bytes(), 128u);
+
+    auto cpl = make_completion(64, 7, 3, 192, true);
+    EXPECT_EQ(cpl->byte_offset, 192u);
+    EXPECT_TRUE(cpl->is_last);
+    EXPECT_EQ(cpl->payload_bytes(), 64u);
+}
+
+TEST(Tlp, DescribeMentionsType)
+{
+    auto cpl = make_completion(64, 7, 3, 0, false);
+    EXPECT_NE(cpl->describe().find("CplD"), std::string::npos);
+    auto rd = make_mem_read(0x10, 64, 1, 2);
+    EXPECT_NE(rd->describe().find("MRd"), std::string::npos);
+}
+
+TEST(Gen, EncodingEfficiency)
+{
+    EXPECT_DOUBLE_EQ(encoding_efficiency(Gen::gen1), 0.8);
+    EXPECT_DOUBLE_EQ(encoding_efficiency(Gen::gen2), 0.8);
+    EXPECT_DOUBLE_EQ(encoding_efficiency(Gen::gen3), 128.0 / 130.0);
+    EXPECT_GT(encoding_efficiency(Gen::gen6), 0.9);
+}
+
+TEST(LinkParams, EffectiveBandwidth)
+{
+    LinkParams p; // gen2, 4 lanes, 4 Gb/s
+    EXPECT_NEAR(p.effective_gbps(), 4 * 4 * 0.8 / 8.0, 1e-9); // 1.6 GB/s
+    p.gen = Gen::gen3;
+    p.lanes = 16;
+    p.lane_gbps = 8;
+    EXPECT_NEAR(p.effective_gbps(), 16 * 8 * (128.0 / 130.0) / 8.0, 1e-9);
+}
+
+TEST(LinkParams, SerializeTicks)
+{
+    LinkParams p = LinkParams::from_target_gbps(1.0); // 1 GB/s effective
+    EXPECT_NEAR(static_cast<double>(p.serialize_ticks(1000)), 1000.0 * 1000,
+                2000); // ~1 us for 1000 B
+}
+
+TEST(LinkParams, FromTargetRoundTrips)
+{
+    for (const double gbps : {0.5, 2.0, 8.0, 64.0}) {
+        const auto p = LinkParams::from_target_gbps(gbps);
+        EXPECT_NEAR(p.effective_gbps(), gbps, 1e-9);
+    }
+}
+
+TEST(LinkParams, Validation)
+{
+    LinkParams p;
+    p.lanes = 3;
+    EXPECT_THROW(p.validate(), ConfigError);
+    p = {};
+    p.lane_gbps = 0;
+    EXPECT_THROW(p.validate(), ConfigError);
+    p = {};
+    p.hdr_credits = 0;
+    EXPECT_THROW(p.validate(), ConfigError);
+}
+
+/// Node that records received TLPs and can release their ingress cost.
+struct RecordingNode : PcieNode {
+    PciePort* port = nullptr;
+    Simulator* sim = nullptr;
+    std::vector<TlpPtr> received;
+    std::vector<Tick> arrival_ticks;
+    bool auto_release = true;
+    int credit_notifications = 0;
+
+    void recv_tlp(unsigned, TlpPtr tlp) override
+    {
+        arrival_ticks.push_back(sim->now());
+        if (auto_release) {
+            port->release_ingress(tlp->payload_bytes());
+        }
+        received.push_back(std::move(tlp));
+    }
+
+    void credit_avail(unsigned) override { ++credit_notifications; }
+};
+
+struct LinkFixture : ::testing::Test {
+    Simulator sim;
+    LinkParams params;
+    RecordingNode node_a;
+    RecordingNode node_b;
+
+    std::unique_ptr<PcieLink> make()
+    {
+        auto link = std::make_unique<PcieLink>(sim, "link", params);
+        node_a.port = &link->end_a();
+        node_b.port = &link->end_b();
+        node_a.sim = node_b.sim = &sim;
+        link->end_a().attach(node_a, 0);
+        link->end_b().attach(node_b, 0);
+        return link;
+    }
+
+    void drain() { sim.run(); }
+};
+
+TEST_F(LinkFixture, DeliversAfterSerializationAndPropagation)
+{
+    params = LinkParams::from_target_gbps(1.0); // 1 byte/ns
+    params.propagation_delay_ns = 10.0;
+    params.tlp_overhead_bytes = 24;
+    auto link = make();
+
+    auto tlp = make_mem_write(0x0, 100, 1);
+    ASSERT_TRUE(link->end_a().can_send(*tlp));
+    link->end_a().send(std::move(tlp));
+    drain();
+    ASSERT_EQ(node_b.received.size(), 1u);
+    // 124 wire bytes at 1 B/ns + 10 ns propagation.
+    EXPECT_NEAR(ticks_to_ns(node_b.arrival_ticks[0]), 134.0, 2.0);
+    EXPECT_EQ(node_a.received.size(), 0u);
+}
+
+TEST_F(LinkFixture, FifoOrderPreserved)
+{
+    auto link = make();
+    for (int i = 0; i < 5; ++i) {
+        link->end_a().send(make_mem_write(static_cast<Addr>(i), 64, 1));
+    }
+    drain();
+    ASSERT_EQ(node_b.received.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(node_b.received[i]->addr, static_cast<Addr>(i));
+    }
+}
+
+TEST_F(LinkFixture, BackToBackSerializationAccumulates)
+{
+    params = LinkParams::from_target_gbps(1.0);
+    params.propagation_delay_ns = 0.0;
+    params.tlp_overhead_bytes = 0;
+    auto link = make();
+    link->end_a().send(make_mem_write(1, 100, 1));
+    link->end_a().send(make_mem_write(2, 100, 1));
+    drain();
+    ASSERT_EQ(node_b.received.size(), 2u);
+    EXPECT_NEAR(ticks_to_ns(node_b.arrival_ticks[0]), 100.0, 1.0);
+    EXPECT_NEAR(ticks_to_ns(node_b.arrival_ticks[1]), 200.0, 1.0);
+}
+
+TEST_F(LinkFixture, FullDuplexDirectionsIndependent)
+{
+    params = LinkParams::from_target_gbps(1.0);
+    auto link = make();
+    link->end_a().send(make_mem_write(1, 4096, 1));
+    link->end_b().send(make_mem_write(2, 64, 1));
+    drain();
+    ASSERT_EQ(node_b.received.size(), 1u);
+    ASSERT_EQ(node_a.received.size(), 1u);
+    // The small b->a TLP must not wait behind the big a->b one.
+    EXPECT_LT(node_a.arrival_ticks[0], node_b.arrival_ticks[0]);
+}
+
+TEST_F(LinkFixture, CreditsBlockWhenIngressHeld)
+{
+    params.hdr_credits = 2;
+    params.data_credit_bytes = 4 * kKiB;
+    auto link = make();
+    node_b.auto_release = false; // B hoards its ingress buffer
+
+    auto t1 = make_mem_write(1, 64, 1);
+    auto t2 = make_mem_write(2, 64, 1);
+    auto t3 = make_mem_write(3, 64, 1);
+    link->end_a().send(std::move(t1));
+    link->end_a().send(std::move(t2));
+    EXPECT_FALSE(link->end_a().can_send(*t3)); // header credits exhausted
+    drain();
+    EXPECT_EQ(node_b.received.size(), 2u);
+
+    // Release one: credits return after the propagation delay.
+    node_b.port->release_ingress(64);
+    drain();
+    EXPECT_TRUE(link->end_a().can_send(*t3));
+    EXPECT_GE(node_a.credit_notifications, 1);
+}
+
+TEST_F(LinkFixture, DataCreditsTrackPayloadBytes)
+{
+    params.hdr_credits = 64;
+    params.data_credit_bytes = 256;
+    auto link = make();
+    node_b.auto_release = false;
+
+    link->end_a().send(make_mem_write(1, 256, 1));
+    auto more = make_mem_write(2, 64, 1);
+    EXPECT_FALSE(link->end_a().can_send(*more)); // data credits gone
+    auto read = make_mem_read(3, 4096, 0, 1);
+    EXPECT_TRUE(link->end_a().can_send(*read)); // MRd needs no data credits
+    drain();
+}
+
+TEST_F(LinkFixture, SendWithoutCreditsPanics)
+{
+    params.hdr_credits = 1;
+    auto link = make();
+    node_b.auto_release = false;
+    link->end_a().send(make_mem_write(1, 64, 1));
+    EXPECT_THROW(link->end_a().send(make_mem_write(2, 64, 1)), SimError);
+    drain();
+}
+
+TEST_F(LinkFixture, UtilizationTracksBusyTime)
+{
+    params = LinkParams::from_target_gbps(1.0);
+    auto link = make();
+    link->end_a().send(make_mem_write(1, 1000, 1));
+    drain();
+    EXPECT_GT(link->utilization(0), 0.5);
+    EXPECT_DOUBLE_EQ(link->utilization(1), 0.0);
+}
+
+TEST_F(LinkFixture, AttachTwicePanics)
+{
+    auto link = make();
+    RecordingNode other;
+    EXPECT_THROW(link->end_a().attach(other, 0), SimError);
+}
+
+} // namespace
+} // namespace accesys::pcie

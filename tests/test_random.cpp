@@ -1,0 +1,101 @@
+// Tests for the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+
+namespace accesys {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        same += a.next() == b.next();
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    const auto first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.below(17), 17u);
+    }
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng r(5);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.between(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    constexpr int kN = 10000;
+    for (int i = 0; i < kN; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    constexpr int kN = 10000;
+    for (int i = 0; i < kN; ++i) {
+        hits += r.chance(0.25);
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / kN, 0.25, 0.02);
+}
+
+TEST(Rng, BelowRoughlyUniform)
+{
+    Rng r(17);
+    int counts[8] = {};
+    constexpr int kN = 8000;
+    for (int i = 0; i < kN; ++i) {
+        ++counts[r.below(8)];
+    }
+    for (const int c : counts) {
+        EXPECT_NEAR(c, kN / 8, kN / 40);
+    }
+}
+
+} // namespace
+} // namespace accesys

@@ -1,0 +1,99 @@
+// Unit tests for sim/types.hh: time conversion, alignment and bit helpers.
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+namespace accesys {
+namespace {
+
+TEST(Types, TickConstants)
+{
+    EXPECT_EQ(kTicksPerNs, 1000u);
+    EXPECT_EQ(kTicksPerUs, 1000u * 1000u);
+    EXPECT_EQ(kTicksPerMs, 1000u * 1000u * 1000u);
+    EXPECT_EQ(kTicksPerSec, 1000ull * 1000 * 1000 * 1000);
+}
+
+TEST(Types, TicksFromNsRounds)
+{
+    EXPECT_EQ(ticks_from_ns(1.0), 1000u);
+    EXPECT_EQ(ticks_from_ns(0.5), 500u);
+    EXPECT_EQ(ticks_from_ns(0.0004), 0u);  // rounds down below half a tick
+    EXPECT_EQ(ticks_from_ns(0.0006), 1u);  // rounds up above half a tick
+}
+
+TEST(Types, RoundTripConversions)
+{
+    for (const double ns : {0.25, 1.0, 3.7, 150.0, 7800.0, 1e6}) {
+        EXPECT_NEAR(ticks_to_ns(ticks_from_ns(ns)), ns, 0.001);
+    }
+    EXPECT_DOUBLE_EQ(ticks_to_us(kTicksPerUs), 1.0);
+    EXPECT_DOUBLE_EQ(ticks_to_ms(kTicksPerMs), 1.0);
+    EXPECT_DOUBLE_EQ(ticks_to_sec(kTicksPerSec), 1.0);
+}
+
+TEST(Types, PeriodFromFrequency)
+{
+    EXPECT_EQ(period_from_ghz(1.0), 1000u);  // 1 GHz -> 1 ns
+    EXPECT_EQ(period_from_ghz(2.0), 500u);
+    EXPECT_EQ(period_from_mhz(100.0), 10000u);
+}
+
+TEST(Types, IsPow2)
+{
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(2));
+    EXPECT_FALSE(is_pow2(3));
+    EXPECT_TRUE(is_pow2(1ULL << 63));
+    EXPECT_FALSE(is_pow2((1ULL << 63) + 1));
+}
+
+TEST(Types, Log2i)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(4096), 12u);
+    EXPECT_EQ(log2i(1ULL << 40), 40u);
+}
+
+TEST(Types, AlignHelpers)
+{
+    EXPECT_EQ(align_down(0x1234, 0x100), 0x1200u);
+    EXPECT_EQ(align_up(0x1234, 0x100), 0x1300u);
+    EXPECT_EQ(align_up(0x1200, 0x100), 0x1200u); // already aligned
+    EXPECT_EQ(align_down(0x1200, 0x100), 0x1200u);
+}
+
+TEST(Types, DivCeil)
+{
+    EXPECT_EQ(div_ceil(0, 4), 0u);
+    EXPECT_EQ(div_ceil(1, 4), 1u);
+    EXPECT_EQ(div_ceil(4, 4), 1u);
+    EXPECT_EQ(div_ceil(5, 4), 2u);
+    EXPECT_EQ(div_ceil(4096, 64), 64u);
+}
+
+// Property: align_down/align_up bracket the value and are aligned.
+class AlignProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlignProperty, BracketsValue)
+{
+    const std::uint64_t v = GetParam();
+    for (const std::uint64_t a : {2ull, 64ull, 4096ull, 65536ull}) {
+        const auto down = align_down(v, a);
+        const auto up = align_up(v, a);
+        EXPECT_LE(down, v);
+        EXPECT_GE(up, v);
+        EXPECT_EQ(down % a, 0u);
+        EXPECT_EQ(up % a, 0u);
+        EXPECT_LT(up - down, 2 * a);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AlignProperty,
+                         ::testing::Values(0, 1, 63, 64, 65, 4095, 4096,
+                                           4097, 1234567, (1ull << 40) + 17));
+
+} // namespace
+} // namespace accesys

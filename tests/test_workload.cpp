@@ -1,0 +1,162 @@
+// Tests for workload generation: GEMM golden model and ViT lowering.
+#include <gtest/gtest.h>
+
+#include "workload/gemm.hh"
+#include "workload/vit.hh"
+
+namespace accesys::workload {
+namespace {
+
+TEST(GemmSpec, ByteAndMacCounts)
+{
+    const GemmSpec s{128, 64, 32, 1};
+    EXPECT_EQ(s.a_bytes(), 128u * 32);
+    EXPECT_EQ(s.b_bytes(), 64u * 32);
+    EXPECT_EQ(s.c_bytes(), 128u * 64 * 4);
+    EXPECT_DOUBLE_EQ(s.macs(), 128.0 * 64 * 32);
+}
+
+TEST(GemmData, DeterministicInit)
+{
+    mem::BackingStore s1;
+    mem::BackingStore s2;
+    const GemmSpec spec{8, 8, 8, 42};
+    init_gemm_data(s1, spec, 0x100, 0x1000);
+    init_gemm_data(s2, spec, 0x100, 0x1000);
+    std::vector<std::uint8_t> b1(spec.a_bytes());
+    std::vector<std::uint8_t> b2(spec.a_bytes());
+    s1.read(0x100, b1.data(), b1.size());
+    s2.read(0x100, b2.data(), b2.size());
+    EXPECT_EQ(b1, b2);
+}
+
+TEST(GemmData, GoldenIdentityProperty)
+{
+    // A x I = A (with B transposed = I as well).
+    mem::BackingStore store;
+    const GemmSpec spec{4, 4, 4, 1};
+    std::int8_t a[16];
+    std::int8_t eye[16] = {};
+    for (int i = 0; i < 16; ++i) {
+        a[i] = static_cast<std::int8_t>(i + 1);
+    }
+    for (int i = 0; i < 4; ++i) {
+        eye[i * 4 + i] = 1;
+    }
+    store.write(0x100, a, sizeof(a));
+    store.write(0x200, eye, sizeof(eye));
+    const auto golden = gemm_golden(store, spec, 0x100, 0x200);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(golden[i], a[i]);
+    }
+}
+
+TEST(GemmData, CheckCountsMismatches)
+{
+    mem::BackingStore store;
+    const GemmSpec spec{2, 2, 2, 3};
+    init_gemm_data(store, spec, 0x100, 0x200);
+    auto golden = gemm_golden(store, spec, 0x100, 0x200);
+    // Write the golden result, then corrupt one element.
+    store.write(0x300, golden.data(), golden.size() * 4);
+    EXPECT_EQ(gemm_check(store, spec, 0x300, golden), 0u);
+    const std::int32_t bad = golden[3] + 1;
+    store.write_obj(0x300 + 3 * 4, bad);
+    EXPECT_EQ(gemm_check(store, spec, 0x300, golden), 1u);
+}
+
+TEST(VitConfig, PaperModels)
+{
+    const auto base = VitConfig::base();
+    EXPECT_EQ(base.hidden, 768u);
+    EXPECT_EQ(base.heads, 12u);
+    EXPECT_EQ(base.layers, 12u);
+    const auto large = VitConfig::large();
+    EXPECT_EQ(large.hidden, 1024u);
+    const auto huge = VitConfig::huge();
+    EXPECT_EQ(huge.hidden, 1280u);
+    EXPECT_EQ(huge.heads, 16u);
+    EXPECT_EQ(base.seq, 197u);
+    EXPECT_EQ(base.head_dim(), 64u);
+}
+
+TEST(VitConfig, ByNameAndUnknown)
+{
+    EXPECT_EQ(VitConfig::by_name("base").hidden, 768u);
+    EXPECT_EQ(VitConfig::by_name("ViT-Huge").layers, 32u);
+    EXPECT_THROW(VitConfig::by_name("giant"), ConfigError);
+}
+
+TEST(VitLowering, OpCountFormula)
+{
+    const auto cfg = VitConfig::base();
+    const auto ops = lower_vit(cfg);
+    // Per layer: 3 QKV + 2*heads attention + out_proj + fc1 + fc2 = 6+2h
+    // GEMMs, and 10 vector ops.
+    const auto sum = summarize(ops);
+    EXPECT_EQ(sum.gemm_count, cfg.layers * (6 + 2 * cfg.heads));
+    EXPECT_EQ(sum.vector_count, cfg.layers * 10u);
+    EXPECT_EQ(ops.size(), sum.gemm_count + sum.vector_count);
+}
+
+TEST(VitLowering, MacsMatchClosedForm)
+{
+    const auto cfg = VitConfig::base();
+    const auto sum = summarize(lower_vit(cfg));
+    const double s = cfg.seq;
+    const double h = cfg.hidden;
+    const double d = cfg.head_dim();
+    const double mlp = 4.0 * h;
+    const double per_layer = 3 * s * h * h      // qkv
+                             + cfg.heads * s * s * d * 2 // scores+context
+                             + s * h * h        // out proj
+                             + s * mlp * h * 2; // fc1 + fc2
+    EXPECT_NEAR(sum.gemm_macs, cfg.layers * per_layer, 1.0);
+}
+
+TEST(VitLowering, GemmDimensionsPositive)
+{
+    for (const auto& op : lower_vit(VitConfig::huge())) {
+        if (op.kind == VitOp::Kind::gemm) {
+            EXPECT_GT(op.m, 0u);
+            EXPECT_GT(op.n, 0u);
+            EXPECT_GT(op.k, 0u);
+        } else {
+            EXPECT_GT(op.bytes_in + op.bytes_out, 0u);
+        }
+    }
+}
+
+TEST(VitLowering, RequantReadsInt32WritesInt8)
+{
+    const auto ops = lower_vit(VitConfig::base());
+    for (const auto& op : ops) {
+        if (op.kind == VitOp::Kind::vector &&
+            op.label.find("requant") != std::string::npos) {
+            EXPECT_EQ(op.bytes_in, op.bytes_out * 4);
+        }
+    }
+}
+
+// Property across all models: bigger models mean strictly more work.
+class VitScale : public ::testing::TestWithParam<std::pair<const char*,
+                                                           const char*>> {};
+
+TEST_P(VitScale, LargerModelMoreWork)
+{
+    const auto small = summarize(lower_vit(VitConfig::by_name(
+        GetParam().first)));
+    const auto big = summarize(lower_vit(VitConfig::by_name(
+        GetParam().second)));
+    EXPECT_GT(big.gemm_macs, small.gemm_macs);
+    EXPECT_GT(big.vector_bytes, small.vector_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, VitScale,
+    ::testing::Values(std::make_pair("base", "large"),
+                      std::make_pair("large", "huge"),
+                      std::make_pair("base", "huge")));
+
+} // namespace
+} // namespace accesys::workload

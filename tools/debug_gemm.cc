@@ -1,0 +1,52 @@
+#include <cstdio>
+#include <map>
+#include "core/runner.hh"
+using namespace accesys;
+int main()
+{
+    setvbuf(stdout, nullptr, _IONBF, 0);
+    core::SystemConfig cfg = core::SystemConfig::paper_default();
+    core::System sys(cfg);
+
+    const workload::GemmSpec spec{64, 64, 64, 42};
+    const Addr a = sys.alloc_host(spec.a_bytes());
+    const Addr bt = sys.alloc_host(spec.b_bytes());
+    const Addr c = sys.alloc_host(spec.c_bytes());
+    const Addr flag = sys.alloc_host(64);
+    const Addr desc = sys.alloc_host(64);
+    sys.map_host_pages(flag, 8); sys.map_host_pages(desc, 64);
+    sys.map_host_pages(a, spec.a_bytes()); sys.map_host_pages(bt, spec.b_bytes());
+    sys.map_host_pages(c, spec.c_bytes());
+
+    accel::GemmCommand cmd;
+    cmd.m = cmd.n = cmd.k = 64;
+    cmd.addr_a = a; cmd.addr_b = bt; cmd.addr_c = c;
+    cmd.flag_addr = flag; cmd.flag_value = 1;
+
+    std::vector<cpu::CpuOp> prog;
+    prog.push_back(cpu::Call{[&] { sys.store().write_obj(desc, cmd); }});
+    prog.push_back(cpu::MmioWrite{cfg.accel.bar0_base + accel::kRegDoorbell, desc});
+    prog.push_back(cpu::PollFlag{flag, 1});
+    bool done = false;
+    sys.host_cpu().run_program(std::move(prog), [&] { done = true; });
+
+    sys.sim().startup();
+    std::map<std::string, std::uint64_t> hist;
+    for (std::uint64_t n = 0; n < 500000 && !done; ++n) {
+        const std::string name = sys.sim().queue().next_event_name();
+        if (name.empty()) { printf("drained at n=%llu t=%.1fns\n", (unsigned long long)n, ticks_to_ns(sys.sim().now())); break; }
+        ++hist[name];
+        sys.sim().queue().step();
+    }
+    printf("t=%.1fus done=%d\n", ticks_to_us(sys.sim().now()), done?1:0);
+    // top events
+    std::vector<std::pair<std::uint64_t,std::string>> v;
+    for (auto& [k,c2] : hist) v.push_back({c2,k});
+    std::sort(v.rbegin(), v.rend());
+    for (size_t i = 0; i < v.size() && i < 12; ++i) printf("%10llu  %s\n", (unsigned long long)v[i].first, v[i].second.c_str());
+    printf("rc_mrd=%.0f cpl=%.0f dma_rd=%.0f tlps_up=%.0f tlps_dn=%.0f smmu=%.0f host_rd=%.0f polls=%.0f cmds=%.0f\n",
+        sys.stat("rc.inbound_read_tlps"), sys.stat("rc.completions_sent"), sys.stat("mf.dma.reads_issued"),
+        sys.stat("link_up.tlps"), sys.stat("link_dn.tlps"), sys.stat("smmu.translations"),
+        sys.stat("hostmem.reads"), sys.stat("cpu0.polls"), sys.stat("mf.commands"));
+    return 0;
+}

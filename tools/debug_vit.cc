@@ -1,0 +1,40 @@
+#include <cstdio>
+#include "core/runner.hh"
+using namespace accesys;
+int main(int argc, char** argv)
+{
+    setvbuf(stdout, nullptr, _IONBF, 0);
+    workload::VitConfig tiny{"ViT-Tiny", 1, 192, 3, 4, 197};
+    const int which = argc > 1 ? atoi(argv[1]) : 0;
+    struct P { const char* label; core::Placement pl; double bw; const char* mem; unsigned pkt; };
+    P pts[4] = {
+        {"PCIe-2GB", core::Placement::host, 2.0, "DDR4", 256},
+        {"PCIe-8GB", core::Placement::host, 8.0, "DDR4", 256},
+        {"PCIe-64GB", core::Placement::host, 64.0, "HBM2", 256},
+        {"DevMem", core::Placement::devmem, 0.0, "HBM2", 64},
+    };
+    for (int i = (which ? which-1 : 0); i < (which ? which : 4); ++i) {
+        const P& p = pts[i];
+        printf("config %s...\n", p.label);
+        core::SystemConfig cfg = core::SystemConfig::paper_default();
+        cfg.set_packet_size(p.pkt);
+        if (p.pl == core::Placement::host) { cfg.set_host_dram(p.mem); cfg.set_pcie_target_gbps(p.bw); }
+        else { cfg.set_devmem(p.mem); if (getenv("FASTCTL")) cfg.set_pcie_target_gbps(64.0); }
+        core::System sys(cfg);
+        core::Runner runner(sys);
+        const auto res = runner.run_vit(tiny, p.pl);
+        printf("  total=%.3fms gemm=%.3f nongemm=%.3f cmds=%llu vops=%llu\n",
+               res.ms(), ticks_to_ms(res.gemm_ticks), ticks_to_ms(res.nongemm_ticks),
+               (unsigned long long)res.gemm_cmds, (unsigned long long)res.vector_ops);
+        printf("  compute_busy=%.3fms dma_rd=%.0f dma_wr=%.0f dma_bytes=%.1fKB up_payload=%.0fKB\n",
+               ticks_to_ms(sys.accelerator().compute_busy_ticks()),
+               sys.stat("mf.dma.reads_issued"), sys.stat("mf.dma.writes_issued"),
+               (sys.stat("mf.dma.bytes_read")+sys.stat("mf.dma.bytes_written"))/1024.0,
+               sys.stat("link_up.payload_bytes")/1024.0);
+        if (p.pl == core::Placement::devmem)
+            printf("  devmem: mover_rd=%.0f mover_wr=%.0f bytes=%.1fKB aperture_rd=%.0f\n",
+                   sys.stat("mf.devmem_mover.reads"), sys.stat("mf.devmem_mover.writes"),
+                   sys.stat("mf.devmem_mover.bytes")/1024.0, sys.stat("mf.aperture_reads"));
+    }
+    return 0;
+}
