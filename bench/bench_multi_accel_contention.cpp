@@ -1,0 +1,71 @@
+// Multi-accelerator uplink contention: sweep 1..4 MatrixFlow endpoints
+// behind one PCIe switch sharing the x4 uplink, each running the same GEMM
+// concurrently, and report per-device and aggregate bandwidth plus uplink
+// utilization — the scenario family the single-device paper topology
+// cannot express.
+//
+// Expected shape: the uplink direction toward the devices saturates, so
+// per-device bandwidth falls roughly as 1/N while aggregate bandwidth and
+// utilization plateau; completion-time skew between devices stays small
+// because the switch round-robins ingress fairly.
+#include "bench_util.hh"
+
+#include <vector>
+
+int main(int argc, char** argv)
+{
+    using namespace accesys;
+    const bool quick = benchutil::quick_mode(argc, argv);
+    const std::uint32_t size = quick ? 128 : 512;
+    const std::size_t max_devices = 4;
+
+    benchutil::header("bench_multi_accel_contention",
+                      "multi-accelerator extension of Fig. 3",
+                      "N endpoints sharing the PCIe 2.0 x4 uplink, one "
+                      "concurrent GEMM each");
+
+    std::printf("GEMM per device: %ux%ux%u int8\n\n", size, size, size);
+    std::printf("%2s %10s %12s %12s %12s %10s %8s\n", "N", "time(ms)",
+                "dev BW(GB/s)", "agg BW(GB/s)", "agg GMAC/s", "uplink%",
+                "skew(us)");
+
+    double solo_gbps = 0.0;
+    for (std::size_t n = 1; n <= max_devices; ++n) {
+        core::SystemConfig cfg = core::SystemConfig::paper_default();
+        cfg.set_num_devices(n);
+        core::System sys(cfg);
+        core::Runner runner(sys);
+
+        const workload::GemmSpec spec{size, size, size, /*seed=*/3};
+        for (std::size_t d = 0; d < n; ++d) {
+            runner.dispatch(d, spec, core::Placement::host);
+        }
+        const auto res = runner.run_dispatched();
+
+        Tick first_done = res.devices.front().done;
+        Tick last_done = res.devices.front().done;
+        double sum_gbps = 0.0;
+        for (const auto& d : res.devices) {
+            sum_gbps += d.gbps(res.elapsed());
+            first_done = std::min(first_done, d.done);
+            last_done = std::max(last_done, d.done);
+        }
+        const double per_dev = sum_gbps / static_cast<double>(n);
+        if (n == 1) {
+            solo_gbps = per_dev;
+        }
+
+        std::printf("%2zu %10.3f %12.2f %12.2f %12.2f %9.1f%% %8.1f\n", n,
+                    res.ms(), per_dev, res.aggregate_gbps(),
+                    res.aggregate_gmacs(),
+                    100.0 * sys.pcie_uplink().utilization(0),
+                    ticks_to_us(last_done - first_done));
+    }
+
+    if (solo_gbps > 0.0) {
+        std::printf("\n(1-device DMA bandwidth %.2f GB/s is the contention "
+                    "baseline)\n",
+                    solo_gbps);
+    }
+    return 0;
+}

@@ -70,8 +70,8 @@ int main(int argc, char** argv)
                              ? 0.0
                              : smmu.total_ptw_ns() /
                                    static_cast<double>(smmu.ptw_count());
-        r.utlb_lookups = static_cast<double>(smmu.utlb().lookups());
-        r.utlb_misses = static_cast<double>(smmu.utlb().misses());
+        r.utlb_lookups = static_cast<double>(smmu.utlb_lookups());
+        r.utlb_misses = static_cast<double>(smmu.utlb_misses());
         r.overhead_pct = (res.ms() / ideal_ms - 1.0) * 100.0;
         rows.push_back(r);
     }

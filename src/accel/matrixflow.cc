@@ -324,6 +324,7 @@ void MatrixFlowDevice::run_complete()
     pcie_mover_.submit(TransferJob{
         params_.local_base + kFlagScratch, flag_addr, 8, [this] {
             ++n_commands_;
+            last_complete_tick_ = now();
             run_.reset();
             fetch_next_command();
         }});

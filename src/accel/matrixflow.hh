@@ -91,6 +91,13 @@ class MatrixFlowDevice final : public pcie::Endpoint,
     {
         return static_cast<Tick>(compute_ticks_.value());
     }
+    /// Tick the most recent command finished posting its completion flag
+    /// (0 if none yet) — the device-side completion time, free of the
+    /// CPU's poll-order observation bias.
+    [[nodiscard]] Tick last_complete_tick() const noexcept
+    {
+        return last_complete_tick_;
+    }
 
     // dma::DmaPort
     void dma_send(pcie::TlpPtr tlp, std::function<void()> on_sent) override
@@ -177,6 +184,7 @@ class MatrixFlowDevice final : public pcie::Endpoint,
     std::unordered_map<std::uint64_t, ApertureRead> aperture_reads_;
 
     std::deque<Addr> cmd_fifo_; ///< doorbell backlog (descriptor addresses)
+    Tick last_complete_tick_ = 0;
     std::optional<Run> run_;
     bool fetching_ = false;
     Event compute_event_{"", nullptr};

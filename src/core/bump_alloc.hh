@@ -1,0 +1,44 @@
+// Page-aligned bump allocation over a fixed arena — the workload-memory
+// allocator shared by the host DRAM arena and every device-memory arena.
+#pragma once
+
+#include <string>
+
+#include "sim/error.hh"
+#include "sim/types.hh"
+
+namespace accesys::core {
+
+/// Monotonic allocator over [base, limit). Throws SimError when the arena
+/// is exhausted (including on arithmetic overflow of huge requests).
+class BumpAllocator {
+  public:
+    BumpAllocator() = default;
+    BumpAllocator(std::string what, Addr base, Addr limit)
+        : what_(std::move(what)), next_(base), limit_(limit)
+    {
+        ensure(base <= limit, what_, ": allocator arena ends before it starts");
+    }
+
+    [[nodiscard]] Addr alloc(std::uint64_t bytes, std::uint64_t align)
+    {
+        ensure(is_pow2(align), what_, ": allocation alignment ", align,
+               " is not a power of two");
+        const Addr addr = align_up(next_, align);
+        ensure(addr >= next_ && addr <= limit_ && bytes <= limit_ - addr,
+               what_, " arena exhausted (", bytes, " B requested, ",
+               limit_ - std::min(limit_, next_), " B free)");
+        next_ = addr + bytes;
+        return addr;
+    }
+
+    [[nodiscard]] Addr next() const noexcept { return next_; }
+    [[nodiscard]] Addr limit() const noexcept { return limit_; }
+
+  private:
+    std::string what_ = "memory";
+    Addr next_ = 0;
+    Addr limit_ = 0;
+};
+
+} // namespace accesys::core

@@ -8,10 +8,19 @@ namespace accesys::core {
 
 namespace {
 
-/// The doorbell register's system address.
-Addr doorbell_addr(const System& sys)
+/// The doorbell register's system address for endpoint `idx`.
+Addr doorbell_addr(System& sys, std::size_t idx = 0)
 {
-    return sys.config().accel.bar0_base + accel::kRegDoorbell;
+    return sys.accelerator(idx).params().bar0_base + accel::kRegDoorbell;
+}
+
+/// DMA payload bytes endpoint `idx` has moved so far (both directions).
+std::uint64_t dma_bytes(System& sys, std::size_t idx)
+{
+    const std::string& prefix = sys.accelerator(idx).name();
+    return static_cast<std::uint64_t>(
+        sys.stat(prefix + ".dma.bytes_read") +
+        sys.stat(prefix + ".dma.bytes_written"));
 }
 
 } // namespace
@@ -19,12 +28,37 @@ Addr doorbell_addr(const System& sys)
 GemmRunResult Runner::run_gemm(const workload::GemmSpec& spec,
                                Placement place, bool verify)
 {
+    ensure(pending_.empty(), "run_gemm with ", pending_.size(),
+           " GEMMs already dispatched; use run_dispatched()");
+    dispatch(0, spec, place, verify);
+    const MultiGemmResult multi = run_dispatched();
+
+    GemmRunResult res;
+    res.start = multi.start;
+    res.end = multi.end;
+    res.verified = multi.devices[0].verified;
+    res.mismatches = multi.devices[0].mismatches;
+    return res;
+}
+
+void Runner::dispatch(std::size_t device_idx, const workload::GemmSpec& spec,
+                      Placement place, bool verify)
+{
     System& sys = *sys_;
     ensure(spec.m > 0 && spec.n > 0 && spec.k > 0, "degenerate GEMM spec");
+    ensure(device_idx < sys.device_count(), "dispatch to device ",
+           device_idx, " but the system has ", sys.device_count(),
+           " endpoints");
+    // One GEMM per endpoint per run: per-device DMA accounting reads the
+    // device-wide stat delta, which two commands on one device would share.
+    for (const PendingGemm& p : pending_) {
+        ensure(p.device != device_idx, "device ", device_idx,
+               " already has a dispatched GEMM in this batch");
+    }
 
-    const Addr a = sys.alloc(place, spec.a_bytes());
-    const Addr bt = sys.alloc(place, spec.b_bytes());
-    const Addr c = sys.alloc(place, spec.c_bytes());
+    const Addr a = sys.alloc_on(device_idx, place, spec.a_bytes());
+    const Addr bt = sys.alloc_on(device_idx, place, spec.b_bytes());
+    const Addr c = sys.alloc_on(device_idx, place, spec.c_bytes());
     const Addr flag = sys.alloc_host(64);
     const Addr desc = sys.alloc_host(64);
 
@@ -36,45 +70,85 @@ GemmRunResult Runner::run_gemm(const workload::GemmSpec& spec,
         sys.map_host_pages(c, spec.c_bytes());
     }
 
-    std::vector<std::int32_t> golden;
+    PendingGemm p;
+    p.device = device_idx;
+    p.spec = spec;
+    p.verify = verify;
+    p.c = c;
+    p.flag = flag;
+    p.desc = desc;
+
     if (verify) {
         workload::init_gemm_data(sys.store(), spec, a, bt);
-        golden = workload::gemm_golden(sys.store(), spec, a, bt);
+        p.golden = workload::gemm_golden(sys.store(), spec, a, bt);
     }
 
-    accel::GemmCommand cmd;
-    cmd.flags = (verify ? accel::kCmdVerify : 0U) |
-                (place == Placement::devmem ? accel::kCmdDataInDevMem : 0U);
-    cmd.m = spec.m;
-    cmd.n = spec.n;
-    cmd.k = spec.k;
-    cmd.addr_a = a;
-    cmd.addr_b = bt;
-    cmd.addr_c = c;
-    cmd.flag_addr = flag;
-    cmd.flag_value = 1;
+    p.cmd.flags =
+        (verify ? accel::kCmdVerify : 0U) |
+        (place == Placement::devmem ? accel::kCmdDataInDevMem : 0U);
+    p.cmd.m = spec.m;
+    p.cmd.n = spec.n;
+    p.cmd.k = spec.k;
+    p.cmd.addr_a = a;
+    p.cmd.addr_b = bt;
+    p.cmd.addr_c = c;
+    p.cmd.flag_addr = flag;
+    p.cmd.flag_value = 1;
+    pending_.push_back(std::move(p));
+}
 
-    GemmRunResult res;
+MultiGemmResult Runner::run_dispatched()
+{
+    System& sys = *sys_;
+    ensure(!pending_.empty(), "run_dispatched with nothing dispatched");
+
+    MultiGemmResult res;
+    res.devices.resize(pending_.size());
+    std::vector<std::uint64_t> dma_before(pending_.size());
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        res.devices[i].device = pending_[i].device;
+        res.devices[i].spec = pending_[i].spec;
+        dma_before[i] = dma_bytes(sys, pending_[i].device);
+    }
+
+    // The driver fills every descriptor, rings all doorbells back-to-back
+    // (the devices start pulling operands immediately and contend on the
+    // fabric), then polls each completion flag in dispatch order.
     std::vector<cpu::CpuOp> prog;
-    prog.push_back(cpu::Call{[&sys, &res, desc, cmd] {
+    prog.push_back(cpu::Call{[this, &sys, &res] {
         res.start = sys.sim().now();
-        sys.store().write_obj(desc, cmd); // driver fills the descriptor
+        for (const PendingGemm& p : pending_) {
+            sys.store().write_obj(p.desc, p.cmd);
+        }
     }});
-    prog.push_back(cpu::MmioWrite{doorbell_addr(sys), desc});
-    prog.push_back(cpu::PollFlag{flag, cmd.flag_value});
+    for (const PendingGemm& p : pending_) {
+        prog.push_back(cpu::MmioWrite{doorbell_addr(sys, p.device), p.desc});
+    }
+    for (const PendingGemm& p : pending_) {
+        prog.push_back(cpu::PollFlag{p.flag, p.cmd.flag_value});
+    }
     prog.push_back(cpu::Call{[&sys, &res] { res.end = sys.sim().now(); }});
 
     sys.host_cpu().run_program(std::move(prog), [&sys] {
-        sys.sim().request_exit("gemm complete");
+        sys.sim().request_exit("dispatched gemms complete");
     });
     const RunResult rr = sys.sim().run();
     ensure(rr.cause == ExitCause::exit_requested,
            "GEMM run deadlocked: simulation drained at tick ", rr.end_tick);
 
-    if (verify) {
-        res.mismatches = workload::gemm_check(sys.store(), spec, c, golden);
-        res.verified = res.mismatches == 0;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        const PendingGemm& p = pending_[i];
+        res.devices[i].done =
+            sys.accelerator(p.device).last_complete_tick();
+        res.devices[i].dma_bytes =
+            dma_bytes(sys, p.device) - dma_before[i];
+        if (p.verify) {
+            res.devices[i].mismatches =
+                workload::gemm_check(sys.store(), p.spec, p.c, p.golden);
+            res.devices[i].verified = res.devices[i].mismatches == 0;
+        }
     }
+    pending_.clear();
     return res;
 }
 

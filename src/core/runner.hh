@@ -3,8 +3,17 @@
 // host memory, rings the accelerator's doorbell over MMIO, and polls a
 // completion flag the device DMA-writes back; Non-GEMM operators run on the
 // CPU between offloads.
+//
+// Multi-accelerator scenarios: dispatch() stages one GEMM per call against
+// any endpoint; run_dispatched() then rings every staged doorbell
+// back-to-back and polls the completion flags, so all endpoints execute
+// concurrently and contend on the shared PCIe uplink. run_gemm() is the
+// single-device shorthand built on the same path.
 #pragma once
 
+#include <vector>
+
+#include "accel/command.hh"
 #include "core/system.hh"
 #include "workload/gemm.hh"
 #include "workload/vit.hh"
@@ -43,6 +52,68 @@ struct VitRunResult {
     }
 };
 
+/// Outcome of one device's share of a concurrent multi-device run.
+struct DeviceGemmResult {
+    std::size_t device = 0;
+    workload::GemmSpec spec{};
+    /// Tick the device finished posting its completion flag (device-side,
+    /// so dispatch/poll order cannot bias completion-skew measurements).
+    Tick done = 0;
+    bool verified = false;
+    std::uint64_t mismatches = 0;
+
+    /// Bytes this device's DMA engine moved (payload, both directions).
+    std::uint64_t dma_bytes = 0;
+    /// Achieved DMA bandwidth over the whole run, in GB/s.
+    [[nodiscard]] double gbps(Tick elapsed) const
+    {
+        return elapsed == 0
+                   ? 0.0
+                   : static_cast<double>(dma_bytes) / ticks_to_sec(elapsed) /
+                         1e9;
+    }
+};
+
+/// Outcome of a concurrent multi-device GEMM scenario.
+struct MultiGemmResult {
+    Tick start = 0;
+    Tick end = 0;
+    std::vector<DeviceGemmResult> devices;
+
+    [[nodiscard]] Tick elapsed() const { return end - start; }
+    [[nodiscard]] double ms() const { return ticks_to_ms(elapsed()); }
+    [[nodiscard]] bool all_verified() const
+    {
+        for (const auto& d : devices) {
+            if (!d.verified) {
+                return false;
+            }
+        }
+        return !devices.empty();
+    }
+    /// Aggregate throughput across all devices, in GMAC/s.
+    [[nodiscard]] double aggregate_gmacs() const
+    {
+        if (elapsed() == 0) {
+            return 0.0;
+        }
+        double macs = 0.0;
+        for (const auto& d : devices) {
+            macs += static_cast<double>(d.spec.macs());
+        }
+        return macs / ticks_to_sec(elapsed()) / 1e9;
+    }
+    /// Aggregate DMA bandwidth across all devices, in GB/s.
+    [[nodiscard]] double aggregate_gbps() const
+    {
+        double gbps = 0.0;
+        for (const auto& d : devices) {
+            gbps += d.gbps(elapsed());
+        }
+        return gbps;
+    }
+};
+
 class Runner {
   public:
     explicit Runner(System& sys) : sys_(&sys) {}
@@ -53,12 +124,36 @@ class Runner {
     GemmRunResult run_gemm(const workload::GemmSpec& spec, Placement place,
                            bool verify = false);
 
+    /// Stage one GEMM on endpoint `device_idx`: allocates and maps the
+    /// operands (against that device's memories for Placement::devmem) and
+    /// prepares the command descriptor. Nothing executes until
+    /// run_dispatched().
+    void dispatch(std::size_t device_idx, const workload::GemmSpec& spec,
+                  Placement place, bool verify = false);
+
+    /// Execute every dispatched GEMM concurrently: the CPU rings all
+    /// doorbells back-to-back, then polls each completion flag. Clears the
+    /// dispatch list.
+    MultiGemmResult run_dispatched();
+
     /// Run one full ViT inference; returns the phase-split timing that
     /// Figs. 7 and 8 report.
     VitRunResult run_vit(const workload::VitConfig& cfg, Placement place);
 
   private:
+    struct PendingGemm {
+        std::size_t device = 0;
+        workload::GemmSpec spec{};
+        bool verify = false;
+        Addr c = 0;
+        Addr flag = 0;
+        Addr desc = 0;
+        accel::GemmCommand cmd{};
+        std::vector<std::int32_t> golden;
+    };
+
     System* sys_;
+    std::vector<PendingGemm> pending_;
 };
 
 } // namespace accesys::core

@@ -19,15 +19,20 @@ System::System(const SystemConfig& cfg) : cfg_(cfg)
 
 System::~System() = default;
 
+DeviceInstance& System::device(std::size_t idx)
+{
+    ensure(idx < topo_.devices.size(), "device index ", idx,
+           " out of range (", topo_.devices.size(), " endpoints)");
+    return topo_.devices[idx];
+}
+
 void System::build()
 {
     const mem::AddrRange host = host_range();
     const Addr pt_root = cfg_.host_dram_bytes - kPtArenaBytes;
     ptable_ = std::make_unique<smmu::PageTable>(
         store_, pt_root, pt_root + smmu::kPageBytes, cfg_.host_dram_bytes);
-    host_alloc_next_ = kDataBase;
-    host_alloc_limit_ = pt_root;
-    devmem_alloc_next_ = cfg_.devmem_base;
+    host_alloc_ = BumpAllocator("host workload", kDataBase, pt_root);
 
     // --- coherent MemBus ----------------------------------------------------
     membus_ = std::make_unique<mem::Xbar>(sim_, "membus", cfg_.membus);
@@ -69,80 +74,49 @@ void System::build()
     rc_ = std::make_unique<pcie::RootComplex>(sim_, "rc", rc_params);
     rc_->mem_side().bind(smmu_->dev_side());
 
-    // CPU-visible PCIe window: BAR0 plus (optionally) the DevMem aperture.
-    const Addr window_end = cfg_.enable_devmem
-                                ? cfg_.devmem_base + cfg_.devmem_bytes
-                                : cfg_.accel.bar0_base + cfg_.accel.bar0_size;
-    const mem::AddrRange pcie_window(cfg_.accel.bar0_base, window_end);
-    membus_->add_downstream("pcie_side", pcie_window).bind(rc_->mmio_side());
-    cpu_->add_uncacheable_range(pcie_window);
+    // --- PCIe hierarchy: RC -> switch tree -> N endpoints ---------------------
+    topo_ = TopologyBuilder::build(sim_, store_, cfg_, *rc_);
 
-    // --- PCIe hierarchy --------------------------------------------------------
-    link_up_ = std::make_unique<pcie::PcieLink>(sim_, "link_up", cfg_.pcie);
-    link_dn_ = std::make_unique<pcie::PcieLink>(sim_, "link_dn", cfg_.pcie);
-    pcie_switch_ = std::make_unique<pcie::PcieSwitch>(sim_, "pcie_sw",
-                                                      cfg_.pcie_switch);
-    rc_->connect_pcie(link_up_->end_a());
-    pcie_switch_->set_upstream(link_up_->end_b());
+    // CPU-visible PCIe window: every BAR plus every DevMem aperture.
+    membus_->add_downstream("pcie_side", topo_.pcie_window)
+        .bind(rc_->mmio_side());
+    cpu_->add_uncacheable_range(topo_.pcie_window);
 
-    accel_ = std::make_unique<accel::MatrixFlowDevice>(sim_, "mf", cfg_.accel,
-                                                       store_, host);
-    std::vector<mem::AddrRange> device_bars = {mem::AddrRange::with_size(
-        cfg_.accel.bar0_base, cfg_.accel.bar0_size)};
-    if (cfg_.enable_devmem) {
-        device_bars.push_back(devmem_range());
-    }
-    pcie_switch_->add_downstream(link_dn_->end_a(), device_bars,
-                                 accel_->device_id());
-    accel_->connect_pcie(link_dn_->end_b());
-
-    // --- device-side memory -----------------------------------------------------
-    if (cfg_.enable_devmem) {
-        devmem_xbar_ = std::make_unique<mem::Xbar>(sim_, "devmem_xbar",
-                                                   cfg_.devmem_xbar);
-        if (cfg_.devmem_simple) {
-            devmem_simple_mem_ = std::make_unique<mem::SimpleMem>(
-                sim_, "devmem", cfg_.devmem_simple_mem, devmem_range());
-            devmem_xbar_->add_downstream("mem_side", devmem_range())
-                .bind(devmem_simple_mem_->port());
-        } else {
-            devmem_mem_ = std::make_unique<mem::MemCtrl>(
-                sim_, "devmem", cfg_.devmem_mem, devmem_range());
-            devmem_xbar_->add_downstream("mem_side", devmem_range())
-                .bind(devmem_mem_->port());
-        }
-        mem::ResponsePort& mover_up = devmem_xbar_->add_upstream("mover");
-        mem::ResponsePort& aperture_up =
-            devmem_xbar_->add_upstream("aperture");
-        accel_->attach_devmem(devmem_range(), mover_up, aperture_up);
+    // Route each endpoint's requester id to its SMMU translation stream.
+    for (const DeviceInstance& dev : topo_.devices) {
+        smmu_->map_stream(dev.device->device_id(), dev.stream_id);
     }
 }
 
 Addr System::alloc_host(std::uint64_t bytes, std::uint64_t align)
 {
-    host_alloc_next_ = align_up(host_alloc_next_, align);
-    const Addr addr = host_alloc_next_;
-    host_alloc_next_ += bytes;
-    ensure(host_alloc_next_ <= host_alloc_limit_,
-           "host workload arena exhausted");
-    return addr;
+    return host_alloc_.alloc(bytes, align);
 }
 
 Addr System::alloc_devmem(std::uint64_t bytes, std::uint64_t align)
 {
-    ensure(cfg_.enable_devmem, "device memory is not enabled");
-    devmem_alloc_next_ = align_up(devmem_alloc_next_, align);
-    const Addr addr = devmem_alloc_next_;
-    devmem_alloc_next_ += bytes;
-    ensure(devmem_alloc_next_ <= cfg_.devmem_base + cfg_.devmem_bytes,
-           "device memory arena exhausted");
-    return addr;
+    return alloc_devmem_on(0, bytes, align);
+}
+
+Addr System::alloc_devmem_on(std::size_t idx, std::uint64_t bytes,
+                             std::uint64_t align)
+{
+    DeviceInstance& dev = device(idx);
+    ensure(dev.devmem_enabled(), "device memory is not enabled on '",
+           dev.name, "'");
+    return dev.devmem_alloc.alloc(bytes, align);
 }
 
 Addr System::alloc(Placement place, std::uint64_t bytes, std::uint64_t align)
 {
+    return alloc_on(0, place, bytes, align);
+}
+
+Addr System::alloc_on(std::size_t idx, Placement place, std::uint64_t bytes,
+                      std::uint64_t align)
+{
     return place == Placement::host ? alloc_host(bytes, align)
-                                    : alloc_devmem(bytes, align);
+                                    : alloc_devmem_on(idx, bytes, align);
 }
 
 void System::map_host_pages(Addr addr, std::uint64_t size)

@@ -1,19 +1,40 @@
 // Full-system assembly: CPU cluster, coherent MemBus, caches, host memory,
-// SMMU, PCIe hierarchy (RC - switch - endpoint), the MatrixFlow accelerator
-// and optional device-side memory — the paper's Fig. 1 topology.
+// SMMU, and a declarative PCIe hierarchy (RC - switch tree - N endpoints)
+// of MatrixFlow accelerators with optional per-device memory — the paper's
+// Fig. 1 topology, generalised to multi-accelerator systems.
 //
 //   CPU -> L1D ------------------.
 //                                 MemBus (coherent, snooping)
 //   RC.mem <- SMMU <- IOCache ---'      |-> LLC -> host MemCtrl
-//      ^                                '-> RC.mmio (PCIe window)
-//      |  PCIe link (RC - switch - device)
-//   MatrixFlow endpoint [DMA engine | systolic array | local buffer]
-//      '-> DevMem xbar -> DevMem ctrl   (when device memory is enabled)
+//      ^      (per-device streams)      '-> RC.mmio (PCIe window)
+//      |  link_up (shared uplink)
+//   PcieSwitch ----------------------+------------------... nested switches
+//      | link_dn      | link_dn1     | link_dn2
+//   MatrixFlow[0]   MatrixFlow[1]  MatrixFlow[2]   ... endpoint N-1
+//   [DMA|SA|buf]    [DMA|SA|buf]   [DMA|SA|buf]
+//      |               |
+//   DevMem xbar     DevMem xbar1     (per-device memory, when enabled)
+//      '-> DevMem ctrl  '-> DevMem ctrl1
+//
+// Multi-accelerator topologies
+// ----------------------------
+// The endpoint list comes from SystemConfig::devices (see DeviceConfig):
+// each entry carries its own MatrixFlowParams, DMA parameters, BAR /
+// device-memory placement, SMMU stream id and switch attachment point;
+// SystemConfig::switch_tree nests additional PcieSwitch levels. All
+// placement knobs auto-carve (TopologyBuilder assigns unique requester
+// ids and a non-overlapping address map), and every device gets a
+// distinct stat prefix ("mf.", "mf1.", ...). An empty device list means
+// the classic single-device system; the single-device accessors below
+// (`accelerator()` == `accelerator(0)`) keep existing call sites working
+// unchanged.
 #pragma once
 
 #include <memory>
 
+#include "core/bump_alloc.hh"
 #include "core/system_config.hh"
+#include "core/topology.hh"
 #include "mem/backing_store.hh"
 #include "smmu/page_table.hh"
 
@@ -32,22 +53,44 @@ class System {
     [[nodiscard]] const SystemConfig& config() const noexcept { return cfg_; }
 
     [[nodiscard]] cpu::HostCpu& host_cpu() noexcept { return *cpu_; }
-    [[nodiscard]] accel::MatrixFlowDevice& accelerator() noexcept
+
+    /// Number of accelerator endpoints in the topology.
+    [[nodiscard]] std::size_t device_count() const noexcept
     {
-        return *accel_;
+        return topo_.devices.size();
     }
+    /// Endpoint `idx`; the no-argument form is the single-device shorthand.
+    [[nodiscard]] accel::MatrixFlowDevice& accelerator(std::size_t idx = 0)
+    {
+        return *device(idx).device;
+    }
+    /// SMMU stream id assigned to endpoint `idx`.
+    [[nodiscard]] std::uint32_t stream_id_of(std::size_t idx = 0)
+    {
+        return device(idx).stream_id;
+    }
+
     [[nodiscard]] smmu::Smmu& smmu() noexcept { return *smmu_; }
     [[nodiscard]] smmu::PageTable& page_table() noexcept { return *ptable_; }
-    [[nodiscard]] pcie::PcieLink& pcie_uplink() noexcept { return *link_up_; }
+    /// The shared RC-facing uplink every endpoint contends on.
+    [[nodiscard]] pcie::PcieLink& pcie_uplink() noexcept
+    {
+        return *topo_.uplinks[0];
+    }
+    /// The point-to-point link between endpoint `idx` and its switch.
+    [[nodiscard]] pcie::PcieLink& pcie_downlink(std::size_t idx = 0)
+    {
+        return *device(idx).link;
+    }
 
     [[nodiscard]] mem::AddrRange host_range() const noexcept
     {
         return mem::AddrRange(0, cfg_.host_dram_bytes);
     }
-    [[nodiscard]] mem::AddrRange devmem_range() const noexcept
+    /// Device-memory aperture of endpoint `idx` (empty if disabled).
+    [[nodiscard]] mem::AddrRange devmem_range(std::size_t idx = 0)
     {
-        return mem::AddrRange::with_size(cfg_.devmem_base,
-                                         cfg_.devmem_bytes);
+        return device(idx).devmem;
     }
 
     /// Bump-allocate workload memory (page-aligned by default).
@@ -55,8 +98,15 @@ class System {
                                   std::uint64_t align = 4096);
     [[nodiscard]] Addr alloc_devmem(std::uint64_t bytes,
                                     std::uint64_t align = 4096);
+    /// Allocate from endpoint `idx`'s device memory.
+    [[nodiscard]] Addr alloc_devmem_on(std::size_t idx, std::uint64_t bytes,
+                                       std::uint64_t align = 4096);
     [[nodiscard]] Addr alloc(Placement place, std::uint64_t bytes,
                              std::uint64_t align = 4096);
+    /// Placement-directed allocation against endpoint `idx`'s memories.
+    [[nodiscard]] Addr alloc_on(std::size_t idx, Placement place,
+                                std::uint64_t bytes,
+                                std::uint64_t align = 4096);
 
     /// Identity-map host pages covering [addr, addr+size) for device access.
     void map_host_pages(Addr addr, std::uint64_t size);
@@ -70,6 +120,7 @@ class System {
 
   private:
     void build();
+    [[nodiscard]] DeviceInstance& device(std::size_t idx);
 
     SystemConfig cfg_;
     Simulator sim_;
@@ -85,17 +136,9 @@ class System {
     std::unique_ptr<mem::SimpleMem> host_simple_mem_;
     std::unique_ptr<smmu::Smmu> smmu_;
     std::unique_ptr<pcie::RootComplex> rc_;
-    std::unique_ptr<pcie::PcieSwitch> pcie_switch_;
-    std::unique_ptr<pcie::PcieLink> link_up_;
-    std::unique_ptr<pcie::PcieLink> link_dn_;
-    std::unique_ptr<accel::MatrixFlowDevice> accel_;
-    std::unique_ptr<mem::Xbar> devmem_xbar_;
-    std::unique_ptr<mem::MemCtrl> devmem_mem_;
-    std::unique_ptr<mem::SimpleMem> devmem_simple_mem_;
+    Topology topo_; ///< switch tree, endpoints and their device memory
 
-    Addr host_alloc_next_ = 0;
-    Addr devmem_alloc_next_ = 0;
-    Addr host_alloc_limit_ = 0;
+    BumpAllocator host_alloc_;
 };
 
 } // namespace accesys::core

@@ -100,6 +100,88 @@ void SystemConfig::set_devmem(const std::string& preset)
     devmem_simple = false;
 }
 
+namespace {
+
+/// The legacy single-device fields expressed as a DeviceConfig.
+DeviceConfig legacy_device(const SystemConfig& cfg)
+{
+    DeviceConfig d;
+    d.accel = cfg.accel;
+    d.enable_devmem = cfg.enable_devmem;
+    d.devmem_base = cfg.devmem_base;
+    d.devmem_bytes = cfg.devmem_bytes;
+    d.devmem_simple = cfg.devmem_simple;
+    d.devmem_mem = cfg.devmem_mem;
+    d.devmem_simple_mem = cfg.devmem_simple_mem;
+    d.devmem_xbar = cfg.devmem_xbar;
+    return d;
+}
+
+/// Clone with every placement knob set to auto-carve.
+DeviceConfig auto_clone(const DeviceConfig& proto)
+{
+    DeviceConfig d = proto;
+    d.name.clear();
+    d.accel.bar0_base = 0;
+    d.accel.local_base = 0;
+    d.accel.ep.device_id = 0;
+    d.devmem_base = 0;
+    d.stream_id = 0;
+    d.attach_to = 0;
+    return d;
+}
+
+} // namespace
+
+void SystemConfig::set_num_devices(std::size_t n)
+{
+    require_cfg(n >= 1, "a system needs at least one accelerator");
+    require_cfg(n <= 0xFFFF, "device count ", n,
+                " exceeds the 16-bit PCIe requester-id space");
+    devices.clear();
+    devices.push_back(legacy_device(*this));
+    for (std::size_t i = 1; i < n; ++i) {
+        devices.push_back(auto_clone(devices.front()));
+    }
+}
+
+DeviceConfig& SystemConfig::add_device(std::string name)
+{
+    if (devices.empty()) {
+        devices.push_back(legacy_device(*this));
+    }
+    devices.push_back(auto_clone(devices.front()));
+    devices.back().name = std::move(name);
+    return devices.back();
+}
+
+std::size_t SystemConfig::add_switch_below(std::size_t parent)
+{
+    if (switch_tree.empty()) {
+        switch_tree.push_back(SwitchConfig{0, pcie_switch, pcie});
+    }
+    require_cfg(parent < switch_tree.size(),
+                "switch parent index out of range");
+    switch_tree.push_back(SwitchConfig{parent, pcie_switch, pcie});
+    return switch_tree.size() - 1;
+}
+
+std::vector<DeviceConfig> SystemConfig::resolved_devices() const
+{
+    if (!devices.empty()) {
+        return devices;
+    }
+    return {legacy_device(*this)};
+}
+
+std::vector<SwitchConfig> SystemConfig::resolved_switch_tree() const
+{
+    if (!switch_tree.empty()) {
+        return switch_tree;
+    }
+    return {SwitchConfig{0, pcie_switch, pcie}};
+}
+
 void SystemConfig::validate() const
 {
     cpu.validate();
@@ -110,14 +192,27 @@ void SystemConfig::validate() const
     pcie.validate();
     rc.validate();
     smmu.validate();
-    accel.validate();
-    if (enable_devmem && !devmem_simple) {
-        devmem_mem.dram.validate();
-    }
     require_cfg(host_dram_bytes >= 256 * kMiB,
                 "host DRAM must be at least 256 MiB (page tables live there)");
-    require_cfg(accel.bar0_base >= host_dram_bytes,
-                "BAR0 must not overlap host DRAM");
+
+    // Structural topology checks (tree order, attachment points, name and
+    // id uniqueness, address-map overlap) live in TopologyBuilder::resolve,
+    // which every System construction runs; here we only validate the
+    // per-component parameter blocks.
+    for (const auto& sw : resolved_switch_tree()) {
+        sw.uplink.validate();
+    }
+
+    for (const DeviceConfig& dev : resolved_devices()) {
+        dev.accel.validate();
+        if (dev.accel.bar0_base != 0) {
+            require_cfg(dev.accel.bar0_base >= host_dram_bytes,
+                        "BAR0 must not overlap host DRAM");
+        }
+        if (dev.enable_devmem && !dev.devmem_simple) {
+            dev.devmem_mem.dram.validate();
+        }
+    }
 }
 
 } // namespace accesys::core

@@ -27,6 +27,49 @@ enum class Placement {
     devmem, ///< device-side memory, reached over PCIe by the CPU (NUMA)
 };
 
+/// One PCIe endpoint in a declarative multi-accelerator topology.
+///
+/// Every placement knob supports auto-carving so that N devices can be
+/// declared without hand-assigning address maps:
+///   * `accel.bar0_base == 0`     -> BAR0 carved from the MMIO region
+///   * `accel.local_base == 0`    -> scratchpad staging space carved
+///   * `accel.ep.device_id == 0`  -> next free PCIe requester id
+///   * `devmem_base == 0`         -> device-memory aperture carved
+/// Explicitly set values are honoured and checked for overlap.
+struct DeviceConfig {
+    /// Component name and stat prefix; "" = auto ("mf" for device 0,
+    /// "mf<i>" for later devices, matching the single-device layout).
+    std::string name;
+
+    /// Accelerator parameters, including the DMA engine and endpoint id.
+    accel::MatrixFlowParams accel;
+
+    /// SMMU translation stream; 0 = use the PCIe requester id.
+    std::uint32_t stream_id = 0;
+
+    /// Index into SystemConfig::switch_tree of the switch this endpoint
+    /// hangs off (0 = the root switch below the RC).
+    std::size_t attach_to = 0;
+
+    /// Per-device device-side memory (aperture + controller + xbar).
+    bool enable_devmem = false;
+    Addr devmem_base = 0; ///< 0 = auto-carve from the devmem region
+    std::uint64_t devmem_bytes = 8 * kGiB;
+    bool devmem_simple = false;
+    mem::MemCtrlParams devmem_mem;
+    mem::SimpleMemParams devmem_simple_mem;
+    mem::XbarParams devmem_xbar;
+};
+
+/// One switch in the PCIe switch tree. Index 0 is the root switch whose
+/// uplink faces the root complex; every other switch hangs below an
+/// earlier-indexed parent (the tree is declared in topological order).
+struct SwitchConfig {
+    std::size_t parent = 0; ///< parent switch index (ignored for index 0)
+    pcie::SwitchParams params;
+    pcie::LinkParams uplink; ///< link toward the parent (RC for index 0)
+};
+
 struct SystemConfig {
     // --- CPU cluster (Table II) ---------------------------------------------
     cpu::CpuParams cpu;
@@ -51,10 +94,10 @@ struct SystemConfig {
     // --- SMMU -----------------------------------------------------------------
     smmu::SmmuParams smmu;
 
-    // --- accelerator ----------------------------------------------------------
+    // --- accelerator (device 0 when `devices` is empty) ----------------------
     accel::MatrixFlowParams accel;
 
-    // --- device-side memory ---------------------------------------------------
+    // --- device-side memory (device 0 when `devices` is empty) ---------------
     bool enable_devmem = false;
     mem::MemCtrlParams devmem_mem;
     bool devmem_simple = false;
@@ -62,6 +105,15 @@ struct SystemConfig {
     std::uint64_t devmem_bytes = 8 * kGiB;
     mem::XbarParams devmem_xbar;
     Addr devmem_base = 0x200000000000ULL;
+
+    // --- multi-accelerator topology -------------------------------------------
+    /// Declarative endpoint list. Empty = the classic single-device system
+    /// synthesized from the legacy `accel` / devmem fields above; otherwise
+    /// the TopologyBuilder instantiates one endpoint per entry.
+    std::vector<DeviceConfig> devices;
+    /// PCIe switch tree. Empty = one root switch built from `pcie_switch` /
+    /// `pcie` (the paper's Fig. 1 layout).
+    std::vector<SwitchConfig> switch_tree;
 
     AccessMode access_mode = AccessMode::dc;
 
@@ -83,6 +135,36 @@ struct SystemConfig {
 
     /// Enable device-side memory with the given DRAM technology.
     void set_devmem(const std::string& preset);
+
+    /// Populate `devices` with `n` endpoints below the root switch:
+    /// device 0 mirrors the legacy single-device fields, devices 1..n-1
+    /// clone its parameters with all placement knobs set to auto-carve.
+    void set_num_devices(std::size_t n);
+
+    /// Append one endpoint cloned from the legacy accelerator fields with
+    /// auto-carved placement; returns it for further tweaking. The first
+    /// call also materialises the legacy device as device 0. The returned
+    /// reference lives in `devices` and is invalidated by the next
+    /// add_device() / set_num_devices() call — finish tweaking one device
+    /// before appending the next, or index `devices` directly.
+    DeviceConfig& add_device(std::string name = "");
+
+    /// Append a switch below `parent` and return its index (usable as a
+    /// DeviceConfig::attach_to). The first call materialises the root
+    /// switch (index 0) from the legacy `pcie_switch` / `pcie` fields.
+    std::size_t add_switch_below(std::size_t parent);
+
+    /// Effective endpoint list: `devices`, or the synthesized legacy
+    /// single-device entry when it is empty.
+    [[nodiscard]] std::vector<DeviceConfig> resolved_devices() const;
+
+    /// Effective switch tree: `switch_tree`, or the single legacy root.
+    [[nodiscard]] std::vector<SwitchConfig> resolved_switch_tree() const;
+
+    [[nodiscard]] std::size_t device_count() const
+    {
+        return devices.empty() ? 1 : devices.size();
+    }
 
     void validate() const;
 };

@@ -124,6 +124,13 @@ class Packet {
     [[nodiscard]] std::uint64_t tag() const noexcept { return tag_; }
     void set_tag(std::uint64_t t) noexcept { tag_ = t; }
 
+    /// Translation stream the request belongs to (stamped by the bridge
+    /// that admits device traffic, e.g. from the PCIe requester id). An
+    /// SMMU uses it to select the per-device translation context; 0 means
+    /// "untagged" and maps to the default stream.
+    [[nodiscard]] std::uint32_t stream() const noexcept { return stream_; }
+    void set_stream(std::uint32_t s) noexcept { stream_ = s; }
+
     [[nodiscard]] Tick created_at() const noexcept { return created_at_; }
     void set_created_at(Tick t) noexcept { created_at_ = t; }
 
@@ -185,6 +192,7 @@ class Packet {
     std::uint32_t size_;
     Addr orig_addr_ = 0;
     std::uint32_t requestor_ = 0;
+    std::uint32_t stream_ = 0;
     std::uint64_t tag_ = 0;
     Tick created_at_ = 0;
     std::vector<std::uint16_t> route_;

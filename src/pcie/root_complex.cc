@@ -122,6 +122,7 @@ void RootComplex::service_read(Tlp& tlp)
         auto pkt = mem::Packet::make_read(tlp.addr + off, n);
         pkt->set_requestor(requestor_id_);
         pkt->set_tag((static_cast<std::uint64_t>(key) << 16) | chunk);
+        pkt->set_stream(tlp.requester);
         pkt->flags.from_device = true;
         pkt->flags.needs_translation = params_.device_addresses_virtual;
         pkt->flags.uncacheable = params_.inbound_uncacheable;
@@ -137,6 +138,7 @@ void RootComplex::service_write(Tlp& tlp)
         const std::uint32_t n = split_span(tlp.addr, tlp.length, off);
         auto pkt = mem::Packet::make_write(tlp.addr + off, n);
         pkt->set_requestor(requestor_id_);
+        pkt->set_stream(tlp.requester);
         pkt->flags.from_device = true;
         pkt->flags.posted = true;
         pkt->flags.needs_translation = params_.device_addresses_virtual;

@@ -39,13 +39,37 @@ void PcieSwitch::add_downstream(PciePort& port,
                                 std::vector<mem::AddrRange> bars,
                                 std::uint16_t device_id)
 {
-    require_cfg(device_id != 0, name(),
-                ": device id 0 is reserved for the host");
+    add_downstream(port, std::move(bars),
+                   std::vector<std::uint16_t>{device_id});
+}
+
+void PcieSwitch::add_downstream(PciePort& port,
+                                std::vector<mem::AddrRange> bars,
+                                const std::vector<std::uint16_t>& device_ids)
+{
+    require_cfg(!device_ids.empty(), name(),
+                ": downstream port needs at least one requester id");
+    // Validate the whole list before touching by_device_, so a rejected
+    // call cannot leave routes to a never-created egress slot behind.
+    for (std::size_t i = 0; i < device_ids.size(); ++i) {
+        const std::uint16_t id = device_ids[i];
+        require_cfg(id != 0, name(),
+                    ": device id 0 is reserved for the host");
+        require_cfg(by_device_.find(id) == by_device_.end(), name(),
+                    ": requester id ", id,
+                    " already claimed by another downstream port");
+        for (std::size_t j = 0; j < i; ++j) {
+            require_cfg(device_ids[j] != id, name(), ": requester id ", id,
+                        " listed twice for one downstream port");
+        }
+    }
     const auto idx = static_cast<unsigned>(egress_.size());
+    for (const std::uint16_t id : device_ids) {
+        by_device_[id] = idx;
+    }
     egress_.emplace_back();
     egress_.back().port = &port;
-    downstream_.push_back(Downstream{std::move(bars), device_id});
-    by_device_[device_id] = idx;
+    downstream_.push_back(Downstream{std::move(bars), device_ids});
     port.attach(*this, idx);
 }
 

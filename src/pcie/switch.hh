@@ -39,6 +39,14 @@ class PcieSwitch final : public SimObject, public PcieNode {
                         std::vector<mem::AddrRange> bars,
                         std::uint16_t device_id);
 
+    /// Connect a port with a whole subtree behind it (e.g. a nested
+    /// switch): `bars` is the union of the subtree's address ranges and
+    /// `device_ids` every requester id reachable through it, so memory
+    /// TLPs route down by BAR and completions route down by requester id.
+    void add_downstream(PciePort& port,
+                        std::vector<mem::AddrRange> bars,
+                        const std::vector<std::uint16_t>& device_ids);
+
     // PcieNode
     void recv_tlp(unsigned port_idx, TlpPtr tlp) override;
     void credit_avail(unsigned port_idx) override;
@@ -57,7 +65,7 @@ class PcieSwitch final : public SimObject, public PcieNode {
 
     struct Downstream {
         std::vector<mem::AddrRange> bars;
-        std::uint16_t device_id = 0;
+        std::vector<std::uint16_t> device_ids;
     };
 
     [[nodiscard]] unsigned route(const Tlp& tlp) const;

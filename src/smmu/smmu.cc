@@ -26,12 +26,38 @@ Smmu::Smmu(Simulator& sim, std::string name, const SmmuParams& params,
                   }),
       mem_q_(sim, this->name() + ".mem_q",
              [this](mem::PacketPtr& pkt) { return mem_port_.send_req(pkt); }),
-      utlb_(params.utlb_entries, params.utlb_assoc),
       tlb_(params.tlb_entries, params.tlb_assoc),
       walks_(params.walk_slots),
       walker_requestor_(mem::alloc_requestor_id())
 {
     params_.validate();
+    (void)stream_ctx(0); // default stream exists from the start
+}
+
+void Smmu::map_stream(std::uint32_t from, std::uint32_t to)
+{
+    stream_remap_[from] = to;
+}
+
+std::uint32_t Smmu::effective_stream(const mem::Packet& pkt) const
+{
+    const auto it = stream_remap_.find(pkt.stream());
+    return it == stream_remap_.end() ? pkt.stream() : it->second;
+}
+
+Smmu::StreamCtx& Smmu::stream_ctx(std::uint32_t stream)
+{
+    auto it = streams_.find(stream);
+    if (it == streams_.end()) {
+        it = streams_
+                 .emplace(stream,
+                          std::make_unique<StreamCtx>(
+                              sim().stats(),
+                              name() + ".stream" + std::to_string(stream),
+                              params_))
+                 .first;
+    }
+    return *it->second;
 }
 
 bool Smmu::recv_req(mem::PacketPtr& pkt)
@@ -53,16 +79,18 @@ bool Smmu::recv_req(mem::PacketPtr& pkt)
     }
     const std::uint64_t vpn = vpn_of(va);
     const Tick arrived = now();
+    const std::uint32_t stream = effective_stream(*pkt);
+    StreamCtx& ctx = stream_ctx(stream);
 
-    if (auto ppn = utlb_.lookup(vpn); ppn.has_value()) {
-        finish_translation(std::move(pkt), *ppn, arrived,
+    if (auto ppn = ctx.utlb.lookup(vpn); ppn.has_value()) {
+        finish_translation(ctx, std::move(pkt), *ppn, arrived,
                            now() + ticks_from_ns(params_.utlb_hit_latency_ns));
         return true;
     }
 
     if (auto ppn = tlb_.lookup(vpn); ppn.has_value()) {
-        utlb_.insert(vpn, *ppn);
-        finish_translation(std::move(pkt), *ppn, arrived,
+        ctx.utlb.insert(vpn, *ppn);
+        finish_translation(ctx, std::move(pkt), *ppn, arrived,
                            now() + ticks_from_ns(params_.tlb_hit_latency_ns));
         return true;
     }
@@ -70,17 +98,19 @@ bool Smmu::recv_req(mem::PacketPtr& pkt)
     // TLB miss: join (or start) a walk for this VPN.
     ++pending_count_;
     auto& waiters = walk_pending_[vpn];
-    waiters.push_back(PendingPkt{std::move(pkt), arrived});
+    waiters.push_back(PendingPkt{std::move(pkt), arrived, stream});
     if (waiters.size() == 1) {
+        ++ctx.ptws;
         start_walk_or_queue(vpn);
     }
     return true;
 }
 
-void Smmu::finish_translation(mem::PacketPtr pkt, std::uint64_t ppn,
-                              Tick arrived, Tick done_at)
+void Smmu::finish_translation(StreamCtx& ctx, mem::PacketPtr pkt,
+                              std::uint64_t ppn, Tick arrived, Tick done_at)
 {
     const Addr pa = (ppn << kPageShift) | (pkt->addr() & (kPageBytes - 1));
+    ++ctx.translations;
     pkt->record_translation(pa);
 
     ++translations_;
@@ -181,15 +211,21 @@ void Smmu::complete_walk(unsigned slot, std::uint64_t ppn)
     st_ptw_ns_.sample(walk_ns);
 
     tlb_.insert(w.vpn, ppn);
-    utlb_.insert(w.vpn, ppn);
 
     auto it = walk_pending_.find(w.vpn);
     ensure(it != walk_pending_.end(), name(), ": walk with no waiters");
     for (auto& waiting : it->second) {
         ensure(pending_count_ > 0, name(), ": pending underflow");
         --pending_count_;
-        finish_translation(std::move(waiting.pkt), ppn, waiting.arrived,
-                           now());
+        // Fill every waiting stream's micro-TLB, not just the initiator's —
+        // but only once per stream, or coalesced same-page waiters would
+        // stack duplicate lines and evict hot entries.
+        StreamCtx& wctx = stream_ctx(waiting.stream);
+        if (!wctx.utlb.contains(w.vpn)) {
+            wctx.utlb.insert(w.vpn, ppn);
+        }
+        finish_translation(wctx, std::move(waiting.pkt), ppn,
+                           waiting.arrived, now());
     }
     walk_pending_.erase(it);
     w.active = false;

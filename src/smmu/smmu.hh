@@ -1,11 +1,19 @@
 // System MMU: translates device-originated (inbound DMA) requests.
 //
 // Pipeline per request needing translation:
-//   micro-TLB (small, per-device) -> main TLB -> page-table walk.
+//   micro-TLB (small, per-stream) -> main TLB -> page-table walk.
 // Walks are performed by an integrated walker with a bounded number of
 // concurrent walk slots; each walk issues dependent 8-byte PTE reads through
 // the ordinary fabric port, so walk latency reflects real memory-system
 // load. A page-walk cache (PWC) short-circuits upper levels.
+//
+// Multi-device systems: every inbound request carries a stream id (stamped
+// by the root complex from the PCIe requester id, optionally remapped via
+// map_stream()). Each stream owns a private micro-TLB and a per-stream stat
+// group ("<smmu>.stream<N>.*"), modelling the per-device translation
+// contexts of a real SMMU; the main TLB, page-walk cache and walker slots
+// are shared — which is exactly the contention the multi-accelerator
+// scenarios measure. Stream contexts are created lazily on first use.
 //
 // Stats cover everything paper Table IV reports: translation count and mean
 // latency, PTW count and mean latency, uTLB lookups/misses, and the
@@ -14,6 +22,8 @@
 
 #include <deque>
 #include <list>
+#include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -55,6 +65,45 @@ class Smmu final : public SimObject,
     /// Fabric-facing port (toward IOCache / MemBus).
     [[nodiscard]] mem::RequestPort& mem_side() noexcept { return mem_port_; }
 
+    /// Route packets stamped with stream id `from` (normally the PCIe
+    /// requester id) to translation stream `to`. Unmapped ids map to
+    /// themselves, so calling this is only needed to share or renumber
+    /// contexts.
+    void map_stream(std::uint32_t from, std::uint32_t to);
+
+    /// Per-stream translation context: a private micro-TLB plus stream
+    /// stats ("<smmu>.stream<N>.*" in the registry).
+    struct StreamCtx {
+        StreamCtx(stats::Registry& reg, const std::string& prefix,
+                  const SmmuParams& p)
+            : utlb(p.utlb_entries, p.utlb_assoc),
+              group(reg, prefix),
+              translations(group, "translations",
+                           "requests translated on this stream"),
+              ptws(group, "ptws", "page-table walks started by this stream"),
+              utlb_lookups(group, "utlb_lookups", "stream micro-TLB lookups",
+                           [this] { return double(utlb.lookups()); }),
+              utlb_misses(group, "utlb_misses", "stream micro-TLB misses",
+                          [this] { return double(utlb.misses()); })
+        {
+        }
+
+        Tlb utlb;
+        stats::Group group;
+        stats::Scalar translations;
+        stats::Scalar ptws;
+        stats::ValueFn utlb_lookups;
+        stats::ValueFn utlb_misses;
+    };
+
+    /// Context for `stream` (created on demand).
+    [[nodiscard]] StreamCtx& stream_ctx(std::uint32_t stream);
+    /// Number of stream contexts instantiated so far.
+    [[nodiscard]] std::size_t stream_count() const noexcept
+    {
+        return streams_.size();
+    }
+
     // --- Table IV probes ----------------------------------------------------
     [[nodiscard]] std::uint64_t translations() const noexcept
     {
@@ -72,7 +121,29 @@ class Smmu final : public SimObject,
     {
         return total_ptw_ns_;
     }
-    [[nodiscard]] const Tlb& utlb() const noexcept { return utlb_; }
+    /// Default stream's micro-TLB (untagged traffic only — RC-stamped
+    /// device traffic lands on stream contexts >= 1; use utlb_lookups() /
+    /// utlb_misses() for the all-stream totals Table IV reports). Stream 0
+    /// is created eagerly, so this is always valid.
+    [[nodiscard]] const Tlb& utlb() const { return streams_.at(0)->utlb; }
+    /// Micro-TLB lookups summed over every stream context.
+    [[nodiscard]] std::uint64_t utlb_lookups() const noexcept
+    {
+        std::uint64_t n = 0;
+        for (const auto& [id, ctx] : streams_) {
+            n += ctx->utlb.lookups();
+        }
+        return n;
+    }
+    /// Micro-TLB misses summed over every stream context.
+    [[nodiscard]] std::uint64_t utlb_misses() const noexcept
+    {
+        std::uint64_t n = 0;
+        for (const auto& [id, ctx] : streams_) {
+            n += ctx->utlb.misses();
+        }
+        return n;
+    }
     [[nodiscard]] const Tlb& main_tlb() const noexcept { return tlb_; }
 
   private:
@@ -87,6 +158,7 @@ class Smmu final : public SimObject,
     struct PendingPkt {
         mem::PacketPtr pkt;
         Tick arrived;
+        std::uint32_t stream;
     };
 
     struct Walk {
@@ -97,8 +169,9 @@ class Smmu final : public SimObject,
         bool active = false;
     };
 
-    void finish_translation(mem::PacketPtr pkt, std::uint64_t ppn,
-                            Tick arrived, Tick done_at);
+    [[nodiscard]] std::uint32_t effective_stream(const mem::Packet& pkt) const;
+    void finish_translation(StreamCtx& ctx, mem::PacketPtr pkt,
+                            std::uint64_t ppn, Tick arrived, Tick done_at);
     void start_walk_or_queue(std::uint64_t vpn);
     void start_walk(unsigned slot, std::uint64_t vpn);
     void issue_pte_read(unsigned slot);
@@ -136,8 +209,10 @@ class Smmu final : public SimObject,
     mem::PacketQueue dev_resp_q_;
     mem::PacketQueue mem_q_;
 
-    Tlb utlb_;
-    Tlb tlb_;
+    Tlb tlb_; ///< main TLB, shared across streams
+    /// Per-stream contexts (stable addresses: stats self-register).
+    std::map<std::uint32_t, std::unique_ptr<StreamCtx>> streams_;
+    std::unordered_map<std::uint32_t, std::uint32_t> stream_remap_;
 
     std::unordered_map<std::uint64_t, std::vector<PendingPkt>> walk_pending_;
     std::deque<std::uint64_t> walk_queue_; ///< VPNs awaiting a walk slot
@@ -166,11 +241,15 @@ class Smmu final : public SimObject,
     stats::Scalar st_pte_reads_{stat_group(), "pte_reads",
                                 "PTE memory reads issued"};
     stats::ValueFn st_utlb_lookups_{stat_group(), "utlb_lookups",
-                                    "micro-TLB lookups",
-                                    [this] { return double(utlb_.lookups()); }};
+                                    "micro-TLB lookups (all streams)",
+                                    [this] {
+                                        return double(utlb_lookups());
+                                    }};
     stats::ValueFn st_utlb_misses_{stat_group(), "utlb_misses",
-                                   "micro-TLB misses",
-                                   [this] { return double(utlb_.misses()); }};
+                                   "micro-TLB misses (all streams)",
+                                   [this] {
+                                       return double(utlb_misses());
+                                   }};
     stats::ValueFn st_tlb_lookups_{stat_group(), "tlb_lookups",
                                    "main TLB lookups",
                                    [this] { return double(tlb_.lookups()); }};

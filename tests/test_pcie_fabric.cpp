@@ -2,6 +2,8 @@
 // latency, inbound read splitting / completion assembly, MMIO bridging.
 #include "test_util.hh"
 
+#include <algorithm>
+
 #include "pcie/endpoint.hh"
 #include "pcie/link.hh"
 #include "pcie/root_complex.hh"
@@ -52,37 +54,26 @@ class ProbeDevice final : public Endpoint {
 
 constexpr Addr kBar0 = 0x100000000000ULL;
 
-struct FabricFixture : ::testing::Test {
+/// Shared scaffolding for every fabric fixture: the root complex with its
+/// host-side mocks, the uplink, and the serve loop answering
+/// device-originated memory reads.
+struct FabricTestBase : ::testing::Test {
     Simulator sim;
     RcParams rc_params;
-    SwitchParams sw_params;
     LinkParams link_params;
 
     std::unique_ptr<RootComplex> rc;
-    std::unique_ptr<PcieSwitch> sw;
     std::unique_ptr<PcieLink> up;
-    std::unique_ptr<PcieLink> dn;
-    std::unique_ptr<ProbeDevice> dev;
     MockResponder fabric{"fabric"};   // answers RC mem-side requests
     MockRequestor cpu{"cpu"};         // drives RC mmio-side
 
-    void build()
+    /// RC with physical device addressing, uplink attached, mocks bound.
+    void build_rc()
     {
         rc_params.device_addresses_virtual = false;
         rc = std::make_unique<RootComplex>(sim, "rc", rc_params);
-        sw = std::make_unique<PcieSwitch>(sim, "sw", sw_params);
         up = std::make_unique<PcieLink>(sim, "up", link_params);
-        dn = std::make_unique<PcieLink>(sim, "dn", link_params);
-        dev = std::make_unique<ProbeDevice>(
-            sim, "dev", 1,
-            std::vector<AddrRange>{AddrRange::with_size(kBar0, 64 * kKiB)});
-
         rc->connect_pcie(up->end_a());
-        sw->set_upstream(up->end_b());
-        sw->add_downstream(dn->end_a(),
-                           {AddrRange::with_size(kBar0, 64 * kKiB)}, 1);
-        dev->connect_pcie(dn->end_b());
-
         rc->mem_side().bind(fabric.port());
         cpu.port().bind(rc->mmio_side());
     }
@@ -99,6 +90,29 @@ struct FabricFixture : ::testing::Test {
             ASSERT_TRUE(fabric.answer_one());
             test::drain(sim);
         }
+    }
+};
+
+struct FabricFixture : FabricTestBase {
+    SwitchParams sw_params;
+
+    std::unique_ptr<PcieSwitch> sw;
+    std::unique_ptr<PcieLink> dn;
+    std::unique_ptr<ProbeDevice> dev;
+
+    void build()
+    {
+        build_rc();
+        sw = std::make_unique<PcieSwitch>(sim, "sw", sw_params);
+        dn = std::make_unique<PcieLink>(sim, "dn", link_params);
+        dev = std::make_unique<ProbeDevice>(
+            sim, "dev", 1,
+            std::vector<AddrRange>{AddrRange::with_size(kBar0, 64 * kKiB)});
+
+        sw->set_upstream(up->end_b());
+        sw->add_downstream(dn->end_a(),
+                           {AddrRange::with_size(kBar0, 64 * kKiB)}, 1);
+        dev->connect_pcie(dn->end_b());
     }
 };
 
@@ -238,6 +252,200 @@ TEST_F(FabricFixture, SwitchRoutesByDeviceIdForCompletions)
     serve_fabric();
     ASSERT_EQ(dev->completions.size(), 1u);
     EXPECT_EQ(dev->completions[0].tag, 9);
+}
+
+/// Two endpoints with distinct BARs and requester ids behind one switch —
+/// the multi-accelerator routing contract.
+struct MultiDeviceFixture : FabricTestBase {
+    static constexpr Addr kBarA = 0x100000000000ULL;
+    static constexpr Addr kBarB = 0x100000010000ULL;
+
+    SwitchParams sw_params;
+
+    std::unique_ptr<PcieSwitch> sw;
+    std::unique_ptr<PcieLink> dn_a;
+    std::unique_ptr<PcieLink> dn_b;
+    std::unique_ptr<ProbeDevice> dev_a;
+    std::unique_ptr<ProbeDevice> dev_b;
+
+    void build()
+    {
+        build_rc();
+        sw = std::make_unique<PcieSwitch>(sim, "sw", sw_params);
+        dn_a = std::make_unique<PcieLink>(sim, "dn_a", link_params);
+        dn_b = std::make_unique<PcieLink>(sim, "dn_b", link_params);
+        dev_a = std::make_unique<ProbeDevice>(
+            sim, "dev_a", 1,
+            std::vector<AddrRange>{AddrRange::with_size(kBarA, 64 * kKiB)});
+        dev_b = std::make_unique<ProbeDevice>(
+            sim, "dev_b", 2,
+            std::vector<AddrRange>{AddrRange::with_size(kBarB, 64 * kKiB)});
+
+        sw->set_upstream(up->end_b());
+        sw->add_downstream(dn_a->end_a(),
+                           {AddrRange::with_size(kBarA, 64 * kKiB)}, 1);
+        sw->add_downstream(dn_b->end_a(),
+                           {AddrRange::with_size(kBarB, 64 * kKiB)}, 2);
+        dev_a->connect_pcie(dn_a->end_b());
+        dev_b->connect_pcie(dn_b->end_b());
+    }
+};
+
+TEST_F(MultiDeviceFixture, MemoryTlpsRouteToOwningBar)
+{
+    build();
+    auto wr_a = Packet::make_write(kBarA + 0x8, 8);
+    wr_a->set_payload_value<std::uint64_t>(0xAAAA);
+    auto wr_b = Packet::make_write(kBarB + 0x10, 8);
+    wr_b->set_payload_value<std::uint64_t>(0xBBBB);
+    ASSERT_TRUE(cpu.port().send_req(wr_a));
+    test::drain(sim);
+    ASSERT_TRUE(cpu.port().send_req(wr_b));
+    test::drain(sim);
+
+    ASSERT_EQ(dev_a->writes.size(), 1u);
+    EXPECT_EQ(dev_a->writes[0].first, 0x8u);
+    EXPECT_EQ(dev_a->writes[0].second, 0xAAAAu);
+    ASSERT_EQ(dev_b->writes.size(), 1u);
+    EXPECT_EQ(dev_b->writes[0].first, 0x10u);
+    EXPECT_EQ(dev_b->writes[0].second, 0xBBBBu);
+}
+
+TEST_F(MultiDeviceFixture, MmioReadsReturnPerDeviceValues)
+{
+    build();
+    auto rd_b = Packet::make_read(kBarB + 0x20, 8);
+    ASSERT_TRUE(cpu.port().send_req(rd_b));
+    test::drain(sim);
+    ASSERT_EQ(dev_b->reads.size(), 1u);
+    EXPECT_TRUE(dev_a->reads.empty());
+    ASSERT_EQ(cpu.responses.size(), 1u);
+    EXPECT_EQ(cpu.responses[0]->payload_value<std::uint64_t>(),
+              0xAB00u + 0x20u);
+}
+
+TEST_F(MultiDeviceFixture, CompletionsRouteBackByRequesterId)
+{
+    build();
+    // Both devices read host memory concurrently with the same tag value:
+    // only the (requester id, tag) pair disambiguates the completions.
+    dev_a->send_tlp(make_mem_read(0x1000, 128, /*tag=*/7, /*requester=*/1));
+    dev_b->send_tlp(make_mem_read(0x2000, 128, /*tag=*/7, /*requester=*/2));
+    serve_fabric();
+
+    EXPECT_EQ(dev_a->reads_done, 1);
+    EXPECT_EQ(dev_b->reads_done, 1);
+    for (const Tlp& cpl : dev_a->completions) {
+        EXPECT_EQ(cpl.requester, 1);
+    }
+    for (const Tlp& cpl : dev_b->completions) {
+        EXPECT_EQ(cpl.requester, 2);
+    }
+}
+
+TEST_F(MultiDeviceFixture, ConcurrentDmaFromBothDevicesReachesHost)
+{
+    build();
+    dev_a->send_tlp(make_mem_write(0x3000, 64, 1));
+    dev_b->send_tlp(make_mem_write(0x4000, 64, 2));
+    test::drain(sim);
+    ASSERT_EQ(fabric.requests.size(), 2u);
+    EXPECT_TRUE(fabric.requests[0]->flags.posted);
+    EXPECT_TRUE(fabric.requests[1]->flags.posted);
+    // The RC stamps the requester id as the packet's translation stream.
+    std::vector<std::uint32_t> streams{fabric.requests[0]->stream(),
+                                       fabric.requests[1]->stream()};
+    std::sort(streams.begin(), streams.end());
+    EXPECT_EQ(streams[0], 1u);
+    EXPECT_EQ(streams[1], 2u);
+}
+
+/// A second switch level: dev_a under the root switch, dev_b behind a
+/// nested switch whose upstream port advertises the subtree's BARs + ids.
+struct NestedSwitchFixture : FabricTestBase {
+    static constexpr Addr kBarA = 0x100000000000ULL;
+    static constexpr Addr kBarB = 0x100000010000ULL;
+
+    std::unique_ptr<PcieSwitch> root_sw;
+    std::unique_ptr<PcieSwitch> leaf_sw;
+    std::unique_ptr<PcieLink> mid;
+    std::unique_ptr<PcieLink> dn_a;
+    std::unique_ptr<PcieLink> dn_b;
+    std::unique_ptr<ProbeDevice> dev_a;
+    std::unique_ptr<ProbeDevice> dev_b;
+
+    void build()
+    {
+        build_rc();
+        root_sw = std::make_unique<PcieSwitch>(sim, "root_sw", SwitchParams{});
+        leaf_sw = std::make_unique<PcieSwitch>(sim, "leaf_sw", SwitchParams{});
+        mid = std::make_unique<PcieLink>(sim, "mid", link_params);
+        dn_a = std::make_unique<PcieLink>(sim, "dn_a", link_params);
+        dn_b = std::make_unique<PcieLink>(sim, "dn_b", link_params);
+        dev_a = std::make_unique<ProbeDevice>(
+            sim, "dev_a", 1,
+            std::vector<AddrRange>{AddrRange::with_size(kBarA, 64 * kKiB)});
+        dev_b = std::make_unique<ProbeDevice>(
+            sim, "dev_b", 2,
+            std::vector<AddrRange>{AddrRange::with_size(kBarB, 64 * kKiB)});
+
+        root_sw->set_upstream(up->end_b());
+        root_sw->add_downstream(dn_a->end_a(),
+                                {AddrRange::with_size(kBarA, 64 * kKiB)}, 1);
+        // The nested switch's whole subtree rides one root-switch port.
+        root_sw->add_downstream(mid->end_a(),
+                                {AddrRange::with_size(kBarB, 64 * kKiB)},
+                                std::vector<std::uint16_t>{2});
+        leaf_sw->set_upstream(mid->end_b());
+        leaf_sw->add_downstream(dn_b->end_a(),
+                                {AddrRange::with_size(kBarB, 64 * kKiB)}, 2);
+        dev_a->connect_pcie(dn_a->end_b());
+        dev_b->connect_pcie(dn_b->end_b());
+    }
+};
+
+TEST_F(NestedSwitchFixture, MmioCrossesBothSwitchLevels)
+{
+    build();
+    auto pkt = Packet::make_write(kBarB + 0x18, 8);
+    pkt->set_payload_value<std::uint64_t>(0x5151);
+    ASSERT_TRUE(cpu.port().send_req(pkt));
+    test::drain(sim);
+    ASSERT_EQ(dev_b->writes.size(), 1u);
+    EXPECT_EQ(dev_b->writes[0].first, 0x18u);
+    EXPECT_TRUE(dev_a->writes.empty());
+}
+
+TEST_F(NestedSwitchFixture, NestedDeviceCompletionsRouteDownTheTree)
+{
+    build();
+    dev_b->send_tlp(make_mem_read(0x5000, 64, 3, 2));
+    dev_a->send_tlp(make_mem_read(0x6000, 64, 4, 1));
+    serve_fabric();
+    EXPECT_EQ(dev_b->reads_done, 1);
+    EXPECT_EQ(dev_a->reads_done, 1);
+    ASSERT_EQ(dev_b->completions.size(), 1u);
+    EXPECT_EQ(dev_b->completions[0].tag, 3);
+}
+
+TEST(SwitchRules, DuplicateRequesterIdRejected)
+{
+    Simulator sim;
+    PcieSwitch sw(sim, "sw", SwitchParams{});
+    PcieLink l1(sim, "l1", LinkParams{});
+    PcieLink l2(sim, "l2", LinkParams{});
+    sw.add_downstream(l1.end_a(), {}, 3);
+    EXPECT_THROW(sw.add_downstream(l2.end_a(), {}, 3), ConfigError);
+}
+
+TEST(SwitchRules, DownstreamNeedsAtLeastOneId)
+{
+    Simulator sim;
+    PcieSwitch sw(sim, "sw", SwitchParams{});
+    PcieLink link(sim, "l", LinkParams{});
+    EXPECT_THROW(
+        sw.add_downstream(link.end_a(), {}, std::vector<std::uint16_t>{}),
+        ConfigError);
 }
 
 TEST(RcParams, Validation)
