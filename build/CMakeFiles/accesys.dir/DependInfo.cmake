@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/data_mover.cc" "CMakeFiles/accesys.dir/src/accel/data_mover.cc.o" "gcc" "CMakeFiles/accesys.dir/src/accel/data_mover.cc.o.d"
+  "/root/repo/src/accel/matrixflow.cc" "CMakeFiles/accesys.dir/src/accel/matrixflow.cc.o" "gcc" "CMakeFiles/accesys.dir/src/accel/matrixflow.cc.o.d"
+  "/root/repo/src/accel/systolic_array.cc" "CMakeFiles/accesys.dir/src/accel/systolic_array.cc.o" "gcc" "CMakeFiles/accesys.dir/src/accel/systolic_array.cc.o.d"
+  "/root/repo/src/analytic/composition.cc" "CMakeFiles/accesys.dir/src/analytic/composition.cc.o" "gcc" "CMakeFiles/accesys.dir/src/analytic/composition.cc.o.d"
+  "/root/repo/src/analytic/roofline.cc" "CMakeFiles/accesys.dir/src/analytic/roofline.cc.o" "gcc" "CMakeFiles/accesys.dir/src/analytic/roofline.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "CMakeFiles/accesys.dir/src/cache/cache.cc.o" "gcc" "CMakeFiles/accesys.dir/src/cache/cache.cc.o.d"
+  "/root/repo/src/core/runner.cc" "CMakeFiles/accesys.dir/src/core/runner.cc.o" "gcc" "CMakeFiles/accesys.dir/src/core/runner.cc.o.d"
+  "/root/repo/src/core/system.cc" "CMakeFiles/accesys.dir/src/core/system.cc.o" "gcc" "CMakeFiles/accesys.dir/src/core/system.cc.o.d"
+  "/root/repo/src/core/system_config.cc" "CMakeFiles/accesys.dir/src/core/system_config.cc.o" "gcc" "CMakeFiles/accesys.dir/src/core/system_config.cc.o.d"
+  "/root/repo/src/core/topology.cc" "CMakeFiles/accesys.dir/src/core/topology.cc.o" "gcc" "CMakeFiles/accesys.dir/src/core/topology.cc.o.d"
+  "/root/repo/src/cpu/host_cpu.cc" "CMakeFiles/accesys.dir/src/cpu/host_cpu.cc.o" "gcc" "CMakeFiles/accesys.dir/src/cpu/host_cpu.cc.o.d"
+  "/root/repo/src/dma/dma_engine.cc" "CMakeFiles/accesys.dir/src/dma/dma_engine.cc.o" "gcc" "CMakeFiles/accesys.dir/src/dma/dma_engine.cc.o.d"
+  "/root/repo/src/mem/addr_range.cc" "CMakeFiles/accesys.dir/src/mem/addr_range.cc.o" "gcc" "CMakeFiles/accesys.dir/src/mem/addr_range.cc.o.d"
+  "/root/repo/src/mem/dram_config.cc" "CMakeFiles/accesys.dir/src/mem/dram_config.cc.o" "gcc" "CMakeFiles/accesys.dir/src/mem/dram_config.cc.o.d"
+  "/root/repo/src/mem/dram_timing.cc" "CMakeFiles/accesys.dir/src/mem/dram_timing.cc.o" "gcc" "CMakeFiles/accesys.dir/src/mem/dram_timing.cc.o.d"
+  "/root/repo/src/mem/mem_ctrl.cc" "CMakeFiles/accesys.dir/src/mem/mem_ctrl.cc.o" "gcc" "CMakeFiles/accesys.dir/src/mem/mem_ctrl.cc.o.d"
+  "/root/repo/src/mem/packet.cc" "CMakeFiles/accesys.dir/src/mem/packet.cc.o" "gcc" "CMakeFiles/accesys.dir/src/mem/packet.cc.o.d"
+  "/root/repo/src/mem/port.cc" "CMakeFiles/accesys.dir/src/mem/port.cc.o" "gcc" "CMakeFiles/accesys.dir/src/mem/port.cc.o.d"
+  "/root/repo/src/mem/traffic_gen.cc" "CMakeFiles/accesys.dir/src/mem/traffic_gen.cc.o" "gcc" "CMakeFiles/accesys.dir/src/mem/traffic_gen.cc.o.d"
+  "/root/repo/src/mem/xbar.cc" "CMakeFiles/accesys.dir/src/mem/xbar.cc.o" "gcc" "CMakeFiles/accesys.dir/src/mem/xbar.cc.o.d"
+  "/root/repo/src/pcie/endpoint.cc" "CMakeFiles/accesys.dir/src/pcie/endpoint.cc.o" "gcc" "CMakeFiles/accesys.dir/src/pcie/endpoint.cc.o.d"
+  "/root/repo/src/pcie/link.cc" "CMakeFiles/accesys.dir/src/pcie/link.cc.o" "gcc" "CMakeFiles/accesys.dir/src/pcie/link.cc.o.d"
+  "/root/repo/src/pcie/root_complex.cc" "CMakeFiles/accesys.dir/src/pcie/root_complex.cc.o" "gcc" "CMakeFiles/accesys.dir/src/pcie/root_complex.cc.o.d"
+  "/root/repo/src/pcie/switch.cc" "CMakeFiles/accesys.dir/src/pcie/switch.cc.o" "gcc" "CMakeFiles/accesys.dir/src/pcie/switch.cc.o.d"
+  "/root/repo/src/pcie/tlp.cc" "CMakeFiles/accesys.dir/src/pcie/tlp.cc.o" "gcc" "CMakeFiles/accesys.dir/src/pcie/tlp.cc.o.d"
+  "/root/repo/src/sim/event.cc" "CMakeFiles/accesys.dir/src/sim/event.cc.o" "gcc" "CMakeFiles/accesys.dir/src/sim/event.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "CMakeFiles/accesys.dir/src/sim/logging.cc.o" "gcc" "CMakeFiles/accesys.dir/src/sim/logging.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "CMakeFiles/accesys.dir/src/sim/simulator.cc.o" "gcc" "CMakeFiles/accesys.dir/src/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "CMakeFiles/accesys.dir/src/sim/stats.cc.o" "gcc" "CMakeFiles/accesys.dir/src/sim/stats.cc.o.d"
+  "/root/repo/src/smmu/page_table.cc" "CMakeFiles/accesys.dir/src/smmu/page_table.cc.o" "gcc" "CMakeFiles/accesys.dir/src/smmu/page_table.cc.o.d"
+  "/root/repo/src/smmu/smmu.cc" "CMakeFiles/accesys.dir/src/smmu/smmu.cc.o" "gcc" "CMakeFiles/accesys.dir/src/smmu/smmu.cc.o.d"
+  "/root/repo/src/workload/gemm.cc" "CMakeFiles/accesys.dir/src/workload/gemm.cc.o" "gcc" "CMakeFiles/accesys.dir/src/workload/gemm.cc.o.d"
+  "/root/repo/src/workload/vit.cc" "CMakeFiles/accesys.dir/src/workload/vit.cc.o" "gcc" "CMakeFiles/accesys.dir/src/workload/vit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

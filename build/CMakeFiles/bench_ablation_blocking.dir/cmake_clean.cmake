@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_blocking.dir/bench/bench_ablation_blocking.cpp.o"
+  "CMakeFiles/bench_ablation_blocking.dir/bench/bench_ablation_blocking.cpp.o.d"
+  "bench_ablation_blocking"
+  "bench_ablation_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_roofline.dir/bench/bench_fig2_roofline.cpp.o"
+  "CMakeFiles/bench_fig2_roofline.dir/bench/bench_fig2_roofline.cpp.o.d"
+  "bench_fig2_roofline"
+  "bench_fig2_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

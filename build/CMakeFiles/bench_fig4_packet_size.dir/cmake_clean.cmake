@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_packet_size.dir/bench/bench_fig4_packet_size.cpp.o"
+  "CMakeFiles/bench_fig4_packet_size.dir/bench/bench_fig4_packet_size.cpp.o.d"
+  "bench_fig4_packet_size"
+  "bench_fig4_packet_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_packet_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_memtype.dir/bench/bench_fig5_memtype.cpp.o"
+  "CMakeFiles/bench_fig5_memtype.dir/bench/bench_fig5_memtype.cpp.o.d"
+  "bench_fig5_memtype"
+  "bench_fig5_memtype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_memtype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

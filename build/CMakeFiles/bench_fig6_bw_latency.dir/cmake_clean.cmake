@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_bw_latency.dir/bench/bench_fig6_bw_latency.cpp.o"
+  "CMakeFiles/bench_fig6_bw_latency.dir/bench/bench_fig6_bw_latency.cpp.o.d"
+  "bench_fig6_bw_latency"
+  "bench_fig6_bw_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_bw_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_transformer.dir/bench/bench_fig7_transformer.cpp.o"
+  "CMakeFiles/bench_fig7_transformer.dir/bench/bench_fig7_transformer.cpp.o.d"
+  "bench_fig7_transformer"
+  "bench_fig7_transformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

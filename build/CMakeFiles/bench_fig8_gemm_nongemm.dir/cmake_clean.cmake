@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_gemm_nongemm.dir/bench/bench_fig8_gemm_nongemm.cpp.o"
+  "CMakeFiles/bench_fig8_gemm_nongemm.dir/bench/bench_fig8_gemm_nongemm.cpp.o.d"
+  "bench_fig8_gemm_nongemm"
+  "bench_fig8_gemm_nongemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_gemm_nongemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

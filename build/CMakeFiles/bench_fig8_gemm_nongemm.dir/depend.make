@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_gemm_nongemm.
+# This may be replaced when dependencies are built.

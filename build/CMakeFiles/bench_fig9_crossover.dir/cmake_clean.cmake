@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_crossover.dir/bench/bench_fig9_crossover.cpp.o"
+  "CMakeFiles/bench_fig9_crossover.dir/bench/bench_fig9_crossover.cpp.o.d"
+  "bench_fig9_crossover"
+  "bench_fig9_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_accel_contention.dir/bench/bench_multi_accel_contention.cpp.o"
+  "CMakeFiles/bench_multi_accel_contention.dir/bench/bench_multi_accel_contention.cpp.o.d"
+  "bench_multi_accel_contention"
+  "bench_multi_accel_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_accel_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

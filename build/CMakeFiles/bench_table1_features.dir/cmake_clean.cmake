@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_features.dir/bench/bench_table1_features.cpp.o"
+  "CMakeFiles/bench_table1_features.dir/bench/bench_table1_features.cpp.o.d"
+  "bench_table1_features"
+  "bench_table1_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_config.dir/bench/bench_table2_config.cpp.o"
+  "CMakeFiles/bench_table2_config.dir/bench/bench_table2_config.cpp.o.d"
+  "bench_table2_config"
+  "bench_table2_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

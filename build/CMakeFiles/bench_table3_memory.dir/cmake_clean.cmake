@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_memory.dir/bench/bench_table3_memory.cpp.o"
+  "CMakeFiles/bench_table3_memory.dir/bench/bench_table3_memory.cpp.o.d"
+  "bench_table3_memory"
+  "bench_table3_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

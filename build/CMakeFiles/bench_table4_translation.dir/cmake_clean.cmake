@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_translation.dir/bench/bench_table4_translation.cpp.o"
+  "CMakeFiles/bench_table4_translation.dir/bench/bench_table4_translation.cpp.o.d"
+  "bench_table4_translation"
+  "bench_table4_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_gemm.dir/tools/debug_gemm.cc.o"
+  "CMakeFiles/debug_gemm.dir/tools/debug_gemm.cc.o.d"
+  "debug_gemm"
+  "debug_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_vit.dir/tools/debug_vit.cc.o"
+  "CMakeFiles/debug_vit.dir/tools/debug_vit.cc.o.d"
+  "debug_vit"
+  "debug_vit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_vit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_space_explorer.dir/examples/design_space_explorer.cpp.o"
+  "CMakeFiles/design_space_explorer.dir/examples/design_space_explorer.cpp.o.d"
+  "design_space_explorer"
+  "design_space_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_space_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_accel.dir/examples/multi_accel.cpp.o"
+  "CMakeFiles/multi_accel.dir/examples/multi_accel.cpp.o.d"
+  "multi_accel"
+  "multi_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

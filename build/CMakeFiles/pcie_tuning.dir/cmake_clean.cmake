@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcie_tuning.dir/examples/pcie_tuning.cpp.o"
+  "CMakeFiles/pcie_tuning.dir/examples/pcie_tuning.cpp.o.d"
+  "pcie_tuning"
+  "pcie_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcie_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pcie_tuning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel.dir/tests/test_accel.cpp.o"
+  "CMakeFiles/test_accel.dir/tests/test_accel.cpp.o.d"
+  "test_accel"
+  "test_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytic.dir/tests/test_analytic.cpp.o"
+  "CMakeFiles/test_analytic.dir/tests/test_analytic.cpp.o.d"
+  "test_analytic"
+  "test_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

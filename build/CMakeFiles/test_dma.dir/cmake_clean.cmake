@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dma.dir/tests/test_dma.cpp.o"
+  "CMakeFiles/test_dma.dir/tests/test_dma.cpp.o.d"
+  "test_dma"
+  "test_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

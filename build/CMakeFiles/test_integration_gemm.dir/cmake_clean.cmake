@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_gemm.dir/tests/test_integration_gemm.cpp.o"
+  "CMakeFiles/test_integration_gemm.dir/tests/test_integration_gemm.cpp.o.d"
+  "test_integration_gemm"
+  "test_integration_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_vit.dir/tests/test_integration_vit.cpp.o"
+  "CMakeFiles/test_integration_vit.dir/tests/test_integration_vit.cpp.o.d"
+  "test_integration_vit"
+  "test_integration_vit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_vit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logging.dir/tests/test_logging.cpp.o"
+  "CMakeFiles/test_logging.dir/tests/test_logging.cpp.o.d"
+  "test_logging"
+  "test_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

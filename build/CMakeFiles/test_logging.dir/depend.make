@@ -1,0 +1,2 @@
+# Empty dependencies file for test_logging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_ctrl.dir/tests/test_mem_ctrl.cpp.o"
+  "CMakeFiles/test_mem_ctrl.dir/tests/test_mem_ctrl.cpp.o.d"
+  "test_mem_ctrl"
+  "test_mem_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

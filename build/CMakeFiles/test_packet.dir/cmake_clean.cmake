@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet.dir/tests/test_packet.cpp.o"
+  "CMakeFiles/test_packet.dir/tests/test_packet.cpp.o.d"
+  "test_packet"
+  "test_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcie_fabric.dir/tests/test_pcie_fabric.cpp.o"
+  "CMakeFiles/test_pcie_fabric.dir/tests/test_pcie_fabric.cpp.o.d"
+  "test_pcie_fabric"
+  "test_pcie_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcie_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

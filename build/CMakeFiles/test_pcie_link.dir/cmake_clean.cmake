@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcie_link.dir/tests/test_pcie_link.cpp.o"
+  "CMakeFiles/test_pcie_link.dir/tests/test_pcie_link.cpp.o.d"
+  "test_pcie_link"
+  "test_pcie_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcie_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

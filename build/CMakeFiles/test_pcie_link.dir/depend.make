@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pcie_link.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_port.dir/tests/test_port.cpp.o"
+  "CMakeFiles/test_port.dir/tests/test_port.cpp.o.d"
+  "test_port"
+  "test_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random.dir/tests/test_random.cpp.o"
+  "CMakeFiles/test_random.dir/tests/test_random.cpp.o.d"
+  "test_random"
+  "test_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_types.dir/tests/test_sim_types.cpp.o"
+  "CMakeFiles/test_sim_types.dir/tests/test_sim_types.cpp.o.d"
+  "test_sim_types"
+  "test_sim_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smmu.dir/tests/test_smmu.cpp.o"
+  "CMakeFiles/test_smmu.dir/tests/test_smmu.cpp.o.d"
+  "test_smmu"
+  "test_smmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

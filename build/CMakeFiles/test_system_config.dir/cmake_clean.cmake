@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_config.dir/tests/test_system_config.cpp.o"
+  "CMakeFiles/test_system_config.dir/tests/test_system_config.cpp.o.d"
+  "test_system_config"
+  "test_system_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

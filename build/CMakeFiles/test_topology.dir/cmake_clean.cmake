@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology.dir/tests/test_topology.cpp.o"
+  "CMakeFiles/test_topology.dir/tests/test_topology.cpp.o.d"
+  "test_topology"
+  "test_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xbar.dir/tests/test_xbar.cpp.o"
+  "CMakeFiles/test_xbar.dir/tests/test_xbar.cpp.o.d"
+  "test_xbar"
+  "test_xbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

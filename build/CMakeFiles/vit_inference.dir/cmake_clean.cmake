@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vit_inference.dir/examples/vit_inference.cpp.o"
+  "CMakeFiles/vit_inference.dir/examples/vit_inference.cpp.o.d"
+  "vit_inference"
+  "vit_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vit_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
