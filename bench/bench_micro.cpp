@@ -9,8 +9,11 @@
 #include "cache/cache.hh"
 #include "mem/dram_timing.hh"
 #include "mem/mem_ctrl.hh"
+#include "mem/packet.hh"
 #include "mem/traffic_gen.hh"
+#include "mem/xbar.hh"
 #include "pcie/link.hh"
+#include "pcie/tlp.hh"
 #include "sim/simulator.hh"
 #include "smmu/tlb.hh"
 
@@ -38,6 +41,53 @@ void bm_event_queue(benchmark::State& state)
     state.SetItemsProcessed(static_cast<std::int64_t>(fired));
 }
 BENCHMARK(bm_event_queue)->Arg(16)->Arg(256)->Arg(4096);
+
+void bm_packet_alloc(benchmark::State& state)
+{
+    // Pooled transaction-object churn: the per-hop make/route/response/
+    // recycle pattern of the fabric. Steady state does zero heap work.
+    std::uint64_t i = 0;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        auto pkt = mem::packet_pool().make_read(0x1000 + (i % 4096) * 64, 64);
+        pkt->push_route(1);
+        pkt->push_route(3);
+        pkt->make_response();
+        sink += pkt->pop_route();
+        auto tlp = pcie::tlp_pool().make_mem_write(0x2000 + (i % 1024) * 8,
+                                                   8, 1);
+        sink += tlp->length;
+        ++i;
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(static_cast<std::int64_t>(2 * state.iterations()));
+}
+BENCHMARK(bm_packet_alloc);
+
+void bm_xbar_forward(benchmark::State& state)
+{
+    // Steady-state timing forwarding: TrafficGen -> Xbar -> SimpleMem.
+    for (auto _ : state) {
+        Simulator sim;
+        mem::Xbar xbar(sim, "xbar", mem::XbarParams{});
+        mem::SimpleMemParams smp;
+        const mem::AddrRange range(0, 64 * kMiB);
+        mem::SimpleMem memory(sim, "mem", smp, range);
+        mem::TrafficGenParams tp;
+        tp.total_bytes = 4 * kMiB;
+        tp.req_bytes = 64;
+        tp.window = 32;
+        mem::TrafficGen gen(sim, "gen", tp);
+        gen.port().bind(xbar.add_upstream("cpu"));
+        xbar.add_downstream("mem", range).bind(memory.port());
+        sim.startup();
+        gen.start([&sim] { sim.request_exit("done"); });
+        benchmark::DoNotOptimize(sim.run().events);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            (4 * kMiB / 64));
+}
+BENCHMARK(bm_xbar_forward);
 
 void bm_dram_stream(benchmark::State& state)
 {

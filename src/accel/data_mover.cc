@@ -74,12 +74,12 @@ void DevMemMover::pump()
 
             mem::PacketPtr pkt;
             if (js.reads_devmem) {
-                pkt = mem::Packet::make_read(js.job.src + off, chunk);
+                pkt = mem::packet_pool().make_read(js.job.src + off, chunk);
                 ++reads_;
             } else {
                 // Data was snapshotted at submit(); the non-posted write
                 // tracks completion timing and ordering only.
-                pkt = mem::Packet::make_write(js.job.dst + off, chunk);
+                pkt = mem::packet_pool().make_write(js.job.dst + off, chunk);
                 ++writes_;
             }
             // Responses carry (job id, offset) for reassembly.

@@ -355,12 +355,12 @@ void MatrixFlowDevice::recv_tlp(unsigned port_idx, pcie::TlpPtr tlp)
         const std::uint64_t atag = next_aperture_tag_++;
         aperture_reads_[atag] =
             ApertureRead{tlp->tag, tlp->requester, tlp->length};
-        auto pkt = mem::Packet::make_read(tlp->addr, tlp->length);
+        auto pkt = mem::packet_pool().make_read(tlp->addr, tlp->length);
         pkt->set_tag(atag);
         aperture_q_.push(std::move(pkt), ready);
     } else {
         ++n_aperture_writes_;
-        auto pkt = mem::Packet::make_write(tlp->addr, tlp->length);
+        auto pkt = mem::packet_pool().make_write(tlp->addr, tlp->length);
         pkt->flags.posted = true;
         aperture_q_.push(std::move(pkt), ready);
     }
@@ -374,7 +374,7 @@ bool MatrixFlowDevice::recv_resp(mem::PacketPtr& pkt)
     ensure(it != aperture_reads_.end(), name(), ": stray aperture response");
     const ApertureRead ar = it->second;
     aperture_reads_.erase(it);
-    send_tlp(pcie::make_completion(ar.length, ar.pcie_tag, ar.requester, 0,
+    send_tlp(pcie::tlp_pool().make_completion(ar.length, ar.pcie_tag, ar.requester, 0,
                                    true));
     pkt.reset();
     return true;

@@ -17,7 +17,6 @@
 #pragma once
 
 #include <array>
-#include <deque>
 #include <optional>
 #include <unordered_map>
 
@@ -27,6 +26,7 @@
 #include "dma/dma_engine.hh"
 #include "mem/backing_store.hh"
 #include "pcie/endpoint.hh"
+#include "sim/ring_buffer.hh"
 
 namespace accesys::accel {
 
@@ -183,7 +183,7 @@ class MatrixFlowDevice final : public pcie::Endpoint,
     };
     std::unordered_map<std::uint64_t, ApertureRead> aperture_reads_;
 
-    std::deque<Addr> cmd_fifo_; ///< doorbell backlog (descriptor addresses)
+    RingBuffer<Addr> cmd_fifo_; ///< doorbell backlog (descriptor addresses)
     Tick last_complete_tick_ = 0;
     std::optional<Run> run_;
     bool fetching_ = false;

@@ -30,16 +30,22 @@ Cache::Cache(Simulator& sim, std::string name, const CacheParams& params)
 {
     params_.validate();
     lines_.resize(params_.num_sets() * params_.assoc);
+    lru_.resize(lines_.size());
+    mshrs_.resize(params_.mshrs);
+    lookup_ticks_ = ticks_from_ns(params_.lookup_latency_ns);
+    fill_ticks_ = ticks_from_ns(params_.fill_latency_ns);
     resp_q_.set_drain_hook([this] { maybe_unblock(); });
 }
 
 Cache::Line* Cache::find_line(Addr addr)
 {
-    const Addr la = line_addr(addr);
+    // One compare per way: a valid line's tag_flags is tag|kValid, with
+    // the dirty bit masked out of the comparison.
+    const std::uint64_t want = line_addr(addr) | Line::kValid;
     const std::uint64_t set = set_index(addr);
     Line* base = &lines_[set * params_.assoc];
     for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == la) {
+        if ((base[w].tag_flags & ~Line::kDirty) == want) {
             return &base[w];
         }
     }
@@ -59,54 +65,52 @@ bool Cache::contains_line(Addr addr) const
 bool Cache::line_dirty(Addr addr) const
 {
     const Line* l = find_line(addr);
-    return l != nullptr && l->dirty;
+    return l != nullptr && l->dirty();
 }
 
 Cache::Line& Cache::pick_victim(Addr addr)
 {
     const std::uint64_t set = set_index(addr);
     Line* base = &lines_[set * params_.assoc];
-    // Invalid way first.
+    const std::uint64_t* lru_base = &lru_[set * params_.assoc];
+    // Single pass: an invalid way wins immediately, else track the LRU
+    // minimum.
+    unsigned victim = 0;
     for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (!base[w].valid) {
+        if (!base[w].valid()) {
             return base[w];
+        }
+        if (lru_base[w] < lru_base[victim]) {
+            victim = w;
         }
     }
     if (params_.repl == CacheParams::Repl::random) {
         return base[rng_.below(params_.assoc)];
     }
-    Line* victim = base;
-    for (unsigned w = 1; w < params_.assoc; ++w) {
-        if (base[w].lru < victim->lru) {
-            victim = &base[w];
-        }
-    }
-    return *victim;
+    return base[victim];
 }
 
 void Cache::evict(Line& victim, Addr /*set_example_addr*/)
 {
-    if (!victim.valid) {
+    if (!victim.valid()) {
         return;
     }
-    if (victim.dirty) {
+    if (victim.dirty()) {
         ++n_writebacks_;
-        auto wb = mem::Packet::make_write(victim.tag, params_.line_bytes);
+        auto wb =
+            mem::packet_pool().make_write(victim.tag(), params_.line_bytes);
         wb->set_requestor(fill_requestor_);
         wb->flags.posted = true;
         mem_q_.push(std::move(wb), now());
     }
-    victim.valid = false;
-    victim.dirty = false;
+    victim.invalidate();
 }
 
 void Cache::install(Addr addr, bool dirty)
 {
     Line& victim = pick_victim(addr);
     evict(victim, addr);
-    victim.tag = line_addr(addr);
-    victim.valid = true;
-    victim.dirty = dirty;
+    victim.set(line_addr(addr), true, dirty);
     touch(victim);
 }
 
@@ -123,21 +127,20 @@ bool Cache::recv_req(mem::PacketPtr& pkt)
         ++n_bypasses_;
         if (pkt->is_write()) {
             if (Line* line = find_line(pkt->addr()); line != nullptr) {
-                line->valid = false;
-                line->dirty = false;
+                line->invalidate();
             }
         }
         mem_q_.push(std::move(pkt), now());
         return true;
     }
 
-    const Tick lookup_done = now() + ticks_from_ns(params_.lookup_latency_ns);
+    const Tick lookup_done = now() + lookup_ticks_;
 
     if (Line* line = find_line(pkt->addr()); line != nullptr) {
         ++n_hits_;
         touch(*line);
         if (pkt->is_write()) {
-            line->dirty = true;
+            line->set_dirty(true);
         }
         if (pkt->flags.posted && pkt->is_write()) {
             return true; // posted write absorbed by the cache
@@ -160,28 +163,27 @@ bool Cache::recv_req(mem::PacketPtr& pkt)
     }
 
     const Addr laddr = line_addr(pkt->addr());
-    auto it = mshrs_.find(laddr);
-    if (it != mshrs_.end()) {
-        if (it->second.targets.size() >= params_.targets_per_mshr) {
+    if (Mshr* hit = find_mshr(laddr)) {
+        if (hit->targets.size() >= params_.targets_per_mshr) {
             ++n_mshr_rejects_;
             blocked_upstream_ = true;
             return false;
         }
-        it->second.targets.push_back(std::move(pkt));
+        hit->targets.push_back(std::move(pkt));
         return true;
     }
 
-    if (mshrs_.size() >= params_.mshrs) {
+    Mshr* mshr = alloc_mshr(laddr);
+    if (mshr == nullptr) {
         ++n_mshr_rejects_;
         blocked_upstream_ = true;
         return false;
     }
 
-    Mshr& mshr = mshrs_[laddr];
-    mshr.targets.push_back(std::move(pkt));
-    mshr.fill_sent = true;
+    mshr->targets.push_back(std::move(pkt));
+    mshr->fill_sent = true;
 
-    auto fill = mem::Packet::make_read(laddr, params_.line_bytes);
+    auto fill = mem::packet_pool().make_read(laddr, params_.line_bytes);
     fill->set_requestor(fill_requestor_);
     fill->set_tag(laddr);
     mem_q_.push(std::move(fill), lookup_done);
@@ -202,31 +204,31 @@ bool Cache::recv_resp(mem::PacketPtr& pkt)
 
 void Cache::handle_fill(Addr laddr)
 {
-    auto it = mshrs_.find(laddr);
-    ensure(it != mshrs_.end(), name(), ": fill without MSHR @0x", std::hex,
+    Mshr* mshr = find_mshr(laddr);
+    ensure(mshr != nullptr, name(), ": fill without MSHR @0x", std::hex,
            laddr);
 
     bool dirty = false;
-    for (const auto& t : it->second.targets) {
+    for (const auto& t : mshr->targets) {
         dirty |= t->is_write();
     }
     install(laddr, dirty);
 
-    const Tick done = now() + ticks_from_ns(params_.fill_latency_ns);
-    for (auto& t : it->second.targets) {
+    const Tick done = now() + fill_ticks_;
+    for (auto& t : mshr->targets) {
         if (t->flags.posted && t->is_write()) {
             continue;
         }
         t->make_response();
         resp_q_.push(std::move(t), done);
     }
-    mshrs_.erase(it);
+    release_mshr(*mshr);
     maybe_unblock();
 }
 
 void Cache::maybe_unblock()
 {
-    if (blocked_upstream_ && mshrs_.size() < params_.mshrs) {
+    if (blocked_upstream_ && mshrs_live_ < params_.mshrs) {
         blocked_upstream_ = false;
         cpu_port_.send_retry_req();
     }
@@ -237,8 +239,7 @@ void Cache::snoop_invalidate(Addr addr, std::uint32_t size)
     for (Addr a = line_addr(addr); a < addr + size;
          a += params_.line_bytes) {
         if (Line* line = find_line(a); line != nullptr) {
-            line->valid = false;
-            line->dirty = false;
+            line->invalidate();
             ++n_snoop_invalidations_;
         }
     }
@@ -248,8 +249,8 @@ void Cache::snoop_clean(Addr addr, std::uint32_t size)
 {
     for (Addr a = line_addr(addr); a < addr + size;
          a += params_.line_bytes) {
-        if (Line* line = find_line(a); line != nullptr && line->dirty) {
-            line->dirty = false;
+        if (Line* line = find_line(a); line != nullptr && line->dirty()) {
+            line->set_dirty(false);
             ++n_snoop_cleans_;
         }
     }

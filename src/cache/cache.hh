@@ -14,7 +14,6 @@
 // complex, CPU) split accesses at line granularity.
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "mem/packet.hh"
@@ -78,16 +77,45 @@ class Cache final : public SimObject,
     void snoop_clean(Addr addr, std::uint32_t size) override;
 
   private:
+    /// 8-byte line record: the tag is line-aligned, so its low bits hold
+    /// the valid/dirty flags; LRU clocks live in a parallel array
+    /// (`lru_of()`), so the tag scans that dominate the miss path touch
+    /// one machine word per way.
     struct Line {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t lru = 0;
+        static constexpr std::uint64_t kValid = 1;
+        static constexpr std::uint64_t kDirty = 2;
+        static constexpr std::uint64_t kFlagMask = kValid | kDirty;
+
+        std::uint64_t tag_flags = 0;
+
+        [[nodiscard]] Addr tag() const noexcept { return tag_flags & ~kFlagMask; }
+        [[nodiscard]] bool valid() const noexcept
+        {
+            return (tag_flags & kValid) != 0;
+        }
+        [[nodiscard]] bool dirty() const noexcept
+        {
+            return (tag_flags & kDirty) != 0;
+        }
+        void set(Addr tag, bool valid, bool dirty) noexcept
+        {
+            tag_flags = tag | (valid ? kValid : 0) | (dirty ? kDirty : 0);
+        }
+        void set_dirty(bool d) noexcept
+        {
+            tag_flags = d ? (tag_flags | kDirty) : (tag_flags & ~kDirty);
+        }
+        void invalidate() noexcept { tag_flags = 0; }
     };
 
+    /// One outstanding line miss. Slots are preallocated (params_.mshrs of
+    /// them) and recycled — `targets` keeps its capacity across misses — so
+    /// the steady-state miss path performs no heap allocation.
     struct Mshr {
-        std::vector<mem::PacketPtr> targets;
+        Addr laddr = 0;
+        bool live = false;
         bool fill_sent = false;
+        std::vector<mem::PacketPtr> targets;
     };
 
     // mem::Responder (cpu side)
@@ -109,21 +137,60 @@ class Cache final : public SimObject,
 
     [[nodiscard]] Line* find_line(Addr addr);
     [[nodiscard]] const Line* find_line(Addr addr) const;
+    /// Live MSHR tracking `laddr`, or nullptr (linear scan: slot count is
+    /// single-digit by configuration).
+    [[nodiscard]] Mshr* find_mshr(Addr laddr)
+    {
+        for (Mshr& m : mshrs_) {
+            if (m.live && m.laddr == laddr) {
+                return &m;
+            }
+        }
+        return nullptr;
+    }
+    /// Claim a free slot for `laddr`; nullptr when all are busy.
+    [[nodiscard]] Mshr* alloc_mshr(Addr laddr)
+    {
+        for (Mshr& m : mshrs_) {
+            if (!m.live) {
+                m.live = true;
+                m.laddr = laddr;
+                m.fill_sent = false;
+                ++mshrs_live_;
+                return &m;
+            }
+        }
+        return nullptr;
+    }
+    void release_mshr(Mshr& m)
+    {
+        m.live = false;
+        m.targets.clear(); // keeps capacity for the next miss
+        --mshrs_live_;
+    }
     Line& pick_victim(Addr addr);
     void install(Addr addr, bool dirty);
     void evict(Line& victim, Addr set_example_addr);
-    void touch(Line& line) { line.lru = ++lru_clock_; }
+    [[nodiscard]] std::uint64_t& lru_of(const Line& line)
+    {
+        return lru_[static_cast<std::size_t>(&line - lines_.data())];
+    }
+    void touch(Line& line) { lru_of(line) = ++lru_clock_; }
     void handle_fill(Addr laddr);
     void maybe_unblock();
 
     CacheParams params_;
+    Tick lookup_ticks_ = 0; ///< precomputed hit-path latency
+    Tick fill_ticks_ = 0;   ///< precomputed fill-path latency
     mem::ResponsePort cpu_port_;
     mem::RequestPort mem_port_;
     mem::PacketQueue resp_q_; ///< responses upstream
     mem::PacketQueue mem_q_;  ///< fills / writebacks / bypasses downstream
 
     std::vector<Line> lines_; ///< sets * assoc, row-major by set
-    std::unordered_map<Addr, Mshr> mshrs_;
+    std::vector<std::uint64_t> lru_; ///< parallel per-line LRU clocks
+    std::vector<Mshr> mshrs_; ///< fixed slot pool (params_.mshrs entries)
+    std::size_t mshrs_live_ = 0;
     std::uint64_t lru_clock_ = 0;
     std::uint32_t fill_requestor_; ///< marks packets this cache created
     Rng rng_;

@@ -2,6 +2,8 @@
 // address map shared by every experiment.
 #pragma once
 
+#include <optional>
+
 #include "accel/matrixflow.hh"
 #include "cache/cache.hh"
 #include "cpu/host_cpu.hh"
@@ -50,6 +52,12 @@ struct DeviceConfig {
     /// Index into SystemConfig::switch_tree of the switch this endpoint
     /// hangs off (0 = the root switch below the RC).
     std::size_t attach_to = 0;
+
+    /// Downstream link (endpoint <-> switch) parameters. Unset = clone
+    /// SystemConfig::pcie; set per device to study mixed-generation
+    /// endpoints sharing one fabric (e.g. a Gen2 x4 legacy card next to a
+    /// Gen4 x8 accelerator).
+    std::optional<pcie::LinkParams> link;
 
     /// Per-device device-side memory (aperture + controller + xbar).
     bool enable_devmem = false;

@@ -103,6 +103,8 @@ ResolvedTopology TopologyBuilder::resolve(const SystemConfig& cfg)
         r.attach_to = dev.attach_to;
         require_cfg(r.attach_to < topo.switches.size(), "device '", r.name,
                     "' attaches to a switch outside the tree");
+        r.link = dev.link.value_or(cfg.pcie);
+        r.link.validate();
 
         if (r.accel.ep.device_id == 0) {
             while (ids.count(next_id) != 0) {
@@ -215,7 +217,7 @@ Topology TopologyBuilder::build(Simulator& sim, mem::BackingStore& store,
         inst.attach_to = dev.attach_to;
 
         inst.link = std::make_unique<pcie::PcieLink>(
-            sim, "link_dn" + index_suffix(i), cfg.pcie);
+            sim, "link_dn" + index_suffix(i), dev.link);
         inst.device = std::make_unique<accel::MatrixFlowDevice>(
             sim, dev.name, dev.accel, store, host);
         topo.switches[dev.attach_to]->add_downstream(

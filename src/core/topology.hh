@@ -37,6 +37,9 @@ struct ResolvedDevice {
     accel::MatrixFlowParams accel;
     std::uint32_t stream_id = 0;
     std::size_t attach_to = 0;
+    /// Downstream link parameters (DeviceConfig::link or the system-wide
+    /// SystemConfig::pcie clone).
+    pcie::LinkParams link;
 
     bool devmem_enabled = false;
     mem::AddrRange devmem{};

@@ -94,7 +94,7 @@ void HostCpu::exec_current()
 
     if (auto* w = std::get_if<MmioWrite>(&op); w != nullptr) {
         ++n_mmio_writes_;
-        auto pkt = mem::Packet::make_write(w->addr, 8);
+        auto pkt = mem::packet_pool().make_write(w->addr, 8);
         pkt->set_payload_value(w->value);
         pkt->set_tag(kTagMmio);
         pkt->flags.uncacheable = true;
@@ -144,7 +144,7 @@ void HostCpu::issue_poll()
            name(), ": poll issue outside a poll op (pc=", pc_, ")");
     const auto& p = std::get<PollFlag>(program_[pc_]);
     ++n_polls_;
-    auto pkt = mem::Packet::make_read(p.addr, 8);
+    auto pkt = mem::packet_pool().make_read(p.addr, 8);
     pkt->set_tag(kTagPoll);
     const bool ok = send(pkt);
     ensure(ok, name(), ": fabric refused a poll read");
@@ -167,7 +167,7 @@ void HostCpu::pump_vector()
         const auto chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
             params_.line_bytes - addr % params_.line_bytes,
             v.bytes_in - vec_read_issued_));
-        auto pkt = mem::Packet::make_read(addr, chunk);
+        auto pkt = mem::packet_pool().make_read(addr, chunk);
         pkt->set_tag(kTagVecRead);
         if (!send(pkt)) {
             blocked_ = true;
@@ -185,7 +185,7 @@ void HostCpu::pump_vector()
                 static_cast<std::uint32_t>(std::min<std::uint64_t>(
                     params_.line_bytes - addr % params_.line_bytes,
                     v.bytes_out - vec_write_issued_));
-            auto pkt = mem::Packet::make_write(addr, chunk);
+            auto pkt = mem::packet_pool().make_write(addr, chunk);
             pkt->flags.posted = true;
             if (!send(pkt)) {
                 blocked_ = true;

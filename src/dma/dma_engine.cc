@@ -109,7 +109,7 @@ void DmaEngine::pump_read(JobState& js)
         ++tags_in_use_;
         window_in_use_ += chunk;
 
-        port_->dma_send(pcie::make_mem_read(js.job.host_addr + js.issued,
+        port_->dma_send(pcie::tlp_pool().make_mem_read(js.job.host_addr + js.issued,
                                             chunk,
                                             static_cast<std::uint8_t>(tag),
                                             port_->dma_device_id()),
@@ -129,7 +129,7 @@ void DmaEngine::pump_write(JobState& js)
 
         JobState* jsp = &js;
         port_->dma_send(
-            pcie::make_mem_write(js.job.host_addr + off, chunk,
+            pcie::tlp_pool().make_mem_write(js.job.host_addr + off, chunk,
                                  port_->dma_device_id()),
             [this, jsp, chunk] {
                 jsp->finished += chunk;

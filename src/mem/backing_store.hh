@@ -92,22 +92,40 @@ class BackingStore {
     std::uint8_t* chunk_for(Addr addr)
     {
         const std::uint64_t key = addr / kChunkBytes;
+        if (key == memo_key_ && memo_chunk_ != nullptr) {
+            return memo_chunk_;
+        }
         auto& slot = chunks_[key];
         if (!slot) {
             slot = std::make_unique<std::uint8_t[]>(kChunkBytes);
             std::memset(slot.get(), 0, kChunkBytes);
         }
-        return slot.get();
+        memo_key_ = key;
+        memo_chunk_ = slot.get();
+        return memo_chunk_;
     }
 
     [[nodiscard]] const std::uint8_t* find_chunk(Addr addr) const
     {
-        const auto it = chunks_.find(addr / kChunkBytes);
-        return it == chunks_.end() ? nullptr : it->second.get();
+        const std::uint64_t key = addr / kChunkBytes;
+        if (key == memo_key_ && memo_chunk_ != nullptr) {
+            return memo_chunk_;
+        }
+        const auto it = chunks_.find(key);
+        if (it == chunks_.end()) {
+            return nullptr;
+        }
+        memo_key_ = key;
+        memo_chunk_ = it->second.get();
+        return memo_chunk_;
     }
 
     std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>>
         chunks_;
+    // Last-chunk memo: accesses stream within a chunk (chunk storage is
+    // stable once allocated). kChunkBytes-sized runs hit the map once.
+    mutable std::uint64_t memo_key_ = ~std::uint64_t{0};
+    mutable std::uint8_t* memo_chunk_ = nullptr;
 };
 
 } // namespace accesys::mem

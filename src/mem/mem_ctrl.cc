@@ -28,6 +28,9 @@ MemCtrl::MemCtrl(Simulator& sim, std::string name,
     require_cfg(params_.read_queue_capacity > 0 &&
                     params_.write_queue_capacity > 0,
                 this->name(), ": zero queue capacity");
+    frontend_ticks_ = ticks_from_ns(params_.frontend_latency_ns);
+    backend_ticks_ = ticks_from_ns(params_.backend_latency_ns);
+    dram_ps_per_byte_ = ps_per_byte(dram_.params().peak_gbps());
 }
 
 double MemCtrl::row_hit_rate() const
@@ -67,7 +70,7 @@ bool MemCtrl::recv_req(PacketPtr& pkt)
         if (!pkt->flags.posted) {
             pkt->make_response();
             resp_q_.push(std::move(pkt),
-                         now() + ticks_from_ns(params_.frontend_latency_ns));
+                         now() + frontend_ticks_);
         }
     }
     schedule_issue();
@@ -100,8 +103,7 @@ void MemCtrl::service_dram(Addr addr, std::uint32_t size, bool is_write,
     }
     // Pace the next issue so the queue drains at (at most) peak bandwidth.
     const auto bytes = static_cast<double>(last - first);
-    issue_free_ = start + static_cast<Tick>(
-                              bytes * ps_per_byte(dram_.params().peak_gbps()));
+    issue_free_ = start + static_cast<Tick>(bytes * dram_ps_per_byte_);
 }
 
 void MemCtrl::issue_next()
@@ -135,14 +137,14 @@ void MemCtrl::issue_next()
             }
         }
         PacketPtr pkt = std::move(read_q_[pick]);
-        read_q_.erase(read_q_.begin() + static_cast<std::ptrdiff_t>(pick));
+        read_q_.erase_at(pick);
 
         Tick completion = 0;
         service_dram(pkt->addr(), pkt->size(), false, completion);
         bytes_read_ += pkt->size();
 
         const Tick done =
-            completion + ticks_from_ns(params_.backend_latency_ns);
+            completion + backend_ticks_;
         read_latency_ns_.sample(ticks_to_ns(done - pkt->created_at()));
         pkt->make_response();
         resp_q_.push(std::move(pkt), done);
@@ -179,6 +181,8 @@ SimpleMem::SimpleMem(Simulator& sim, std::string name,
       })
 {
     require_cfg(params_.bandwidth_gbps > 0, this->name(), ": zero bandwidth");
+    latency_ticks_ = ticks_from_ns(params_.latency_ns);
+    ps_per_byte_ = ps_per_byte(params_.bandwidth_gbps);
 }
 
 bool SimpleMem::recv_req(PacketPtr& pkt)
@@ -193,9 +197,9 @@ bool SimpleMem::recv_req(PacketPtr& pkt)
 
     // Serialise on the memory's internal bus, then add the access latency.
     const Tick ser = static_cast<Tick>(static_cast<double>(pkt->size()) *
-                                       ps_per_byte(params_.bandwidth_gbps));
+                                       ps_per_byte_);
     bus_free_ = std::max(bus_free_, now()) + ser;
-    const Tick done = bus_free_ + ticks_from_ns(params_.latency_ns);
+    const Tick done = bus_free_ + latency_ticks_;
 
     bytes_ += pkt->size();
     if (pkt->is_read()) {

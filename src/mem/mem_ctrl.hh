@@ -7,11 +7,10 @@
 // DRAM data bus when drained, so they consume real bandwidth.
 #pragma once
 
-#include <deque>
-
 #include "mem/addr_range.hh"
 #include "mem/dram_timing.hh"
 #include "mem/port.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/simulator.hh"
 
 namespace accesys::mem {
@@ -71,14 +70,17 @@ class MemCtrl final : public SimObject, private Responder {
     }
 
     MemCtrlParams params_;
+    Tick frontend_ticks_ = 0;
+    Tick backend_ticks_ = 0;
+    double dram_ps_per_byte_ = 0.0; ///< issue pacing at peak bandwidth
     AddrRange range_;
     DramTiming dram_;
     ResponsePort port_;
     PacketQueue resp_q_;
     Event issue_event_;
 
-    std::deque<PacketPtr> read_q_;
-    std::deque<WriteJob> write_q_;
+    RingBuffer<PacketPtr> read_q_;
+    RingBuffer<WriteJob> write_q_;
     Tick issue_free_ = 0;  ///< aggregate issue pacing (tracks peak bandwidth)
     bool draining_writes_ = false;
     bool blocked_upstream_ = false;
@@ -120,6 +122,8 @@ class SimpleMem final : public SimObject, private Responder {
     void retry_resp() override;
 
     SimpleMemParams params_;
+    Tick latency_ticks_ = 0;
+    double ps_per_byte_ = 0.0;
     AddrRange range_;
     ResponsePort port_;
     PacketQueue resp_q_;

@@ -27,4 +27,30 @@ std::string Packet::describe() const
     return os.str();
 }
 
+PacketPool::~PacketPool()
+{
+    for (Packet* p : free_) {
+        delete p;
+    }
+}
+
+void PacketPool::reserve(std::size_t n)
+{
+    free_.reserve(free_.size() + n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ++allocs_total_;
+        Packet* p = new Packet(MemCmd::read_req, 0, 0);
+        p->pool_ = this;
+        free_.push_back(p);
+    }
+}
+
+PacketPool& PacketPool::global()
+{
+    // Leaked intentionally: packets may be recycled from destructors of
+    // static-storage objects, so the pool must outlive all of them.
+    static PacketPool* pool = new PacketPool();
+    return *pool;
+}
+
 } // namespace accesys::mem

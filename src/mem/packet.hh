@@ -1,16 +1,32 @@
-// Memory-system packets.
+// Memory-system packets and the pool that recycles them.
 //
 // A Packet describes one timing transaction (command, address, size). The
 // functional data image lives in a global BackingStore that endpoints touch
 // when the transaction logically completes (gem5-style timing/functional
-// split), so timing packets are payload-free and cheap. Small inline payloads
-// are supported for MMIO/config writes.
+// split), so timing packets are payload-free and cheap. Small MMIO/config
+// payloads (<= kMaxInlinePayload bytes) are carried in an inline buffer and
+// the response route stack is a fixed inline array, so a Packet performs no
+// heap allocation of its own — ever.
+//
+// Pooled lifecycle
+// ----------------
+// Packets are created through a PacketPool (`pool.make_read(addr, size)`;
+// the `Packet::make_read` statics forward to the process-wide
+// `PacketPool::global()`). `PacketPtr` stays a `std::unique_ptr`, but with a
+// pool-aware deleter: when the owner drops it, the packet returns to the
+// pool's free list instead of the heap, fully re-initialised on the next
+// acquire. Steady-state simulation therefore allocates no packet memory at
+// all — `PacketPool::allocs_total()` (heap allocations) stays flat while
+// `acquires_total()` keeps counting, which is exactly what the perf harness
+// asserts. Pools are not thread-safe (the simulator is single-threaded) and
+// must outlive every packet drawn from them; the global pool trivially does.
 //
 // Responses reuse the request object: `make_response()` flips the command in
 // place, preserving the route stack that intermediate fabric components
 // (xbars, switches) pushed on the way down.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -59,24 +75,30 @@ struct PktFlags {
 };
 
 class Packet;
-using PacketPtr = std::unique_ptr<Packet>;
+class PacketPool;
+
+/// Pool-aware deleter: returns pooled packets to their pool, frees the rest.
+struct PacketDeleter {
+    void operator()(Packet* pkt) const noexcept;
+};
+
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
 
 class Packet {
   public:
+    /// Deepest xbar/switch nesting a response can route back through.
+    static constexpr std::size_t kMaxRouteDepth = 8;
+    /// Largest inline MMIO/config payload (doorbells and registers are 8 B).
+    static constexpr std::size_t kMaxInlinePayload = 16;
+
     Packet(MemCmd cmd, Addr addr, std::uint32_t size)
         : cmd_(cmd), addr_(addr), size_(size)
     {
     }
 
-    [[nodiscard]] static PacketPtr make_read(Addr addr, std::uint32_t size)
-    {
-        return std::make_unique<Packet>(MemCmd::read_req, addr, size);
-    }
-
-    [[nodiscard]] static PacketPtr make_write(Addr addr, std::uint32_t size)
-    {
-        return std::make_unique<Packet>(MemCmd::write_req, addr, size);
-    }
+    /// Pool-backed factories (process-wide pool; see PacketPool below).
+    [[nodiscard]] static PacketPtr make_read(Addr addr, std::uint32_t size);
+    [[nodiscard]] static PacketPtr make_write(Addr addr, std::uint32_t size);
 
     // --- command -----------------------------------------------------------
     [[nodiscard]] MemCmd cmd() const noexcept { return cmd_; }
@@ -138,47 +160,58 @@ class Packet {
 
     // --- route stack -------------------------------------------------------
     // Fabric components push the ingress-port index when forwarding a
-    // request and pop it to steer the response back.
-    void push_route(std::uint16_t port) { route_.push_back(port); }
+    // request and pop it to steer the response back. Fixed inline storage:
+    // kMaxRouteDepth bounds the fabric nesting depth.
+    void push_route(std::uint16_t port)
+    {
+        ensure(route_depth_ < kMaxRouteDepth,
+               "route stack overflow (fabric deeper than kMaxRouteDepth)");
+        route_[route_depth_++] = port;
+    }
 
     [[nodiscard]] std::uint16_t pop_route()
     {
-        ensure(!route_.empty(), "response route stack underflow");
-        const std::uint16_t p = route_.back();
-        route_.pop_back();
-        return p;
+        ensure(route_depth_ > 0, "response route stack underflow");
+        return route_[--route_depth_];
     }
 
     [[nodiscard]] std::size_t route_depth() const noexcept
     {
-        return route_.size();
+        return route_depth_;
     }
 
     // --- optional inline payload (MMIO/config writes) ----------------------
     [[nodiscard]] bool has_payload() const noexcept
     {
-        return !payload_.empty();
+        return payload_size_ != 0;
     }
-    [[nodiscard]] const std::vector<std::uint8_t>& payload() const noexcept
+    [[nodiscard]] const std::uint8_t* payload_data() const noexcept
     {
-        return payload_;
+        return payload_.data();
     }
-    void set_payload(std::vector<std::uint8_t> bytes)
+    [[nodiscard]] std::uint32_t payload_size() const noexcept
     {
-        payload_ = std::move(bytes);
+        return payload_size_;
+    }
+    void set_payload(const void* data, std::size_t bytes)
+    {
+        ensure(bytes <= kMaxInlinePayload, "packet payload too large (",
+               bytes, " > ", kMaxInlinePayload, ")");
+        std::memcpy(payload_.data(), data, bytes);
+        payload_size_ = static_cast<std::uint8_t>(bytes);
     }
 
     template <typename T>
     void set_payload_value(const T& v)
     {
-        payload_.resize(sizeof(T));
-        std::memcpy(payload_.data(), &v, sizeof(T));
+        static_assert(sizeof(T) <= kMaxInlinePayload);
+        set_payload(&v, sizeof(T));
     }
 
     template <typename T>
     [[nodiscard]] T payload_value() const
     {
-        ensure(payload_.size() >= sizeof(T), "payload too small");
+        ensure(payload_size_ >= sizeof(T), "payload too small");
         T v;
         std::memcpy(&v, payload_.data(), sizeof(T));
         return v;
@@ -187,6 +220,25 @@ class Packet {
     [[nodiscard]] std::string describe() const;
 
   private:
+    friend class PacketPool;
+    friend struct PacketDeleter;
+
+    /// Reset every field for reuse from a pool free list.
+    void reinit(MemCmd cmd, Addr addr, std::uint32_t size) noexcept
+    {
+        cmd_ = cmd;
+        addr_ = addr;
+        size_ = size;
+        orig_addr_ = 0;
+        requestor_ = 0;
+        stream_ = 0;
+        tag_ = 0;
+        created_at_ = 0;
+        flags = PktFlags{};
+        route_depth_ = 0;
+        payload_size_ = 0;
+    }
+
     MemCmd cmd_;
     Addr addr_;
     std::uint32_t size_;
@@ -195,8 +247,124 @@ class Packet {
     std::uint32_t stream_ = 0;
     std::uint64_t tag_ = 0;
     Tick created_at_ = 0;
-    std::vector<std::uint16_t> route_;
-    std::vector<std::uint8_t> payload_;
+    PacketPool* pool_ = nullptr; ///< owning pool; null = plain heap/stack
+    std::uint8_t route_depth_ = 0;
+    std::uint8_t payload_size_ = 0;
+    std::array<std::uint16_t, kMaxRouteDepth> route_{};
+    std::array<std::uint8_t, kMaxInlinePayload> payload_{};
 };
+
+/// Free-list arena for Packets. Acquire with the make_* factories; release
+/// by dropping the PacketPtr — the deleter recycles into `free_`. The pool
+/// must outlive its packets; not thread-safe.
+class PacketPool {
+  public:
+    PacketPool() = default;
+    ~PacketPool();
+    PacketPool(const PacketPool&) = delete;
+    PacketPool& operator=(const PacketPool&) = delete;
+
+    [[nodiscard]] PacketPtr make(MemCmd cmd, Addr addr, std::uint32_t size)
+    {
+        ++acquires_total_;
+        if (free_.empty()) {
+            ++allocs_total_;
+            Packet* p = new Packet(cmd, addr, size);
+            p->pool_ = this;
+            return PacketPtr(p);
+        }
+        Packet* p = free_.back();
+        free_.pop_back();
+        p->reinit(cmd, addr, size);
+        return PacketPtr(p);
+    }
+
+    [[nodiscard]] PacketPtr make_read(Addr addr, std::uint32_t size)
+    {
+        return make(MemCmd::read_req, addr, size);
+    }
+    [[nodiscard]] PacketPtr make_write(Addr addr, std::uint32_t size)
+    {
+        return make(MemCmd::write_req, addr, size);
+    }
+
+    /// Pre-populate the free list with `n` packets.
+    void reserve(std::size_t n);
+
+    /// Heap allocations performed (flat once the pool is warm).
+    [[nodiscard]] std::uint64_t allocs_total() const noexcept
+    {
+        return allocs_total_;
+    }
+    /// Packets handed out over the pool's lifetime.
+    [[nodiscard]] std::uint64_t acquires_total() const noexcept
+    {
+        return acquires_total_;
+    }
+    /// Packets returned to the free list over the pool's lifetime.
+    [[nodiscard]] std::uint64_t recycles_total() const noexcept
+    {
+        return recycles_total_;
+    }
+    /// Packets currently parked on the free list.
+    [[nodiscard]] std::size_t free_count() const noexcept
+    {
+        return free_.size();
+    }
+    /// Packets currently in flight (acquired and not yet recycled).
+    [[nodiscard]] std::uint64_t live() const noexcept
+    {
+        return acquires_total_ - recycles_total_;
+    }
+
+    /// The process-wide pool behind Packet::make_read / make_write.
+    [[nodiscard]] static PacketPool& global();
+
+  private:
+    friend struct PacketDeleter;
+
+    void recycle(Packet* pkt) noexcept
+    {
+        ++recycles_total_;
+        try {
+            free_.push_back(pkt);
+        } catch (...) {
+            delete pkt; // free-list growth failed; fall back to the heap
+        }
+    }
+
+    std::vector<Packet*> free_;
+    std::uint64_t allocs_total_ = 0;
+    std::uint64_t acquires_total_ = 0;
+    std::uint64_t recycles_total_ = 0;
+};
+
+/// The process-wide packet pool (shorthand for PacketPool::global()).
+[[nodiscard]] inline PacketPool& packet_pool()
+{
+    return PacketPool::global();
+}
+
+inline PacketPtr Packet::make_read(Addr addr, std::uint32_t size)
+{
+    return PacketPool::global().make_read(addr, size);
+}
+
+inline PacketPtr Packet::make_write(Addr addr, std::uint32_t size)
+{
+    return PacketPool::global().make_write(addr, size);
+}
+
+inline void PacketDeleter::operator()(Packet* pkt) const noexcept
+{
+    if (pkt == nullptr) {
+        return;
+    }
+    if (pkt->pool_ != nullptr) {
+        pkt->pool_->recycle(pkt);
+    } else {
+        delete pkt;
+    }
+}
 
 } // namespace accesys::mem

@@ -13,12 +13,12 @@
 #pragma once
 
 #include <algorithm>
-#include <deque>
 #include <functional>
 #include <string>
 #include <utility>
 
 #include "mem/packet.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/simulator.hh"
 
 namespace accesys::mem {
@@ -115,8 +115,11 @@ class PacketQueue {
     PacketQueue(Simulator& sim, std::string name, SendFn send)
         : sim_(&sim),
           send_(std::move(send)),
-          send_event_(name + ".send", [this] { try_send(); })
+          send_event_(name + ".send", nullptr)
     {
+        send_event_.set_raw_callback(
+            [](void* self) { static_cast<PacketQueue*>(self)->try_send(); },
+            this);
     }
 
     /// Queue `pkt` to be sent no earlier than `ready` (absolute tick).
@@ -193,12 +196,14 @@ class PacketQueue {
         }
     }
 
+    // try_send()'s working set first; the Event (large: name + callback)
+    // sits behind it.
     Simulator* sim_;
-    SendFn send_;
-    Event send_event_;
-    std::deque<Entry> q_;
-    std::function<void()> drain_hook_;
+    RingBuffer<Entry> q_;
     bool blocked_ = false;
+    SendFn send_;
+    std::function<void()> drain_hook_;
+    Event send_event_;
 };
 
 } // namespace accesys::mem

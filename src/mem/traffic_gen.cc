@@ -47,8 +47,8 @@ void TrafficGen::pump()
            in_flight_ < params_.window) {
         const Addr addr = next_addr();
         const bool write = rng_.chance(params_.write_fraction);
-        PacketPtr pkt = write ? Packet::make_write(addr, params_.req_bytes)
-                              : Packet::make_read(addr, params_.req_bytes);
+        PacketPtr pkt = write ? packet_pool().make_write(addr, params_.req_bytes)
+                              : packet_pool().make_read(addr, params_.req_bytes);
         pkt->set_created_at(now());
         if (!port_.send_req(pkt)) {
             blocked_ = true;

@@ -101,6 +101,9 @@ Xbar::Xbar(Simulator& sim, std::string name, const XbarParams& params)
     require_cfg(params_.queue_capacity > 0, this->name(),
                 ": zero queue capacity");
     require_cfg(params_.width_gbps > 0, this->name(), ": zero width");
+    ps_per_byte_ = ps_per_byte(params_.width_gbps);
+    req_lat_ticks_ = ticks_from_ns(params_.request_latency_ns);
+    resp_lat_ticks_ = ticks_from_ns(params_.response_latency_ns);
 }
 
 Xbar::~Xbar() = default;
@@ -204,11 +207,9 @@ bool Xbar::handle_req(std::uint16_t in_idx, PacketPtr& pkt)
     bytes_ += pkt->size();
     pkt->push_route(in_idx);
 
-    out->ser_free =
-        std::max(out->ser_free, now()) +
-        static_cast<Tick>(pkt->size() * ps_per_byte(params_.width_gbps));
-    const Tick ready =
-        out->ser_free + ticks_from_ns(params_.request_latency_ns);
+    out->ser_free = std::max(out->ser_free, now()) +
+                    static_cast<Tick>(pkt->size() * ps_per_byte_);
+    const Tick ready = out->ser_free + req_lat_ticks_;
     out->req_q.push(std::move(pkt), ready);
     return true;
 }
@@ -232,11 +233,9 @@ bool Xbar::handle_resp(std::uint16_t out_idx, PacketPtr& pkt)
     }
 
     ++n_responses_;
-    in->ser_free =
-        std::max(in->ser_free, now()) +
-        static_cast<Tick>(pkt->size() * ps_per_byte(params_.width_gbps));
-    const Tick ready =
-        in->ser_free + ticks_from_ns(params_.response_latency_ns);
+    in->ser_free = std::max(in->ser_free, now()) +
+                   static_cast<Tick>(pkt->size() * ps_per_byte_);
+    const Tick ready = in->ser_free + resp_lat_ticks_;
     in->resp_q.push(std::move(pkt), ready);
     return true;
 }

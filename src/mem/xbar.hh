@@ -70,6 +70,10 @@ class Xbar final : public SimObject {
     [[nodiscard]] OutSide* route(Addr addr, std::uint32_t size);
 
     XbarParams params_;
+    // Per-hop timing constants, precomputed once (hot path avoids FP work).
+    double ps_per_byte_ = 0.0;
+    Tick req_lat_ticks_ = 0;
+    Tick resp_lat_ticks_ = 0;
     std::vector<std::unique_ptr<InSide>> ins_;
     std::vector<std::unique_ptr<OutSide>> outs_;
     OutSide* default_out_ = nullptr;

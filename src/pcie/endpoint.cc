@@ -11,8 +11,11 @@ Endpoint::Endpoint(Simulator& sim, std::string name,
 {
     require_cfg(params_.device_id != 0,
                 "endpoint device id 0 is reserved for the host");
+    latency_ticks_ = ticks_from_ns(params_.latency_ns);
     process_event_.set_name(this->name() + ".process");
-    process_event_.set_callback([this] { process_delayed(); });
+    process_event_.set_raw_callback(
+        [](void* self) { static_cast<Endpoint*>(self)->process_delayed(); },
+        this);
 }
 
 void Endpoint::connect_pcie(PciePort& port)
@@ -40,7 +43,7 @@ Addr Endpoint::bar_offset(Addr addr) const
 
 void Endpoint::recv_tlp(unsigned /*port_idx*/, TlpPtr tlp)
 {
-    const Tick ready = now() + ticks_from_ns(params_.latency_ns);
+    const Tick ready = now() + latency_ticks_;
     delay_q_.push_back(Delayed{ready, std::move(tlp)});
     if (!process_event_.scheduled()) {
         schedule(process_event_, ready);
@@ -59,21 +62,19 @@ void Endpoint::process_delayed()
             ++mmio_reads_;
             const std::uint64_t value =
                 mmio_read(bar_offset(tlp->addr), tlp->length);
-            auto cpl =
-                make_completion(tlp->length, tlp->tag, tlp->requester, 0,
-                                true);
-            cpl->payload.resize(tlp->length);
-            std::memcpy(cpl->payload.data(), &value,
-                        std::min<std::size_t>(tlp->length, sizeof(value)));
+            auto cpl = tlp_pool().make_completion(tlp->length, tlp->tag,
+                                                  tlp->requester, 0, true);
+            cpl->set_data(&value,
+                          std::min<std::size_t>(tlp->length, sizeof(value)));
             send_tlp(std::move(cpl));
             break;
         }
         case TlpType::mem_write: {
             ++mmio_writes_;
             std::uint64_t value = 0;
-            if (!tlp->payload.empty()) {
-                std::memcpy(&value, tlp->payload.data(),
-                            std::min<std::size_t>(tlp->payload.size(),
+            if (tlp->has_data()) {
+                std::memcpy(&value, tlp->data(),
+                            std::min<std::size_t>(tlp->data_size(),
                                                   sizeof(value)));
             }
             mmio_write(bar_offset(tlp->addr), tlp->length, value);

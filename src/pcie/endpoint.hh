@@ -5,12 +5,12 @@
 // `send_tlp()`, which stages into a credit-gated egress queue.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "mem/addr_range.hh"
 #include "pcie/link.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/simulator.hh"
 
 namespace accesys::pcie {
@@ -71,6 +71,7 @@ class Endpoint : public SimObject, public PcieNode {
     void process_delayed();
 
     EndpointParams params_;
+    Tick latency_ticks_ = 0; ///< precomputed ticks_from_ns(latency_ns)
     std::vector<mem::AddrRange> bars_;
     PciePort* pcie_port_ = nullptr;
 
@@ -78,14 +79,14 @@ class Endpoint : public SimObject, public PcieNode {
         TlpPtr tlp;
         std::function<void()> on_sent;
     };
-    std::deque<Staged> egress_q_;
+    RingBuffer<Staged> egress_q_;
     void kick_egress();
 
     struct Delayed {
-        Tick ready;
+        Tick ready = 0;
         TlpPtr tlp;
     };
-    std::deque<Delayed> delay_q_;
+    RingBuffer<Delayed> delay_q_;
     Event process_event_{"", nullptr};
 
     stats::Scalar mmio_reads_{stat_group(), "mmio_reads",

@@ -56,6 +56,8 @@ PcieLink::PcieLink(Simulator& sim, std::string name, const LinkParams& params)
     : SimObject(sim, std::move(name)), params_(params)
 {
     params_.validate();
+    ser_ps_per_byte_ = 1000.0 / params_.effective_gbps();
+    prop_ticks_ = ticks_from_ns(params_.propagation_delay_ns);
     for (unsigned side = 0; side < 2; ++side) {
         ports_[side].link_ = this;
         ports_[side].side_ = side;
@@ -63,13 +65,17 @@ PcieLink::PcieLink(Simulator& sim, std::string name, const LinkParams& params)
         ports_[side].tx_data_credits_ = params_.data_credit_bytes;
     }
     dirs_[0].deliver_event.set_name(this->name() + ".deliver_ab");
-    dirs_[0].deliver_event.set_callback([this] { deliver(0); });
+    dirs_[0].deliver_event.set_raw_callback(
+        [](void* self) { static_cast<PcieLink*>(self)->deliver(0); }, this);
     dirs_[1].deliver_event.set_name(this->name() + ".deliver_ba");
-    dirs_[1].deliver_event.set_callback([this] { deliver(1); });
+    dirs_[1].deliver_event.set_raw_callback(
+        [](void* self) { static_cast<PcieLink*>(self)->deliver(1); }, this);
     dirs_[0].credit_event.set_name(this->name() + ".credit_ab");
-    dirs_[0].credit_event.set_callback([this] { credit(0); });
+    dirs_[0].credit_event.set_raw_callback(
+        [](void* self) { static_cast<PcieLink*>(self)->credit(0); }, this);
     dirs_[1].credit_event.set_name(this->name() + ".credit_ba");
-    dirs_[1].credit_event.set_callback([this] { credit(1); });
+    dirs_[1].credit_event.set_raw_callback(
+        [](void* self) { static_cast<PcieLink*>(self)->credit(1); }, this);
 }
 
 double PcieLink::utilization(unsigned dir) const
@@ -87,11 +93,11 @@ void PcieLink::transmit(unsigned from_side, TlpPtr tlp)
 
     const std::uint64_t bytes = wire_bytes(*tlp);
     const Tick start = std::max(now(), d.busy_until);
-    const Tick ser = params_.serialize_ticks(bytes);
+    const Tick ser =
+        static_cast<Tick>(static_cast<double>(bytes) * ser_ps_per_byte_);
     d.busy_until = start + ser;
     d.busy_ticks += ser;
-    const Tick arrival =
-        d.busy_until + ticks_from_ns(params_.propagation_delay_ns);
+    const Tick arrival = d.busy_until + prop_ticks_;
 
     ++tlps_;
     payload_bytes_ += tlp->payload_bytes();
@@ -123,7 +129,7 @@ void PcieLink::queue_credit_return(unsigned to_side, unsigned hdr,
 {
     // Direction index named by the side whose transmitter gets the credits.
     Direction& d = dirs_[to_side];
-    const Tick arrival = now() + ticks_from_ns(params_.propagation_delay_ns);
+    const Tick arrival = now() + prop_ticks_;
     d.credit_returns.push_back(CreditReturn{arrival, hdr, data});
     if (!d.credit_event.scheduled()) {
         schedule(d.credit_event, arrival);

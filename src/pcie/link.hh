@@ -12,9 +12,8 @@
 // as a simplification in DESIGN.md.
 #pragma once
 
-#include <deque>
-
 #include "pcie/tlp.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/simulator.hh"
 
 namespace accesys::pcie {
@@ -130,7 +129,7 @@ class TlpQueue {
 
   private:
     PciePort* port_;
-    std::deque<TlpPtr> q_;
+    RingBuffer<TlpPtr> q_;
 };
 
 /// The wire. Symmetric; see file header for the model.
@@ -170,8 +169,8 @@ class PcieLink final : public SimObject {
 
     struct Direction {
         Tick busy_until = 0;
-        std::deque<InFlight> in_flight;
-        std::deque<CreditReturn> credit_returns;
+        RingBuffer<InFlight> in_flight;
+        RingBuffer<CreditReturn> credit_returns;
         Event deliver_event;
         Event credit_event;
         std::uint64_t busy_ticks = 0; ///< for utilisation stats
@@ -184,6 +183,10 @@ class PcieLink final : public SimObject {
     void credit(unsigned dir);
 
     LinkParams params_;
+    // Serialization/propagation constants hoisted out of the per-TLP path
+    // (FP divides are too expensive to re-derive per packet).
+    double ser_ps_per_byte_ = 0.0;
+    Tick prop_ticks_ = 0;
     PciePort ports_[2];
     Direction dirs_[2]; ///< dirs_[0]: a->b, dirs_[1]: b->a
 

@@ -27,13 +27,19 @@ RootComplex::RootComplex(Simulator& sim, std::string name,
                    [this](mem::PacketPtr& pkt) {
                        return mmio_port_.send_resp(pkt);
                    }),
+      inbound_reads_(params.max_inbound_reads),
       mmio_pending_(params.mmio_tags),
       mmio_tag_free_(params.mmio_tags, 1),
       requestor_id_(mem::alloc_requestor_id())
 {
     params_.validate();
+    latency_ticks_ = ticks_from_ns(params_.latency_ns);
     process_event_.set_name(this->name() + ".process");
-    process_event_.set_callback([this] { process_delayed(); });
+    process_event_.set_raw_callback(
+        [](void* self) {
+            static_cast<RootComplex*>(self)->process_delayed();
+        },
+        this);
     // When the fabric queue drains, head-of-line stalls may clear.
     mem_q_.set_drain_hook([this] {
         if (!delay_q_.empty() && !process_event_.scheduled()) {
@@ -52,7 +58,7 @@ void RootComplex::connect_pcie(PciePort& port)
 
 void RootComplex::recv_tlp(unsigned /*port_idx*/, TlpPtr tlp)
 {
-    const Tick ready = now() + ticks_from_ns(params_.latency_ns);
+    const Tick ready = now() + latency_ticks_;
     delay_q_.push_back(Delayed{ready, std::move(tlp)});
     if (!process_event_.scheduled()) {
         schedule(process_event_, ready);
@@ -74,7 +80,7 @@ void RootComplex::process_delayed()
         if (head.type == TlpType::mem_read) {
             const std::size_t chunks =
                 split_count(head.addr, head.length);
-            if (inbound_reads_.size() >= params_.max_inbound_reads ||
+            if (inbound_live_ >= params_.max_inbound_reads ||
                 mem_q_.size() + chunks > params_.mem_queue_capacity) {
                 ++hol_stalls_;
                 return; // keep ingress credits held: upstream back-pressure
@@ -106,20 +112,34 @@ void RootComplex::service_read(Tlp& tlp)
 {
     ++inbound_read_tlps_;
     const std::uint32_t key = read_key(tlp.requester, tlp.tag);
-    ensure(inbound_reads_.find(key) == inbound_reads_.end(), name(),
+    ensure(find_inbound_read(key) == nullptr, name(),
            ": duplicate inbound read tag ", key);
 
-    InboundRead state;
-    state.addr = tlp.addr;
-    state.size = tlp.length;
-    state.tag = tlp.tag;
-    state.requester = tlp.requester;
-    state.chunk_done.assign(split_count(tlp.addr, tlp.length), false);
-    inbound_reads_.emplace(key, std::move(state));
+    InboundRead* state = nullptr;
+    for (InboundRead& rd : inbound_reads_) {
+        if (!rd.live) {
+            state = &rd;
+            break;
+        }
+    }
+    ensure(state != nullptr, name(), ": inbound read slots exhausted");
+    const auto chunks =
+        static_cast<std::uint32_t>(split_count(tlp.addr, tlp.length));
+    ensure(chunks <= InboundRead::kMaxReadChunks, name(),
+           ": inbound read splits into too many chunks");
+    *state = InboundRead{};
+    state->key = key;
+    state->live = true;
+    state->addr = tlp.addr;
+    state->size = tlp.length;
+    state->tag = tlp.tag;
+    state->requester = tlp.requester;
+    state->chunks = chunks;
+    ++inbound_live_;
 
     for (std::uint32_t off = 0, chunk = 0; off < tlp.length; ++chunk) {
         const std::uint32_t n = split_span(tlp.addr, tlp.length, off);
-        auto pkt = mem::Packet::make_read(tlp.addr + off, n);
+        auto pkt = mem::packet_pool().make_read(tlp.addr + off, n);
         pkt->set_requestor(requestor_id_);
         pkt->set_tag((static_cast<std::uint64_t>(key) << 16) | chunk);
         pkt->set_stream(tlp.requester);
@@ -136,7 +156,7 @@ void RootComplex::service_write(Tlp& tlp)
     ++inbound_write_tlps_;
     for (std::uint32_t off = 0; off < tlp.length;) {
         const std::uint32_t n = split_span(tlp.addr, tlp.length, off);
-        auto pkt = mem::Packet::make_write(tlp.addr + off, n);
+        auto pkt = mem::packet_pool().make_write(tlp.addr + off, n);
         pkt->set_requestor(requestor_id_);
         pkt->set_stream(tlp.requester);
         pkt->flags.from_device = true;
@@ -161,8 +181,8 @@ void RootComplex::service_completion(TlpPtr tlp)
     mmio_tag_free_[tag] = 1;
 
     pkt->make_response();
-    if (!tlp->payload.empty()) {
-        pkt->set_payload(tlp->payload);
+    if (tlp->has_data()) {
+        pkt->set_payload(tlp->data(), tlp->data_size());
     }
     mmio_resp_q_.push(std::move(pkt), now());
     pcie_port_->release_ingress(tlp->payload_bytes());
@@ -182,10 +202,10 @@ bool RootComplex::recv_resp(mem::PacketPtr& pkt)
     const auto key = static_cast<std::uint32_t>(pkt->tag() >> 16);
     const auto chunk = static_cast<std::uint32_t>(pkt->tag() & 0xFFFF);
 
-    auto it = inbound_reads_.find(key);
-    ensure(it != inbound_reads_.end(), name(), ": response for unknown read");
-    ensure(chunk < it->second.chunk_done.size(), name(), ": bad chunk index");
-    it->second.chunk_done[chunk] = true;
+    InboundRead* rd = find_inbound_read(key);
+    ensure(rd != nullptr, name(), ": response for unknown read");
+    ensure(chunk < rd->chunks, name(), ": bad chunk index");
+    rd->mark_chunk_done(chunk);
 
     advance_completions(key);
     return true;
@@ -193,8 +213,7 @@ bool RootComplex::recv_resp(mem::PacketPtr& pkt)
 
 void RootComplex::advance_completions(std::uint32_t key)
 {
-    auto it = inbound_reads_.find(key);
-    InboundRead& rd = it->second;
+    InboundRead& rd = *find_inbound_read(key);
 
     for (;;) {
         if (rd.emitted >= rd.size) {
@@ -207,18 +226,19 @@ void RootComplex::advance_completions(std::uint32_t key)
             chunk_index(rd.addr, rd.emitted + span - 1);
         bool all_done = true;
         for (std::uint32_t c = first; c <= last; ++c) {
-            all_done &= static_cast<bool>(rd.chunk_done[c]);
+            all_done &= rd.chunk_is_done(c);
         }
         if (!all_done) {
             return;
         }
         const bool is_last = rd.emitted + span >= rd.size;
-        egress_->push(make_completion(span, rd.tag, rd.requester, rd.emitted,
-                                      is_last));
+        egress_->push(tlp_pool().make_completion(span, rd.tag, rd.requester,
+                                                 rd.emitted, is_last));
         ++completions_sent_;
         rd.emitted += span;
         if (is_last) {
-            inbound_reads_.erase(it);
+            rd.live = false;
+            --inbound_live_;
             // A service slot freed: head-of-line stall may clear.
             if (!delay_q_.empty() && !process_event_.scheduled()) {
                 schedule(process_event_,
@@ -233,8 +253,10 @@ bool RootComplex::recv_req(mem::PacketPtr& pkt)
 {
     if (pkt->is_write()) {
         ++mmio_writes_;
-        auto tlp = make_mem_write(pkt->addr(), pkt->size(), 0);
-        tlp->payload = pkt->payload();
+        auto tlp = tlp_pool().make_mem_write(pkt->addr(), pkt->size(), 0);
+        if (pkt->has_payload()) {
+            tlp->set_data(pkt->payload_data(), pkt->payload_size());
+        }
         egress_->push(std::move(tlp));
         if (!pkt->flags.posted) {
             // MMIO writes are posted on the wire; ack the fabric now.
@@ -256,7 +278,7 @@ bool RootComplex::recv_req(mem::PacketPtr& pkt)
     *free_it = 0;
     ++mmio_reads_;
 
-    auto tlp = make_mem_read(pkt->addr(), pkt->size(), tag, 0);
+    auto tlp = tlp_pool().make_mem_read(pkt->addr(), pkt->size(), tag, 0);
     mmio_pending_[tag] = std::move(pkt);
     egress_->push(std::move(tlp));
     return true;

@@ -21,12 +21,12 @@
 // the packet-size study (Fig. 4) measures.
 #pragma once
 
-#include <deque>
-#include <unordered_map>
+#include <array>
 #include <vector>
 
 #include "mem/port.hh"
 #include "pcie/link.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/simulator.hh"
 
 namespace accesys::pcie {
@@ -78,14 +78,41 @@ class RootComplex final : public SimObject,
     bool recv_req(mem::PacketPtr& pkt) override;
     void retry_resp() override { mmio_resp_q_.retry(); }
 
+    /// One in-service inbound MRd. Lives in a fixed slot pool
+    /// (max_inbound_reads entries) with a fixed chunk bitmap, so servicing
+    /// reads allocates nothing. kMaxReadChunks bounds length/host_split.
     struct InboundRead {
+        static constexpr std::uint32_t kMaxReadChunks = 256;
+
+        std::uint32_t key = 0; ///< (requester, tag) pair, see read_key()
+        bool live = false;
         Addr addr = 0;
         std::uint32_t size = 0;
         std::uint8_t tag = 0;
         std::uint16_t requester = 0;
-        std::vector<bool> chunk_done;
+        std::uint32_t chunks = 0;
+        std::array<std::uint64_t, kMaxReadChunks / 64> chunk_done{};
         std::uint32_t emitted = 0; ///< bytes already completed, in order
+
+        [[nodiscard]] bool chunk_is_done(std::uint32_t i) const noexcept
+        {
+            return (chunk_done[i / 64] >> (i % 64)) & 1;
+        }
+        void mark_chunk_done(std::uint32_t i) noexcept
+        {
+            chunk_done[i / 64] |= std::uint64_t{1} << (i % 64);
+        }
     };
+
+    [[nodiscard]] InboundRead* find_inbound_read(std::uint32_t key)
+    {
+        for (InboundRead& rd : inbound_reads_) {
+            if (rd.live && rd.key == key) {
+                return &rd;
+            }
+        }
+        return nullptr;
+    }
 
     void process_delayed();
     void service_read(Tlp& tlp);
@@ -125,6 +152,7 @@ class RootComplex final : public SimObject,
     }
 
     RcParams params_;
+    Tick latency_ticks_ = 0; ///< precomputed ticks_from_ns(latency_ns)
     PciePort* pcie_port_ = nullptr;
     std::unique_ptr<TlpQueue> egress_;
 
@@ -134,13 +162,14 @@ class RootComplex final : public SimObject,
     mem::PacketQueue mmio_resp_q_;
 
     struct Delayed {
-        Tick ready;
+        Tick ready = 0;
         TlpPtr tlp;
     };
-    std::deque<Delayed> delay_q_;
+    RingBuffer<Delayed> delay_q_;
     Event process_event_{"", nullptr};
 
-    std::unordered_map<std::uint32_t, InboundRead> inbound_reads_;
+    std::vector<InboundRead> inbound_reads_; ///< fixed slot pool
+    std::size_t inbound_live_ = 0;
     std::vector<mem::PacketPtr> mmio_pending_; ///< indexed by MMIO tag
     std::vector<std::uint8_t> mmio_tag_free_;
     std::uint32_t requestor_id_;

@@ -6,26 +6,31 @@ PcieSwitch::PcieSwitch(Simulator& sim, std::string name,
                        const SwitchParams& params)
     : SimObject(sim, std::move(name)), params_(params)
 {
+    latency_ticks_ = ticks_from_ns(params_.latency_ns);
     egress_.resize(1); // slot 0 reserved for the upstream port
     forward_event_.set_name(this->name() + ".forward");
-    forward_event_.set_callback([this] {
-        while (!delay_q_.empty() && delay_q_.front().ready <= now()) {
-            Delayed d = std::move(delay_q_.front());
-            delay_q_.pop_front();
-            const unsigned out = route(*d.tlp);
-            if (out == 0) {
-                ++upstream_tlps_;
-            } else {
-                ++downstream_tlps_;
-            }
-            egress_[out].q.push_back(
-                Egress::Staged{std::move(d.tlp), d.from});
-            kick(out);
+    forward_event_.set_raw_callback(
+        [](void* self) { static_cast<PcieSwitch*>(self)->forward_delayed(); },
+        this);
+}
+
+void PcieSwitch::forward_delayed()
+{
+    while (!delay_q_.empty() && delay_q_.front().ready <= now()) {
+        Delayed d = std::move(delay_q_.front());
+        delay_q_.pop_front();
+        const unsigned out = route(*d.tlp);
+        if (out == 0) {
+            ++upstream_tlps_;
+        } else {
+            ++downstream_tlps_;
         }
-        if (!delay_q_.empty()) {
-            schedule(forward_event_, delay_q_.front().ready);
-        }
-    });
+        egress_[out].q.push_back(Egress::Staged{std::move(d.tlp), d.from});
+        kick(out);
+    }
+    if (!delay_q_.empty()) {
+        schedule(forward_event_, delay_q_.front().ready);
+    }
 }
 
 void PcieSwitch::set_upstream(PciePort& port)
@@ -55,7 +60,7 @@ void PcieSwitch::add_downstream(PciePort& port,
         const std::uint16_t id = device_ids[i];
         require_cfg(id != 0, name(),
                     ": device id 0 is reserved for the host");
-        require_cfg(by_device_.find(id) == by_device_.end(), name(),
+        require_cfg(egress_for_device(id) == nullptr, name(),
                     ": requester id ", id,
                     " already claimed by another downstream port");
         for (std::size_t j = 0; j < i; ++j) {
@@ -65,7 +70,7 @@ void PcieSwitch::add_downstream(PciePort& port,
     }
     const auto idx = static_cast<unsigned>(egress_.size());
     for (const std::uint16_t id : device_ids) {
-        by_device_[id] = idx;
+        by_device_.emplace_back(id, idx);
     }
     egress_.emplace_back();
     egress_.back().port = &port;
@@ -79,10 +84,10 @@ unsigned PcieSwitch::route(const Tlp& tlp) const
         if (tlp.requester == 0) {
             return 0;
         }
-        const auto it = by_device_.find(tlp.requester);
-        ensure(it != by_device_.end(), name(),
-               ": completion for unknown device ", tlp.requester);
-        return it->second;
+        const unsigned* idx = egress_for_device(tlp.requester);
+        ensure(idx != nullptr, name(), ": completion for unknown device ",
+               tlp.requester);
+        return *idx;
     }
     for (std::size_t i = 0; i < downstream_.size(); ++i) {
         for (const auto& bar : downstream_[i].bars) {
@@ -97,7 +102,7 @@ unsigned PcieSwitch::route(const Tlp& tlp) const
 void PcieSwitch::recv_tlp(unsigned port_idx, TlpPtr tlp)
 {
     // Store-and-forward: the TLP is only routed after the switch latency.
-    const Tick ready = now() + ticks_from_ns(params_.latency_ns);
+    const Tick ready = now() + latency_ticks_;
     delay_q_.push_back(Delayed{ready, std::move(tlp), port_idx});
     if (!forward_event_.scheduled()) {
         schedule(forward_event_, ready);

@@ -13,11 +13,12 @@
 #pragma once
 
 #include <deque>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mem/addr_range.hh"
 #include "pcie/link.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/simulator.hh"
 
 namespace accesys::pcie {
@@ -58,9 +59,9 @@ class PcieSwitch final : public SimObject, public PcieNode {
         /// whose buffer is released once the TLP departs.
         struct Staged {
             TlpPtr tlp;
-            unsigned from;
+            unsigned from = 0;
         };
-        std::deque<Staged> q;
+        RingBuffer<Staged> q;
     };
 
     struct Downstream {
@@ -70,21 +71,34 @@ class PcieSwitch final : public SimObject, public PcieNode {
 
     [[nodiscard]] unsigned route(const Tlp& tlp) const;
     void kick(unsigned egress_idx);
+    void forward_delayed();
 
     SwitchParams params_;
+    Tick latency_ticks_ = 0; ///< precomputed ticks_from_ns(latency_ns)
     /// Egress ports; index 0 = upstream. Deque: elements hold move-only
     /// queues and must never relocate.
     std::deque<Egress> egress_;
     std::vector<Downstream> downstream_; ///< parallel to egress_[1..]
-    std::unordered_map<std::uint16_t, unsigned> by_device_;
+    /// requester id -> egress index; flat (a handful of entries), scanned
+    /// linearly on the completion routing fast path.
+    std::vector<std::pair<std::uint16_t, unsigned>> by_device_;
+    [[nodiscard]] const unsigned* egress_for_device(std::uint16_t id) const
+    {
+        for (const auto& [dev, idx] : by_device_) {
+            if (dev == id) {
+                return &idx;
+            }
+        }
+        return nullptr;
+    }
 
     /// Ingress-side store-and-forward delay stage.
     struct Delayed {
-        Tick ready;
+        Tick ready = 0;
         TlpPtr tlp;
-        unsigned from;
+        unsigned from = 0;
     };
-    std::deque<Delayed> delay_q_;
+    RingBuffer<Delayed> delay_q_;
     Event forward_event_{"", nullptr};
 
     stats::Scalar forwarded_{stat_group(), "forwarded", "TLPs forwarded"};

@@ -16,41 +16,19 @@ std::string Tlp::describe() const
     return os.str();
 }
 
-TlpPtr make_mem_read(Addr addr, std::uint32_t length, std::uint8_t tag,
-                     std::uint16_t requester)
+TlpPool::~TlpPool()
 {
-    auto tlp = std::make_unique<Tlp>();
-    tlp->type = TlpType::mem_read;
-    tlp->addr = addr;
-    tlp->length = length;
-    tlp->tag = tag;
-    tlp->requester = requester;
-    return tlp;
+    for (Tlp* t : free_) {
+        delete t;
+    }
 }
 
-TlpPtr make_mem_write(Addr addr, std::uint32_t length,
-                      std::uint16_t requester)
+TlpPool& TlpPool::global()
 {
-    auto tlp = std::make_unique<Tlp>();
-    tlp->type = TlpType::mem_write;
-    tlp->addr = addr;
-    tlp->length = length;
-    tlp->requester = requester;
-    return tlp;
-}
-
-TlpPtr make_completion(std::uint32_t length, std::uint8_t tag,
-                       std::uint16_t requester, std::uint32_t byte_offset,
-                       bool is_last)
-{
-    auto tlp = std::make_unique<Tlp>();
-    tlp->type = TlpType::completion;
-    tlp->length = length;
-    tlp->tag = tag;
-    tlp->requester = requester;
-    tlp->byte_offset = byte_offset;
-    tlp->is_last = is_last;
-    return tlp;
+    // Leaked intentionally: TLPs may be recycled from destructors of
+    // static-storage objects, so the pool must outlive all of them.
+    static TlpPool* pool = new TlpPool();
+    return *pool;
 }
 
 } // namespace accesys::pcie

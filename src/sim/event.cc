@@ -2,33 +2,11 @@
 
 namespace accesys {
 
-bool EventQueue::step()
-{
-    prune();
-    if (heap_.empty()) {
-        return false;
-    }
-    Entry top = heap_.top();
-    heap_.pop();
-    ensure(top.when >= now_, "event heap corrupted");
-    now_ = top.when;
-    Event& ev = *top.ev;
-    ev.scheduled_ = false;
-    ++stat_processed_;
-    ensure(static_cast<bool>(ev.cb_), "event without callback: ", ev.name_);
-    ev.cb_();
-    return true;
-}
-
 std::uint64_t EventQueue::run(Tick max_tick)
 {
     std::uint64_t n = 0;
-    for (;;) {
-        prune();
-        if (heap_.empty() || heap_.top().when > max_tick) {
-            break;
-        }
-        step();
+    while (refresh_top() && top_.when <= max_tick) {
+        exec_top();
         ++n;
     }
     // Even if nothing ran, time observably advances to the horizon so

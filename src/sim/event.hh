@@ -4,11 +4,17 @@
 // times; the queue stores lightweight entries and uses lazy deletion, so
 // deschedule/reschedule are O(1) and pop skips stale entries. Determinism:
 // ties on (tick, priority) break by schedule order (monotonic sequence).
+//
+// Hot-path structure: the earliest live entry is cached outside the binary
+// heap (`top_`). Peeks (`empty()`, `next_event_tick()`) validate the cache
+// instead of re-pruning the heap, `run()`/`step()` consume it with exactly
+// one heap pop per live event, and the common schedule→fire ping-pong of a
+// single event (links, egress queues) bypasses the heap entirely.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -27,14 +33,22 @@ enum : int {
 };
 
 /// A schedulable callback. Construct once, schedule as often as needed.
+///
+/// Dispatch is a raw `fn(ctx)` indirect call. std::function callbacks are
+/// supported through a fixed trampoline (`invoke_` then points at a shim
+/// that calls `cb_`), and `set_raw_callback` binds an object+method pair
+/// directly with no std::function layer at all — used by the hottest
+/// periodic events.
 class Event {
   public:
     using Callback = std::function<void()>;
+    using RawFn = void (*)(void*);
 
     Event() = default;
     Event(std::string name, Callback cb, int priority = kPrioDefault)
-        : name_(std::move(name)), cb_(std::move(cb)), priority_(priority)
+        : priority_(priority), name_(std::move(name))
     {
+        set_callback_unchecked(std::move(cb));
     }
 
     Event(const Event&) = delete;
@@ -44,7 +58,17 @@ class Event {
     void set_callback(Callback cb)
     {
         ensure(!scheduled_, "Event::set_callback while scheduled: ", name_);
-        cb_ = std::move(cb);
+        set_callback_unchecked(std::move(cb));
+    }
+
+    /// Bind `fn(ctx)` directly (fastest dispatch); must not be scheduled.
+    void set_raw_callback(RawFn fn, void* ctx)
+    {
+        ensure(!scheduled_, "Event::set_raw_callback while scheduled: ",
+               name_);
+        cb_ = nullptr;
+        invoke_ = fn;
+        ctx_ = ctx;
     }
 
     void set_name(std::string name) { name_ = std::move(name); }
@@ -57,18 +81,34 @@ class Event {
   private:
     friend class EventQueue;
 
-    std::string name_;
-    Callback cb_;
-    int priority_ = kPrioDefault;
+    void set_callback_unchecked(Callback cb)
+    {
+        cb_ = std::move(cb);
+        if (cb_) {
+            invoke_ = [](void* self) { static_cast<Event*>(self)->cb_(); };
+            ctx_ = this;
+        } else {
+            invoke_ = nullptr;
+            ctx_ = nullptr;
+        }
+    }
+
+    // Hot fields first: schedule/refresh/dispatch touch only these, so
+    // they share the object's first cache line (name_/cb_ are cold).
+    RawFn invoke_ = nullptr; ///< dispatch target (shim or raw binding)
+    void* ctx_ = nullptr;
     Tick when_ = 0;
     std::uint64_t generation_ = 0; ///< bumped on every schedule
+    int priority_ = kPrioDefault;
     bool scheduled_ = false;
+    std::string name_;
+    Callback cb_;
 };
 
 /// Min-heap event scheduler; also the keeper of simulated time.
 class EventQueue {
   public:
-    EventQueue() = default;
+    EventQueue() { heap_.reserve(64); }
     EventQueue(const EventQueue&) = delete;
     EventQueue& operator=(const EventQueue&) = delete;
 
@@ -77,19 +117,18 @@ class EventQueue {
     /// Schedule `ev` at absolute tick `when` (>= now).
     void schedule(Event& ev, Tick when)
     {
-        ensure(!ev.scheduled_, "double schedule of event ", ev.name_);
         ensure(when >= now_, "schedule in the past: ", ev.name_, " at ", when,
                " now ", now_);
-        ev.when_ = when;
-        ev.generation_ = ++next_generation_;
-        ev.scheduled_ = true;
-        heap_.push(Entry{when, ev.priority_, next_seq_++, ev.generation_,
-                         &ev});
-        ++stat_scheduled_;
+        schedule_impl(ev, when);
     }
 
     /// Schedule `ev` `delta` ticks from now.
     void schedule_in(Event& ev, Tick delta) { schedule(ev, now_ + delta); }
+
+    /// Fast path: schedule `ev` at the current tick (it runs after the
+    /// event currently executing, in schedule order among same-tick,
+    /// same-priority peers). Skips the past-tick check.
+    void schedule_now(Event& ev) { schedule_impl(ev, now_); }
 
     /// Remove `ev` from the schedule (no-op entry left in heap).
     void deschedule(Event& ev)
@@ -108,28 +147,44 @@ class EventQueue {
     }
 
     /// True when no live (non-squashed) events remain.
-    [[nodiscard]] bool empty()
-    {
-        prune();
-        return heap_.empty();
-    }
+    [[nodiscard]] bool empty() { return !refresh_top(); }
 
     /// Tick of the next live event, or kMaxTick when empty.
     [[nodiscard]] Tick next_event_tick()
     {
-        prune();
-        return heap_.empty() ? kMaxTick : heap_.top().when;
+        return refresh_top() ? top_.when : kMaxTick;
     }
 
     /// Name of the next live event (debugging aid); empty when drained.
     [[nodiscard]] std::string next_event_name()
     {
-        prune();
-        return heap_.empty() ? std::string{} : heap_.top().ev->name();
+        return refresh_top() ? top_.ev->name() : std::string{};
     }
 
     /// Execute the single next event; returns false when none remain.
-    bool step();
+    bool step()
+    {
+        if (!refresh_top()) {
+            return false;
+        }
+        exec_top();
+        return true;
+    }
+
+    /// One fused probe-and-execute for driver loops: a single cache refresh
+    /// decides between drain, horizon and execution.
+    enum class StepOutcome { executed, horizon, drained };
+    StepOutcome step_bounded(Tick max_tick)
+    {
+        if (!refresh_top()) {
+            return StepOutcome::drained;
+        }
+        if (top_.when > max_tick) {
+            return StepOutcome::horizon;
+        }
+        exec_top();
+        return StepOutcome::executed;
+    }
 
     /// Run until the queue drains or simulated time would pass `max_tick`
     /// (events at exactly `max_tick` still run). Returns events processed.
@@ -150,46 +205,136 @@ class EventQueue {
     void warp_to(Tick when)
     {
         ensure(when >= now_, "warp into the past");
-        ensure(empty() || heap_.top().when >= when,
-               "warp past a pending event");
+        ensure(next_event_tick() >= when, "warp past a pending event");
         now_ = when;
     }
 
   private:
+    /// 32-byte heap entry: priority and schedule sequence are packed into
+    /// one sort key (`prio_seq`), so ordering is two integer compares.
     struct Entry {
         Tick when;
-        int priority;
-        std::uint64_t seq;
+        std::uint64_t prio_seq; ///< (priority + bias) << 48 | sequence
         std::uint64_t generation;
         Event* ev;
     };
 
-    struct Later {
-        bool operator()(const Entry& a, const Entry& b) const noexcept
-        {
-            if (a.when != b.when) {
-                return a.when > b.when;
-            }
-            if (a.priority != b.priority) {
-                return a.priority > b.priority;
-            }
-            return a.seq > b.seq;
-        }
-    };
+    static constexpr int kPrioBias = 1 << 15;
 
-    /// Drop squashed entries off the top of the heap.
-    void prune()
+    [[nodiscard]] static std::uint64_t pack_prio_seq(int priority,
+                                                     std::uint64_t seq)
     {
-        while (!heap_.empty()) {
-            const Entry& top = heap_.top();
-            if (top.ev->scheduled_ && top.ev->generation_ == top.generation) {
-                return;
+        // 16 bits of biased priority, 48 bits of sequence (~2.8e14
+        // schedules before wrap — far beyond any practical run).
+        ensure(priority >= -kPrioBias && priority < kPrioBias,
+               "event priority out of the representable range");
+        return (static_cast<std::uint64_t>(priority + kPrioBias) << 48) |
+               (seq & ((std::uint64_t{1} << 48) - 1));
+    }
+
+    /// True when `a` runs strictly later than `b`.
+    [[nodiscard]] static bool later(const Entry& a, const Entry& b) noexcept
+    {
+        if (a.when != b.when) {
+            return a.when > b.when;
+        }
+        return a.prio_seq > b.prio_seq;
+    }
+
+    [[nodiscard]] static bool entry_live(const Entry& e) noexcept
+    {
+        return e.ev->scheduled_ && e.ev->generation_ == e.generation;
+    }
+
+    void schedule_impl(Event& ev, Tick when)
+    {
+        ensure(!ev.scheduled_, "double schedule of event ", ev.name_);
+        ev.when_ = when;
+        ev.generation_ = ++next_generation_;
+        ev.scheduled_ = true;
+        ++stat_scheduled_;
+        const Entry e{when, pack_prio_seq(ev.priority_, next_seq_++),
+                      ev.generation_, &ev};
+        if (has_top_ && !entry_live(top_)) {
+            // A stale cached entry carries no ordering information (and,
+            // not being in the heap, can simply vanish).
+            has_top_ = false;
+        }
+        if (has_top_) {
+            // Invariant: a live cached top precedes every heap entry.
+            if (later(top_, e)) {
+                heap_push(top_);
+                top_ = e;
+            } else {
+                heap_push(e);
             }
-            heap_.pop();
+        } else if (heap_.empty() || later(heap_[0], e)) {
+            // Earlier than the heap minimum: safe to cache directly (the
+            // single-event ping-pong fast path never touches the heap).
+            top_ = e;
+            has_top_ = true;
+        } else {
+            heap_push(e);
         }
     }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const noexcept
+        {
+            return later(a, b);
+        }
+    };
+
+    void heap_push(const Entry& e)
+    {
+        heap_.push_back(e);
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
+    }
+
+    /// Remove and return the heap minimum (precondition: non-empty).
+    Entry heap_pop()
+    {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        const Entry min = heap_.back();
+        heap_.pop_back();
+        return min;
+    }
+
+    /// Make `top_` the earliest live entry; false when drained. Amortised
+    /// O(1): each heap entry is popped at most once over its lifetime.
+    bool refresh_top()
+    {
+        for (;;) {
+            if (has_top_) {
+                if (entry_live(top_)) {
+                    return true;
+                }
+                has_top_ = false;
+            }
+            if (heap_.empty()) {
+                return false;
+            }
+            top_ = heap_pop();
+            has_top_ = true;
+        }
+    }
+
+    /// Consume the cached top (precondition: refresh_top() returned true).
+    void exec_top()
+    {
+        has_top_ = false;
+        ensure(top_.when >= now_, "event heap corrupted");
+        now_ = top_.when;
+        Event& ev = *top_.ev;
+        ev.scheduled_ = false;
+        ++stat_processed_;
+        ensure(ev.invoke_ != nullptr, "event without callback: ", ev.name_);
+        ev.invoke_(ev.ctx_);
+    }
+
+    std::vector<Entry> heap_; ///< 4-ary min-heap (see heap_push/heap_pop)
+    Entry top_{};             ///< cached earliest entry, popped off the heap
+    bool has_top_ = false;
     Tick now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t next_generation_ = 0;

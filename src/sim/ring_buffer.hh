@@ -1,0 +1,118 @@
+// Reusable FIFO ring over a flat vector.
+//
+// A drop-in replacement for the `std::deque` push_back/front/pop_front
+// pattern in the transaction hot path. Unlike std::deque — which allocates
+// and frees fixed-size chunks as the window of live elements slides — the
+// ring reuses its storage forever: after warm-up, steady-state push/pop
+// traffic does zero heap work. Capacity is always a power of two (indexing
+// is a mask, not a division), grows geometrically on demand and never
+// shrinks.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/error.hh"
+
+namespace accesys {
+
+template <typename T>
+class RingBuffer {
+  public:
+    RingBuffer() = default;
+
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+    [[nodiscard]] std::size_t capacity() const noexcept
+    {
+        return slots_.size();
+    }
+
+    [[nodiscard]] T& front()
+    {
+        ensure(count_ > 0, "RingBuffer::front on empty ring");
+        return slots_[head_];
+    }
+    [[nodiscard]] const T& front() const
+    {
+        ensure(count_ > 0, "RingBuffer::front on empty ring");
+        return slots_[head_];
+    }
+
+    /// Element `i` positions behind the head (0 = front).
+    [[nodiscard]] T& operator[](std::size_t i)
+    {
+        ensure(i < count_, "RingBuffer index out of range");
+        return slots_[(head_ + i) & mask_];
+    }
+    [[nodiscard]] const T& operator[](std::size_t i) const
+    {
+        ensure(i < count_, "RingBuffer index out of range");
+        return slots_[(head_ + i) & mask_];
+    }
+
+    void push_back(T v)
+    {
+        if (count_ == slots_.size()) {
+            grow();
+        }
+        slots_[(head_ + count_) & mask_] = std::move(v);
+        ++count_;
+    }
+
+    void pop_front()
+    {
+        ensure(count_ > 0, "RingBuffer::pop_front on empty ring");
+        slots_[head_] = T(); // release owned resources now, not at overwrite
+        head_ = (head_ + 1) & mask_;
+        --count_;
+    }
+
+    /// Move the head element out and advance.
+    [[nodiscard]] T take_front()
+    {
+        T v = std::move(front());
+        pop_front();
+        return v;
+    }
+
+    /// Remove element `i` (0 = front), shifting later elements forward.
+    /// O(size - i); meant for small scheduling windows, not bulk erasure.
+    void erase_at(std::size_t i)
+    {
+        ensure(i < count_, "RingBuffer::erase_at out of range");
+        for (std::size_t j = i + 1; j < count_; ++j) {
+            (*this)[j - 1] = std::move((*this)[j]);
+        }
+        slots_[(head_ + count_ - 1) & mask_] = T();
+        --count_;
+    }
+
+    void clear()
+    {
+        while (count_ > 0) {
+            pop_front();
+        }
+    }
+
+  private:
+    void grow()
+    {
+        const std::size_t cap = slots_.empty() ? 8 : slots_.size() * 2;
+        std::vector<T> bigger(cap);
+        for (std::size_t i = 0; i < count_; ++i) {
+            bigger[i] = std::move(slots_[(head_ + i) & mask_]);
+        }
+        slots_ = std::move(bigger);
+        mask_ = cap - 1;
+        head_ = 0;
+    }
+
+    std::vector<T> slots_; ///< size always a power of two
+    std::size_t mask_ = 0; ///< slots_.size() - 1
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace accesys

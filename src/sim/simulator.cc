@@ -30,18 +30,18 @@ RunResult Simulator::run(Tick max_tick)
             res.exit_reason = exit_reason_;
             break;
         }
-        const Tick next = queue_.next_event_tick();
-        if (next == kMaxTick) {
-            res.cause = ExitCause::queue_drained;
-            break;
+        const auto outcome = queue_.step_bounded(max_tick);
+        if (outcome == EventQueue::StepOutcome::executed) {
+            ++n;
+            continue;
         }
-        if (next > max_tick) {
+        if (outcome == EventQueue::StepOutcome::drained) {
+            res.cause = ExitCause::queue_drained;
+        } else {
             res.cause = ExitCause::horizon_reached;
             queue_.warp_to(max_tick);
-            break;
         }
-        queue_.step();
-        ++n;
+        break;
     }
     res.end_tick = queue_.now();
     res.events = n;

@@ -31,6 +31,8 @@ Smmu::Smmu(Simulator& sim, std::string name, const SmmuParams& params,
       walker_requestor_(mem::alloc_requestor_id())
 {
     params_.validate();
+    utlb_hit_ticks_ = ticks_from_ns(params_.utlb_hit_latency_ns);
+    tlb_hit_ticks_ = ticks_from_ns(params_.tlb_hit_latency_ns);
     (void)stream_ctx(0); // default stream exists from the start
 }
 
@@ -47,6 +49,11 @@ std::uint32_t Smmu::effective_stream(const mem::Packet& pkt) const
 
 Smmu::StreamCtx& Smmu::stream_ctx(std::uint32_t stream)
 {
+    // Memoise the last stream: device traffic arrives in long same-stream
+    // bursts, and contexts are never destroyed, so the pointer stays valid.
+    if (last_ctx_ != nullptr && last_stream_ == stream) {
+        return *last_ctx_;
+    }
     auto it = streams_.find(stream);
     if (it == streams_.end()) {
         it = streams_
@@ -57,7 +64,9 @@ Smmu::StreamCtx& Smmu::stream_ctx(std::uint32_t stream)
                               params_))
                  .first;
     }
-    return *it->second;
+    last_stream_ = stream;
+    last_ctx_ = it->second.get();
+    return *last_ctx_;
 }
 
 bool Smmu::recv_req(mem::PacketPtr& pkt)
@@ -84,14 +93,14 @@ bool Smmu::recv_req(mem::PacketPtr& pkt)
 
     if (auto ppn = ctx.utlb.lookup(vpn); ppn.has_value()) {
         finish_translation(ctx, std::move(pkt), *ppn, arrived,
-                           now() + ticks_from_ns(params_.utlb_hit_latency_ns));
+                           now() + utlb_hit_ticks_);
         return true;
     }
 
     if (auto ppn = tlb_.lookup(vpn); ppn.has_value()) {
         ctx.utlb.insert(vpn, *ppn);
         finish_translation(ctx, std::move(pkt), *ppn, arrived,
-                           now() + ticks_from_ns(params_.tlb_hit_latency_ns));
+                           now() + tlb_hit_ticks_);
         return true;
     }
 
@@ -163,7 +172,7 @@ void Smmu::issue_pte_read(unsigned slot)
     const Addr va = w.vpn << kPageShift;
     const Addr pte_addr =
         w.table + static_cast<Addr>(level_index(va, w.level)) * 8;
-    auto pkt = mem::Packet::make_read(pte_addr, 8);
+    auto pkt = mem::packet_pool().make_read(pte_addr, 8);
     pkt->set_requestor(walker_requestor_);
     pkt->set_tag(slot);
     pkt->flags.uncacheable = params_.walker_uncacheable;

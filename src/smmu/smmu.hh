@@ -201,6 +201,9 @@ class Smmu final : public SimObject,
     [[nodiscard]] const Addr* pwc_find(unsigned level, std::uint64_t prefix);
 
     SmmuParams params_;
+    // Hit latencies in ticks, precomputed off the lookup fast path.
+    Tick utlb_hit_ticks_ = 0;
+    Tick tlb_hit_ticks_ = 0;
     PageTable* table_;
     mem::BackingStore* store_;
 
@@ -212,6 +215,9 @@ class Smmu final : public SimObject,
     Tlb tlb_; ///< main TLB, shared across streams
     /// Per-stream contexts (stable addresses: stats self-register).
     std::map<std::uint32_t, std::unique_ptr<StreamCtx>> streams_;
+    /// One-entry stream_ctx() memo (contexts are never destroyed).
+    StreamCtx* last_ctx_ = nullptr;
+    std::uint32_t last_stream_ = 0;
     std::unordered_map<std::uint32_t, std::uint32_t> stream_remap_;
 
     std::unordered_map<std::uint64_t, std::vector<PendingPkt>> walk_pending_;

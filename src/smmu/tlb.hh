@@ -23,15 +23,23 @@ class Tlb {
         slots_.resize(entries);
     }
 
-    /// VPN -> PPN lookup; updates LRU and hit/miss counters.
+    /// VPN -> PPN lookup; updates LRU and hit/miss counters. An MRU memo
+    /// short-circuits the way scan for the streaming-DMA common case
+    /// (long same-page bursts) with identical stat/LRU behaviour.
     [[nodiscard]] std::optional<std::uint64_t> lookup(std::uint64_t vpn)
     {
         ++lookups_;
+        if (mru_ != nullptr && mru_->valid && mru_->vpn == vpn) {
+            mru_->lru = ++clock_;
+            ++hits_;
+            return mru_->ppn;
+        }
         Slot* base = set_base(vpn);
         for (unsigned w = 0; w < assoc_; ++w) {
             if (base[w].valid && base[w].vpn == vpn) {
                 base[w].lru = ++clock_;
                 ++hits_;
+                mru_ = &base[w];
                 return base[w].ppn;
             }
         }
@@ -75,6 +83,7 @@ class Tlb {
         for (auto& s : slots_) {
             s.valid = false;
         }
+        mru_ = nullptr;
     }
 
     [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
@@ -108,6 +117,7 @@ class Tlb {
     std::size_t entries_;
     unsigned assoc_;
     std::vector<Slot> slots_;
+    Slot* mru_ = nullptr; ///< last hit (slots_ never reallocates)
     std::uint64_t clock_ = 0;
     std::uint64_t lookups_ = 0;
     std::uint64_t hits_ = 0;

@@ -6,6 +6,7 @@
 
 #include "sim/event.hh"
 #include "sim/random.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/simulator.hh"
 
 namespace accesys {
@@ -226,6 +227,84 @@ TEST_P(EventQueueRandomized, MatchesReferenceModel)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueRandomized,
                          ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+TEST(EventQueue, ScheduleNowRunsAfterCurrentEvent)
+{
+    EventQueue q;
+    std::vector<int> order;
+    Event b("b", [&] { order.push_back(2); });
+    Event c("c", [&] { order.push_back(3); });
+    Event a("a", [&] {
+        order.push_back(1);
+        q.schedule_now(b); // same tick, runs after already-queued peers
+    });
+    q.schedule(a, 10);
+    q.schedule(c, 10);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+    EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueue, CachedTopSurvivesInterleavedScheduling)
+{
+    // Regression shape: after an event executes (cache empty), scheduling a
+    // LATER event than a live entry still in the heap must not let the new
+    // entry overtake it.
+    EventQueue q;
+    std::vector<int> order;
+    Event late("late", [&] { order.push_back(3); });
+    Event mid("mid", [&] { order.push_back(2); });
+    Event first("first", [&] {
+        order.push_back(1);
+        q.schedule(late, 30); // heap holds mid@20; 30 must not be cached
+    });
+    q.schedule(first, 10);
+    q.schedule(mid, 20);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RingBuffer, FifoReuseAndGrowth)
+{
+    RingBuffer<int> r;
+    EXPECT_TRUE(r.empty());
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 20; ++i) {
+            r.push_back(round * 100 + i);
+        }
+        for (int i = 0; i < 20; ++i) {
+            EXPECT_EQ(r.front(), round * 100 + i);
+            r.pop_front();
+        }
+    }
+    EXPECT_TRUE(r.empty());
+    const std::size_t cap = r.capacity();
+    for (int i = 0; i < 16; ++i) {
+        r.push_back(i);
+    }
+    EXPECT_EQ(r.capacity(), cap); // steady state reuses storage
+    EXPECT_THROW((void)RingBuffer<int>{}.front(), SimError);
+}
+
+TEST(RingBuffer, IndexAndEraseAt)
+{
+    RingBuffer<int> r;
+    for (int i = 0; i < 6; ++i) {
+        r.push_back(i);
+    }
+    r.pop_front();
+    r.pop_front();
+    r.push_back(6);
+    r.push_back(7); // wraps
+    EXPECT_EQ(r[0], 2);
+    EXPECT_EQ(r[5], 7);
+    r.erase_at(1); // removes 3
+    EXPECT_EQ(r.size(), 5u);
+    EXPECT_EQ(r[0], 2);
+    EXPECT_EQ(r[1], 4);
+    EXPECT_EQ(r[4], 7);
+    EXPECT_THROW(r.erase_at(5), SimError);
+}
 
 TEST(Simulator, ExitRequestStopsRun)
 {

@@ -132,6 +132,80 @@ TEST(BackingStore, UntouchedReadsZero)
     EXPECT_EQ(store.chunks_allocated(), 0u);
 }
 
+TEST(Packet, RouteOverflowThrows)
+{
+    auto p = Packet::make_read(0, 4);
+    for (std::size_t i = 0; i < Packet::kMaxRouteDepth; ++i) {
+        p->push_route(static_cast<std::uint16_t>(i));
+    }
+    EXPECT_EQ(p->route_depth(), Packet::kMaxRouteDepth);
+    EXPECT_THROW(p->push_route(99), SimError);
+}
+
+TEST(Packet, PayloadOverflowThrows)
+{
+    auto p = Packet::make_write(0, 64);
+    std::vector<std::uint8_t> big(Packet::kMaxInlinePayload + 1, 0xAB);
+    EXPECT_THROW(p->set_payload(big.data(), big.size()), SimError);
+    p->set_payload(big.data(), Packet::kMaxInlinePayload); // exactly fits
+    EXPECT_EQ(p->payload_size(), Packet::kMaxInlinePayload);
+}
+
+TEST(PacketPool, RecyclesStorageAndResetsState)
+{
+    PacketPool pool;
+    const Packet* first = nullptr;
+    {
+        auto p = pool.make_read(0x1000, 64);
+        first = p.get();
+        p->push_route(5);
+        p->set_payload_value<std::uint64_t>(0x1234);
+        p->set_requestor(7);
+        p->set_tag(42);
+        p->flags.uncacheable = true;
+    }
+    EXPECT_EQ(pool.allocs_total(), 1u);
+    EXPECT_EQ(pool.recycles_total(), 1u);
+    EXPECT_EQ(pool.free_count(), 1u);
+
+    // The same storage comes back, fully re-initialised.
+    auto q = pool.make_write(0x2000, 8);
+    EXPECT_EQ(q.get(), first);
+    EXPECT_EQ(pool.allocs_total(), 1u); // no new heap allocation
+    EXPECT_EQ(pool.acquires_total(), 2u);
+    EXPECT_EQ(q->route_depth(), 0u);
+    EXPECT_FALSE(q->has_payload());
+    EXPECT_EQ(q->requestor(), 0u);
+    EXPECT_EQ(q->tag(), 0u);
+    EXPECT_FALSE(q->flags.uncacheable);
+    EXPECT_EQ(q->addr(), 0x2000u);
+    EXPECT_TRUE(q->is_write());
+}
+
+TEST(PacketPool, AllocsStayFlatUnderChurn)
+{
+    PacketPool pool;
+    pool.reserve(4);
+    const auto baseline = pool.allocs_total();
+    for (int i = 0; i < 10000; ++i) {
+        auto a = pool.make_read(static_cast<Addr>(i) * 64, 64);
+        auto b = pool.make_write(static_cast<Addr>(i) * 64, 64);
+        a->push_route(1);
+        b->make_response();
+    }
+    EXPECT_EQ(pool.allocs_total(), baseline); // steady state: zero news
+    EXPECT_EQ(pool.acquires_total(), 20000u);
+    EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(PacketPool, GlobalFactoriesDrawFromGlobalPool)
+{
+    auto& pool = packet_pool();
+    const auto acquires = pool.acquires_total();
+    auto p = Packet::make_read(0x10, 4);
+    EXPECT_EQ(pool.acquires_total(), acquires + 1);
+}
+
 TEST(BackingStore, CrossChunkAccess)
 {
     BackingStore store;

@@ -26,6 +26,35 @@ TEST(Tlp, FactoriesAndPayloadRules)
     EXPECT_EQ(cpl->payload_bytes(), 64u);
 }
 
+TEST(TlpPool, RecyclesStorageAndResetsState)
+{
+    TlpPool pool;
+    const Tlp* first = nullptr;
+    {
+        auto t = pool.make_completion(64, 9, 2, 128, false);
+        first = t.get();
+        const std::uint64_t v = 0xFEED;
+        t->set_data(&v, sizeof(v));
+    }
+    EXPECT_EQ(pool.allocs_total(), 1u);
+    EXPECT_EQ(pool.free_count(), 1u);
+
+    auto u = pool.make_mem_read(0x40, 64, 1, 1);
+    EXPECT_EQ(u.get(), first);
+    EXPECT_EQ(pool.allocs_total(), 1u);
+    EXPECT_FALSE(u->has_data());
+    EXPECT_EQ(u->byte_offset, 0u);
+    EXPECT_TRUE(u->is_last);
+    EXPECT_EQ(u->type, TlpType::mem_read);
+}
+
+TEST(TlpPool, DataOverflowThrows)
+{
+    auto t = make_mem_write(0, 64, 1);
+    std::vector<std::uint8_t> big(Tlp::kMaxInlineData + 1, 1);
+    EXPECT_THROW(t->set_data(big.data(), big.size()), SimError);
+}
+
 TEST(Tlp, DescribeMentionsType)
 {
     auto cpl = make_completion(64, 7, 3, 0, false);

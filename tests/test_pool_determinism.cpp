@@ -1,0 +1,95 @@
+// Pooling must be invisible to simulation results: running the same sim
+// twice in one process — first with cold (empty) Packet/TLP pools, then
+// with pools warmed by the first run's recycled objects — must produce
+// bit-identical stats registries and end ticks. Any field the pools fail
+// to re-initialise on reuse would show up here as a diverging counter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/runner.hh"
+#include "mem/packet.hh"
+#include "pcie/tlp.hh"
+
+namespace accesys {
+namespace {
+
+struct SimSnapshot {
+    std::string stats_text;
+    std::string stats_json;
+    Tick end_tick = 0;
+    std::uint64_t events = 0;
+    bool verified = false;
+};
+
+SimSnapshot run_gemm_sim(std::size_t devices, std::uint32_t size)
+{
+    core::SystemConfig cfg = core::SystemConfig::paper_default();
+    if (devices > 1) {
+        cfg.set_num_devices(devices);
+    }
+    core::System sys(cfg);
+    core::Runner runner(sys);
+    const workload::GemmSpec spec{size, size, size, /*seed=*/3};
+    for (std::size_t d = 0; d < devices; ++d) {
+        runner.dispatch(d, spec, core::Placement::host, /*verify=*/true);
+    }
+    const auto res = runner.run_dispatched();
+
+    SimSnapshot snap;
+    snap.end_tick = sys.sim().now();
+    snap.events = sys.sim().queue().events_processed();
+    snap.verified = res.all_verified();
+    std::ostringstream text;
+    sys.stats().write_text(text);
+    snap.stats_text = text.str();
+    std::ostringstream json;
+    sys.stats().write_json(json);
+    snap.stats_json = json.str();
+    return snap;
+}
+
+TEST(PoolDeterminism, ColdVsWarmPoolsAreBitIdentical)
+{
+    // First run: the global pools start cold (or in whatever state earlier
+    // tests left them); it both produces the reference and warms the pools.
+    const SimSnapshot cold = run_gemm_sim(1, 48);
+    EXPECT_TRUE(cold.verified);
+    EXPECT_GT(mem::packet_pool().free_count(), 0u);
+    EXPECT_GT(pcie::tlp_pool().free_count(), 0u);
+
+    // Second run: every packet/TLP is now a recycled object.
+    const SimSnapshot warm = run_gemm_sim(1, 48);
+    EXPECT_TRUE(warm.verified);
+    EXPECT_EQ(cold.end_tick, warm.end_tick);
+    EXPECT_EQ(cold.events, warm.events);
+    EXPECT_EQ(cold.stats_text, warm.stats_text);
+    EXPECT_EQ(cold.stats_json, warm.stats_json);
+}
+
+TEST(PoolDeterminism, MultiDeviceWarmRerunIsBitIdentical)
+{
+    const SimSnapshot first = run_gemm_sim(2, 32);
+    const SimSnapshot second = run_gemm_sim(2, 32);
+    EXPECT_TRUE(first.verified);
+    EXPECT_EQ(first.end_tick, second.end_tick);
+    EXPECT_EQ(first.events, second.events);
+    EXPECT_EQ(first.stats_text, second.stats_text);
+}
+
+TEST(PoolDeterminism, SteadyStateForwardingAllocatesNothing)
+{
+    // Warm-up run, then measure: the second identical sim must not grow
+    // either pool's heap-allocation counter — every transaction object is
+    // served from the free lists.
+    (void)run_gemm_sim(1, 48);
+    const std::uint64_t pkt_allocs = mem::packet_pool().allocs_total();
+    const std::uint64_t tlp_allocs = pcie::tlp_pool().allocs_total();
+    (void)run_gemm_sim(1, 48);
+    EXPECT_EQ(mem::packet_pool().allocs_total(), pkt_allocs);
+    EXPECT_EQ(pcie::tlp_pool().allocs_total(), tlp_allocs);
+}
+
+} // namespace
+} // namespace accesys

@@ -104,6 +104,51 @@ TEST(TopologyResolve, PerDeviceDevmemCarvesDisjointApertures)
     EXPECT_TRUE(plan.pcie_window.contains(plan.devices[2].devmem.start()));
 }
 
+TEST(TopologyResolve, PerDeviceLinkOverride)
+{
+    auto cfg = SystemConfig::paper_default();
+    cfg.set_num_devices(3);
+    // Device 1 gets a faster mixed-generation downstream link; the others
+    // keep the system-wide PCIe parameters.
+    pcie::LinkParams fast;
+    fast.lanes = 8;
+    fast.lane_gbps = 16.0;
+    fast.gen = pcie::Gen::gen4;
+    cfg.devices[1].link = fast;
+
+    const auto plan = TopologyBuilder::resolve(cfg);
+    ASSERT_EQ(plan.devices.size(), 3u);
+    EXPECT_EQ(plan.devices[0].link.lanes, cfg.pcie.lanes);
+    EXPECT_DOUBLE_EQ(plan.devices[0].link.lane_gbps, cfg.pcie.lane_gbps);
+    EXPECT_EQ(plan.devices[1].link.lanes, 8u);
+    EXPECT_DOUBLE_EQ(plan.devices[1].link.lane_gbps, 16.0);
+    EXPECT_EQ(plan.devices[1].link.gen, pcie::Gen::gen4);
+    EXPECT_EQ(plan.devices[2].link.lanes, cfg.pcie.lanes);
+
+    // The live system instantiates the override on link_dn1 only, and the
+    // mixed-generation fabric still runs a GEMM on the fast device.
+    System sys(cfg);
+    EXPECT_DOUBLE_EQ(sys.pcie_downlink(1).params().lane_gbps, 16.0);
+    EXPECT_EQ(sys.pcie_downlink(1).params().gen, pcie::Gen::gen4);
+    EXPECT_DOUBLE_EQ(sys.pcie_downlink(0).params().lane_gbps,
+                     cfg.pcie.lane_gbps);
+    Runner runner(sys);
+    runner.dispatch(1, workload::GemmSpec{32, 32, 32, 7}, Placement::host,
+                    /*verify=*/true);
+    const auto res = runner.run_dispatched();
+    EXPECT_TRUE(res.all_verified());
+}
+
+TEST(TopologyResolve, InvalidLinkOverrideRejected)
+{
+    auto cfg = SystemConfig::paper_default();
+    cfg.set_num_devices(2);
+    pcie::LinkParams bad;
+    bad.lanes = 3; // not a standard width
+    cfg.devices[1].link = bad;
+    EXPECT_THROW((void)TopologyBuilder::resolve(cfg), ConfigError);
+}
+
 TEST(TopologyResolve, AttachToUnknownSwitchRejected)
 {
     auto cfg = SystemConfig::paper_default();
