@@ -37,6 +37,11 @@ DevMemMover::DevMemMover(Simulator& sim, std::string name,
 {
     require_cfg(params_.request_bytes >= 16 && params_.max_outstanding >= 1,
                 this->name(), ": bad mover parameters");
+    port_.set_fast_path(
+        [](void* s, mem::PacketPtr& pkt) {
+            return static_cast<DevMemMover*>(s)->recv_resp(pkt);
+        },
+        [](void* s) { static_cast<DevMemMover*>(s)->retry_req(); }, this);
 }
 
 void DevMemMover::submit(TransferJob job)

@@ -37,11 +37,19 @@ MatrixFlowDevice::MatrixFlowDevice(Simulator& sim, std::string name,
       pcie_mover_(dma_, host_range),
       aperture_port_(this->name() + ".aperture", *this),
       aperture_q_(sim, this->name() + ".aperture_q",
-                  [this](mem::PacketPtr& pkt) {
-                      return aperture_port_.send_req(pkt);
-                  })
+                  [](void* s, mem::PacketPtr& pkt) {
+                      return static_cast<MatrixFlowDevice*>(s)
+                          ->aperture_port_.send_req(pkt);
+                  },
+                  this)
 {
     params_.validate();
+    aperture_port_.set_fast_path(
+        [](void* s, mem::PacketPtr& pkt) {
+            return static_cast<MatrixFlowDevice*>(s)->recv_resp(pkt);
+        },
+        [](void* s) { static_cast<MatrixFlowDevice*>(s)->retry_req(); },
+        this);
     compute_event_.set_name(this->name() + ".compute_done");
     compute_event_.set_callback([this] { compute_done(); });
 }

@@ -100,9 +100,9 @@ class MatrixFlowDevice final : public pcie::Endpoint,
     }
 
     // dma::DmaPort
-    void dma_send(pcie::TlpPtr tlp, std::function<void()> on_sent) override
+    void dma_send(pcie::TlpPtr tlp, pcie::SentHook on_sent) override
     {
-        send_tlp(std::move(tlp), std::move(on_sent));
+        send_tlp(std::move(tlp), on_sent);
     }
     [[nodiscard]] std::size_t dma_egress_depth() const override
     {

@@ -1,8 +1,31 @@
 #include "cache/cache.hh"
 
 #include <algorithm>
+#include <cstring>
 
 namespace accesys::cache {
+
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ACCESYS_HAVE_VEC_EXT 1
+/// Four tag words compared per step (GCC/Clang portable vector extension;
+/// lowers to SSE2/AVX2 on x86-64 and NEON on aarch64).
+typedef std::uint64_t U64x4 __attribute__((vector_size(32)));
+
+/// Lane-hit bitmask of `tags & mask == want` (bit i set = lane i matched).
+inline unsigned match4(const std::uint64_t* tags, std::uint64_t mask,
+                       std::uint64_t want)
+{
+    U64x4 t;
+    std::memcpy(&t, tags, sizeof(t));
+    const U64x4 eq = (t & mask) == want;
+    return static_cast<unsigned>(((eq[0] >> 63) & 1) | ((eq[1] >> 62) & 2) |
+                                 ((eq[2] >> 61) & 4) | ((eq[3] >> 60) & 8));
+}
+#endif
+
+} // namespace
 
 void CacheParams::validate() const
 {
@@ -23,32 +46,105 @@ Cache::Cache(Simulator& sim, std::string name, const CacheParams& params)
       cpu_port_(this->name() + ".cpu_side", *this),
       mem_port_(this->name() + ".mem_side", *this),
       resp_q_(sim, this->name() + ".resp_q",
-              [this](mem::PacketPtr& pkt) { return cpu_port_.send_resp(pkt); }),
+              [](void* s, mem::PacketPtr& pkt) {
+                  return static_cast<Cache*>(s)->cpu_port_.send_resp(pkt);
+              },
+              this),
       mem_q_(sim, this->name() + ".mem_q",
-             [this](mem::PacketPtr& pkt) { return mem_port_.send_req(pkt); }),
+             [](void* s, mem::PacketPtr& pkt) {
+                 return static_cast<Cache*>(s)->mem_port_.send_req(pkt);
+             },
+             this),
       fill_requestor_(mem::alloc_requestor_id())
 {
     params_.validate();
     lines_.resize(params_.num_sets() * params_.assoc);
     lru_.resize(lines_.size());
     mshrs_.resize(params_.mshrs);
+    mshr_keys_.assign(params_.mshrs, 0);
     lookup_ticks_ = ticks_from_ns(params_.lookup_latency_ns);
     fill_ticks_ = ticks_from_ns(params_.fill_latency_ns);
-    resp_q_.set_drain_hook([this] { maybe_unblock(); });
+    line_shift_ = log2i(params_.line_bytes);
+    num_sets_ = params_.num_sets();
+    sets_pow2_ = is_pow2(num_sets_);
+    set_mask_ = num_sets_ - 1;
+    resp_q_.set_drain_hook(
+        [](void* s) { static_cast<Cache*>(s)->maybe_unblock(); }, this);
+    cpu_port_.set_fast_path(
+        [](void* s, mem::PacketPtr& pkt) {
+            return static_cast<Cache*>(s)->recv_req(pkt);
+        },
+        [](void* s) { static_cast<Cache*>(s)->retry_resp(); }, this);
+    mem_port_.set_fast_path(
+        [](void* s, mem::PacketPtr& pkt) {
+            return static_cast<Cache*>(s)->recv_resp(pkt);
+        },
+        [](void* s) { static_cast<Cache*>(s)->retry_req(); }, this);
 }
 
 Cache::Line* Cache::find_line(Addr addr)
 {
     // One compare per way: a valid line's tag_flags is tag|kValid, with
-    // the dirty bit masked out of the comparison.
+    // the dirty bit masked out of the comparison. Lines are one packed
+    // machine word each, so a set is a contiguous tag array and the scan
+    // vectorizes four ways per step.
     const std::uint64_t want = line_addr(addr) | Line::kValid;
     const std::uint64_t set = set_index(addr);
     Line* base = &lines_[set * params_.assoc];
+#ifdef ACCESYS_HAVE_VEC_EXT
+    unsigned w = 0;
+    for (; w + 4 <= params_.assoc; w += 4) {
+        const unsigned hits =
+            match4(&base[w].tag_flags, ~Line::kDirty, want);
+        if (hits != 0) {
+            return &base[w + static_cast<unsigned>(
+                                 __builtin_ctz(hits))];
+        }
+    }
+    for (; w < params_.assoc; ++w) {
+        if ((base[w].tag_flags & ~Line::kDirty) == want) {
+            return &base[w];
+        }
+    }
+#else
     for (unsigned w = 0; w < params_.assoc; ++w) {
         if ((base[w].tag_flags & ~Line::kDirty) == want) {
             return &base[w];
         }
     }
+#endif
+    return nullptr;
+}
+
+Cache::Mshr* Cache::find_mshr(Addr laddr)
+{
+    if (mshrs_live_ == 0) {
+        return nullptr;
+    }
+    const std::uint64_t want = laddr | 1;
+    const std::uint64_t* keys = mshr_keys_.data();
+    const std::size_t n = mshr_keys_.size();
+#ifdef ACCESYS_HAVE_VEC_EXT
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const unsigned hits = match4(&keys[i], ~std::uint64_t{0}, want);
+        if (hits != 0) {
+            return &mshrs_[i + static_cast<std::size_t>(
+                                   __builtin_ctz(hits))];
+        }
+    }
+    for (; i < n; ++i) {
+        if (keys[i] == want) {
+            return &mshrs_[i];
+        }
+    }
+#else
+    for (std::size_t i = 0; i < n; ++i) {
+        if (keys[i] == want) {
+            return &mshrs_[i];
+        }
+    }
+#endif
     return nullptr;
 }
 
@@ -73,6 +169,44 @@ Cache::Line& Cache::pick_victim(Addr addr)
     const std::uint64_t set = set_index(addr);
     Line* base = &lines_[set * params_.assoc];
     const std::uint64_t* lru_base = &lru_[set * params_.assoc];
+#ifdef ACCESYS_HAVE_VEC_EXT
+    if (params_.assoc % 4 == 0) {
+        // Invalid way wins immediately: vector-scan the valid bits.
+        for (unsigned w = 0; w < params_.assoc; w += 4) {
+            const unsigned frees = match4(&base[w].tag_flags, Line::kValid,
+                                          0);
+            if (frees != 0) {
+                return base[w +
+                            static_cast<unsigned>(__builtin_ctz(frees))];
+            }
+        }
+        if (params_.repl == CacheParams::Repl::random) {
+            return base[rng_.below(params_.assoc)];
+        }
+        // All valid: vector min over the LRU clocks (unique by
+        // construction), then locate the index with one more compare pass.
+        U64x4 mv;
+        std::memcpy(&mv, lru_base, sizeof(mv));
+        for (unsigned w = 4; w < params_.assoc; w += 4) {
+            U64x4 g;
+            std::memcpy(&g, &lru_base[w], sizeof(g));
+            const U64x4 sel = g < mv;
+            mv = (g & sel) | (mv & ~sel);
+        }
+        std::uint64_t best = mv[0];
+        best = mv[1] < best ? mv[1] : best;
+        best = mv[2] < best ? mv[2] : best;
+        best = mv[3] < best ? mv[3] : best;
+        for (unsigned w = 0; w < params_.assoc; w += 4) {
+            const unsigned hits = match4(&lru_base[w], ~std::uint64_t{0},
+                                         best);
+            if (hits != 0) {
+                return base[w +
+                            static_cast<unsigned>(__builtin_ctz(hits))];
+            }
+        }
+    }
+#endif
     // Single pass: an invalid way wins immediately, else track the LRU
     // minimum.
     unsigned victim = 0;
@@ -95,7 +229,9 @@ void Cache::evict(Line& victim, Addr /*set_example_addr*/)
     if (!victim.valid()) {
         return;
     }
+    --valid_lines_;
     if (victim.dirty()) {
+        --dirty_lines_;
         ++n_writebacks_;
         auto wb =
             mem::packet_pool().make_write(victim.tag(), params_.line_bytes);
@@ -111,12 +247,14 @@ void Cache::install(Addr addr, bool dirty)
     Line& victim = pick_victim(addr);
     evict(victim, addr);
     victim.set(line_addr(addr), true, dirty);
+    ++valid_lines_;
+    dirty_lines_ += dirty ? 1 : 0;
     touch(victim);
 }
 
 bool Cache::recv_req(mem::PacketPtr& pkt)
 {
-    if (line_addr(pkt->addr()) != line_addr(pkt->end_addr() - 1)) {
+    if (((pkt->addr() ^ (pkt->end_addr() - 1)) >> line_shift_) != 0) {
         panic(name(), ": request straddles a line: ", pkt->describe());
     }
 
@@ -127,6 +265,8 @@ bool Cache::recv_req(mem::PacketPtr& pkt)
         ++n_bypasses_;
         if (pkt->is_write()) {
             if (Line* line = find_line(pkt->addr()); line != nullptr) {
+                --valid_lines_;
+                dirty_lines_ -= line->dirty() ? 1 : 0;
                 line->invalidate();
             }
         }
@@ -140,6 +280,7 @@ bool Cache::recv_req(mem::PacketPtr& pkt)
         ++n_hits_;
         touch(*line);
         if (pkt->is_write()) {
+            dirty_lines_ += line->dirty() ? 0 : 1;
             line->set_dirty(true);
         }
         if (pkt->flags.posted && pkt->is_write()) {
@@ -236,9 +377,14 @@ void Cache::maybe_unblock()
 
 void Cache::snoop_invalidate(Addr addr, std::uint32_t size)
 {
+    if (valid_lines_ == 0) {
+        return; // nothing cached: the walk below cannot find a line
+    }
     for (Addr a = line_addr(addr); a < addr + size;
          a += params_.line_bytes) {
         if (Line* line = find_line(a); line != nullptr) {
+            --valid_lines_;
+            dirty_lines_ -= line->dirty() ? 1 : 0;
             line->invalidate();
             ++n_snoop_invalidations_;
         }
@@ -247,9 +393,13 @@ void Cache::snoop_invalidate(Addr addr, std::uint32_t size)
 
 void Cache::snoop_clean(Addr addr, std::uint32_t size)
 {
+    if (dirty_lines_ == 0) {
+        return; // no dirty line exists: the walk cannot demote anything
+    }
     for (Addr a = line_addr(addr); a < addr + size;
          a += params_.line_bytes) {
         if (Line* line = find_line(a); line != nullptr && line->dirty()) {
+            --dirty_lines_;
             line->set_dirty(false);
             ++n_snoop_cleans_;
         }

@@ -130,32 +130,30 @@ class Cache final : public SimObject,
     {
         return align_down(a, params_.line_bytes);
     }
+    /// Set selection via precomputed shift/mask (pow2 set count) or a
+    /// single modulo — never the re-derived divide chain of num_sets().
     [[nodiscard]] std::uint64_t set_index(Addr a) const
     {
-        return (a / params_.line_bytes) % params_.num_sets();
+        const std::uint64_t line = a >> line_shift_;
+        return sets_pow2_ ? (line & set_mask_) : (line % num_sets_);
     }
 
     [[nodiscard]] Line* find_line(Addr addr);
     [[nodiscard]] const Line* find_line(Addr addr) const;
-    /// Live MSHR tracking `laddr`, or nullptr (linear scan: slot count is
-    /// single-digit by configuration).
-    [[nodiscard]] Mshr* find_mshr(Addr laddr)
-    {
-        for (Mshr& m : mshrs_) {
-            if (m.live && m.laddr == laddr) {
-                return &m;
-            }
-        }
-        return nullptr;
-    }
+    /// Live MSHR tracking `laddr`, or nullptr. The lookup scans the packed
+    /// key array (`mshr_keys_`, laddr|1 when live, 0 when free), not the
+    /// slot structs — SIMD-compared in groups of four (see cache.cc).
+    [[nodiscard]] Mshr* find_mshr(Addr laddr);
     /// Claim a free slot for `laddr`; nullptr when all are busy.
     [[nodiscard]] Mshr* alloc_mshr(Addr laddr)
     {
-        for (Mshr& m : mshrs_) {
-            if (!m.live) {
+        for (std::size_t i = 0; i < mshrs_.size(); ++i) {
+            if (mshr_keys_[i] == 0) {
+                Mshr& m = mshrs_[i];
                 m.live = true;
                 m.laddr = laddr;
                 m.fill_sent = false;
+                mshr_keys_[i] = laddr | 1;
                 ++mshrs_live_;
                 return &m;
             }
@@ -166,6 +164,7 @@ class Cache final : public SimObject,
     {
         m.live = false;
         m.targets.clear(); // keeps capacity for the next miss
+        mshr_keys_[static_cast<std::size_t>(&m - mshrs_.data())] = 0;
         --mshrs_live_;
     }
     Line& pick_victim(Addr addr);
@@ -182,15 +181,26 @@ class Cache final : public SimObject,
     CacheParams params_;
     Tick lookup_ticks_ = 0; ///< precomputed hit-path latency
     Tick fill_ticks_ = 0;   ///< precomputed fill-path latency
+    unsigned line_shift_ = 0;     ///< log2(line_bytes)
+    std::uint64_t num_sets_ = 1;  ///< cached num_sets()
+    std::uint64_t set_mask_ = 0;  ///< num_sets-1 when pow2
+    bool sets_pow2_ = false;
     mem::ResponsePort cpu_port_;
     mem::RequestPort mem_port_;
     mem::PacketQueue resp_q_; ///< responses upstream
     mem::PacketQueue mem_q_;  ///< fills / writebacks / bypasses downstream
 
-    std::vector<Line> lines_; ///< sets * assoc, row-major by set
+    std::vector<Line> lines_; ///< sets * assoc, row-major by set (SoA: one
+                              ///< machine word per way; LRU clocks parallel)
     std::vector<std::uint64_t> lru_; ///< parallel per-line LRU clocks
     std::vector<Mshr> mshrs_; ///< fixed slot pool (params_.mshrs entries)
+    /// Packed per-slot lookup keys (laddr|1 live, 0 free), scanned SIMD.
+    std::vector<std::uint64_t> mshr_keys_;
     std::size_t mshrs_live_ = 0;
+    /// Occupancy counters kept exact at every line transition so bus
+    /// snoops can reject in O(1) when this cache holds nothing relevant.
+    std::uint64_t valid_lines_ = 0;
+    std::uint64_t dirty_lines_ = 0;
     std::uint64_t lru_clock_ = 0;
     std::uint32_t fill_requestor_; ///< marks packets this cache created
     Rng rng_;

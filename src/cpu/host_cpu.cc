@@ -34,6 +34,11 @@ HostCpu::HostCpu(Simulator& sim, std::string name, const CpuParams& params,
       requestor_id_(mem::alloc_requestor_id())
 {
     params_.validate();
+    port_.set_fast_path(
+        [](void* s, mem::PacketPtr& pkt) {
+            return static_cast<HostCpu*>(s)->recv_resp(pkt);
+        },
+        [](void* s) { static_cast<HostCpu*>(s)->retry_req(); }, this);
     wake_event_.set_name(this->name() + ".wake");
     wake_event_.set_callback([this] { on_wake(); });
     poll_event_.set_name(this->name() + ".poll");

@@ -27,6 +27,10 @@ DmaEngine::DmaEngine(Simulator& sim, std::string name,
       tags_(params.max_tags)
 {
     params_.validate();
+    tag_free_bits_.assign((params_.max_tags + 63) / 64, 0);
+    for (unsigned t = 0; t < params_.max_tags; ++t) {
+        tag_free_bits_[t / 64] |= std::uint64_t{1} << (t % 64);
+    }
 }
 
 void DmaEngine::set_request_bytes(std::uint32_t bytes)
@@ -56,11 +60,15 @@ void DmaEngine::pump()
         repump_ = true;
         return;
     }
+    if (active_.empty() && queued_.empty()) {
+        return; // idle engine: credit_avail/tx_ready ticks are free
+    }
     pumping_ = true;
     do {
         repump_ = false;
         while (active_.size() < params_.channels && !queued_.empty()) {
             auto js = std::make_unique<JobState>();
+            js->engine = this;
             js->job = std::move(queued_.front());
             queued_.pop_front();
             active_.push_back(std::move(js));
@@ -99,12 +107,19 @@ void DmaEngine::pump_read(JobState& js)
            window_in_use_ + params_.request_bytes <= params_.window_bytes) {
         const auto chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
             params_.request_bytes, js.job.bytes - js.issued));
-        // Find a free tag.
-        unsigned tag = 0;
-        while (tag < tags_.size() && tags_[tag].busy) {
-            ++tag;
+        // Claim the lowest free tag (same pick order as a linear scan).
+        unsigned tag = tags_.size();
+        for (std::size_t w = 0; w < tag_free_bits_.size(); ++w) {
+            if (tag_free_bits_[w] != 0) {
+                tag = static_cast<unsigned>(
+                    w * 64 +
+                    static_cast<unsigned>(
+                        __builtin_ctzll(tag_free_bits_[w])));
+                break;
+            }
         }
         ensure(tag < tags_.size(), name(), ": tag accounting broken");
+        tag_free_bits_[tag / 64] &= ~(std::uint64_t{1} << (tag % 64));
         tags_[tag] = TagState{&js, js.issued, chunk, true};
         ++tags_in_use_;
         window_in_use_ += chunk;
@@ -127,17 +142,19 @@ void DmaEngine::pump_write(JobState& js)
             params_.write_bytes, js.job.bytes - js.issued));
         const std::uint64_t off = js.issued;
 
-        JobState* jsp = &js;
         port_->dma_send(
             pcie::tlp_pool().make_mem_write(js.job.host_addr + off, chunk,
                                  port_->dma_device_id()),
-            [this, jsp, chunk] {
-                jsp->finished += chunk;
-                bytes_written_ += chunk;
-                if (jsp->finished >= jsp->job.bytes) {
-                    pump(); // reap + refill the channel
-                }
-            });
+            pcie::SentHook{
+                [](void* p, std::uint32_t sent) {
+                    auto* jsp = static_cast<JobState*>(p);
+                    jsp->finished += sent;
+                    jsp->engine->bytes_written_ += sent;
+                    if (jsp->finished >= jsp->job.bytes) {
+                        jsp->engine->pump(); // reap + refill the channel
+                    }
+                },
+                &js, chunk});
         ++writes_issued_;
         js.issued += chunk;
     }
@@ -159,6 +176,7 @@ void DmaEngine::on_completion(const pcie::Tlp& cpl)
     js.finished += ts.bytes;
     window_in_use_ -= ts.bytes;
     ts.busy = false;
+    tag_free_bits_[cpl.tag / 64] |= std::uint64_t{1} << (cpl.tag % 64);
     --tags_in_use_;
     pump();
 }

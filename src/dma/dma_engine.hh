@@ -28,8 +28,7 @@ class DmaPort {
     virtual ~DmaPort() = default;
 
     /// Stage a TLP for transmission; `on_sent` fires when it hits the wire.
-    virtual void dma_send(pcie::TlpPtr tlp,
-                          std::function<void()> on_sent) = 0;
+    virtual void dma_send(pcie::TlpPtr tlp, pcie::SentHook on_sent) = 0;
 
     /// TLPs currently waiting for wire/credits.
     [[nodiscard]] virtual std::size_t dma_egress_depth() const = 0;
@@ -91,6 +90,7 @@ class DmaEngine final : public SimObject {
 
   private:
     struct JobState {
+        DmaEngine* engine = nullptr; ///< back-pointer for raw SentHooks
         DmaJob job;
         std::uint64_t issued = 0;   ///< bytes requested / staged so far
         std::uint64_t finished = 0; ///< bytes completed / sent so far
@@ -115,6 +115,9 @@ class DmaEngine final : public SimObject {
     std::deque<std::unique_ptr<JobState>> active_;
     std::deque<DmaJob> queued_;
     std::vector<TagState> tags_;
+    /// Bitmap of free tags (bit set = free): the read pump claims the
+    /// lowest free tag with a ctz instead of a linear busy scan.
+    std::vector<std::uint64_t> tag_free_bits_;
     std::uint64_t window_in_use_ = 0;
     unsigned tags_in_use_ = 0;
     bool pumping_ = false;

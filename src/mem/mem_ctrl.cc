@@ -22,9 +22,19 @@ MemCtrl::MemCtrl(Simulator& sim, std::string name,
       dram_(params.dram),
       port_(this->name() + ".port", *this),
       resp_q_(sim, this->name() + ".resp_q",
-              [this](PacketPtr& pkt) { return port_.send_resp(pkt); }),
-      issue_event_(this->name() + ".issue", [this] { issue_next(); })
+              [](void* s, PacketPtr& pkt) {
+                  return static_cast<MemCtrl*>(s)->port_.send_resp(pkt);
+              },
+              this),
+      issue_event_(this->name() + ".issue", nullptr)
 {
+    issue_event_.set_raw_callback(
+        [](void* s) { static_cast<MemCtrl*>(s)->issue_next(); }, this);
+    port_.set_fast_path(
+        [](void* s, PacketPtr& pkt) {
+            return static_cast<MemCtrl*>(s)->recv_req(pkt);
+        },
+        [](void* s) { static_cast<MemCtrl*>(s)->retry_resp(); }, this);
     require_cfg(params_.read_queue_capacity > 0 &&
                     params_.write_queue_capacity > 0,
                 this->name(), ": zero queue capacity");
@@ -168,18 +178,26 @@ SimpleMem::SimpleMem(Simulator& sim, std::string name,
       params_(params),
       range_(range),
       port_(this->name() + ".port", *this),
-      resp_q_(sim, this->name() + ".resp_q", [this](PacketPtr& pkt) {
-          const bool ok = port_.send_resp(pkt);
-          if (ok) {
-              --in_flight_;
-              if (blocked_upstream_) {
-                  blocked_upstream_ = false;
-                  port_.send_retry_req();
-              }
-          }
-          return ok;
-      })
+      resp_q_(sim, this->name() + ".resp_q",
+              [](void* s, PacketPtr& pkt) {
+                  auto* self = static_cast<SimpleMem*>(s);
+                  const bool ok = self->port_.send_resp(pkt);
+                  if (ok) {
+                      --self->in_flight_;
+                      if (self->blocked_upstream_) {
+                          self->blocked_upstream_ = false;
+                          self->port_.send_retry_req();
+                      }
+                  }
+                  return ok;
+              },
+              this)
 {
+    port_.set_fast_path(
+        [](void* s, PacketPtr& pkt) {
+            return static_cast<SimpleMem*>(s)->recv_req(pkt);
+        },
+        [](void* s) { static_cast<SimpleMem*>(s)->retry_resp(); }, this);
     require_cfg(params_.bandwidth_gbps > 0, this->name(), ": zero bandwidth");
     latency_ticks_ = ticks_from_ns(params_.latency_ns);
     ps_per_byte_ = ps_per_byte(params_.bandwidth_gbps);

@@ -11,46 +11,4 @@ void RequestPort::bind(ResponsePort& peer)
     peer.peer_ = this;
 }
 
-bool RequestPort::send_req(PacketPtr& pkt)
-{
-    ensure(peer_ != nullptr, "unbound request port: ", name_);
-    ensure(pkt != nullptr && pkt->is_request(),
-           "send_req needs a request packet on ", name_);
-    if (peer_->owner_->recv_req(pkt)) {
-        return true;
-    }
-    peer_->want_retry_ = true;
-    return false;
-}
-
-void RequestPort::send_retry_resp()
-{
-    ensure(peer_ != nullptr, "unbound request port: ", name_);
-    if (want_retry_) {
-        want_retry_ = false;
-        peer_->owner_->retry_resp();
-    }
-}
-
-bool ResponsePort::send_resp(PacketPtr& pkt)
-{
-    ensure(peer_ != nullptr, "unbound response port: ", name_);
-    ensure(pkt != nullptr && pkt->is_response(),
-           "send_resp needs a response packet on ", name_);
-    if (peer_->owner_->recv_resp(pkt)) {
-        return true;
-    }
-    peer_->want_retry_ = true;
-    return false;
-}
-
-void ResponsePort::send_retry_req()
-{
-    ensure(peer_ != nullptr, "unbound response port: ", name_);
-    if (want_retry_) {
-        want_retry_ = false;
-        peer_->owner_->retry_req();
-    }
-}
-
 } // namespace accesys::mem

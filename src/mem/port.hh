@@ -10,10 +10,18 @@
 //   * Responses flow the other way with the symmetric rules.
 //   * `PacketQueue` implements the common egress pattern: schedule a packet
 //     to leave at a future tick, retry automatically on backpressure.
+//
+// Dispatch structure: the Requestor/Responder interfaces exist for wiring
+// and documentation, but steady-state delivery does not go through their
+// vtables. Each port carries a raw `fn(ctx, pkt)` binding (the same trick
+// Event::set_raw_callback uses); it defaults to a shim that makes the
+// virtual call, and owners devirtualize it in their constructors via
+// set_fast_path() with lambdas that call their concrete handlers directly.
+// PacketQueue's send functor and drain hook are raw fn/ctx pairs for the
+// same reason (no std::function indirection per forwarded packet).
 #pragma once
 
 #include <algorithm>
-#include <functional>
 #include <string>
 #include <utility>
 
@@ -51,9 +59,29 @@ class ResponsePort;
 
 class RequestPort {
   public:
-    RequestPort(std::string name, Requestor& owner)
-        : name_(std::move(name)), owner_(&owner)
+    using RecvFn = bool (*)(void*, PacketPtr&);
+    using RetryFn = void (*)(void*);
+
+    RequestPort(std::string name, Requestor& owner) : name_(std::move(name))
     {
+        // Default binding: one indirect call into the virtual interface.
+        ctx_ = static_cast<void*>(&owner);
+        recv_resp_ = [](void* o, PacketPtr& p) {
+            return static_cast<Requestor*>(o)->recv_resp(p);
+        };
+        retry_req_ = [](void* o) { static_cast<Requestor*>(o)->retry_req(); };
+    }
+
+    /// Devirtualize steady-state delivery: rebind response/retry dispatch
+    /// to raw fn(ctx) pairs calling the owner's concrete handlers. Owners
+    /// call this from their constructors (where private handlers are in
+    /// scope); unbound ports keep the virtual-shim default.
+    void set_fast_path(RecvFn recv_resp, RetryFn retry_req,
+                      void* ctx) noexcept
+    {
+        recv_resp_ = recv_resp;
+        retry_req_ = retry_req;
+        ctx_ = ctx;
     }
 
     void bind(ResponsePort& peer);
@@ -70,16 +98,36 @@ class RequestPort {
   private:
     friend class ResponsePort;
     std::string name_;
-    Requestor* owner_;
+    RecvFn recv_resp_;  ///< delivers responses to this port's owner
+    RetryFn retry_req_; ///< wakes this port's owner after backpressure
+    void* ctx_;
     ResponsePort* peer_ = nullptr;
     bool want_retry_ = false; ///< peer owes us a request retry
 };
 
 class ResponsePort {
   public:
-    ResponsePort(std::string name, Responder& owner)
-        : name_(std::move(name)), owner_(&owner)
+    using RecvFn = RequestPort::RecvFn;
+    using RetryFn = RequestPort::RetryFn;
+
+    ResponsePort(std::string name, Responder& owner) : name_(std::move(name))
     {
+        ctx_ = static_cast<void*>(&owner);
+        recv_req_ = [](void* o, PacketPtr& p) {
+            return static_cast<Responder*>(o)->recv_req(p);
+        };
+        retry_resp_ = [](void* o) {
+            static_cast<Responder*>(o)->retry_resp();
+        };
+    }
+
+    /// See RequestPort::set_fast_path (symmetric: request/retry-resp side).
+    void set_fast_path(RecvFn recv_req, RetryFn retry_resp,
+                      void* ctx) noexcept
+    {
+        recv_req_ = recv_req;
+        retry_resp_ = retry_resp;
+        ctx_ = ctx;
     }
 
     void bind(RequestPort& peer) { peer.bind(*this); }
@@ -96,38 +144,125 @@ class ResponsePort {
   private:
     friend class RequestPort;
     std::string name_;
-    Responder* owner_;
+    RecvFn recv_req_;    ///< delivers requests to this port's owner
+    RetryFn retry_resp_; ///< wakes this port's owner after backpressure
+    void* ctx_;
     RequestPort* peer_ = nullptr;
     bool want_retry_ = false; ///< peer owes us a response retry
 };
+
+inline bool RequestPort::send_req(PacketPtr& pkt)
+{
+    ensure(peer_ != nullptr, "unbound request port: ", name_);
+    ensure(pkt != nullptr && pkt->is_request(),
+           "send_req needs a request packet on ", name_);
+    if (peer_->recv_req_(peer_->ctx_, pkt)) {
+        return true;
+    }
+    peer_->want_retry_ = true;
+    return false;
+}
+
+inline void RequestPort::send_retry_resp()
+{
+    ensure(peer_ != nullptr, "unbound request port: ", name_);
+    if (want_retry_) {
+        want_retry_ = false;
+        peer_->retry_resp_(peer_->ctx_);
+    }
+}
+
+inline bool ResponsePort::send_resp(PacketPtr& pkt)
+{
+    ensure(peer_ != nullptr, "unbound response port: ", name_);
+    ensure(pkt != nullptr && pkt->is_response(),
+           "send_resp needs a response packet on ", name_);
+    if (peer_->recv_resp_(peer_->ctx_, pkt)) {
+        return true;
+    }
+    peer_->want_retry_ = true;
+    return false;
+}
+
+inline void ResponsePort::send_retry_req()
+{
+    ensure(peer_ != nullptr, "unbound response port: ", name_);
+    if (want_retry_) {
+        want_retry_ = false;
+        peer_->retry_req_(peer_->ctx_);
+    }
+}
 
 /// Deferred-egress queue: packets become sendable at a scheduled tick and are
 /// pushed out in order, transparently honouring peer backpressure.
 ///
 /// The queue is transport-agnostic: the owner provides the actual send
 /// functor (usually wrapping RequestPort::send_req or
-/// ResponsePort::send_resp) and arranges for `retry()` to be called from the
-/// matching retry hook.
+/// ResponsePort::send_resp) as a raw fn/ctx pair and arranges for `retry()`
+/// to be called from the matching retry hook.
 class PacketQueue {
   public:
-    using SendFn = std::function<bool(PacketPtr&)>;
+    using SendFn = bool (*)(void*, PacketPtr&);
+    using HookFn = void (*)(void*);
 
-    PacketQueue(Simulator& sim, std::string name, SendFn send)
+    PacketQueue(Simulator& sim, std::string name, SendFn send, void* send_ctx)
         : sim_(&sim),
-          send_(std::move(send)),
+          send_(send),
+          send_ctx_(send_ctx),
           send_event_(name + ".send", nullptr)
     {
         send_event_.set_raw_callback(
             [](void* self) { static_cast<PacketQueue*>(self)->try_send(); },
             this);
+        fuse_ = sim.queue().batching_enabled();
     }
 
     /// Queue `pkt` to be sent no earlier than `ready` (absolute tick).
+    ///
+    /// Same-resolved-tick fusion: when the packet is already sendable, the
+    /// queue is idle, and nothing else is pending at the current tick, the
+    /// send event this push would schedule is guaranteed to be the very
+    /// next dispatch — so the hand-off happens synchronously and the
+    /// intermediate self-event is skipped entirely (disabled together with
+    /// batch dispatch by ACCESYS_NO_BATCH; results are identical by
+    /// contract).
     void push(PacketPtr pkt, Tick ready)
     {
+        // Guard ordering matters: most pushes carry a future ready tick, so
+        // the tick compare disqualifies first; the queue-state flags are
+        // one cache line; tick_quiescent (a queue probe) runs last.
+        const Tick now = sim_->now();
+        if (ready <= now && q_.empty() && !blocked_ && fuse_ &&
+            !in_send_ && !send_event_.scheduled() &&
+            sim_->queue().tick_quiescent()) {
+            in_send_ = true;
+            const bool ok = send_(send_ctx_, pkt);
+            in_send_ = false;
+            if (ok) {
+                if (drain_hook_ != nullptr) {
+                    drain_hook_(drain_ctx_);
+                }
+                return;
+            }
+            // Refused: same as a try_send head refusal — hold the packet,
+            // wait for the peer's retry().
+            blocked_ = true;
+            q_.push_back(Entry{std::move(pkt), ready});
+            return;
+        }
         q_.push_back(Entry{std::move(pkt), ready});
         if (!blocked_) {
-            arm();
+            // Inline arm(): the queue cannot be empty after the push, and
+            // egress is FIFO — the wakeup tracks the *head's* ready tick
+            // (an out-of-order earlier `ready` must not wake the queue
+            // before the head can actually leave).
+            const Tick head_ready = q_.front().ready;
+            const Tick when = head_ready > now ? head_ready : now;
+            if (!send_event_.scheduled()) {
+                sim_->queue().schedule(send_event_, when);
+            } else if (send_event_.when() > when) {
+                sim_->queue().reschedule(send_event_, when);
+            }
         }
     }
 
@@ -143,9 +278,10 @@ class PacketQueue {
 
     /// Invoked after each packet leaves the queue (used by bounded owners to
     /// wake requestors they previously refused).
-    void set_drain_hook(std::function<void()> hook)
+    void set_drain_hook(HookFn hook, void* ctx)
     {
-        drain_hook_ = std::move(hook);
+        drain_hook_ = hook;
+        drain_ctx_ = ctx;
     }
 
     [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
@@ -183,7 +319,7 @@ class PacketQueue {
         bool sent_any = false;
         while (!q_.empty() && !blocked_ && q_.front().ready <= sim_->now()) {
             PacketPtr& pkt = q_.front().pkt;
-            if (!send_(pkt)) {
+            if (!send_(send_ctx_, pkt)) {
                 blocked_ = true;
                 break;
             }
@@ -191,8 +327,8 @@ class PacketQueue {
             sent_any = true;
         }
         arm();
-        if (sent_any && drain_hook_) {
-            drain_hook_();
+        if (sent_any && drain_hook_ != nullptr) {
+            drain_hook_(drain_ctx_);
         }
     }
 
@@ -201,8 +337,12 @@ class PacketQueue {
     Simulator* sim_;
     RingBuffer<Entry> q_;
     bool blocked_ = false;
+    bool fuse_ = true;    ///< same-tick fusion on (mirrors batch dispatch)
+    bool in_send_ = false; ///< re-entrancy guard for the fused hand-off
     SendFn send_;
-    std::function<void()> drain_hook_;
+    void* send_ctx_;
+    HookFn drain_hook_ = nullptr;
+    void* drain_ctx_ = nullptr;
     Event send_event_;
 };
 

@@ -20,6 +20,11 @@ TrafficGen::TrafficGen(Simulator& sim, std::string name,
       rng_(params.seed)
 {
     params_.validate();
+    port_.set_fast_path(
+        [](void* s, PacketPtr& pkt) {
+            return static_cast<TrafficGen*>(s)->recv_resp(pkt);
+        },
+        [](void* s) { static_cast<TrafficGen*>(s)->retry_req(); }, this);
 }
 
 void TrafficGen::start(std::function<void()> on_done)

@@ -20,9 +20,18 @@ struct Xbar::InSide final : Responder {
           idx_(idx),
           rport(xbar.name() + "." + label, *this),
           resp_q(xbar.sim(), xbar.name() + "." + label + ".resp_q",
-                 [this](PacketPtr& pkt) { return rport.send_resp(pkt); })
+                 [](void* s, PacketPtr& pkt) {
+                     return static_cast<InSide*>(s)->rport.send_resp(pkt);
+                 },
+                 this)
     {
-        resp_q.set_drain_hook([this] { wake_waiters(); });
+        resp_q.set_drain_hook(
+            [](void* s) { static_cast<InSide*>(s)->wake_waiters(); }, this);
+        rport.set_fast_path(
+            [](void* s, PacketPtr& pkt) {
+                return static_cast<InSide*>(s)->recv_req(pkt);
+            },
+            [](void* s) { static_cast<InSide*>(s)->retry_resp(); }, this);
     }
 
     bool recv_req(PacketPtr& pkt) override
@@ -52,9 +61,18 @@ struct Xbar::OutSide final : Requestor {
           deflt(is_default),
           qport(xbar.name() + "." + label, *this),
           req_q(xbar.sim(), xbar.name() + "." + label + ".req_q",
-                [this](PacketPtr& pkt) { return qport.send_req(pkt); })
+                [](void* s, PacketPtr& pkt) {
+                    return static_cast<OutSide*>(s)->qport.send_req(pkt);
+                },
+                this)
     {
-        req_q.set_drain_hook([this] { wake_waiters(); });
+        req_q.set_drain_hook(
+            [](void* s) { static_cast<OutSide*>(s)->wake_waiters(); }, this);
+        qport.set_fast_path(
+            [](void* s, PacketPtr& pkt) {
+                return static_cast<OutSide*>(s)->recv_resp(pkt);
+            },
+            [](void* s) { static_cast<OutSide*>(s)->retry_req(); }, this);
     }
 
     bool recv_resp(PacketPtr& pkt) override

@@ -98,9 +98,9 @@ void Endpoint::credit_avail(unsigned /*port_idx*/)
     tx_ready();
 }
 
-void Endpoint::send_tlp(TlpPtr tlp, std::function<void()> on_sent)
+void Endpoint::send_tlp(TlpPtr tlp, SentHook on_sent)
 {
-    egress_q_.push_back(Staged{std::move(tlp), std::move(on_sent)});
+    egress_q_.push_back(Staged{std::move(tlp), on_sent});
     kick_egress();
 }
 

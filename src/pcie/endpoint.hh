@@ -55,7 +55,7 @@ class Endpoint : public SimObject, public PcieNode {
     virtual void tx_ready() {}
 
     /// Stage a TLP for transmission; `on_sent` fires when it hits the wire.
-    void send_tlp(TlpPtr tlp, std::function<void()> on_sent = {});
+    void send_tlp(TlpPtr tlp, SentHook on_sent = {});
 
     /// Number of TLPs waiting for wire/credits.
     [[nodiscard]] std::size_t egress_depth() const;
@@ -77,7 +77,7 @@ class Endpoint : public SimObject, public PcieNode {
 
     struct Staged {
         TlpPtr tlp;
-        std::function<void()> on_sent;
+        SentHook on_sent;
     };
     RingBuffer<Staged> egress_q_;
     void kick_egress();

@@ -22,11 +22,17 @@ RootComplex::RootComplex(Simulator& sim, std::string name,
       mem_port_(this->name() + ".mem_side", *this),
       mmio_port_(this->name() + ".mmio_side", *this),
       mem_q_(sim, this->name() + ".mem_q",
-             [this](mem::PacketPtr& pkt) { return mem_port_.send_req(pkt); }),
+             [](void* s, mem::PacketPtr& pkt) {
+                 return static_cast<RootComplex*>(s)->mem_port_.send_req(
+                     pkt);
+             },
+             this),
       mmio_resp_q_(sim, this->name() + ".mmio_resp_q",
-                   [this](mem::PacketPtr& pkt) {
-                       return mmio_port_.send_resp(pkt);
-                   }),
+                   [](void* s, mem::PacketPtr& pkt) {
+                       return static_cast<RootComplex*>(s)
+                           ->mmio_port_.send_resp(pkt);
+                   },
+                   this),
       inbound_reads_(params.max_inbound_reads),
       mmio_pending_(params.mmio_tags),
       mmio_tag_free_(params.mmio_tags, 1),
@@ -34,6 +40,8 @@ RootComplex::RootComplex(Simulator& sim, std::string name,
 {
     params_.validate();
     latency_ticks_ = ticks_from_ns(params_.latency_ns);
+    split_shift_ = log2i(params_.host_split_bytes);
+    split_mask_ = params_.host_split_bytes - 1;
     process_event_.set_name(this->name() + ".process");
     process_event_.set_raw_callback(
         [](void* self) {
@@ -41,11 +49,27 @@ RootComplex::RootComplex(Simulator& sim, std::string name,
         },
         this);
     // When the fabric queue drains, head-of-line stalls may clear.
-    mem_q_.set_drain_hook([this] {
-        if (!delay_q_.empty() && !process_event_.scheduled()) {
-            schedule(process_event_, std::max(now(), delay_q_.front().ready));
-        }
-    });
+    mem_q_.set_drain_hook(
+        [](void* s) {
+            auto* self = static_cast<RootComplex*>(s);
+            if (!self->delay_q_.empty() &&
+                !self->process_event_.scheduled()) {
+                self->schedule(self->process_event_,
+                               std::max(self->now(),
+                                        self->delay_q_.front().ready));
+            }
+        },
+        this);
+    mem_port_.set_fast_path(
+        [](void* s, mem::PacketPtr& pkt) {
+            return static_cast<RootComplex*>(s)->recv_resp(pkt);
+        },
+        [](void* s) { static_cast<RootComplex*>(s)->retry_req(); }, this);
+    mmio_port_.set_fast_path(
+        [](void* s, mem::PacketPtr& pkt) {
+            return static_cast<RootComplex*>(s)->recv_req(pkt);
+        },
+        [](void* s) { static_cast<RootComplex*>(s)->retry_resp(); }, this);
 }
 
 void RootComplex::connect_pcie(PciePort& port)

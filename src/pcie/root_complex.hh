@@ -125,9 +125,10 @@ class RootComplex final : public SimObject,
     [[nodiscard]] std::uint32_t split_span(Addr base, std::uint32_t len,
                                            std::uint32_t off) const
     {
+        // host_split_bytes is pow2: modulo is a mask (split_mask_ cached).
         const std::uint32_t align = params_.host_split_bytes;
-        const auto to_boundary =
-            static_cast<std::uint32_t>(align - (base + off) % align);
+        const auto to_boundary = static_cast<std::uint32_t>(
+            align - ((base + off) & split_mask_));
         return std::min(to_boundary, len - off);
     }
     [[nodiscard]] std::uint32_t split_count(Addr base,
@@ -135,15 +136,16 @@ class RootComplex final : public SimObject,
     {
         const std::uint32_t align = params_.host_split_bytes;
         return static_cast<std::uint32_t>(
-            (align_up(base + len, align) - align_down(base, align)) / align);
+            (align_up(base + len, align) - align_down(base, align)) >>
+            split_shift_);
     }
     [[nodiscard]] std::uint32_t chunk_index(Addr base,
                                             std::uint32_t off) const
     {
         const std::uint32_t align = params_.host_split_bytes;
         return static_cast<std::uint32_t>(
-            (align_down(base + off, align) - align_down(base, align)) /
-            align);
+            (align_down(base + off, align) - align_down(base, align)) >>
+            split_shift_);
     }
     [[nodiscard]] static std::uint32_t read_key(std::uint16_t requester,
                                                 std::uint8_t tag)
@@ -153,6 +155,8 @@ class RootComplex final : public SimObject,
 
     RcParams params_;
     Tick latency_ticks_ = 0; ///< precomputed ticks_from_ns(latency_ns)
+    unsigned split_shift_ = 0;       ///< log2(host_split_bytes)
+    std::uint64_t split_mask_ = 0;   ///< host_split_bytes - 1
     PciePort* pcie_port_ = nullptr;
     std::unique_ptr<TlpQueue> egress_;
 

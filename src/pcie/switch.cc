@@ -68,6 +68,17 @@ void PcieSwitch::add_downstream(PciePort& port,
                         " listed twice for one downstream port");
         }
     }
+    // Routing (and its one-entry memo) assumes downstream BARs are
+    // disjoint; an overlap would make first-match order — and thus the
+    // chosen port — depend on registration or traffic history.
+    {
+        std::vector<mem::AddrRange> all;
+        for (const Downstream& d : downstream_) {
+            all.insert(all.end(), d.bars.begin(), d.bars.end());
+        }
+        all.insert(all.end(), bars.begin(), bars.end());
+        mem::check_disjoint(all);
+    }
     const auto idx = static_cast<unsigned>(egress_.size());
     for (const std::uint16_t id : device_ids) {
         by_device_.emplace_back(id, idx);
@@ -89,10 +100,16 @@ unsigned PcieSwitch::route(const Tlp& tlp) const
                tlp.requester);
         return *idx;
     }
+    const std::uint32_t span = tlp.length == 0 ? 1 : tlp.length;
+    if (last_bar_out_ != 0 && last_bar_.contains(tlp.addr, span)) {
+        return last_bar_out_;
+    }
     for (std::size_t i = 0; i < downstream_.size(); ++i) {
         for (const auto& bar : downstream_[i].bars) {
-            if (bar.contains(tlp.addr, tlp.length == 0 ? 1 : tlp.length)) {
-                return static_cast<unsigned>(i + 1);
+            if (bar.contains(tlp.addr, span)) {
+                last_bar_ = bar;
+                last_bar_out_ = static_cast<unsigned>(i + 1);
+                return last_bar_out_;
             }
         }
     }

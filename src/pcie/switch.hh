@@ -70,6 +70,11 @@ class PcieSwitch final : public SimObject, public PcieNode {
     };
 
     [[nodiscard]] unsigned route(const Tlp& tlp) const;
+    /// One-entry memo of the last BAR-routed decision (DMA streams hit the
+    /// same downstream BAR in long runs). Pure-function cache: identical
+    /// inputs produce identical routes, so determinism is unaffected.
+    mutable mem::AddrRange last_bar_{};
+    mutable unsigned last_bar_out_ = 0;
     void kick(unsigned egress_idx);
     void forward_delayed();
 

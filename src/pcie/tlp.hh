@@ -20,6 +20,19 @@
 
 namespace accesys::pcie {
 
+/// Raw post-send callback carried alongside a staged TLP: `fn(ctx, arg)`.
+/// POD on purpose — egress queues copy these through recycled ring slots,
+/// and binding a context pointer instead of a capturing std::function keeps
+/// the per-TLP staging path allocation-free.
+struct SentHook {
+    void (*fn)(void*, std::uint32_t) = nullptr;
+    void* ctx = nullptr;
+    std::uint32_t arg = 0;
+
+    explicit operator bool() const noexcept { return fn != nullptr; }
+    void operator()() const { fn(ctx, arg); }
+};
+
 /// PCIe generation: determines line encoding efficiency.
 enum class Gen : std::uint8_t {
     gen1, ///< 2.5 GT/s class, 8b/10b

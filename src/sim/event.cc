@@ -2,12 +2,71 @@
 
 namespace accesys {
 
+std::uint64_t EventQueue::dispatch_tick(const bool* stop)
+{
+    const Tick t = near_at(0).when();
+    ensure(t >= now_, "event heap corrupted");
+    now_ = t;
+    // Pull the whole same-tick run out of the near ring, then the heap, in
+    // one sweep. Ring entries precede heap entries and both come out in
+    // exact run order, so the batch array is sorted by construction.
+    batch_[0] = near_at(0);
+    near_pop_front();
+    std::size_t len = 1;
+    while (len < kBatchMax && near_n_ > 0 && near_at(0).when() == t) {
+        const Entry e = near_at(0);
+        near_pop_front();
+        if (entry_live(e)) {
+            batch_[len++] = e;
+        }
+    }
+    if (near_n_ == 0) {
+        while (len < kBatchMax && !heap_.empty() && heap_[0].when() == t) {
+            const Entry e = heap_pop();
+            if (entry_live(e)) {
+                batch_[len++] = e;
+            }
+        }
+    }
+    batch_len_ = len;
+
+    std::uint64_t n = 0;
+    for (batch_pos_ = 0; batch_pos_ < batch_len_; ++batch_pos_) {
+        const Entry& e = batch_[batch_pos_];
+        if (!entry_live(e)) {
+            continue; // descheduled or rescheduled while batched
+        }
+        Event& ev = *e.ev;
+        ev.scheduled_ = false;
+        ++stat_processed_;
+        ensure(ev.invoke_ != nullptr, "event without callback: ", ev.name_);
+        if (observer_ != nullptr) [[unlikely]] {
+            observer_->on_dispatch(ev);
+        }
+        ev.invoke_(ev.ctx_);
+        ++n;
+        if (stop != nullptr && *stop) [[unlikely]] {
+            // Return the unexecuted remainder so the next drain() resumes
+            // in exact order (see spill_batch_remainder for the invariant).
+            spill_batch_remainder(batch_pos_ + 1);
+            batch_pos_ = batch_len_ = 0;
+            return n;
+        }
+    }
+    batch_pos_ = batch_len_ = 0;
+    return n;
+}
+
 std::uint64_t EventQueue::run(Tick max_tick)
 {
     std::uint64_t n = 0;
-    while (refresh_top() && top_.when <= max_tick) {
-        exec_top();
-        ++n;
+    while (refresh_top() && near_at(0).when() <= max_tick) {
+        if (batch_enabled_ && tick_has_run()) {
+            n += dispatch_tick(nullptr);
+        } else {
+            exec_top();
+            ++n;
+        }
     }
     // Even if nothing ran, time observably advances to the horizon so
     // callers can interleave run() windows deterministically.
@@ -15,6 +74,31 @@ std::uint64_t EventQueue::run(Tick max_tick)
         now_ = max_tick;
     }
     return n;
+}
+
+EventQueue::DrainOutcome EventQueue::drain(Tick max_tick, const bool& stop,
+                                           std::uint64_t& executed)
+{
+    for (;;) {
+        if (stop) {
+            return DrainOutcome::stopped;
+        }
+        if (!refresh_top()) {
+            return DrainOutcome::drained;
+        }
+        if (near_at(0).when() > max_tick) {
+            return DrainOutcome::horizon;
+        }
+        // Singleton ticks (no same-tick peer waiting behind the head) take
+        // the lean one-event path; batch mechanics only engage when a
+        // same-tick run actually exists.
+        if (batch_enabled_ && tick_has_run()) {
+            executed += dispatch_tick(&stop);
+        } else {
+            exec_top();
+            ++executed;
+        }
+    }
 }
 
 } // namespace accesys

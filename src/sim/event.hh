@@ -5,15 +5,33 @@
 // deschedule/reschedule are O(1) and pop skips stale entries. Determinism:
 // ties on (tick, priority) break by schedule order (monotonic sequence).
 //
-// Hot-path structure: the earliest live entry is cached outside the binary
-// heap (`top_`). Peeks (`empty()`, `next_event_tick()`) validate the cache
-// instead of re-pruning the heap, `run()`/`step()` consume it with exactly
-// one heap pop per live event, and the common schedule→fire ping-pong of a
-// single event (links, egress queues) bypasses the heap entirely.
+// Hot-path structure (in order of introduction):
+//   * the earliest live entries are cached outside the heap in a small
+//     sorted ring (`near_`, the generalization of a cached-top slot): peeks
+//     validate the cache instead of re-pruning, the single-event
+//     schedule→fire ping-pong (links, egress queues) never touches the
+//     heap, and a schedule that lands among the next few events inserts
+//     into the ring instead of paying a heap push + pop round trip;
+//   * the heap itself is a hand-rolled 4-ary min-heap — shallower than a
+//     binary heap and sifted with hole insertion, so a push or pop moves
+//     entries instead of swapping them;
+//   * `run()` / `drain()` dispatch same-tick events as a *batch*: every
+//     entry for the current tick is pulled out of the heap in one sweep and
+//     dispatched back-to-back from a flat array, and an event scheduled *at
+//     the current tick while the batch runs* (the response-chain pattern:
+//     link → switch → RC → xbar → mem and back) is appended straight to the
+//     batch — one queue transaction for the whole chain instead of N
+//     schedule/pop round-trips. Ordering stays bit-exact: appending is only
+//     legal when the new entry sorts after everything still pending, which
+//     the monotonic sequence guarantees for same-priority events; the rare
+//     earlier-priority insert spills the remainder back to the heap and
+//     re-sorts. Set ACCESYS_NO_BATCH=1 to force the one-event-at-a-time
+//     path (escape hatch; results are identical by contract, see
+//     tests/test_pool_determinism.cpp).
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -108,7 +126,20 @@ class Event {
 /// Min-heap event scheduler; also the keeper of simulated time.
 class EventQueue {
   public:
-    EventQueue() { heap_.reserve(64); }
+    /// Pre-dispatch hook for profiling tools (see perf_baseline --profile).
+    /// Called with every event about to execute; the hot path pays one
+    /// predictable branch when no observer is installed.
+    class DispatchObserver {
+      public:
+        virtual ~DispatchObserver() = default;
+        virtual void on_dispatch(const Event& ev) = 0;
+    };
+
+    EventQueue()
+    {
+        heap_.reserve(64);
+        batch_enabled_ = std::getenv("ACCESYS_NO_BATCH") == nullptr;
+    }
     EventQueue(const EventQueue&) = delete;
     EventQueue& operator=(const EventQueue&) = delete;
 
@@ -127,8 +158,13 @@ class EventQueue {
 
     /// Fast path: schedule `ev` at the current tick (it runs after the
     /// event currently executing, in schedule order among same-tick,
-    /// same-priority peers). Skips the past-tick check.
+    /// same-priority peers). Skips the past-tick check; when a same-tick
+    /// batch is being dispatched the event is appended to it directly.
     void schedule_now(Event& ev) { schedule_impl(ev, now_); }
+
+    /// Explicit name for the same fast path (see file header: response
+    /// chains fuse into the running batch instead of heap round-trips).
+    void schedule_at_current_tick(Event& ev) { schedule_now(ev); }
 
     /// Remove `ev` from the schedule (no-op entry left in heap).
     void deschedule(Event& ev)
@@ -152,13 +188,13 @@ class EventQueue {
     /// Tick of the next live event, or kMaxTick when empty.
     [[nodiscard]] Tick next_event_tick()
     {
-        return refresh_top() ? top_.when : kMaxTick;
+        return refresh_top() ? near_[near_head_].when() : kMaxTick;
     }
 
     /// Name of the next live event (debugging aid); empty when drained.
     [[nodiscard]] std::string next_event_name()
     {
-        return refresh_top() ? top_.ev->name() : std::string{};
+        return refresh_top() ? near_[near_head_].ev->name() : std::string{};
     }
 
     /// Execute the single next event; returns false when none remain.
@@ -179,7 +215,7 @@ class EventQueue {
         if (!refresh_top()) {
             return StepOutcome::drained;
         }
-        if (top_.when > max_tick) {
+        if (near_[near_head_].when() > max_tick) {
             return StepOutcome::horizon;
         }
         exec_top();
@@ -189,6 +225,13 @@ class EventQueue {
     /// Run until the queue drains or simulated time would pass `max_tick`
     /// (events at exactly `max_tick` still run). Returns events processed.
     std::uint64_t run(Tick max_tick = kMaxTick);
+
+    /// Batched driver loop: like run(), but checks `*stop` after every
+    /// event (request_exit semantics) and reports why it returned.
+    /// `executed` accumulates the events dispatched by this call.
+    enum class DrainOutcome { stopped, horizon, drained };
+    DrainOutcome drain(Tick max_tick, const bool& stop,
+                       std::uint64_t& executed);
 
     /// Total events executed since construction.
     [[nodiscard]] std::uint64_t events_processed() const noexcept
@@ -209,17 +252,82 @@ class EventQueue {
         now_ = when;
     }
 
+    /// Install (or clear, with nullptr) a pre-dispatch profiling hook.
+    void set_dispatch_observer(DispatchObserver* obs) noexcept
+    {
+        observer_ = obs;
+    }
+
+    /// Whether same-tick batch dispatch is active (ACCESYS_NO_BATCH unset).
+    [[nodiscard]] bool batching_enabled() const noexcept
+    {
+        return batch_enabled_;
+    }
+
+    /// True when no live event remains scheduled at the current tick, i.e.
+    /// an event the caller (running inside a callback) would schedule "now"
+    /// is guaranteed to be the very next dispatch. This is the legality
+    /// condition for fusing a same-tick hand-off synchronously instead of
+    /// round-tripping a self-event (see PacketQueue::push): with nothing
+    /// else pending at this tick, executing the hand-off in place is
+    /// order-identical to scheduling it.
+    [[nodiscard]] bool tick_quiescent()
+    {
+        if (batch_pos_ + 1 < batch_len_) {
+            return false; // same-tick batch entries still pending
+        }
+        return !refresh_top() || near_[near_head_].when() > now_;
+    }
+
   private:
-    /// 32-byte heap entry: priority and schedule sequence are packed into
-    /// one sort key (`prio_seq`), so ordering is two integer compares.
-    struct Entry {
+#if defined(__SIZEOF_INT128__)
+    /// Full sort key in one integer: tick in the high 64 bits, biased
+    /// priority and schedule sequence in the low 64. Heap ordering is a
+    /// single wide compare (two instructions on 64-bit targets).
+    using SortKey = unsigned __int128;
+    [[nodiscard]] static constexpr SortKey make_key(
+        Tick when, std::uint64_t prio_seq) noexcept
+    {
+        return (static_cast<SortKey>(when) << 64) | prio_seq;
+    }
+    [[nodiscard]] static constexpr Tick key_tick(SortKey key) noexcept
+    {
+        return static_cast<Tick>(key >> 64);
+    }
+#else
+    /// Portable fallback: lexicographic (tick, prio_seq) in a struct.
+    struct SortKey {
         Tick when;
-        std::uint64_t prio_seq; ///< (priority + bias) << 48 | sequence
+        std::uint64_t prio_seq;
+        constexpr bool operator>(const SortKey& o) const noexcept
+        {
+            return when != o.when ? when > o.when : prio_seq > o.prio_seq;
+        }
+    };
+    [[nodiscard]] static constexpr SortKey make_key(
+        Tick when, std::uint64_t prio_seq) noexcept
+    {
+        return SortKey{when, prio_seq};
+    }
+    [[nodiscard]] static constexpr Tick key_tick(SortKey key) noexcept
+    {
+        return key.when;
+    }
+#endif
+
+    /// 32-byte heap entry ordered by the packed (tick, priority, sequence)
+    /// key, so ordering is one wide integer compare.
+    struct Entry {
+        SortKey key;
         std::uint64_t generation;
         Event* ev;
+
+        [[nodiscard]] Tick when() const noexcept { return key_tick(key); }
     };
 
     static constexpr int kPrioBias = 1 << 15;
+    /// Same-tick dispatch batch size; overflow falls back to heap pulls.
+    static constexpr std::size_t kBatchMax = 64;
 
     [[nodiscard]] static std::uint64_t pack_prio_seq(int priority,
                                                      std::uint64_t seq)
@@ -235,15 +343,17 @@ class EventQueue {
     /// True when `a` runs strictly later than `b`.
     [[nodiscard]] static bool later(const Entry& a, const Entry& b) noexcept
     {
-        if (a.when != b.when) {
-            return a.when > b.when;
-        }
-        return a.prio_seq > b.prio_seq;
+        return a.key > b.key;
     }
 
     [[nodiscard]] static bool entry_live(const Entry& e) noexcept
     {
         return e.ev->scheduled_ && e.ev->generation_ == e.generation;
+    }
+
+    [[nodiscard]] bool batch_active() const noexcept
+    {
+        return batch_pos_ < batch_len_;
     }
 
     void schedule_impl(Event& ev, Tick when)
@@ -253,93 +363,270 @@ class EventQueue {
         ev.generation_ = ++next_generation_;
         ev.scheduled_ = true;
         ++stat_scheduled_;
-        const Entry e{when, pack_prio_seq(ev.priority_, next_seq_++),
+        const Entry e{make_key(when, pack_prio_seq(ev.priority_,
+                                                   next_seq_++)),
                       ev.generation_, &ev};
-        if (has_top_ && !entry_live(top_)) {
-            // A stale cached entry carries no ordering information (and,
-            // not being in the heap, can simply vanish).
-            has_top_ = false;
+        if (batch_active()) {
+            schedule_during_batch(e);
+            return;
         }
-        if (has_top_) {
-            // Invariant: a live cached top precedes every heap entry.
-            if (later(top_, e)) {
-                heap_push(top_);
-                top_ = e;
+        schedule_entry(e);
+    }
+
+    /// Near-ring / heap placement shared by the normal and post-spill
+    /// paths. Invariant: every near-ring entry precedes (by key) every
+    /// heap entry; the ring itself is sorted ascending. Stale entries may
+    /// sit anywhere — their keys still order correctly and refresh_top
+    /// skips them.
+    void schedule_entry(const Entry& e)
+    {
+        if (near_n_ == 0) {
+            if (heap_.empty() || later(heap_[0], e)) {
+                near_at(0) = e;
+                near_n_ = 1;
             } else {
                 heap_push(e);
             }
-        } else if (heap_.empty() || later(heap_[0], e)) {
-            // Earlier than the heap minimum: safe to cache directly (the
-            // single-event ping-pong fast path never touches the heap).
-            top_ = e;
-            has_top_ = true;
-        } else {
-            heap_push(e);
+            return;
+        }
+        if (later(e, near_at(near_n_ - 1))) {
+            // Sorts after the ring: append when it still precedes the
+            // heap minimum and there is room, else straight to the heap.
+            if (near_n_ < kNearCap && (heap_.empty() || later(heap_[0], e))) {
+                near_at(near_n_) = e;
+                ++near_n_;
+            } else {
+                heap_push(e);
+            }
+            return;
+        }
+        // Belongs inside the ring: spill the ring's latest entry to the
+        // heap if full (it already precedes every heap entry), then shift.
+        if (near_n_ == kNearCap) {
+            heap_push(near_at(kNearCap - 1));
+            --near_n_;
+        }
+        std::size_t pos = near_n_;
+        while (pos > 0 && later(near_at(pos - 1), e)) {
+            near_at(pos) = near_at(pos - 1);
+            --pos;
+        }
+        near_at(pos) = e;
+        ++near_n_;
+    }
+
+    /// A schedule issued by an event executing inside a same-tick batch.
+    /// Three cases, ordered by frequency:
+    ///   1. current-tick, sorts after everything pending, batch has room →
+    ///      append to the batch (the response-chain fusion fast path);
+    ///   2. sorts after all pending batch entries (future tick, or batch
+    ///      full / same-tick entries still in the heap) → normal placement;
+    ///   3. must run *before* a pending batch entry (earlier priority at
+    ///      the same tick) → spill the untouched remainder back to the
+    ///      heap and place normally; the run loop re-sorts.
+    void schedule_during_batch(const Entry& e)
+    {
+        const Entry& last = batch_[batch_len_ - 1];
+        if (later(e, last)) {
+            if (e.when() == now_ && batch_len_ < kBatchMax &&
+                (near_n_ == 0 || near_at(0).when() > now_) &&
+                (heap_.empty() || heap_[0].when() > now_)) {
+                // Nothing at the current tick exists outside the batch, so
+                // appending preserves the total order exactly.
+                batch_[batch_len_++] = e;
+                return;
+            }
+            schedule_entry(e);
+            return;
+        }
+        // Earlier than a pending batch entry: check it really interleaves
+        // (it may only precede entries that are already dead).
+        std::size_t insert_at = batch_len_;
+        for (std::size_t i = batch_pos_ + 1; i < batch_len_; ++i) {
+            if (later(batch_[i], e)) {
+                insert_at = i;
+                break;
+            }
+        }
+        if (insert_at == batch_len_) {
+            schedule_entry(e);
+            return;
+        }
+        // Spill the remainder (rare: same-tick kPrioEarly schedule) and
+        // re-place the new entry; the run loop re-sorts.
+        spill_batch_remainder(batch_pos_ + 1);
+        batch_len_ = batch_pos_ + 1;
+        schedule_entry(e);
+    }
+
+    /// Return the unexecuted batch entries [from, batch_len_) to the
+    /// ring/heap without breaking the ring-precedes-heap invariant. The
+    /// remainder is at the current tick and precedes every ring entry
+    /// (batch appends only happen when nothing at the current tick exists
+    /// outside the batch) and every heap entry — so the ring is rebuilt
+    /// from the earliest remainder prefix and everything else, including
+    /// the displaced ring entries, goes to the heap. Rare path (mid-batch
+    /// stop or same-tick earlier-priority schedule): cost is irrelevant,
+    /// order exactness is not.
+    void spill_batch_remainder(std::size_t from)
+    {
+        if (from >= batch_len_) {
+            return;
+        }
+        while (near_n_ > 0) {
+            heap_push(near_at(near_n_ - 1));
+            --near_n_;
+        }
+        near_head_ = 0;
+        std::size_t i = from;
+        for (; i < batch_len_ && near_n_ < kNearCap; ++i) {
+            if (entry_live(batch_[i])) {
+                near_[near_n_++] = batch_[i];
+            }
+        }
+        for (; i < batch_len_; ++i) {
+            if (entry_live(batch_[i])) {
+                heap_push(batch_[i]);
+            }
         }
     }
 
-    struct Later {
-        bool operator()(const Entry& a, const Entry& b) const noexcept
-        {
-            return later(a, b);
-        }
-    };
+    // --- hand-rolled 4-ary min-heap -----------------------------------------
+    // Shallower than a binary heap (log4 vs log2 levels) and sifted with
+    // hole insertion: each level moves one 32-byte entry instead of
+    // swapping two. Pop order is the sorted order of the (when, prio_seq)
+    // keys — unique by construction — so the internal layout cannot affect
+    // simulation results.
 
     void heap_push(const Entry& e)
     {
         heap_.push_back(e);
-        std::push_heap(heap_.begin(), heap_.end(), Later{});
+        std::size_t i = heap_.size() - 1;
+        while (i > 0) {
+            const std::size_t parent = (i - 1) >> 2;
+            if (!later(heap_[parent], e)) {
+                break;
+            }
+            heap_[i] = heap_[parent];
+            i = parent;
+        }
+        heap_[i] = e;
     }
 
     /// Remove and return the heap minimum (precondition: non-empty).
     Entry heap_pop()
     {
-        std::pop_heap(heap_.begin(), heap_.end(), Later{});
-        const Entry min = heap_.back();
+        const Entry min = heap_[0];
+        const Entry last = heap_.back();
         heap_.pop_back();
+        const std::size_t n = heap_.size();
+        if (n > 0) {
+            std::size_t i = 0;
+            for (;;) {
+                const std::size_t c0 = 4 * i + 1;
+                if (c0 >= n) {
+                    break;
+                }
+                std::size_t m = c0;
+                const std::size_t cend = c0 + 4 < n ? c0 + 4 : n;
+                for (std::size_t c = c0 + 1; c < cend; ++c) {
+                    if (later(heap_[m], heap_[c])) {
+                        m = c;
+                    }
+                }
+                if (!later(last, heap_[m])) {
+                    break;
+                }
+                heap_[i] = heap_[m];
+                i = m;
+            }
+            heap_[i] = last;
+        }
         return min;
     }
 
-    /// Make `top_` the earliest live entry; false when drained. Amortised
-    /// O(1): each heap entry is popped at most once over its lifetime.
+    /// Make the near-ring head the earliest live entry; false when
+    /// drained. Amortised O(1): each entry is popped at most once.
     bool refresh_top()
     {
         for (;;) {
-            if (has_top_) {
-                if (entry_live(top_)) {
+            while (near_n_ > 0) {
+                if (entry_live(near_at(0))) {
                     return true;
                 }
-                has_top_ = false;
+                near_pop_front();
             }
             if (heap_.empty()) {
                 return false;
             }
-            top_ = heap_pop();
-            has_top_ = true;
+            near_at(0) = heap_pop();
+            near_n_ = 1;
         }
     }
 
-    /// Consume the cached top (precondition: refresh_top() returned true).
+    [[nodiscard]] Entry& near_at(std::size_t i) noexcept
+    {
+        return near_[(near_head_ + i) & (kNearCap - 1)];
+    }
+
+    /// Does a second entry share the head's tick? (Precondition:
+    /// refresh_top() returned true.) Decides singleton vs batched dispatch.
+    [[nodiscard]] bool tick_has_run() noexcept
+    {
+        const Tick t = near_at(0).when();
+        if (near_n_ > 1) {
+            return near_at(1).when() == t;
+        }
+        return !heap_.empty() && heap_[0].when() == t;
+    }
+
+    void near_pop_front() noexcept
+    {
+        near_head_ = (near_head_ + 1) & (kNearCap - 1);
+        --near_n_;
+    }
+
+    /// Consume the ring head (precondition: refresh_top() returned true).
     void exec_top()
     {
-        has_top_ = false;
-        ensure(top_.when >= now_, "event heap corrupted");
-        now_ = top_.when;
-        Event& ev = *top_.ev;
+        const Entry e = near_at(0);
+        near_pop_front();
+        ensure(e.when() >= now_, "event heap corrupted");
+        now_ = e.when();
+        Event& ev = *e.ev;
         ev.scheduled_ = false;
         ++stat_processed_;
         ensure(ev.invoke_ != nullptr, "event without callback: ", ev.name_);
+        if (observer_ != nullptr) [[unlikely]] {
+            observer_->on_dispatch(ev);
+        }
         ev.invoke_(ev.ctx_);
     }
 
+    /// Dispatch every event at the cached top's tick (and any same-tick
+    /// events scheduled while doing so) back-to-back. Precondition:
+    /// refresh_top() returned true. When `stop` is non-null, dispatching
+    /// pauses after the event that sets it (the remainder is spilled back
+    /// to the heap, preserving order). Returns events executed.
+    std::uint64_t dispatch_tick(const bool* stop);
+
     std::vector<Entry> heap_; ///< 4-ary min-heap (see heap_push/heap_pop)
-    Entry top_{};             ///< cached earliest entry, popped off the heap
-    bool has_top_ = false;
+    /// Sorted ring of the earliest entries (see schedule_entry invariant).
+    static constexpr std::size_t kNearCap = 8;
+    Entry near_[kNearCap];
+    std::size_t near_head_ = 0;
+    std::size_t near_n_ = 0;
+    bool batch_enabled_ = true;
     Tick now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t next_generation_ = 0;
     std::uint64_t stat_processed_ = 0;
     std::uint64_t stat_scheduled_ = 0;
+    DispatchObserver* observer_ = nullptr;
+    /// Same-tick dispatch batch (active only inside dispatch_tick).
+    Entry batch_[kBatchMax];
+    std::size_t batch_pos_ = 0;
+    std::size_t batch_len_ = 0;
 };
 
 } // namespace accesys

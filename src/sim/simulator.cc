@@ -24,23 +24,19 @@ RunResult Simulator::run(Tick max_tick)
 
     RunResult res;
     std::uint64_t n = 0;
-    for (;;) {
-        if (exit_requested_) {
-            res.cause = ExitCause::exit_requested;
-            res.exit_reason = exit_reason_;
-            break;
-        }
-        const auto outcome = queue_.step_bounded(max_tick);
-        if (outcome == EventQueue::StepOutcome::executed) {
-            ++n;
-            continue;
-        }
-        if (outcome == EventQueue::StepOutcome::drained) {
-            res.cause = ExitCause::queue_drained;
-        } else {
-            res.cause = ExitCause::horizon_reached;
-            queue_.warp_to(max_tick);
-        }
+    // The queue's batched drain loop owns event dispatch; the exit flag is
+    // observed between events exactly as the per-event loop did.
+    switch (queue_.drain(max_tick, exit_requested_, n)) {
+    case EventQueue::DrainOutcome::stopped:
+        res.cause = ExitCause::exit_requested;
+        res.exit_reason = exit_reason_;
+        break;
+    case EventQueue::DrainOutcome::drained:
+        res.cause = ExitCause::queue_drained;
+        break;
+    case EventQueue::DrainOutcome::horizon:
+        res.cause = ExitCause::horizon_reached;
+        queue_.warp_to(max_tick);
         break;
     }
     res.end_tick = queue_.now();

@@ -21,16 +21,30 @@ Smmu::Smmu(Simulator& sim, std::string name, const SmmuParams& params,
       dev_port_(this->name() + ".dev_side", *this),
       mem_port_(this->name() + ".mem_side", *this),
       dev_resp_q_(sim, this->name() + ".dev_resp_q",
-                  [this](mem::PacketPtr& pkt) {
-                      return dev_port_.send_resp(pkt);
-                  }),
+                  [](void* s, mem::PacketPtr& pkt) {
+                      return static_cast<Smmu*>(s)->dev_port_.send_resp(pkt);
+                  },
+                  this),
       mem_q_(sim, this->name() + ".mem_q",
-             [this](mem::PacketPtr& pkt) { return mem_port_.send_req(pkt); }),
+             [](void* s, mem::PacketPtr& pkt) {
+                 return static_cast<Smmu*>(s)->mem_port_.send_req(pkt);
+             },
+             this),
       tlb_(params.tlb_entries, params.tlb_assoc),
       walks_(params.walk_slots),
       walker_requestor_(mem::alloc_requestor_id())
 {
     params_.validate();
+    dev_port_.set_fast_path(
+        [](void* s, mem::PacketPtr& pkt) {
+            return static_cast<Smmu*>(s)->recv_req(pkt);
+        },
+        [](void* s) { static_cast<Smmu*>(s)->retry_resp(); }, this);
+    mem_port_.set_fast_path(
+        [](void* s, mem::PacketPtr& pkt) {
+            return static_cast<Smmu*>(s)->recv_resp(pkt);
+        },
+        [](void* s) { static_cast<Smmu*>(s)->retry_req(); }, this);
     utlb_hit_ticks_ = ticks_from_ns(params_.utlb_hit_latency_ns);
     tlb_hit_ticks_ = ticks_from_ns(params_.tlb_hit_latency_ns);
     (void)stream_ctx(0); // default stream exists from the start
@@ -43,6 +57,9 @@ void Smmu::map_stream(std::uint32_t from, std::uint32_t to)
 
 std::uint32_t Smmu::effective_stream(const mem::Packet& pkt) const
 {
+    if (stream_remap_.empty()) {
+        return pkt.stream(); // no remaps configured: skip the map probe
+    }
     const auto it = stream_remap_.find(pkt.stream());
     return it == stream_remap_.end() ? pkt.stream() : it->second;
 }

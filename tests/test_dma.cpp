@@ -13,12 +13,12 @@ namespace {
 struct MockPort : DmaPort {
     struct Sent {
         pcie::TlpPtr tlp;
-        std::function<void()> on_sent;
+        pcie::SentHook on_sent;
     };
 
-    void dma_send(pcie::TlpPtr tlp, std::function<void()> on_sent) override
+    void dma_send(pcie::TlpPtr tlp, pcie::SentHook on_sent) override
     {
-        sent.push_back(Sent{std::move(tlp), std::move(on_sent)});
+        sent.push_back(Sent{std::move(tlp), on_sent});
     }
     std::size_t dma_egress_depth() const override { return egress_depth; }
     std::uint16_t dma_device_id() const override { return 1; }
@@ -28,7 +28,8 @@ struct MockPort : DmaPort {
     {
         for (auto& s : sent) {
             if (s.on_sent) {
-                auto cb = std::move(s.on_sent);
+                const auto cb = s.on_sent;
+                s.on_sent = {};
                 cb();
             }
         }

@@ -343,6 +343,56 @@ TEST(Simulator, StartupCalledOncePerObject)
     EXPECT_EQ(o.started, 1);
 }
 
+TEST(EventQueue, StopMidBatchPreservesOrderAcrossDrains)
+{
+    // Regression: stopping a drain inside a same-tick batch must return
+    // the unexecuted remainder without breaking the ring-precedes-heap
+    // invariant — a later-tick event cached ahead of the spilled
+    // remainder must not run first on the resumed drain.
+    EventQueue q;
+    std::vector<int> order;
+    bool stop = false;
+    Event a("a", [&] {
+        order.push_back(0);
+        stop = true;
+    });
+    Event b("b", [&] { order.push_back(1); });
+    Event c("c", [&] { order.push_back(2); });
+    q.schedule(a, 10);
+    q.schedule(b, 10); // same tick as a: dispatched as a batch
+    q.schedule(c, 15); // later tick, parked behind them
+    std::uint64_t n = 0;
+    EXPECT_EQ(q.drain(kMaxTick, stop, n),
+              EventQueue::DrainOutcome::stopped);
+    stop = false;
+    EXPECT_EQ(q.drain(kMaxTick, stop, n),
+              EventQueue::DrainOutcome::drained);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(n, 3u);
+}
+
+TEST(EventQueue, EarlyPriorityScheduledMidBatchRunsBeforeRemainder)
+{
+    // Regression: a kPrioEarly event scheduled at the current tick from
+    // inside a batch must interleave ahead of the pending remainder, and
+    // the spill that makes room for it must keep later-tick entries
+    // ordered after the current tick.
+    EventQueue q;
+    std::vector<int> order;
+    Event early("early", [&] { order.push_back(9); }, kPrioEarly);
+    Event a("a", [&] {
+        order.push_back(0);
+        q.schedule_now(early);
+    });
+    Event b("b", [&] { order.push_back(1); });
+    Event c("c", [&] { order.push_back(2); });
+    q.schedule(a, 10);
+    q.schedule(b, 10);
+    q.schedule(c, 15);
+    (void)q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 9, 1, 2}));
+}
+
 TEST(Clocked, EdgeMath)
 {
     Clocked c(period_from_ghz(1.0)); // 1000 ticks

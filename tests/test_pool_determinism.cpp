@@ -78,6 +78,32 @@ TEST(PoolDeterminism, MultiDeviceWarmRerunIsBitIdentical)
     EXPECT_EQ(first.stats_text, second.stats_text);
 }
 
+TEST(PoolDeterminism, BatchedDispatchMatchesUnbatchedBitExactly)
+{
+    // Same-tick batch dispatch and same-resolved-tick egress fusion
+    // (sim/event.hh, mem/port.hh) must be invisible to simulation results:
+    // a run with the ACCESYS_NO_BATCH escape hatch set — forcing the
+    // one-event-at-a-time path and disabling queue fusion — must produce
+    // the same end tick and bit-identical stats dumps as the default
+    // batched run. Event *counts* may differ (fusion elides self-events),
+    // so they are deliberately not compared. The flag is read at
+    // EventQueue construction, so toggling the environment between
+    // Simulator lifetimes switches modes within one process.
+    const SimSnapshot batched = run_gemm_sim(2, 48);
+    EXPECT_TRUE(batched.verified);
+
+    ::setenv("ACCESYS_NO_BATCH", "1", 1);
+    const SimSnapshot unbatched = run_gemm_sim(2, 48);
+    ::unsetenv("ACCESYS_NO_BATCH");
+    EXPECT_TRUE(unbatched.verified);
+
+    EXPECT_EQ(batched.end_tick, unbatched.end_tick);
+    EXPECT_EQ(batched.stats_text, unbatched.stats_text);
+    EXPECT_EQ(batched.stats_json, unbatched.stats_json);
+    EXPECT_GE(unbatched.events, batched.events)
+        << "fusion may only remove self-events, never add them";
+}
+
 TEST(PoolDeterminism, SteadyStateForwardingAllocatesNothing)
 {
     // Warm-up run, then measure: the second identical sim must not grow

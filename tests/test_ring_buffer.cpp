@@ -1,0 +1,167 @@
+// Edge-case coverage for sim/ring_buffer.hh — the FIFO ring backing every
+// hot queue (PacketQueue, link in-flight/credit stages, switch/RC/endpoint
+// delay queues). Focus: wrap-around at capacity, growth while the live
+// window is non-contiguous (head past the midpoint), move-only payloads,
+// erase_at shifting, and the pop-from-empty / out-of-range contracts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "sim/ring_buffer.hh"
+
+namespace accesys {
+namespace {
+
+TEST(RingBuffer, StartsEmpty)
+{
+    RingBuffer<int> rb;
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.size(), 0u);
+    EXPECT_EQ(rb.capacity(), 0u);
+}
+
+TEST(RingBuffer, FifoOrderAcrossWraparound)
+{
+    RingBuffer<int> rb;
+    // Fill to the initial capacity (8), drain half, refill past the seam:
+    // the live window now straddles the physical end of the storage.
+    for (int i = 0; i < 8; ++i) {
+        rb.push_back(i);
+    }
+    const std::size_t cap = rb.capacity();
+    EXPECT_EQ(cap, 8u);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(rb.take_front(), i);
+    }
+    for (int i = 8; i < 12; ++i) {
+        rb.push_back(i); // wraps: slots 0..3 are reused
+    }
+    EXPECT_EQ(rb.capacity(), cap) << "no growth when count == capacity-4";
+    EXPECT_EQ(rb.size(), 8u);
+    for (int i = 4; i < 12; ++i) {
+        EXPECT_EQ(rb.take_front(), i);
+    }
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, GrowthWhileNonContiguousPreservesOrder)
+{
+    RingBuffer<int> rb;
+    for (int i = 0; i < 8; ++i) {
+        rb.push_back(i);
+    }
+    // Advance the head so the window wraps, then force a grow while the
+    // live elements are split across the seam.
+    for (int i = 0; i < 6; ++i) {
+        (void)rb.take_front();
+    }
+    for (int i = 8; i < 14; ++i) {
+        rb.push_back(i);
+    }
+    EXPECT_EQ(rb.size(), 8u);
+    rb.push_back(14); // 9th element: grow 8 -> 16 with head at slot 6
+    EXPECT_EQ(rb.capacity(), 16u);
+    EXPECT_EQ(rb.size(), 9u);
+    for (int i = 6; i <= 14; ++i) {
+        EXPECT_EQ(rb.take_front(), i);
+    }
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, GrowthAtExactCapacityBoundary)
+{
+    RingBuffer<int> rb;
+    for (int round = 0; round < 3; ++round) {
+        // Repeatedly fill to capacity + 1: 8 -> 16 -> 32.
+        const auto target = static_cast<int>(rb.capacity() + 1);
+        while (static_cast<int>(rb.size()) < target) {
+            rb.push_back(static_cast<int>(rb.size()));
+        }
+        for (int i = 0; i < target; ++i) {
+            EXPECT_EQ(rb.take_front(), i);
+        }
+    }
+    EXPECT_EQ(rb.capacity(), 32u);
+}
+
+TEST(RingBuffer, MoveOnlyPayloadReleasedOnPop)
+{
+    RingBuffer<std::unique_ptr<std::string>> rb;
+    rb.push_back(std::make_unique<std::string>("a"));
+    rb.push_back(std::make_unique<std::string>("b"));
+    auto a = rb.take_front();
+    EXPECT_EQ(*a, "a");
+    // pop_front must null the vacated slot immediately (resources release
+    // at pop time, not when the slot is overwritten much later).
+    EXPECT_EQ(*rb.front(), "b");
+    rb.pop_front();
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, IndexingIsHeadRelative)
+{
+    RingBuffer<int> rb;
+    for (int i = 0; i < 8; ++i) {
+        rb.push_back(i);
+    }
+    for (int i = 0; i < 5; ++i) {
+        (void)rb.take_front();
+    }
+    rb.push_back(8);
+    rb.push_back(9); // window wraps
+    EXPECT_EQ(rb[0], 5);
+    EXPECT_EQ(rb[4], 9);
+    const RingBuffer<int>& crb = rb;
+    EXPECT_EQ(crb[1], 6);
+}
+
+TEST(RingBuffer, EraseAtShiftsTail)
+{
+    RingBuffer<int> rb;
+    for (int i = 0; i < 6; ++i) {
+        rb.push_back(i);
+    }
+    rb.erase_at(0); // head
+    EXPECT_EQ(rb.front(), 1);
+    rb.erase_at(2); // middle (value 3)
+    EXPECT_EQ(rb.size(), 4u);
+    const int want[] = {1, 2, 4, 5};
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(rb[i], want[i]);
+    }
+    rb.erase_at(3); // tail (value 5)
+    EXPECT_EQ(rb.size(), 3u);
+}
+
+TEST(RingBuffer, ClearReleasesEverything)
+{
+    RingBuffer<std::unique_ptr<int>> rb;
+    for (int i = 0; i < 12; ++i) {
+        rb.push_back(std::make_unique<int>(i));
+    }
+    rb.clear();
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.size(), 0u);
+    // Capacity is retained (the ring never shrinks).
+    EXPECT_GE(rb.capacity(), 12u);
+    rb.push_back(std::make_unique<int>(99));
+    EXPECT_EQ(*rb.front(), 99);
+}
+
+TEST(RingBuffer, EmptyAndRangeContractsThrow)
+{
+    RingBuffer<int> rb;
+    EXPECT_THROW(rb.pop_front(), SimError);
+    EXPECT_THROW((void)rb.front(), SimError);
+    EXPECT_THROW((void)rb[0], SimError);
+    EXPECT_THROW(rb.erase_at(0), SimError);
+    rb.push_back(1);
+    EXPECT_THROW((void)rb[1], SimError);
+    EXPECT_THROW(rb.erase_at(1), SimError);
+    EXPECT_EQ(rb.take_front(), 1);
+    EXPECT_THROW(rb.pop_front(), SimError);
+}
+
+} // namespace
+} // namespace accesys

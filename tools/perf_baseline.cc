@@ -16,12 +16,22 @@
 // same-host default (20%); the CI perf-smoke job uses a looser tolerance
 // because shared runners differ from the baseline host in absolute speed.
 //
+// `--profile` runs the 4-endpoint contention config with a dispatch
+// observer installed and prints per-event-name and per-component event
+// counts and (inclusive) time shares, plus event-queue bucket counters —
+// so future perf PRs can cite the profile from the tool instead of ad-hoc
+// perf runs. `--only SUBSTR` restricts the run to matching benches for
+// fast iteration (not valid together with --check).
+//
 // Usage:
 //   perf_baseline [--out FILE] [--check BASELINE.json] [--tolerance PCT]
+//                 [--only SUBSTR] [--profile]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -67,36 +77,90 @@ std::uint64_t pool_allocs()
 }
 
 // --- bm_event_queue ---------------------------------------------------------
-// Schedule/fire bursts through a bare EventQueue: the per-event cost of
-// schedule + pop + dispatch, with reschedule/deschedule churn mixed in the
-// way PacketQueue/link events produce it.
+// Two traffic shapes through a bare EventQueue, reported separately so the
+// regression gate reflects both:
+//   * burst: wide same-window fanouts with reschedule/deschedule churn (the
+//     retry/backpressure pattern) drained through step() — heap-heavy;
+//   * steady: a small set of self-rescheduling events drained through
+//     run() — the link/egress ping-pong pattern real sim traffic is made
+//     of, which exercises the cached-top and same-tick batch paths.
 void bm_event_queue()
 {
     constexpr int kFanout = 256;
     constexpr std::uint64_t kTarget = 4'000'000;
 
-    EventQueue q;
-    std::uint64_t fired = 0;
-    std::vector<std::unique_ptr<Event>> events;
-    events.reserve(kFanout);
-    for (int i = 0; i < kFanout; ++i) {
-        events.push_back(std::make_unique<Event>("e" + std::to_string(i),
-                                                 [&fired] { ++fired; }));
-    }
-    const auto t0 = Clock::now();
-    while (fired < kTarget) {
+    {
+        EventQueue q;
+        std::uint64_t fired = 0;
+        std::vector<std::unique_ptr<Event>> events;
+        events.reserve(kFanout);
         for (int i = 0; i < kFanout; ++i) {
-            q.schedule(*events[i], q.now() + 1 + static_cast<Tick>(i % 7));
+            events.push_back(std::make_unique<Event>(
+                "e" + std::to_string(i), [&fired] { ++fired; }));
         }
-        // Reschedule a slice (the retry/backpressure pattern) before running.
-        for (int i = 0; i < kFanout; i += 8) {
-            q.reschedule(*events[i], q.now() + 9);
+        const auto t0 = Clock::now();
+        while (fired < kTarget) {
+            for (int i = 0; i < kFanout; ++i) {
+                q.schedule(*events[i],
+                           q.now() + 1 + static_cast<Tick>(i % 7));
+            }
+            // Reschedule a slice before running (retry/backpressure).
+            for (int i = 0; i < kFanout; i += 8) {
+                q.reschedule(*events[i], q.now() + 9);
+            }
+            while (q.step()) {
+            }
         }
-        while (q.step()) {
-        }
+        record("bm_event_queue.burst_events_per_sec",
+               static_cast<double>(fired) / seconds_since(t0));
     }
-    record("bm_event_queue.events_per_sec",
-           static_cast<double>(fired) / seconds_since(t0));
+
+    {
+        // Steady: 8 events that keep rescheduling themselves a few ticks
+        // out, plus one same-tick responder each (the schedule_now chain).
+        constexpr int kChains = 8;
+        EventQueue q;
+        std::uint64_t fired = 0;
+        struct Chain {
+            EventQueue* q;
+            std::uint64_t* fired;
+            Event tick_ev;
+            Event resp_ev;
+        };
+        std::vector<std::unique_ptr<Chain>> chains;
+        for (int i = 0; i < kChains; ++i) {
+            auto c = std::make_unique<Chain>();
+            c->q = &q;
+            c->fired = &fired;
+            c->tick_ev.set_name("tick" + std::to_string(i));
+            c->tick_ev.set_raw_callback(
+                [](void* p) {
+                    auto* ch = static_cast<Chain*>(p);
+                    ++*ch->fired;
+                    ch->q->schedule_at_current_tick(ch->resp_ev);
+                },
+                c.get());
+            c->resp_ev.set_name("resp" + std::to_string(i));
+            c->resp_ev.set_raw_callback(
+                [](void* p) {
+                    auto* ch = static_cast<Chain*>(p);
+                    ++*ch->fired;
+                    ch->q->schedule(ch->tick_ev,
+                                    ch->q->now() + 3);
+                },
+                c.get());
+            chains.push_back(std::move(c));
+        }
+        const auto t0 = Clock::now();
+        for (auto& c : chains) {
+            q.schedule(c->tick_ev, q.now() + 1);
+        }
+        while (fired < kTarget) {
+            (void)q.run(q.now() + 1024);
+        }
+        record("bm_event_queue.steady_events_per_sec",
+               static_cast<double>(fired) / seconds_since(t0));
+    }
 }
 
 // --- bm_packet_alloc --------------------------------------------------------
@@ -200,6 +264,106 @@ void e2e_gemm_256()
     record("e2e_gemm_256.events_per_sec", static_cast<double>(events) / best);
 }
 
+// --- dispatch profiler (--profile) ------------------------------------------
+// Records per-event-name dispatch counts and inclusive wall time (the
+// interval from one dispatch to the next is attributed to the earlier
+// event: callback + schedule + queue machinery). Aggregates by component
+// (name prefix up to the first '.').
+class Profiler final : public EventQueue::DispatchObserver {
+  public:
+    void on_dispatch(const Event& ev) override
+    {
+        const auto t = Clock::now();
+        if (last_ != nullptr) {
+            Slot& s = slots_[*last_];
+            ++s.count;
+            s.secs += std::chrono::duration<double>(t - last_t_).count();
+        }
+        last_ = &ev.name();
+        last_t_ = t;
+    }
+
+    void report() const
+    {
+        struct Row {
+            std::string name;
+            std::uint64_t count;
+            double secs;
+        };
+        double total = 0.0;
+        std::uint64_t events = 0;
+        std::map<std::string, Row> components;
+        std::vector<Row> rows;
+        for (const auto& [name, slot] : slots_) {
+            rows.push_back(Row{name, slot.count, slot.secs});
+            total += slot.secs;
+            events += slot.count;
+            const std::string comp = name.substr(0, name.find('.'));
+            Row& c = components[comp];
+            c.name = comp;
+            c.count += slot.count;
+            c.secs += slot.secs;
+        }
+        const auto by_time = [](const Row& a, const Row& b) {
+            return a.secs > b.secs;
+        };
+        std::sort(rows.begin(), rows.end(), by_time);
+        std::vector<Row> comp_rows;
+        for (const auto& [_, row] : components) {
+            comp_rows.push_back(row);
+        }
+        std::sort(comp_rows.begin(), comp_rows.end(), by_time);
+
+        std::printf("\nprofile: %llu dispatches, %.3f s attributed\n",
+                    static_cast<unsigned long long>(events), total);
+        std::printf("\n  %-36s %12s %9s %7s\n", "component", "events",
+                    "ms", "share");
+        for (const auto& r : comp_rows) {
+            std::printf("  %-36s %12llu %9.1f %6.1f%%\n", r.name.c_str(),
+                        static_cast<unsigned long long>(r.count),
+                        r.secs * 1e3, 100.0 * r.secs / total);
+        }
+        std::printf("\n  %-36s %12s %9s %7s\n", "event (top 24)", "events",
+                    "ms", "share");
+        for (std::size_t i = 0; i < rows.size() && i < 24; ++i) {
+            const Row& r = rows[i];
+            std::printf("  %-36s %12llu %9.1f %6.1f%%\n", r.name.c_str(),
+                        static_cast<unsigned long long>(r.count),
+                        r.secs * 1e3, 100.0 * r.secs / total);
+        }
+    }
+
+  private:
+    struct Slot {
+        std::uint64_t count = 0;
+        double secs = 0.0;
+    };
+    std::map<std::string, Slot> slots_;
+    const std::string* last_ = nullptr;
+    Clock::time_point last_t_;
+};
+
+/// One profiled contention run (4 endpoints, size^3 GEMMs): per-component
+/// event counts and time shares from the dispatch observer.
+void profile_contention(std::uint32_t size)
+{
+    core::SystemConfig cfg = core::SystemConfig::paper_default();
+    cfg.set_num_devices(4);
+    core::System sys(cfg);
+    core::Runner runner(sys);
+    const workload::GemmSpec spec{size, size, size, 3};
+    for (std::size_t d = 0; d < 4; ++d) {
+        runner.dispatch(d, spec, core::Placement::host);
+    }
+    Profiler prof;
+    sys.sim().queue().set_dispatch_observer(&prof);
+    (void)runner.run_dispatched();
+    sys.sim().queue().set_dispatch_observer(nullptr);
+    std::printf("\nprofile of contention_4ep (%ux%ux%u):\n", size, size,
+                size);
+    prof.report();
+}
+
 // --- 4-endpoint contention config -------------------------------------------
 // Mirrors bench_multi_accel_contention's N=4 row: four MatrixFlow endpoints
 // behind one switch on the shared x4 uplink, one concurrent GEMM each. The
@@ -290,7 +454,8 @@ int check_against(const std::string& baseline_path, double tolerance)
     // Throughput metrics gate the check; wall_ms is informational (noisy on
     // shared CI runners in absolute terms, and already implied by the rates).
     const char* gated[] = {
-        "bm_event_queue.events_per_sec",
+        "bm_event_queue.burst_events_per_sec",
+        "bm_event_queue.steady_events_per_sec",
         "bm_packet_alloc.items_per_sec",
         "bm_xbar_forward.events_per_sec",
         "e2e_gemm_256.events_per_sec",
@@ -345,7 +510,10 @@ int main(int argc, char** argv)
 {
     std::string out_path = "BENCH_hotpath.json";
     std::string check_path;
+    std::string only;
+    bool profile = false;
     double tolerance = 0.20;
+    int attempts = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
@@ -353,30 +521,106 @@ int main(int argc, char** argv)
             check_path = argv[++i];
         } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
             tolerance = std::strtod(argv[++i], nullptr) / 100.0;
+        } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+            only = argv[++i];
+        } else if (std::strcmp(argv[i], "--profile") == 0) {
+            profile = true;
+        } else if (std::strcmp(argv[i], "--attempts") == 0 && i + 1 < argc) {
+            attempts = std::atoi(argv[++i]);
+            if (attempts < 1) {
+                attempts = 1;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--out FILE] [--check BASELINE.json] "
-                         "[--tolerance PCT]\n",
+                         "[--tolerance PCT] [--only SUBSTR] [--profile] "
+                         "[--attempts N]\n",
                          argv[0]);
             return 2;
         }
     }
-
-    std::printf("perf_baseline: simulator hot-path benchmarks\n\n");
-    bm_event_queue();
-    bm_packet_alloc();
-    bm_xbar_forward();
-    e2e_gemm_256();
-    // The contention bench's 4-endpoint rows: quick (256) and the full
-    // 512x512x512 configuration bench_multi_accel_contention reports.
-    contention_4ep("contention_4ep", 256, 4);
-    contention_4ep("contention_4ep_512", 512, 3);
-
-    write_json(out_path);
-    if (!check_path.empty()) {
-        std::printf("\nregression check vs %s (tolerance %.0f%%)\n",
-                    check_path.c_str(), tolerance * 100.0);
-        return check_against(check_path, tolerance);
+    if (!only.empty() && !check_path.empty()) {
+        std::fprintf(stderr,
+                     "--only skips benches, so --check would compare "
+                     "against missing metrics; use one or the other\n");
+        return 2;
     }
-    return 0;
+
+    if (profile) {
+        profile_contention(256);
+        return 0;
+    }
+
+    const auto want = [&only](const char* name) {
+        return only.empty() || std::string(name).find(only)
+                                   != std::string::npos;
+    };
+
+    const auto run_suite = [&want] {
+        if (want("bm_event_queue")) {
+            bm_event_queue();
+        }
+        if (want("bm_packet_alloc")) {
+            bm_packet_alloc();
+        }
+        if (want("bm_xbar_forward")) {
+            bm_xbar_forward();
+        }
+        if (want("e2e_gemm_256")) {
+            e2e_gemm_256();
+        }
+        // The contention bench's 4-endpoint rows: quick (256) and the
+        // full 512^3 configuration bench_multi_accel_contention reports.
+        if (want("contention_4ep")) {
+            contention_4ep("contention_4ep", 256, 4);
+        }
+        if (want("contention_4ep_512")) {
+            contention_4ep("contention_4ep_512", 512, 3);
+        }
+    };
+
+    // Flake hardening: up to `attempts` full suite runs, with the check
+    // re-evaluated after each one, so a noisy window on a shared runner
+    // retries instead of failing a good build. Throughput metrics keep
+    // their best value across attempts (each bench is already an internal
+    // best-of-repeats, so the gate compares a best-of-attempts over
+    // best-of-repeats against the baseline floor). steady_pool_allocs
+    // also keeps its max — which for an invariant that must be zero is
+    // the *worst* value: noise can never mask a real allocation.
+    int rc = 0;
+    for (int attempt = 1; attempt <= attempts; ++attempt) {
+        std::printf("perf_baseline: simulator hot-path benchmarks%s\n\n",
+                    attempt > 1 ? " (retry)" : "");
+        const std::vector<Metric> prev = std::move(g_metrics);
+        g_metrics.clear();
+        run_suite();
+        for (const Metric& old : prev) {
+            for (Metric& m : g_metrics) {
+                if (m.name == old.name) {
+                    // wall_ms is lower-is-better (keep the fastest run);
+                    // throughput keeps its best and the zero-allocation
+                    // invariant its worst — both are max.
+                    m.value = m.name.find("wall_ms") != std::string::npos
+                                  ? std::min(m.value, old.value)
+                                  : std::max(m.value, old.value);
+                }
+            }
+        }
+        write_json(out_path);
+        if (check_path.empty()) {
+            return 0;
+        }
+        std::printf("\nregression check vs %s (tolerance %.0f%%, "
+                    "attempt %d/%d)\n",
+                    check_path.c_str(), tolerance * 100.0, attempt,
+                    attempts);
+        rc = check_against(check_path, tolerance);
+        if (rc == 0) {
+            return 0;
+        }
+        if (attempt < attempts) {
+            std::printf("\ncheck failed — retrying (noisy host?)\n\n");
+        }
+    }
+    return rc;
 }
