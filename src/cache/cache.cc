@@ -3,26 +3,15 @@
 #include <algorithm>
 #include <cstring>
 
+#include "sim/simd.hh"
+
 namespace accesys::cache {
 
 namespace {
 
-#if defined(__GNUC__) || defined(__clang__)
-#define ACCESYS_HAVE_VEC_EXT 1
-/// Four tag words compared per step (GCC/Clang portable vector extension;
-/// lowers to SSE2/AVX2 on x86-64 and NEON on aarch64).
-typedef std::uint64_t U64x4 __attribute__((vector_size(32)));
-
-/// Lane-hit bitmask of `tags & mask == want` (bit i set = lane i matched).
-inline unsigned match4(const std::uint64_t* tags, std::uint64_t mask,
-                       std::uint64_t want)
-{
-    U64x4 t;
-    std::memcpy(&t, tags, sizeof(t));
-    const U64x4 eq = (t & mask) == want;
-    return static_cast<unsigned>(((eq[0] >> 63) & 1) | ((eq[1] >> 62) & 2) |
-                                 ((eq[2] >> 61) & 4) | ((eq[3] >> 60) & 8));
-}
+#ifdef ACCESYS_HAVE_VEC_EXT
+using simd::U64x4;
+using simd::match4;
 #endif
 
 } // namespace

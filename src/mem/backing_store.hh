@@ -18,6 +18,7 @@ namespace accesys::mem {
 class BackingStore {
   public:
     static constexpr std::uint64_t kChunkBytes = 64 * kKiB;
+    static constexpr std::uint64_t kChunkMask = kChunkBytes - 1;
 
     BackingStore() = default;
     BackingStore(const BackingStore&) = delete;
@@ -26,10 +27,17 @@ class BackingStore {
     void write(Addr addr, const void* src, std::uint64_t n)
     {
         const auto* p = static_cast<const std::uint8_t*>(src);
+        const std::uint64_t off = addr & kChunkMask;
+        if (off + n <= kChunkBytes) {
+            // Single-chunk fast path: packet-sized accesses and streaming
+            // DMA bursts land here — one memo probe, one memcpy.
+            std::memcpy(chunk_for(addr) + off, p, n);
+            return;
+        }
         while (n > 0) {
-            const std::uint64_t off = addr % kChunkBytes;
-            const std::uint64_t run = std::min(n, kChunkBytes - off);
-            std::memcpy(chunk_for(addr) + off, p, run);
+            const std::uint64_t o = addr & kChunkMask;
+            const std::uint64_t run = std::min(n, kChunkBytes - o);
+            std::memcpy(chunk_for(addr) + o, p, run);
             addr += run;
             p += run;
             n -= run;
@@ -39,12 +47,22 @@ class BackingStore {
     void read(Addr addr, void* dst, std::uint64_t n) const
     {
         auto* p = static_cast<std::uint8_t*>(dst);
-        while (n > 0) {
-            const std::uint64_t off = addr % kChunkBytes;
-            const std::uint64_t run = std::min(n, kChunkBytes - off);
+        const std::uint64_t off = addr & kChunkMask;
+        if (off + n <= kChunkBytes) {
             const std::uint8_t* c = find_chunk(addr);
             if (c != nullptr) {
-                std::memcpy(p, c + off, run);
+                std::memcpy(p, c + off, n);
+            } else {
+                std::memset(p, 0, n); // untouched memory reads as zero
+            }
+            return;
+        }
+        while (n > 0) {
+            const std::uint64_t o = addr & kChunkMask;
+            const std::uint64_t run = std::min(n, kChunkBytes - o);
+            const std::uint8_t* c = find_chunk(addr);
+            if (c != nullptr) {
+                std::memcpy(p, c + o, run);
             } else {
                 std::memset(p, 0, run); // untouched memory reads as zero
             }
@@ -68,15 +86,28 @@ class BackingStore {
         return v;
     }
 
-    /// Copy `n` bytes from `src` to `dst` within the store.
+    /// Copy `n` bytes from `src` to `dst` within the store. Regions are
+    /// copied chunk-to-chunk with no intermediate bounce buffer; an
+    /// unallocated source chunk materialises as zeros at the destination.
+    /// Overlapping same-chunk spans copy as if through a snapshot
+    /// (memmove); cross-chunk overlap is the caller's problem, exactly as
+    /// it was for the bounce-buffer version this replaces.
     void copy(Addr dst, Addr src, std::uint64_t n)
     {
-        // Chunked bounce copy; fine for simulation volumes.
-        std::uint8_t buf[4096];
         while (n > 0) {
-            const std::uint64_t run = std::min<std::uint64_t>(n, sizeof(buf));
-            read(src, buf, run);
-            write(dst, buf, run);
+            const std::uint64_t soff = src & kChunkMask;
+            const std::uint64_t doff = dst & kChunkMask;
+            const std::uint64_t run = std::min(
+                n, kChunkBytes - std::max(soff, doff));
+            const std::uint8_t* s = find_chunk(src);
+            std::uint8_t* d = chunk_for(dst);
+            if (s == nullptr) {
+                std::memset(d + doff, 0, run);
+            } else if (s + soff == d + doff) {
+                // Same place: nothing to move.
+            } else {
+                std::memmove(d + doff, s + soff, run);
+            }
             src += run;
             dst += run;
             n -= run;

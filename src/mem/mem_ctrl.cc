@@ -2,14 +2,20 @@
 
 #include <algorithm>
 
+#include "sim/simd.hh"
+
 namespace accesys::mem {
 
 namespace {
 
-/// Picoseconds one byte occupies a link of `gbps` gigabytes/second.
-double ps_per_byte(double gbps)
+/// Picoseconds one byte occupies a channel of `gb_per_s` gigaBYTES per
+/// second. Note the unit: despite the "gbps" spelling used by
+/// DramParams::peak_gbps() and SimpleMemParams::bandwidth_gbps, both report
+/// GB/s (bytes, not bits) — one byte at X GB/s takes 1000/X ps. Callers
+/// must reject a zero bandwidth before dividing.
+double ps_per_byte(double gb_per_s)
 {
-    return 1000.0 / gbps;
+    return 1000.0 / gb_per_s;
 }
 
 } // namespace
@@ -38,6 +44,8 @@ MemCtrl::MemCtrl(Simulator& sim, std::string name,
     require_cfg(params_.read_queue_capacity > 0 &&
                     params_.write_queue_capacity > 0,
                 this->name(), ": zero queue capacity");
+    require_cfg(dram_.params().peak_gbps() > 0, this->name(),
+                ": DRAM peak bandwidth must be nonzero");
     frontend_ticks_ = ticks_from_ns(params_.frontend_latency_ns);
     backend_ticks_ = ticks_from_ns(params_.backend_latency_ns);
     dram_ps_per_byte_ = ps_per_byte(dram_.params().peak_gbps());
@@ -66,6 +74,9 @@ bool MemCtrl::recv_req(PacketPtr& pkt)
         }
         ++n_reads_;
         pkt->set_created_at(now());
+        // Packed FR-FCFS key computed once at admission; the issue-side
+        // window scan then never decodes addresses.
+        read_keys_.push_back(dram_.packed_key(pkt->addr()));
         read_q_.push_back(std::move(pkt));
     } else {
         if (write_q_full()) {
@@ -107,10 +118,11 @@ void MemCtrl::service_dram(Addr addr, std::uint32_t size, bool is_write,
     const Addr first = align_down(addr, atom);
     const Addr last = align_up(addr + size, atom);
     const Tick start = std::max(now(), issue_free_);
-    for (Addr a = first; a < last; a += atom) {
-        const auto acc = dram_.access(a, is_write, start);
-        completion = std::max(completion, acc.data_ready);
-    }
+    // One row-streaming walk over all consecutive bursts (bit-equivalent
+    // to the per-burst access() loop this replaces).
+    const auto acc =
+        dram_.access_run(first, (last - first) / atom, is_write, start);
+    completion = std::max(completion, acc.data_ready);
     // Pace the next issue so the queue drains at (at most) peak bandwidth.
     const auto bytes = static_cast<double>(last - first);
     issue_free_ = start + static_cast<Tick>(bytes * dram_ps_per_byte_);
@@ -137,17 +149,51 @@ void MemCtrl::issue_next()
         bytes_written_ += job.size;
     } else if (!read_q_.empty()) {
         // FR-FCFS: prefer a row-hitting read within the window, else oldest.
+        // Each queued read's packed (channel,bank,row) key (stamped at
+        // admission) is compared against its bank's open-row key — first
+        // match in age order wins, exactly like the decode-based probe loop
+        // this replaces, but at one 64-bit compare per entry, four entries
+        // per SIMD step.
         std::size_t pick = 0;
+        bool window_hit = false;
         const std::size_t window =
             std::min(params_.frfcfs_window, read_q_.size());
-        for (std::size_t i = 0; i < window; ++i) {
-            if (dram_.peek_row_hit(read_q_[i]->addr())) {
-                pick = i;
+        const std::uint64_t* open = dram_.open_keys();
+        const std::uint64_t smask = dram_.slot_mask();
+        std::size_t i = 0;
+#ifdef ACCESYS_HAVE_VEC_EXT
+        for (; i + 4 <= window; i += 4) {
+            std::uint64_t keys[4];
+            std::uint64_t opens[4];
+            for (unsigned j = 0; j < 4; ++j) {
+                keys[j] = read_keys_[i + j];
+                opens[j] = open[keys[j] & smask];
+            }
+            const unsigned hits = simd::match4(keys, opens);
+            if (hits != 0) {
+                pick = i + static_cast<unsigned>(__builtin_ctz(hits));
+                window_hit = true;
                 break;
             }
         }
-        PacketPtr pkt = std::move(read_q_[pick]);
-        read_q_.erase_at(pick);
+#endif
+        if (!window_hit) {
+            for (; i < window; ++i) {
+                const std::uint64_t key = read_keys_[i];
+                if (open[key & smask] == key) {
+                    pick = i;
+                    window_hit = true;
+                    break;
+                }
+            }
+        }
+        if (window_hit) {
+            ++frfcfs_window_hits_;
+        } else {
+            ++frfcfs_oldest_picks_;
+        }
+        PacketPtr pkt = read_q_.take_at(pick);
+        (void)read_keys_.take_at(pick);
 
         Tick completion = 0;
         service_dram(pkt->addr(), pkt->size(), false, completion);

@@ -80,6 +80,11 @@ class MemCtrl final : public SimObject, private Responder {
     Event issue_event_;
 
     RingBuffer<PacketPtr> read_q_;
+    /// Packed (channel,bank,row) key per queued read, parallel to read_q_
+    /// (same admission order, same take_at shifts). The FR-FCFS window scan
+    /// compares these against DramTiming's open-row keys — one 64-bit
+    /// compare per entry instead of a full address decode.
+    RingBuffer<std::uint64_t> read_keys_;
     RingBuffer<WriteJob> write_q_;
     Tick issue_free_ = 0;  ///< aggregate issue pacing (tracks peak bandwidth)
     bool draining_writes_ = false;
@@ -97,6 +102,13 @@ class MemCtrl final : public SimObject, private Responder {
         "accept-to-data latency of reads in nanoseconds"};
     stats::Scalar retries_{stat_group(), "retries",
                            "requests refused due to full queues"};
+    stats::Scalar frfcfs_window_hits_{
+        stat_group(), "frfcfs_window_hits",
+        "reads issued on an open-row hit within the window (the hit may be "
+        "the oldest entry itself)"};
+    stats::Scalar frfcfs_oldest_picks_{
+        stat_group(), "frfcfs_oldest_picks",
+        "reads issued oldest-first (no row hit in the window)"};
     stats::ValueFn row_hit_rate_{stat_group(), "row_hit_rate",
                                  "row-buffer hit fraction",
                                  [this] { return row_hit_rate(); }};

@@ -176,8 +176,13 @@ void Xbar::startup()
 
 Xbar::OutSide* Xbar::route(Addr addr, std::uint32_t size)
 {
+    if (last_route_ != nullptr && last_route_range_.contains(addr, size)) {
+        return last_route_;
+    }
     for (const auto& out : outs_) {
         if (!out->deflt && out->range.contains(addr, size)) {
+            last_route_ = out.get();
+            last_route_range_ = out->range;
             return out.get();
         }
     }

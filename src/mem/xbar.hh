@@ -77,6 +77,11 @@ class Xbar final : public SimObject {
     std::vector<std::unique_ptr<InSide>> ins_;
     std::vector<std::unique_ptr<OutSide>> outs_;
     OutSide* default_out_ = nullptr;
+    // One-entry route memo (startup() checks downstream ranges disjoint, so
+    // the memoised answer is the answer the scan would give). Streaming
+    // traffic repeats the same downstream for long runs.
+    OutSide* last_route_ = nullptr;
+    AddrRange last_route_range_;
 
     struct SnoopEntry {
         Snooper* snooper;

@@ -94,12 +94,29 @@ void Endpoint::process_delayed()
 
 void Endpoint::credit_avail(unsigned /*port_idx*/)
 {
+    // Under lazy link credits this fires only when a send was refused for
+    // want of credits (PcieLink arms it from the failed can_send probe);
+    // idle-link credit returns are harvested inline instead. Anything that
+    // must make progress on credit availability has to stage through
+    // send_tlp / kick_egress — which the DMA engine's egress-depth gating
+    // and tx_ready() hook do.
     kick_egress();
     tx_ready();
 }
 
 void Endpoint::send_tlp(TlpPtr tlp, SentHook on_sent)
 {
+    ensure(pcie_port_ != nullptr, name(), ": endpoint not connected");
+    // Uncongested fast path: nothing staged ahead and credits ready — send
+    // without the ring round trip (order-identical: the queue was empty).
+    if (egress_q_.empty() && pcie_port_->can_send(*tlp)) {
+        pcie_port_->send(std::move(tlp));
+        ++tlps_sent_;
+        if (on_sent) {
+            on_sent();
+        }
+        return;
+    }
     egress_q_.push_back(Staged{std::move(tlp), on_sent});
     kick_egress();
 }

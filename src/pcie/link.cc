@@ -1,6 +1,7 @@
 #include "pcie/link.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace accesys::pcie {
 
@@ -33,7 +34,24 @@ void PciePort::attach(PcieNode& node, unsigned node_port_idx)
 
 bool PciePort::can_send(const Tlp& tlp) const
 {
-    return tx_hdr_credits_ >= 1 && tx_data_credits_ >= tlp.payload_bytes();
+    ensure(link_ != nullptr, "PCIe port not part of a link");
+    return link_->can_send_from(side_, tlp);
+}
+
+unsigned PciePort::hdr_credits() const
+{
+    if (link_ != nullptr) {
+        link_->harvest_credits(side_);
+    }
+    return tx_hdr_credits_;
+}
+
+std::uint64_t PciePort::data_credits() const
+{
+    if (link_ != nullptr) {
+        link_->harvest_credits(side_);
+    }
+    return tx_data_credits_;
 }
 
 void PciePort::send(TlpPtr tlp)
@@ -56,6 +74,7 @@ PcieLink::PcieLink(Simulator& sim, std::string name, const LinkParams& params)
     : SimObject(sim, std::move(name)), params_(params)
 {
     params_.validate();
+    eager_credits_ = std::getenv("ACCESYS_EAGER_CREDITS") != nullptr;
     ser_ps_per_byte_ = 1000.0 / params_.effective_gbps();
     prop_ticks_ = ticks_from_ns(params_.propagation_delay_ns);
     for (unsigned side = 0; side < 2; ++side) {
@@ -131,14 +150,51 @@ void PcieLink::queue_credit_return(unsigned to_side, unsigned hdr,
     Direction& d = dirs_[to_side];
     const Tick arrival = now() + prop_ticks_;
     d.credit_returns.push_back(CreditReturn{arrival, hdr, data});
-    if (!d.credit_event.scheduled()) {
+    // Lazy accounting: an unstarved transmitter harvests this return the
+    // next time it probes can_send(); only a starved one needs the event.
+    if ((eager_credits_ || d.tx_starved) && !d.credit_event.scheduled()) {
         schedule(d.credit_event, arrival);
     }
+}
+
+void PcieLink::harvest_credits(unsigned side)
+{
+    Direction& d = dirs_[side];
+    while (!d.credit_returns.empty() &&
+           d.credit_returns.front().arrival <= now()) {
+        const CreditReturn cr = d.credit_returns.front();
+        d.credit_returns.pop_front();
+        ports_[side].tx_hdr_credits_ += cr.hdr;
+        ports_[side].tx_data_credits_ += cr.data;
+    }
+}
+
+bool PcieLink::can_send_from(unsigned side, const Tlp& tlp)
+{
+    PciePort& p = ports_[side];
+    if (!eager_credits_) {
+        harvest_credits(side);
+    }
+    if (p.tx_hdr_credits_ >= 1 &&
+        p.tx_data_credits_ >= tlp.payload_bytes()) {
+        return true;
+    }
+    if (!eager_credits_) {
+        // Starved: arm the kick at the earliest in-flight return — the
+        // same tick the eager model's credit event would have fired.
+        Direction& d = dirs_[side];
+        d.tx_starved = true;
+        if (!d.credit_returns.empty() && !d.credit_event.scheduled()) {
+            schedule(d.credit_event, d.credit_returns.front().arrival);
+        }
+    }
+    return false;
 }
 
 void PcieLink::credit(unsigned dir)
 {
     Direction& d = dirs_[dir];
+    const bool was_starved = d.tx_starved;
     bool granted = false;
     while (!d.credit_returns.empty() &&
            d.credit_returns.front().arrival <= now()) {
@@ -148,12 +204,20 @@ void PcieLink::credit(unsigned dir)
         ports_[dir].tx_data_credits_ += cr.data;
         granted = true;
     }
-    if (granted) {
+    // Clear before the kick: a still-starved sender's can_send() probe
+    // inside credit_avail() re-arms the next pending arrival. The kick
+    // also fires when this event granted nothing but the direction was
+    // starved: a same-tick can_send() probe earlier in the batch may have
+    // harvested the matured returns inline, and without the kick here the
+    // sender whose wakeup those returns carried would wait forever.
+    d.tx_starved = false;
+    if (granted || was_starved) {
         PciePort& tx = ports_[dir];
         ensure(tx.node_ != nullptr, name(), ": unattached PCIe port");
         tx.node_->credit_avail(tx.node_port_idx_);
     }
-    if (!d.credit_returns.empty()) {
+    if (!d.credit_returns.empty() &&
+        (eager_credits_ || d.tx_starved) && !d.credit_event.scheduled()) {
         schedule(d.credit_event, d.credit_returns.front().arrival);
     }
 }

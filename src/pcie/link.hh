@@ -10,6 +10,17 @@
 // The `tlp_overhead_bytes` parameter lumps TLP header, LCRC, sequence number
 // and framing symbols; DLLP (ack/fc) bandwidth is not modelled and is noted
 // as a simplification in DESIGN.md.
+//
+// Credit accounting is *lazy* by default: a released ingress buffer is
+// recorded with its return-arrival tick, but no event is scheduled unless
+// the transmit side is actually starved (a can_send() probe failed). An
+// unstarved sender simply harvests every matured return the next time it
+// probes, so uncongested links carry zero credit events per TLP. When a
+// probe fails, the pending kick is scheduled for the earliest in-flight
+// return's arrival — the exact tick the eager model would have delivered
+// its credit_avail() — so results are bit-identical by contract (locked by
+// test_pool_determinism). ACCESYS_EAGER_CREDITS=1 (read at link
+// construction) restores the per-return event as an escape hatch.
 #pragma once
 
 #include "pcie/tlp.hh"
@@ -73,7 +84,9 @@ class PciePort {
     /// for this port (passed back in recv_tlp / credit_avail).
     void attach(PcieNode& node, unsigned node_port_idx);
 
-    /// Would the peer's ingress accept this TLP right now?
+    /// Would the peer's ingress accept this TLP right now? Harvests any
+    /// matured lazy credit returns first; a failed probe arms the
+    /// credit_avail() kick for this direction.
     [[nodiscard]] bool can_send(const Tlp& tlp) const;
 
     /// Transmit (requires can_send). Consumes peer-ingress credits.
@@ -84,14 +97,10 @@ class PciePort {
     /// and return the credits to the peer's transmitter.
     void release_ingress(std::uint32_t payload_bytes);
 
-    [[nodiscard]] unsigned hdr_credits() const noexcept
-    {
-        return tx_hdr_credits_;
-    }
-    [[nodiscard]] std::uint64_t data_credits() const noexcept
-    {
-        return tx_data_credits_;
-    }
+    /// Transmit-credit views (diagnostics/tests); harvest matured lazy
+    /// returns so the count matches what a can_send() probe would see.
+    [[nodiscard]] unsigned hdr_credits() const;
+    [[nodiscard]] std::uint64_t data_credits() const;
 
   private:
     friend class PcieLink;
@@ -111,6 +120,12 @@ class TlpQueue {
 
     void push(TlpPtr tlp)
     {
+        // Uncongested fast path: nothing staged ahead and credits ready —
+        // skip the ring round trip (order-identical: the queue was empty).
+        if (q_.empty() && port_->can_send(*tlp)) {
+            port_->send(std::move(tlp));
+            return;
+        }
         q_.push_back(std::move(tlp));
         kick();
     }
@@ -174,6 +189,9 @@ class PcieLink final : public SimObject {
         Event deliver_event;
         Event credit_event;
         std::uint64_t busy_ticks = 0; ///< for utilisation stats
+        /// A can_send() probe on this side failed: schedule the pending
+        /// credit kick instead of harvesting lazily.
+        bool tx_starved = false;
     };
 
     void transmit(unsigned from_side, TlpPtr tlp);
@@ -181,8 +199,13 @@ class PcieLink final : public SimObject {
                              std::uint64_t data);
     void deliver(unsigned dir);
     void credit(unsigned dir);
+    /// Apply every credit return that has arrived by now() to `side`'s
+    /// transmit counters (the lazy path's inline substitute for credit()).
+    void harvest_credits(unsigned side);
+    [[nodiscard]] bool can_send_from(unsigned side, const Tlp& tlp);
 
     LinkParams params_;
+    bool eager_credits_ = false; ///< ACCESYS_EAGER_CREDITS escape hatch
     // Serialization/propagation constants hoisted out of the per-TLP path
     // (FP divides are too expensive to re-derive per packet).
     double ser_ps_per_byte_ = 0.0;

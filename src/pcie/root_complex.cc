@@ -34,11 +34,15 @@ RootComplex::RootComplex(Simulator& sim, std::string name,
                    },
                    this),
       inbound_reads_(params.max_inbound_reads),
+      slot_free_bits_((params.max_inbound_reads + 63) / 64, 0),
       mmio_pending_(params.mmio_tags),
       mmio_tag_free_(params.mmio_tags, 1),
       requestor_id_(mem::alloc_requestor_id())
 {
     params_.validate();
+    for (std::size_t s = 0; s < params_.max_inbound_reads; ++s) {
+        slot_free_bits_[s / 64] |= std::uint64_t{1} << (s % 64);
+    }
     latency_ticks_ = ticks_from_ns(params_.latency_ns);
     split_shift_ = log2i(params_.host_split_bytes);
     split_mask_ = params_.host_split_bytes - 1;
@@ -91,6 +95,9 @@ void RootComplex::recv_tlp(unsigned /*port_idx*/, TlpPtr tlp)
 
 void RootComplex::credit_avail(unsigned /*port_idx*/)
 {
+    // Only fires when a staged completion/MMIO TLP was refused for want of
+    // credits (lazy link accounting elides the idle-link kicks); the
+    // TlpQueue holds everything that could be waiting.
     if (egress_) {
         egress_->kick();
     }
@@ -136,17 +143,17 @@ void RootComplex::service_read(Tlp& tlp)
 {
     ++inbound_read_tlps_;
     const std::uint32_t key = read_key(tlp.requester, tlp.tag);
-    ensure(find_inbound_read(key) == nullptr, name(),
-           ": duplicate inbound read tag ", key);
-
-    InboundRead* state = nullptr;
-    for (InboundRead& rd : inbound_reads_) {
-        if (!rd.live) {
-            state = &rd;
-            break;
-        }
+    if (key >= slot_of_key_.size()) {
+        // First use of this (requester, tag) pair: grow the direct map
+        // (bounded by num_devices << 8 entries, hit once per new key).
+        slot_of_key_.resize(key + 1, -1);
     }
-    ensure(state != nullptr, name(), ": inbound read slots exhausted");
+    ensure(slot_of_key_[key] < 0, name(), ": duplicate inbound read tag ",
+           key);
+
+    const std::ptrdiff_t slot = lowest_free_slot();
+    ensure(slot >= 0, name(), ": inbound read slots exhausted");
+    InboundRead* state = &inbound_reads_[static_cast<std::size_t>(slot)];
     const auto chunks =
         static_cast<std::uint32_t>(split_count(tlp.addr, tlp.length));
     ensure(chunks <= InboundRead::kMaxReadChunks, name(),
@@ -154,6 +161,9 @@ void RootComplex::service_read(Tlp& tlp)
     *state = InboundRead{};
     state->key = key;
     state->live = true;
+    slot_of_key_[key] = static_cast<std::int32_t>(slot);
+    slot_free_bits_[static_cast<std::size_t>(slot) / 64] &=
+        ~(std::uint64_t{1} << (static_cast<std::size_t>(slot) % 64));
     state->addr = tlp.addr;
     state->size = tlp.length;
     state->tag = tlp.tag;
@@ -226,18 +236,19 @@ bool RootComplex::recv_resp(mem::PacketPtr& pkt)
     const auto key = static_cast<std::uint32_t>(pkt->tag() >> 16);
     const auto chunk = static_cast<std::uint32_t>(pkt->tag() & 0xFFFF);
 
-    InboundRead* rd = find_inbound_read(key);
-    ensure(rd != nullptr, name(), ": response for unknown read");
+    const std::ptrdiff_t slot = find_inbound_slot(key);
+    ensure(slot >= 0, name(), ": response for unknown read");
+    InboundRead* rd = &inbound_reads_[static_cast<std::size_t>(slot)];
     ensure(chunk < rd->chunks, name(), ": bad chunk index");
     rd->mark_chunk_done(chunk);
 
-    advance_completions(key);
+    advance_completions(static_cast<std::size_t>(slot));
     return true;
 }
 
-void RootComplex::advance_completions(std::uint32_t key)
+void RootComplex::advance_completions(std::size_t slot)
 {
-    InboundRead& rd = *find_inbound_read(key);
+    InboundRead& rd = inbound_reads_[slot];
 
     for (;;) {
         if (rd.emitted >= rd.size) {
@@ -262,6 +273,8 @@ void RootComplex::advance_completions(std::uint32_t key)
         rd.emitted += span;
         if (is_last) {
             rd.live = false;
+            slot_of_key_[rd.key] = -1;
+            slot_free_bits_[slot / 64] |= std::uint64_t{1} << (slot % 64);
             --inbound_live_;
             // A service slot freed: head-of-line stall may clear.
             if (!delay_q_.empty() && !process_event_.scheduled()) {

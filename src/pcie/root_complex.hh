@@ -104,21 +104,42 @@ class RootComplex final : public SimObject,
         }
     };
 
-    [[nodiscard]] InboundRead* find_inbound_read(std::uint32_t key)
+    /// Slot index of the live inbound read with `key`, or a negative value.
+    /// O(1): keys are (requester << 8 | tag), a tiny dense space, so a
+    /// direct-map key->slot table replaces the old linear scan over the
+    /// fat InboundRead records (which cost a cache line per slot probed,
+    /// once per response chunk).
+    [[nodiscard]] std::ptrdiff_t find_inbound_slot(std::uint32_t key) const
     {
-        for (InboundRead& rd : inbound_reads_) {
-            if (rd.live && rd.key == key) {
-                return &rd;
+        return key < slot_of_key_.size() ? slot_of_key_[key] : -1;
+    }
+
+    /// Lowest free slot via the free bitmap (same pick order as the old
+    /// first-not-live scan); negative when exhausted.
+    [[nodiscard]] std::ptrdiff_t lowest_free_slot() const
+    {
+        for (std::size_t w = 0; w < slot_free_bits_.size(); ++w) {
+            if (slot_free_bits_[w] != 0) {
+                return static_cast<std::ptrdiff_t>(
+                    w * 64 + static_cast<unsigned>(
+                                 __builtin_ctzll(slot_free_bits_[w])));
             }
         }
-        return nullptr;
+        return -1;
+    }
+
+    [[nodiscard]] InboundRead* find_inbound_read(std::uint32_t key)
+    {
+        const std::ptrdiff_t slot = find_inbound_slot(key);
+        return slot < 0 ? nullptr
+                        : &inbound_reads_[static_cast<std::size_t>(slot)];
     }
 
     void process_delayed();
     void service_read(Tlp& tlp);
     void service_write(Tlp& tlp);
     void service_completion(TlpPtr tlp);
-    void advance_completions(std::uint32_t key);
+    void advance_completions(std::size_t slot);
 
     // Inbound requests are split at host_split_bytes-aligned boundaries
     // (unaligned DMA may yield short head/tail chunks).
@@ -173,6 +194,12 @@ class RootComplex final : public SimObject,
     Event process_event_{"", nullptr};
 
     std::vector<InboundRead> inbound_reads_; ///< fixed slot pool
+    /// Direct-map read_key() -> slot index (-1 = no live read). Grown on
+    /// first use of a key; the key space is (num_devices << 8) entries.
+    std::vector<std::int32_t> slot_of_key_;
+    /// Bitmap of free slots (bit set = free); lowest-set-bit allocation
+    /// preserves the old first-free pick order.
+    std::vector<std::uint64_t> slot_free_bits_;
     std::size_t inbound_live_ = 0;
     std::vector<mem::PacketPtr> mmio_pending_; ///< indexed by MMIO tag
     std::vector<std::uint8_t> mmio_tag_free_;

@@ -25,8 +25,21 @@ void PcieSwitch::forward_delayed()
         } else {
             ++downstream_tlps_;
         }
-        egress_[out].q.push_back(Egress::Staged{std::move(d.tlp), d.from});
-        kick(out);
+        Egress& e = egress_[out];
+        ensure(e.port != nullptr, name(), ": egress port not connected");
+        // Uncongested fast path: nothing staged ahead and credits ready —
+        // forward without the ring round trip (order-identical: empty queue).
+        if (e.q.empty() && e.port->can_send(*d.tlp)) {
+            const std::uint32_t cost = d.tlp->payload_bytes();
+            e.port->send(std::move(d.tlp));
+            ensure(egress_[d.from].port != nullptr, name(),
+                   ": ingress port vanished");
+            egress_[d.from].port->release_ingress(cost);
+            ++forwarded_;
+        } else {
+            e.q.push_back(Egress::Staged{std::move(d.tlp), d.from});
+            kick(out);
+        }
     }
     if (!delay_q_.empty()) {
         schedule(forward_event_, delay_q_.front().ready);

@@ -23,6 +23,15 @@ class SimError : public std::logic_error {
     explicit SimError(const std::string& what) : std::logic_error(what) {}
 };
 
+#if defined(__GNUC__) || defined(__clang__)
+/// Keep failure-path formatting out of hot functions: the throw branch is
+/// outlined into a cold, never-inlined helper so an ensure() in a hot loop
+/// compiles to a test + predicted-not-taken branch.
+#define ACCESYS_COLD_NOINLINE __attribute__((noinline, cold))
+#else
+#define ACCESYS_COLD_NOINLINE
+#endif
+
 namespace detail {
 
 inline void cat_into(std::ostringstream&) {}
@@ -47,18 +56,31 @@ std::string strcat_msg(const Ts&... vs)
 
 /// Abort simulation with an internal error.
 template <typename... Ts>
-[[noreturn]] void panic(const Ts&... vs)
+[[noreturn]] ACCESYS_COLD_NOINLINE void panic(const Ts&... vs)
 {
     throw SimError(strcat_msg("panic: ", vs...));
 }
 
-/// Always-on invariant check (unlike assert(), survives NDEBUG builds).
+namespace detail {
+
 template <typename... Ts>
-void ensure(bool cond, const Ts&... vs)
+[[noreturn]] ACCESYS_COLD_NOINLINE void ensure_fail(const Ts&... vs)
 {
-    if (!cond) {
-        throw SimError(strcat_msg("invariant violated: ", vs...));
+    throw SimError(strcat_msg("invariant violated: ", vs...));
+}
+
+} // namespace detail
+
+/// Always-on invariant check (unlike assert(), survives NDEBUG builds).
+/// The passing path is a test + predicted-not-taken branch; message
+/// formatting lives in the outlined cold helper.
+template <typename... Ts>
+inline void ensure(bool cond, const Ts&... vs)
+{
+    if (cond) [[likely]] {
+        return;
     }
+    detail::ensure_fail(vs...);
 }
 
 /// Configuration validation helper: throws ConfigError when `cond` is false.

@@ -333,11 +333,17 @@ class EventQueue {
                                                      std::uint64_t seq)
     {
         // 16 bits of biased priority, 48 bits of sequence (~2.8e14
-        // schedules before wrap — far beyond any practical run).
-        ensure(priority >= -kPrioBias && priority < kPrioBias,
-               "event priority out of the representable range");
+        // schedules before wrap — far beyond any practical run). The
+        // priority range is validated once at schedule time via
+        // check_priority(); the hot path just packs.
         return (static_cast<std::uint64_t>(priority + kPrioBias) << 48) |
                (seq & ((std::uint64_t{1} << 48) - 1));
+    }
+
+    static void check_priority(int priority)
+    {
+        ensure(priority >= -kPrioBias && priority < kPrioBias,
+               "event priority out of the representable range");
     }
 
     /// True when `a` runs strictly later than `b`.
@@ -359,13 +365,18 @@ class EventQueue {
     void schedule_impl(Event& ev, Tick when)
     {
         ensure(!ev.scheduled_, "double schedule of event ", ev.name_);
+        if (ev.priority_ != kPrioDefault) [[unlikely]] {
+            check_priority(ev.priority_);
+        }
+        // One monotonic counter serves both the tie-break sequence (low 48
+        // key bits) and the lazy-deletion generation stamp.
+        const std::uint64_t seq = ++next_seq_;
         ev.when_ = when;
-        ev.generation_ = ++next_generation_;
+        ev.generation_ = seq;
         ev.scheduled_ = true;
         ++stat_scheduled_;
-        const Entry e{make_key(when, pack_prio_seq(ev.priority_,
-                                                   next_seq_++)),
-                      ev.generation_, &ev};
+        const Entry e{make_key(when, pack_prio_seq(ev.priority_, seq)), seq,
+                      &ev};
         if (batch_active()) {
             schedule_during_batch(e);
             return;
@@ -618,8 +629,7 @@ class EventQueue {
     std::size_t near_n_ = 0;
     bool batch_enabled_ = true;
     Tick now_ = 0;
-    std::uint64_t next_seq_ = 0;
-    std::uint64_t next_generation_ = 0;
+    std::uint64_t next_seq_ = 0; ///< schedule counter: sort tie-break + generation stamp
     std::uint64_t stat_processed_ = 0;
     std::uint64_t stat_scheduled_ = 0;
     DispatchObserver* observer_ = nullptr;

@@ -89,6 +89,23 @@ class RingBuffer {
         --count_;
     }
 
+    /// Move element `i` (0 = front) out, close the gap by shifting the
+    /// elements *in front of it* back one slot, and drop the old front.
+    /// Preserves the relative order of the remaining elements exactly like
+    /// erase_at, but costs O(i) instead of O(size - i) — the right shape
+    /// when `i` is bounded by a small scheduling window while the queue
+    /// tail can be much longer (FR-FCFS picks).
+    [[nodiscard]] T take_at(std::size_t i)
+    {
+        ensure(i < count_, "RingBuffer::take_at out of range");
+        T v = std::move((*this)[i]);
+        for (std::size_t j = i; j > 0; --j) {
+            (*this)[j] = std::move((*this)[j - 1]);
+        }
+        pop_front();
+        return v;
+    }
+
     void clear()
     {
         while (count_ > 0) {

@@ -1,0 +1,49 @@
+// Shared SIMD scan helpers (GCC/Clang portable vector extensions).
+//
+// Four 64-bit words are compared per step; the lane-hit mask is extracted
+// with the sign-bit gather below. Lowers to SSE2/AVX2 on x86-64 and NEON
+// on aarch64; code must guard usage with ACCESYS_HAVE_VEC_EXT and provide
+// a scalar fallback for other compilers. Used by the cache tag/MSHR scans
+// and the FR-FCFS packed-key window scan.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace accesys::simd {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ACCESYS_HAVE_VEC_EXT 1
+
+typedef std::uint64_t U64x4 __attribute__((vector_size(32)));
+
+/// Lane-hit bitmask of an all-ones/all-zeros compare result (bit i set =
+/// lane i matched): each lane's sign bit lands in its own output bit.
+inline unsigned movemask4(U64x4 eq)
+{
+    return static_cast<unsigned>(((eq[0] >> 63) & 1) | ((eq[1] >> 62) & 2) |
+                                 ((eq[2] >> 61) & 4) | ((eq[3] >> 60) & 8));
+}
+
+/// Lane-hit bitmask of `words[i] & mask == want`.
+inline unsigned match4(const std::uint64_t* words, std::uint64_t mask,
+                       std::uint64_t want)
+{
+    U64x4 w;
+    std::memcpy(&w, words, sizeof(w));
+    return movemask4((w & mask) == want);
+}
+
+/// Lane-hit bitmask of `a[i] == b[i]`.
+inline unsigned match4(const std::uint64_t* a, const std::uint64_t* b)
+{
+    U64x4 va;
+    U64x4 vb;
+    std::memcpy(&va, a, sizeof(va));
+    std::memcpy(&vb, b, sizeof(vb));
+    return movemask4(va == vb);
+}
+
+#endif
+
+} // namespace accesys::simd

@@ -35,6 +35,16 @@ Smmu::Smmu(Simulator& sim, std::string name, const SmmuParams& params,
       walker_requestor_(mem::alloc_requestor_id())
 {
     params_.validate();
+    // Walk-pending pool: max_pending bounds the waiters that can exist at
+    // once, so the node pool and record array never grow after this.
+    pending_pool_.resize(params_.max_pending);
+    for (std::size_t i = 0; i < pending_pool_.size(); ++i) {
+        pending_pool_[i].next =
+            i + 1 < pending_pool_.size() ? static_cast<std::int32_t>(i + 1)
+                                         : -1;
+    }
+    pending_free_ = 0;
+    walk_records_.reserve(params_.max_pending);
     dev_port_.set_fast_path(
         [](void* s, mem::PacketPtr& pkt) {
             return static_cast<Smmu*>(s)->recv_req(pkt);
@@ -123,13 +133,47 @@ bool Smmu::recv_req(mem::PacketPtr& pkt)
 
     // TLB miss: join (or start) a walk for this VPN.
     ++pending_count_;
-    auto& waiters = walk_pending_[vpn];
-    waiters.push_back(PendingPkt{std::move(pkt), arrived, stream});
-    if (waiters.size() == 1) {
+    const std::int32_t node = alloc_pending_node();
+    PendingPkt& p = pending_pool_[static_cast<std::size_t>(node)];
+    p.pkt = std::move(pkt);
+    p.arrived = arrived;
+    p.stream = stream;
+    p.next = -1;
+    if (WalkRecord* rec = find_walk_record(vpn); rec != nullptr) {
+        pending_pool_[static_cast<std::size_t>(rec->tail)].next = node;
+        rec->tail = node;
+    } else {
+        walk_records_.push_back(WalkRecord{vpn, node, node});
         ++ctx.ptws;
         start_walk_or_queue(vpn);
     }
     return true;
+}
+
+Smmu::WalkRecord* Smmu::find_walk_record(std::uint64_t vpn)
+{
+    for (WalkRecord& rec : walk_records_) {
+        if (rec.vpn == vpn) {
+            return &rec;
+        }
+    }
+    return nullptr;
+}
+
+std::int32_t Smmu::alloc_pending_node()
+{
+    ensure(pending_free_ >= 0, name(), ": pending pool exhausted");
+    const std::int32_t idx = pending_free_;
+    pending_free_ = pending_pool_[static_cast<std::size_t>(idx)].next;
+    return idx;
+}
+
+void Smmu::free_pending_node(std::int32_t idx)
+{
+    PendingPkt& p = pending_pool_[static_cast<std::size_t>(idx)];
+    p.pkt.reset();
+    p.next = pending_free_;
+    pending_free_ = idx;
 }
 
 void Smmu::finish_translation(StreamCtx& ctx, mem::PacketPtr pkt,
@@ -238,9 +282,10 @@ void Smmu::complete_walk(unsigned slot, std::uint64_t ppn)
 
     tlb_.insert(w.vpn, ppn);
 
-    auto it = walk_pending_.find(w.vpn);
-    ensure(it != walk_pending_.end(), name(), ": walk with no waiters");
-    for (auto& waiting : it->second) {
+    WalkRecord* rec = find_walk_record(w.vpn);
+    ensure(rec != nullptr, name(), ": walk with no waiters");
+    for (std::int32_t idx = rec->head; idx >= 0;) {
+        PendingPkt& waiting = pending_pool_[static_cast<std::size_t>(idx)];
         ensure(pending_count_ > 0, name(), ": pending underflow");
         --pending_count_;
         // Fill every waiting stream's micro-TLB, not just the initiator's —
@@ -252,8 +297,13 @@ void Smmu::complete_walk(unsigned slot, std::uint64_t ppn)
         }
         finish_translation(wctx, std::move(waiting.pkt), ppn,
                            waiting.arrived, now());
+        const std::int32_t next = waiting.next;
+        free_pending_node(idx);
+        idx = next;
     }
-    walk_pending_.erase(it);
+    // Swap-remove the record: lookup is by exact VPN, order is irrelevant.
+    *rec = walk_records_.back();
+    walk_records_.pop_back();
     w.active = false;
 
     if (!walk_queue_.empty()) {

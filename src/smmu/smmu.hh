@@ -20,8 +20,6 @@
 // aggregate translation stall time used to compute overhead percentages.
 #pragma once
 
-#include <deque>
-#include <list>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -31,6 +29,7 @@
 #include "mem/port.hh"
 #include "smmu/page_table.hh"
 #include "smmu/tlb.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/simulator.hh"
 
 namespace accesys::smmu {
@@ -155,10 +154,27 @@ class Smmu final : public SimObject,
     bool recv_resp(mem::PacketPtr& pkt) override;
     void retry_req() override { mem_q_.retry(); }
 
+    /// One request waiting on a page-table walk. Nodes live in a
+    /// fixed-size pool (`pending_pool_`, max_pending slots, allocated once)
+    /// and chain into per-VPN FIFO lists through `next` — the walk-pending
+    /// bookkeeping does zero heap work in steady state, where the old
+    /// `unordered_map<vpn, vector>` allocated a node and a vector per
+    /// coalesced walk.
     struct PendingPkt {
         mem::PacketPtr pkt;
-        Tick arrived;
-        std::uint32_t stream;
+        Tick arrived = 0;
+        std::uint32_t stream = 0;
+        std::int32_t next = -1; ///< pool index of the next waiter / free node
+    };
+
+    /// One in-flight VPN (walking or queued for a slot) plus its waiter
+    /// list. Records live in a small flat array scanned linearly — bounded
+    /// by max_pending, typically a handful — and are swap-removed on
+    /// completion (lookup is by exact VPN, so order is irrelevant).
+    struct WalkRecord {
+        std::uint64_t vpn = 0;
+        std::int32_t head = -1; ///< first waiter (issue order)
+        std::int32_t tail = -1; ///< last waiter
     };
 
     struct Walk {
@@ -220,8 +236,14 @@ class Smmu final : public SimObject,
     std::uint32_t last_stream_ = 0;
     std::unordered_map<std::uint32_t, std::uint32_t> stream_remap_;
 
-    std::unordered_map<std::uint64_t, std::vector<PendingPkt>> walk_pending_;
-    std::deque<std::uint64_t> walk_queue_; ///< VPNs awaiting a walk slot
+    [[nodiscard]] WalkRecord* find_walk_record(std::uint64_t vpn);
+    [[nodiscard]] std::int32_t alloc_pending_node();
+    void free_pending_node(std::int32_t idx);
+
+    std::vector<PendingPkt> pending_pool_; ///< max_pending fixed slots
+    std::int32_t pending_free_ = -1;       ///< free-list head in the pool
+    std::vector<WalkRecord> walk_records_; ///< in-flight VPNs + waiter lists
+    RingBuffer<std::uint64_t> walk_queue_; ///< VPNs awaiting a walk slot
     std::vector<Walk> walks_;              ///< indexed by slot (== pkt tag)
     std::uint32_t walker_requestor_;
     std::size_t pending_count_ = 0;

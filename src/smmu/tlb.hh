@@ -20,6 +20,7 @@ class Tlb {
                     "TLB entries must be a positive multiple of assoc");
         require_cfg(is_pow2(entries / assoc),
                     "TLB set count must be a power of two");
+        set_mask_ = entries / assoc - 1;
         slots_.resize(entries);
     }
 
@@ -105,17 +106,16 @@ class Tlb {
 
     [[nodiscard]] Slot* set_base(std::uint64_t vpn)
     {
-        const std::size_t sets = entries_ / assoc_;
-        return &slots_[(vpn & (sets - 1)) * assoc_];
+        return &slots_[(vpn & set_mask_) * assoc_];
     }
     [[nodiscard]] const Slot* set_base(std::uint64_t vpn) const
     {
-        const std::size_t sets = entries_ / assoc_;
-        return &slots_[(vpn & (sets - 1)) * assoc_];
+        return &slots_[(vpn & set_mask_) * assoc_];
     }
 
     std::size_t entries_;
     unsigned assoc_;
+    std::size_t set_mask_ = 0; ///< sets - 1, hoisted off the lookup path
     std::vector<Slot> slots_;
     Slot* mru_ = nullptr; ///< last hit (slots_ never reallocates)
     std::uint64_t clock_ = 0;

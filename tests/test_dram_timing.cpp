@@ -1,0 +1,188 @@
+// Focused tests for the DramTiming fast paths added with access_run():
+// row hit/miss/precharge sequencing, refresh-window stalls, multi-channel
+// interleave decode (shift/mask vs the arithmetic definition), packed
+// FR-FCFS keys, and — the load-bearing property — access_run() being
+// bit-equivalent to the per-burst access() loop it replaced in
+// MemCtrl::service_dram.
+#include <gtest/gtest.h>
+
+#include "mem/dram_config.hh"
+#include "mem/dram_timing.hh"
+#include "sim/random.hh"
+
+namespace accesys::mem {
+namespace {
+
+struct DramTimingFixture : ::testing::Test {
+    DramParams params = ddr4_2400();
+};
+
+TEST_F(DramTimingFixture, RowHitMissPrechargeSequencing)
+{
+    params.refresh_enabled = false;
+    DramTiming dram(params);
+
+    // Cold bank: activate + CAS.
+    const auto miss = dram.access(0, false, 0);
+    EXPECT_FALSE(miss.row_hit);
+    EXPECT_EQ(miss.data_ready,
+              params.tRCD() + params.tCL() + params.burst_ticks());
+
+    // Same row: CAS only, paced by the bus.
+    const auto hit = dram.access(params.burst_bytes(), false, 0);
+    EXPECT_TRUE(hit.row_hit);
+    EXPECT_EQ(dram.row_hits(), 1u);
+    EXPECT_EQ(dram.row_misses(), 1u);
+
+    // Conflicting row in the same bank: precharge (after tRAS) + activate.
+    const Addr conflict = params.row_bytes * params.banks;
+    const auto c0 = dram.decode(0);
+    const auto c1 = dram.decode(conflict);
+    ASSERT_EQ(c0.bank, c1.bank);
+    ASSERT_NE(c0.row, c1.row);
+    const auto pre = dram.access(conflict, false, hit.data_ready);
+    EXPECT_FALSE(pre.row_hit);
+    EXPECT_GE(pre.data_ready - hit.data_ready,
+              params.tRP() + params.tRCD());
+    EXPECT_EQ(dram.row_misses(), 2u);
+}
+
+TEST_F(DramTimingFixture, RefreshWindowStallsAccesses)
+{
+    DramTiming dram(params); // refresh on
+    const Tick t = params.tREFI() + 1;
+    const auto acc = dram.access(0, false, t);
+    EXPECT_GE(acc.data_ready, params.tREFI() + params.tRFC());
+    EXPECT_GE(dram.refreshes(), 1u);
+
+    // Refresh closes every row: the immediately preceding activation is
+    // forgotten and its packed open-row key is invalidated.
+    DramTiming dram2(params);
+    (void)dram2.access(0, false, 0);
+    EXPECT_TRUE(dram2.peek_row_hit(params.burst_bytes()));
+    const Tick after = 2 * params.tREFI() + 1;
+    (void)dram2.access(0, false, after);
+    // That access re-opened row 0; a different row in the same bank still
+    // misses, and the refresh counter advanced.
+    EXPECT_FALSE(dram2.peek_row_hit(params.row_bytes * params.banks));
+    EXPECT_GE(dram2.refreshes(), 2u);
+}
+
+TEST_F(DramTimingFixture, MultiChannelInterleaveDecode)
+{
+    // Shift/mask decode must match the arithmetic definition:
+    //   burst = addr / burst_bytes
+    //   channel = burst % channels
+    //   rows_space = burst / channels * burst_bytes / row_bytes
+    //   bank = rows_space % banks ; row = rows_space / banks
+    for (const char* preset : {"DDR4", "HBM2", "DDR5", "LPDDR5"}) {
+        const auto p = dram_params_by_name(preset);
+        DramTiming dram(p);
+        Rng rng(7);
+        for (int i = 0; i < 2000; ++i) {
+            const Addr addr =
+                (static_cast<Addr>(rng.below(1 << 30)) * p.burst_bytes()) %
+                (Addr{1} << 34);
+            const std::uint64_t burst = addr / p.burst_bytes();
+            const auto c = dram.decode(addr);
+            EXPECT_EQ(c.channel, burst % p.channels) << preset;
+            const std::uint64_t rows_space =
+                burst / p.channels * p.burst_bytes() / p.row_bytes;
+            EXPECT_EQ(c.bank, rows_space % p.banks) << preset;
+            EXPECT_EQ(c.row, rows_space / p.banks) << preset;
+        }
+        // Adjacent bursts interleave across channels.
+        if (p.channels > 1) {
+            EXPECT_NE(dram.decode(0).channel,
+                      dram.decode(p.burst_bytes()).channel);
+        }
+    }
+}
+
+TEST_F(DramTimingFixture, PackedKeysMirrorOpenRows)
+{
+    params.refresh_enabled = false;
+    DramTiming dram(params);
+    const Addr a0 = 0;
+    const Addr a1 = params.row_bytes * params.banks; // same bank, other row
+
+    EXPECT_FALSE(dram.peek_row_hit(a0)); // nothing open yet
+    (void)dram.access(a0, false, 0);
+    EXPECT_TRUE(dram.peek_row_hit(a0));
+    EXPECT_TRUE(dram.peek_row_hit(a0 + params.burst_bytes()));
+    EXPECT_FALSE(dram.peek_row_hit(a1));
+
+    // The packed key identifies the open bank slot.
+    const std::uint64_t key = dram.packed_key(a0);
+    EXPECT_EQ(dram.open_keys()[key & dram.slot_mask()], key);
+    EXPECT_NE(dram.packed_key(a1), key);
+    EXPECT_EQ(dram.packed_key(a1) & dram.slot_mask(), key & dram.slot_mask());
+
+    (void)dram.access(a1, false, 0);
+    EXPECT_FALSE(dram.peek_row_hit(a0));
+    EXPECT_TRUE(dram.peek_row_hit(a1));
+}
+
+/// access_run(addr, n) must be bit-equivalent to n access() calls — same
+/// per-call timing, same end state, same counters — across presets,
+/// refresh on/off, reads and writes, sequential and conflict-heavy
+/// patterns.
+TEST_F(DramTimingFixture, AccessRunBitEquivalentToPerBurstLoop)
+{
+    for (const char* preset : {"DDR4", "HBM2", "LPDDR5"}) {
+        for (const bool refresh : {false, true}) {
+            auto p = dram_params_by_name(preset);
+            p.refresh_enabled = refresh;
+            DramTiming one(p);  // per-burst access() loop
+            DramTiming runs(p); // access_run()
+
+            Rng rng(42);
+            Tick t = 0;
+            Addr base = 0;
+            for (int iter = 0; iter < 4000; ++iter) {
+                const std::uint64_t n = 1 + rng.below(16);
+                const bool is_write = rng.below(4) == 0;
+                // Mix streaming advances with row-conflict jumps.
+                if (rng.below(8) == 0) {
+                    base += p.row_bytes * p.banks *
+                            (1 + rng.below(3));
+                }
+                // Reference: the old MemCtrl::service_dram shape — one
+                // access() per burst, all starting at the same tick.
+                DramTiming::Access want{0, 0, false, 0};
+                for (std::uint64_t i = 0; i < n; ++i) {
+                    const auto acc = one.access(
+                        base + i * p.burst_bytes(), is_write, t);
+                    want.data_ready =
+                        std::max(want.data_ready, acc.data_ready);
+                    want.bus_busy_until = acc.bus_busy_until;
+                    want.row_hit = acc.row_hit;
+                    want.channel = acc.channel;
+                }
+                const auto got = runs.access_run(base, n, is_write, t);
+
+                ASSERT_EQ(got.data_ready, want.data_ready)
+                    << preset << " refresh=" << refresh << " iter=" << iter;
+                ASSERT_EQ(got.bus_busy_until, want.bus_busy_until);
+                ASSERT_EQ(got.row_hit, want.row_hit);
+                ASSERT_EQ(got.channel, want.channel);
+                ASSERT_EQ(one.row_hits(), runs.row_hits());
+                ASSERT_EQ(one.row_misses(), runs.row_misses());
+                ASSERT_EQ(one.bursts(), runs.bursts());
+                ASSERT_EQ(one.refreshes(), runs.refreshes());
+
+                base += n * p.burst_bytes();
+                t = got.data_ready + rng.below(2000);
+            }
+            // End state must agree too: probe row hits across the space.
+            for (Addr probe = 0; probe < (Addr{1} << 22);
+                 probe += p.row_bytes / 2) {
+                ASSERT_EQ(one.peek_row_hit(probe), runs.peek_row_hit(probe))
+                    << preset;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace accesys::mem

@@ -255,6 +255,56 @@ TEST_F(LinkFixture, SendWithoutCreditsPanics)
     drain();
 }
 
+TEST_F(LinkFixture, SameTickProbeCannotSwallowStarvedKick)
+{
+    // Lost-wakeup regression for lazy credit accounting: a sender starves
+    // (credit kick armed), and at the exact tick the credit return
+    // arrives, an earlier-dispatched event probes can_send() on the same
+    // direction — harvesting the matured return inline — and still fails.
+    // The credit event then fires having granted nothing; it must still
+    // deliver credit_avail() to the starved node, or the staged TLP
+    // strands forever.
+    params.hdr_credits = 1;
+    params.data_credit_bytes = 16 * kKiB;
+
+    struct QueuedSender : PcieNode {
+        TlpQueue q;
+        explicit QueuedSender(PciePort& p) : q(p) {}
+        void recv_tlp(unsigned, TlpPtr) override {}
+        void credit_avail(unsigned) override { q.kick(); }
+    };
+    Simulator sim2;
+    auto link2 = std::make_unique<PcieLink>(sim2, "link2", params);
+    QueuedSender tx2(link2->end_a());
+    RecordingNode rx2;
+    rx2.sim = &sim2;
+    rx2.port = &link2->end_b();
+    rx2.auto_release = false;
+    link2->end_a().attach(tx2, 0);
+    link2->end_b().attach(rx2, 0);
+
+    tx2.q.push(make_mem_write(1, 64, 1)); // consumes the only hdr credit
+    tx2.q.push(make_mem_write(2, 64, 1)); // starves; kick armed on demand
+    ASSERT_EQ(tx2.q.size(), 1u);
+
+    const Tick t_rel = 200000; // after TLP1 delivery
+    const Tick t_arr = t_rel + ticks_from_ns(params.propagation_delay_ns);
+    // Scheduled *before* the release, so at t_arr it dispatches before the
+    // credit event and its failing probe harvests the matured return.
+    Event probe("probe", [&] {
+        auto big = make_mem_write(3, 32 * kKiB, 1); // exceeds data credits
+        EXPECT_FALSE(link2->end_a().can_send(*big));
+    });
+    sim2.queue().schedule(probe, t_arr);
+    Event releaser("releaser", [&] { rx2.port->release_ingress(64); });
+    sim2.queue().schedule(releaser, t_rel);
+
+    sim2.run();
+    EXPECT_EQ(rx2.received.size(), 2u)
+        << "starved sender never got its credit kick";
+    EXPECT_TRUE(tx2.q.empty());
+}
+
 TEST_F(LinkFixture, UtilizationTracksBusyTime)
 {
     params = LinkParams::from_target_gbps(1.0);

@@ -104,6 +104,32 @@ TEST(PoolDeterminism, BatchedDispatchMatchesUnbatchedBitExactly)
         << "fusion may only remove self-events, never add them";
 }
 
+TEST(PoolDeterminism, LazyCreditsMatchEagerBitExactly)
+{
+    // Lazy link-credit accounting (pcie/link.cc) elides the per-TLP
+    // credit-return event on unstarved directions; a starved sender's kick
+    // is scheduled for the exact tick the eager model would have fired it.
+    // A run with ACCESYS_EAGER_CREDITS=1 — restoring the per-return event —
+    // must therefore produce the same end tick and bit-identical stats
+    // dumps. Event *counts* may differ (the elided kicks were no-ops), so
+    // they are deliberately not compared. The flag is read at PcieLink
+    // construction, so toggling the environment between Simulator
+    // lifetimes switches modes within one process.
+    const SimSnapshot lazy = run_gemm_sim(2, 48);
+    EXPECT_TRUE(lazy.verified);
+
+    ::setenv("ACCESYS_EAGER_CREDITS", "1", 1);
+    const SimSnapshot eager = run_gemm_sim(2, 48);
+    ::unsetenv("ACCESYS_EAGER_CREDITS");
+    EXPECT_TRUE(eager.verified);
+
+    EXPECT_EQ(lazy.end_tick, eager.end_tick);
+    EXPECT_EQ(lazy.stats_text, eager.stats_text);
+    EXPECT_EQ(lazy.stats_json, eager.stats_json);
+    EXPECT_GE(eager.events, lazy.events)
+        << "lazy accounting may only elide credit events, never add them";
+}
+
 TEST(PoolDeterminism, SteadyStateForwardingAllocatesNothing)
 {
     // Warm-up run, then measure: the second identical sim must not grow
