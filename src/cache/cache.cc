@@ -27,6 +27,10 @@ void CacheParams::validate() const
     require_cfg(num_sets() >= 1, "cache must have at least one set");
     require_cfg(mshrs >= 1 && targets_per_mshr >= 1,
                 "cache needs at least one MSHR and one target");
+    // The free set is a 64-bit bitmap and fill tags carry the slot index
+    // in the line-offset bits (cache.cc: alloc_mshr / handle_fill).
+    require_cfg(mshrs <= 64 && mshrs <= line_bytes,
+                "cache MSHR count must be <= min(64, line_bytes)");
 }
 
 Cache::Cache(Simulator& sim, std::string name, const CacheParams& params)
@@ -44,13 +48,22 @@ Cache::Cache(Simulator& sim, std::string name, const CacheParams& params)
                  return static_cast<Cache*>(s)->mem_port_.send_req(pkt);
              },
              this),
-      fill_requestor_(mem::alloc_requestor_id())
+      fill_requestor_(mem::alloc_requestor_id()),
+      pkt_pool_(&mem::packet_pool())
 {
     params_.validate();
     lines_.resize(params_.num_sets() * params_.assoc);
     lru_.resize(lines_.size());
     mshrs_.resize(params_.mshrs);
     mshr_keys_.assign(params_.mshrs, 0);
+    mshr_free_bits_ = params_.mshrs == 64
+                          ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << params_.mshrs) - 1;
+    // Writeback staging: a multi-line write run can stage one dirty
+    // victim per installed line, so size for a realistic run (a 4 KiB
+    // bridge split), not just one set's ways. Growth past this retains
+    // capacity, so steady-state allocations stay at zero either way.
+    wb_batch_.reserve(std::max<std::size_t>(params_.assoc, 64));
     lookup_ticks_ = ticks_from_ns(params_.lookup_latency_ns);
     fill_ticks_ = ticks_from_ns(params_.fill_latency_ns);
     line_shift_ = log2i(params_.line_bytes);
@@ -73,12 +86,17 @@ Cache::Cache(Simulator& sim, std::string name, const CacheParams& params)
 
 Cache::Line* Cache::find_line(Addr addr)
 {
+    return find_line_l(line_addr(addr));
+}
+
+Cache::Line* Cache::find_line_l(Addr laddr)
+{
     // One compare per way: a valid line's tag_flags is tag|kValid, with
     // the dirty bit masked out of the comparison. Lines are one packed
     // machine word each, so a set is a contiguous tag array and the scan
     // vectorizes four ways per step.
-    const std::uint64_t want = line_addr(addr) | Line::kValid;
-    const std::uint64_t set = set_index(addr);
+    const std::uint64_t want = laddr | Line::kValid;
+    const std::uint64_t set = set_index(laddr);
     Line* base = &lines_[set * params_.assoc];
 #ifdef ACCESYS_HAVE_VEC_EXT
     unsigned w = 0;
@@ -213,38 +231,57 @@ Cache::Line& Cache::pick_victim(Addr addr)
     return base[victim];
 }
 
-void Cache::evict(Line& victim, Addr /*set_example_addr*/)
+void Cache::stage_install(Addr laddr, bool dirty)
 {
-    if (!victim.valid()) {
-        return;
+    Line& victim = pick_victim(laddr);
+    if (victim.valid()) {
+        --valid_lines_;
+        if (victim.dirty()) {
+            --dirty_lines_;
+            ++n_writebacks_;
+            auto wb = pkt_pool_->make_write(victim.tag(),
+                                            params_.line_bytes);
+            wb->set_requestor(fill_requestor_);
+            wb->flags.posted = true;
+            wb_batch_.push_back(std::move(wb));
+        }
+        victim.invalidate();
     }
-    --valid_lines_;
-    if (victim.dirty()) {
-        --dirty_lines_;
-        ++n_writebacks_;
-        auto wb =
-            mem::packet_pool().make_write(victim.tag(), params_.line_bytes);
-        wb->set_requestor(fill_requestor_);
-        wb->flags.posted = true;
-        mem_q_.push(std::move(wb), now());
-    }
-    victim.invalidate();
-}
-
-void Cache::install(Addr addr, bool dirty)
-{
-    Line& victim = pick_victim(addr);
-    evict(victim, addr);
-    victim.set(line_addr(addr), true, dirty);
+    victim.set(laddr, true, dirty);
     ++valid_lines_;
     dirty_lines_ += dirty ? 1 : 0;
     touch(victim);
 }
 
+void Cache::flush_writebacks()
+{
+    // Batched writeback flush: every dirty victim staged by the preceding
+    // walk leaves in one back-to-back burst — identical packet order and
+    // ready ticks to the per-line interleave (installs never touch the
+    // egress queue, so deferring the pushes past the walk is invisible),
+    // one egress probe per packet but a single walk/flush boundary.
+    if (!wb_batch_.empty()) [[unlikely]] {
+        const Tick ready = now();
+        for (auto& wb : wb_batch_) {
+            mem_q_.push(std::move(wb), ready);
+        }
+        wb_batch_.clear();
+    }
+}
+
+void Cache::install(Addr laddr, bool dirty)
+{
+    stage_install(laddr, dirty);
+    flush_writebacks();
+}
+
 bool Cache::recv_req(mem::PacketPtr& pkt)
 {
-    if (((pkt->addr() ^ (pkt->end_addr() - 1)) >> line_shift_) != 0) {
-        panic(name(), ": request straddles a line: ", pkt->describe());
+    const Addr laddr = line_addr(pkt->addr());
+
+    if (((pkt->addr() ^ (pkt->end_addr() - 1)) >> line_shift_) != 0)
+        [[unlikely]] {
+        return recv_req_multiline(pkt, laddr);
     }
 
     // Uncacheable traffic bypasses the lookup (DM mode / MMIO). An
@@ -253,7 +290,7 @@ bool Cache::recv_req(mem::PacketPtr& pkt)
     if (pkt->flags.uncacheable) {
         ++n_bypasses_;
         if (pkt->is_write()) {
-            if (Line* line = find_line(pkt->addr()); line != nullptr) {
+            if (Line* line = find_line_l(laddr); line != nullptr) {
                 --valid_lines_;
                 dirty_lines_ -= line->dirty() ? 1 : 0;
                 line->invalidate();
@@ -265,7 +302,7 @@ bool Cache::recv_req(mem::PacketPtr& pkt)
 
     const Tick lookup_done = now() + lookup_ticks_;
 
-    if (Line* line = find_line(pkt->addr()); line != nullptr) {
+    if (Line* line = find_line_l(laddr); line != nullptr) {
         ++n_hits_;
         touch(*line);
         if (pkt->is_write()) {
@@ -282,9 +319,15 @@ bool Cache::recv_req(mem::PacketPtr& pkt)
 
     ++n_misses_;
 
-    // Whole-line write: install without a fill read.
-    if (pkt->is_write() && pkt->size() == params_.line_bytes) {
-        install(pkt->addr(), true);
+    Mshr* pending = find_mshr(laddr);
+
+    // Whole-line write: install without a fill read. Only when no fill
+    // for this line is already in flight — installing under a live MSHR
+    // would let the later fill re-install the line as a duplicate tag;
+    // with a fill pending the write joins the miss as a target instead.
+    if (pending == nullptr && pkt->is_write() &&
+        pkt->size() == params_.line_bytes) {
+        install(laddr, true);
         if (!(pkt->flags.posted)) {
             pkt->make_response();
             resp_q_.push(std::move(pkt), lookup_done);
@@ -292,8 +335,7 @@ bool Cache::recv_req(mem::PacketPtr& pkt)
         return true;
     }
 
-    const Addr laddr = line_addr(pkt->addr());
-    if (Mshr* hit = find_mshr(laddr)) {
+    if (Mshr* hit = pending) {
         if (hit->targets.size() >= params_.targets_per_mshr) {
             ++n_mshr_rejects_;
             blocked_upstream_ = true;
@@ -313,11 +355,58 @@ bool Cache::recv_req(mem::PacketPtr& pkt)
     mshr->targets.push_back(std::move(pkt));
     mshr->fill_sent = true;
 
-    auto fill = mem::packet_pool().make_read(laddr, params_.line_bytes);
+    auto fill = pkt_pool_->make_read(laddr, params_.line_bytes);
     fill->set_requestor(fill_requestor_);
-    fill->set_tag(laddr);
+    // The slot index rides in the line-offset bits of the tag, so the fill
+    // response finds its MSHR with one mask instead of a key scan
+    // (params_.validate() guarantees it fits).
+    fill->set_tag(laddr |
+                  static_cast<std::uint64_t>(mshr - mshrs_.data()));
     mem_q_.push(std::move(fill), lookup_done);
     return true;
+}
+
+bool Cache::recv_req_multiline(mem::PacketPtr& pkt, Addr laddr)
+{
+    // A request wider than one line is accepted only as an aligned
+    // *posted* whole-line write run (a fabric bridge with a split size
+    // above our line size streaming full lines — the DMA write-train
+    // shape): the run installs N consecutive lines in one tag-array walk
+    // with a single batched writeback flush, per-line hit/miss accounting
+    // identical to the line-split train the bridge would otherwise send.
+    // Non-posted runs are rejected: their completion would have to wait
+    // on any in-flight fill the run overlaps (split-train semantics), and
+    // no bridge emits them. Anything else still straddles.
+    if (!pkt->is_write() || !pkt->flags.posted || pkt->flags.uncacheable ||
+        pkt->addr() != laddr || pkt->size() % params_.line_bytes != 0) {
+        panic(name(), ": request straddles a line: ", pkt->describe());
+    }
+    const auto n_lines =
+        static_cast<std::uint32_t>(pkt->size() >> line_shift_);
+    Addr a = laddr;
+    for (std::uint32_t i = 0; i < n_lines; ++i, a += params_.line_bytes) {
+        if (Line* line = find_line_l(a); line != nullptr) {
+            ++n_hits_;
+            touch(*line);
+            dirty_lines_ += line->dirty() ? 0 : 1;
+            line->set_dirty(true);
+        } else {
+            ++n_misses_;
+            if (Mshr* pending = find_mshr(a); pending != nullptr) {
+                // A fill for this line is in flight: installing now would
+                // leave a duplicate tag when it lands. The write's effect
+                // is what a split-train target join would produce — the
+                // line arrives dirty. (Unlike the split train, the posted
+                // run consumes no target slot here: strictly less
+                // backpressure, same installed state.)
+                pending->dirty_on_fill = true;
+            } else {
+                stage_install(a, true);
+            }
+        }
+    }
+    flush_writebacks();
+    return true; // posted: absorbed, no response
 }
 
 bool Cache::recv_resp(mem::PacketPtr& pkt)
@@ -332,13 +421,19 @@ bool Cache::recv_resp(mem::PacketPtr& pkt)
     return true;
 }
 
-void Cache::handle_fill(Addr laddr)
+void Cache::handle_fill(std::uint64_t fill_tag)
 {
-    Mshr* mshr = find_mshr(laddr);
-    ensure(mshr != nullptr, name(), ": fill without MSHR @0x", std::hex,
-           laddr);
+    // O(1) MSHR lookup: the fill read's tag is laddr | slot (the slot
+    // index fits in the line-offset bits, enforced by validate()).
+    const Addr mask = params_.line_bytes - 1;
+    const auto slot = static_cast<std::size_t>(fill_tag & mask);
+    const Addr laddr = fill_tag & ~mask;
+    ensure(slot < mshrs_.size(), name(), ": fill with bad slot tag");
+    Mshr* mshr = &mshrs_[slot];
+    ensure(mshr->live && mshr->laddr == laddr, name(),
+           ": fill without MSHR @0x", std::hex, laddr);
 
-    bool dirty = false;
+    bool dirty = mshr->dirty_on_fill;
     for (const auto& t : mshr->targets) {
         dirty |= t->is_write();
     }
@@ -371,7 +466,7 @@ void Cache::snoop_invalidate(Addr addr, std::uint32_t size)
     }
     for (Addr a = line_addr(addr); a < addr + size;
          a += params_.line_bytes) {
-        if (Line* line = find_line(a); line != nullptr) {
+        if (Line* line = find_line_l(a); line != nullptr) {
             --valid_lines_;
             dirty_lines_ -= line->dirty() ? 1 : 0;
             line->invalidate();
@@ -387,7 +482,7 @@ void Cache::snoop_clean(Addr addr, std::uint32_t size)
     }
     for (Addr a = line_addr(addr); a < addr + size;
          a += params_.line_bytes) {
-        if (Line* line = find_line(a); line != nullptr && line->dirty()) {
+        if (Line* line = find_line_l(a); line != nullptr && line->dirty()) {
             --dirty_lines_;
             line->set_dirty(false);
             ++n_snoop_cleans_;

@@ -75,6 +75,15 @@ class Cache final : public SimObject,
     // mem::Snooper
     void snoop_invalidate(Addr addr, std::uint32_t size) override;
     void snoop_clean(Addr addr, std::uint32_t size) override;
+    /// CONTRACT with the bus-side occupancy filter: when valid_lines_ is
+    /// 0 an invalidate — and when dirty_lines_ is 0 a clean — must be a
+    /// complete no-op including on every stat (the snoop_* bodies below
+    /// keep the matching early-outs). If a snoop ever grows a
+    /// side effect before those guards, remove this override.
+    [[nodiscard]] mem::Snooper::Occupancy snoop_occupancy() const override
+    {
+        return {&valid_lines_, &dirty_lines_};
+    }
 
   private:
     /// 8-byte line record: the tag is line-aligned, so its low bits hold
@@ -115,6 +124,9 @@ class Cache final : public SimObject,
         Addr laddr = 0;
         bool live = false;
         bool fill_sent = false;
+        /// A whole-line write run covered this line while the fill was in
+        /// flight: the fill installs dirty (see recv_req_multiline).
+        bool dirty_on_fill = false;
         std::vector<mem::PacketPtr> targets;
     };
 
@@ -140,42 +152,62 @@ class Cache final : public SimObject,
 
     [[nodiscard]] Line* find_line(Addr addr);
     [[nodiscard]] const Line* find_line(Addr addr) const;
+    /// find_line with the line address already computed (hot paths derive
+    /// it once per request instead of once per probe).
+    [[nodiscard]] Line* find_line_l(Addr laddr);
     /// Live MSHR tracking `laddr`, or nullptr. The lookup scans the packed
     /// key array (`mshr_keys_`, laddr|1 when live, 0 when free), not the
     /// slot structs — SIMD-compared in groups of four (see cache.cc).
     [[nodiscard]] Mshr* find_mshr(Addr laddr);
-    /// Claim a free slot for `laddr`; nullptr when all are busy.
+    /// Claim the lowest free slot for `laddr`; nullptr when all are busy.
+    /// The free set is a bitmap (caches have <= 64 MSHRs in every preset),
+    /// so the claim is one ctz instead of a key scan; the lowest-index
+    /// pick order matches the linear scan it replaces exactly.
     [[nodiscard]] Mshr* alloc_mshr(Addr laddr)
     {
-        for (std::size_t i = 0; i < mshrs_.size(); ++i) {
-            if (mshr_keys_[i] == 0) {
-                Mshr& m = mshrs_[i];
-                m.live = true;
-                m.laddr = laddr;
-                m.fill_sent = false;
-                mshr_keys_[i] = laddr | 1;
-                ++mshrs_live_;
-                return &m;
-            }
+        if (mshr_free_bits_ == 0) {
+            return nullptr;
         }
-        return nullptr;
+        const auto i = static_cast<std::size_t>(
+            __builtin_ctzll(mshr_free_bits_));
+        mshr_free_bits_ &= mshr_free_bits_ - 1;
+        Mshr& m = mshrs_[i];
+        m.live = true;
+        m.laddr = laddr;
+        m.fill_sent = false;
+        m.dirty_on_fill = false;
+        mshr_keys_[i] = laddr | 1;
+        ++mshrs_live_;
+        return &m;
     }
     void release_mshr(Mshr& m)
     {
         m.live = false;
         m.targets.clear(); // keeps capacity for the next miss
-        mshr_keys_[static_cast<std::size_t>(&m - mshrs_.data())] = 0;
+        const auto i = static_cast<std::size_t>(&m - mshrs_.data());
+        mshr_keys_[i] = 0;
+        mshr_free_bits_ |= std::uint64_t{1} << i;
         --mshrs_live_;
     }
     Line& pick_victim(Addr addr);
-    void install(Addr addr, bool dirty);
-    void evict(Line& victim, Addr set_example_addr);
+    /// install() body with the writeback (victim eviction folded in)
+    /// deferred into `wb_batch_`; flush_writebacks() empties the batch
+    /// downstream in staging order. Together these are the building
+    /// blocks of the run form: recv_req_multiline() walks N consecutive
+    /// sets with stage_install() and flushes the writebacks once
+    /// (mirroring DramTiming::access_run), install() is the one-line
+    /// degenerate case.
+    void stage_install(Addr laddr, bool dirty);
+    void flush_writebacks();
+    /// Aligned whole-line write run (request wider than one line).
+    bool recv_req_multiline(mem::PacketPtr& pkt, Addr laddr);
+    void install(Addr laddr, bool dirty);
     [[nodiscard]] std::uint64_t& lru_of(const Line& line)
     {
         return lru_[static_cast<std::size_t>(&line - lines_.data())];
     }
     void touch(Line& line) { lru_of(line) = ++lru_clock_; }
-    void handle_fill(Addr laddr);
+    void handle_fill(std::uint64_t fill_tag);
     void maybe_unblock();
 
     CacheParams params_;
@@ -196,13 +228,19 @@ class Cache final : public SimObject,
     std::vector<Mshr> mshrs_; ///< fixed slot pool (params_.mshrs entries)
     /// Packed per-slot lookup keys (laddr|1 live, 0 free), scanned SIMD.
     std::vector<std::uint64_t> mshr_keys_;
+    std::uint64_t mshr_free_bits_ = 0; ///< free-slot bitmap (lowest first)
     std::size_t mshrs_live_ = 0;
+    /// Fill responses find their MSHR in O(1): the fill read's tag carries
+    /// the slot index in the line-offset bits (laddr | slot). Always valid:
+    /// params_.validate() caps mshrs at min(64, line_bytes).
+    std::vector<mem::PacketPtr> wb_batch_; ///< install_run writeback staging
     /// Occupancy counters kept exact at every line transition so bus
     /// snoops can reject in O(1) when this cache holds nothing relevant.
     std::uint64_t valid_lines_ = 0;
     std::uint64_t dirty_lines_ = 0;
     std::uint64_t lru_clock_ = 0;
     std::uint32_t fill_requestor_; ///< marks packets this cache created
+    mem::PacketPool* pkt_pool_;    ///< global pool, resolved once (hot path)
     Rng rng_;
     bool blocked_upstream_ = false;
 

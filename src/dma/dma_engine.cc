@@ -27,6 +27,7 @@ DmaEngine::DmaEngine(Simulator& sim, std::string name,
       tags_(params.max_tags)
 {
     params_.validate();
+    tlp_pool_ = &pcie::tlp_pool();
     tag_free_bits_.assign((params_.max_tags + 63) / 64, 0);
     for (unsigned t = 0; t < params_.max_tags; ++t) {
         tag_free_bits_[t / 64] |= std::uint64_t{1} << (t % 64);
@@ -67,14 +68,13 @@ void DmaEngine::pump()
     do {
         repump_ = false;
         while (active_.size() < params_.channels && !queued_.empty()) {
-            auto js = std::make_unique<JobState>();
-            js->engine = this;
+            JobState* js = acquire_job_state();
             js->job = std::move(queued_.front());
             queued_.pop_front();
-            active_.push_back(std::move(js));
+            active_.push_back(js);
         }
         // Round-robin service across the active channels.
-        for (auto& js : active_) {
+        for (JobState* js : active_) {
             if (js->job.dir == DmaJob::Dir::host_to_dev) {
                 pump_read(*js);
             } else {
@@ -84,7 +84,10 @@ void DmaEngine::pump()
         // Reap any job that completed during pumping.
         for (auto it = active_.begin(); it != active_.end();) {
             if ((*it)->finished >= (*it)->job.bytes) {
-                std::function<void()> cb = std::move((*it)->job.on_complete);
+                JobState* js = *it;
+                std::function<void()> cb = std::move(js->job.on_complete);
+                js->job = DmaJob{}; // drop captures before recycling
+                job_free_.push_back(js);
                 it = active_.erase(it);
                 ++jobs_done_;
                 if (cb) {
@@ -99,6 +102,20 @@ void DmaEngine::pump()
         }
     } while (repump_);
     pumping_ = false;
+}
+
+DmaEngine::JobState* DmaEngine::acquire_job_state()
+{
+    if (job_free_.empty()) {
+        job_pool_.push_back(std::make_unique<JobState>());
+        job_pool_.back()->engine = this;
+        job_free_.push_back(job_pool_.back().get());
+    }
+    JobState* js = job_free_.back();
+    job_free_.pop_back();
+    js->issued = 0;
+    js->finished = 0;
+    return js;
 }
 
 void DmaEngine::pump_read(JobState& js)
@@ -124,11 +141,11 @@ void DmaEngine::pump_read(JobState& js)
         ++tags_in_use_;
         window_in_use_ += chunk;
 
-        port_->dma_send(pcie::tlp_pool().make_mem_read(js.job.host_addr + js.issued,
-                                            chunk,
-                                            static_cast<std::uint8_t>(tag),
-                                            port_->dma_device_id()),
-                        {});
+        port_->dma_send(
+            tlp_pool_->make_mem_read(js.job.host_addr + js.issued, chunk,
+                                     static_cast<std::uint8_t>(tag),
+                                     port_->dma_device_id()),
+            {});
         ++reads_issued_;
         js.issued += chunk;
     }
@@ -143,8 +160,8 @@ void DmaEngine::pump_write(JobState& js)
         const std::uint64_t off = js.issued;
 
         port_->dma_send(
-            pcie::tlp_pool().make_mem_write(js.job.host_addr + off, chunk,
-                                 port_->dma_device_id()),
+            tlp_pool_->make_mem_write(js.job.host_addr + off, chunk,
+                                      port_->dma_device_id()),
             pcie::SentHook{
                 [](void* p, std::uint32_t sent) {
                     auto* jsp = static_cast<JobState*>(p);

@@ -106,13 +106,20 @@ class DmaEngine final : public SimObject {
     void pump();
     void pump_read(JobState& js);
     void pump_write(JobState& js);
-    void finish_job(JobState& js);
+    [[nodiscard]] JobState* acquire_job_state();
 
     DmaParams params_;
     DmaPort* port_;
     mem::BackingStore* store_;
+    pcie::TlpPool* tlp_pool_ = nullptr; ///< resolved once (chunk loops)
 
-    std::deque<std::unique_ptr<JobState>> active_;
+    /// Channel slots in service order. JobState objects are recycled
+    /// through `job_free_` (TagState/SentHook back-pointers stay valid for
+    /// a slot's whole active life) so the steady state allocates nothing;
+    /// the pool only grows the first time each channel depth is reached.
+    std::deque<JobState*> active_;
+    std::vector<std::unique_ptr<JobState>> job_pool_;
+    std::vector<JobState*> job_free_;
     std::deque<DmaJob> queued_;
     std::vector<TagState> tags_;
     /// Bitmap of free tags (bit set = free): the read pump claims the

@@ -255,11 +255,13 @@ class PacketQueue {
             // Inline arm(): the queue cannot be empty after the push, and
             // egress is FIFO — the wakeup tracks the *head's* ready tick
             // (an out-of-order earlier `ready` must not wake the queue
-            // before the head can actually leave).
+            // before the head can actually leave). Hop sends go through
+            // the express lane: quiescent memory-hierarchy chains
+            // trampoline hop-to-hop without touching the event heap.
             const Tick head_ready = q_.front().ready;
             const Tick when = head_ready > now ? head_ready : now;
             if (!send_event_.scheduled()) {
-                sim_->queue().schedule(send_event_, when);
+                sim_->queue().schedule_express(send_event_, when);
             } else if (send_event_.when() > when) {
                 sim_->queue().reschedule(send_event_, when);
             }
@@ -308,7 +310,7 @@ class PacketQueue {
         }
         const Tick when = std::max(q_.front().ready, sim_->now());
         if (!send_event_.scheduled()) {
-            sim_->queue().schedule(send_event_, when);
+            sim_->queue().schedule_express(send_event_, when);
         } else if (send_event_.when() > when) {
             sim_->queue().reschedule(send_event_, when);
         }

@@ -138,6 +138,10 @@ RequestPort& Xbar::add_downstream(const std::string& label, AddrRange range)
     outs_.push_back(std::make_unique<OutSide>(
         *this, static_cast<std::uint16_t>(outs_.size()), label, range,
         false));
+    // A memoised route answer predates this port; drop it so the next
+    // lookup re-scans (guards against stale routing if ports are added
+    // after traffic has flowed — see test_xbar RouteMemo tests).
+    last_route_ = nullptr;
     return outs_.back()->qport;
 }
 
@@ -149,6 +153,7 @@ RequestPort& Xbar::add_default_downstream(const std::string& label)
         *this, static_cast<std::uint16_t>(outs_.size()), label, AddrRange{},
         true));
     default_out_ = outs_.back().get();
+    last_route_ = nullptr; // see add_downstream
     return default_out_->qport;
 }
 
@@ -156,7 +161,9 @@ void Xbar::register_snooper(Snooper& snooper, const ResponsePort& via)
 {
     for (const auto& in : ins_) {
         if (&in->rport == &via) {
-            snoopers_.push_back(SnoopEntry{&snooper, in->idx_});
+            const Snooper::Occupancy occ = snooper.snoop_occupancy();
+            snoopers_.push_back(
+                SnoopEntry{&snooper, in->idx_, occ.valid, occ.dirty});
             return;
         }
     }
@@ -199,10 +206,17 @@ void Xbar::distribute_snoops(std::uint16_t in_idx, const Packet& pkt)
             continue; // don't reflect snoops at the initiator
         }
         ++n_snoops_;
+        // Occupancy filter: when the snooper provably holds nothing the
+        // snoop could touch, the virtual call would be a stat-free no-op —
+        // skip it (n_snoops_ still counts the issued operation).
         if (pkt.is_write()) {
-            entry.snooper->snoop_invalidate(pkt.addr(), pkt.size());
+            if (entry.valid == nullptr || *entry.valid != 0) {
+                entry.snooper->snoop_invalidate(pkt.addr(), pkt.size());
+            }
         } else {
-            entry.snooper->snoop_clean(pkt.addr(), pkt.size());
+            if (entry.dirty == nullptr || *entry.dirty != 0) {
+                entry.snooper->snoop_clean(pkt.addr(), pkt.size());
+            }
         }
     }
 }

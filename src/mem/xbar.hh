@@ -30,6 +30,22 @@ class Snooper {
 
     /// Another agent reads [addr, addr+size): demote dirty lines to clean.
     virtual void snoop_clean(Addr addr, std::uint32_t size) = 0;
+
+    /// Optional occupancy counters (valid lines, dirty lines) the bus may
+    /// read to skip the virtual snoop call when this snooper provably
+    /// holds nothing a snoop could touch (an invalidate cannot find a
+    /// line when *valid == 0; a clean cannot demote when *dirty == 0).
+    /// The skipped call would have been a no-op — including on every
+    /// stat — so the filter is invisible to results. Return {nullptr,
+    /// nullptr} (the default) to always receive snoops.
+    struct Occupancy {
+        const std::uint64_t* valid = nullptr;
+        const std::uint64_t* dirty = nullptr;
+    };
+    [[nodiscard]] virtual Occupancy snoop_occupancy() const
+    {
+        return {};
+    }
 };
 
 struct XbarParams {
@@ -86,6 +102,10 @@ class Xbar final : public SimObject {
     struct SnoopEntry {
         Snooper* snooper;
         std::uint16_t in_idx;
+        /// Cached occupancy counters (see Snooper::snoop_occupancy);
+        /// nullptr means "always snoop".
+        const std::uint64_t* valid = nullptr;
+        const std::uint64_t* dirty = nullptr;
     };
     std::vector<SnoopEntry> snoopers_;
 

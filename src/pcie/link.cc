@@ -57,7 +57,12 @@ std::uint64_t PciePort::data_credits() const
 void PciePort::send(TlpPtr tlp)
 {
     ensure(link_ != nullptr, "PCIe port not part of a link");
-    ensure(can_send(*tlp), "PCIe send without credits");
+    // Senders probe can_send() immediately before sending (it harvests any
+    // matured lazy credit returns), so the guard here checks the already
+    // harvested balance instead of paying a second harvest walk per TLP.
+    ensure(tx_hdr_credits_ >= 1 &&
+               tx_data_credits_ >= tlp->payload_bytes(),
+           "PCIe send without credits");
     tx_hdr_credits_ -= 1;
     tx_data_credits_ -= tlp->payload_bytes();
     link_->transmit(side_, std::move(tlp));
@@ -124,7 +129,7 @@ void PcieLink::transmit(unsigned from_side, TlpPtr tlp)
 
     d.in_flight.push_back(InFlight{arrival, std::move(tlp)});
     if (!d.deliver_event.scheduled()) {
-        schedule(d.deliver_event, arrival);
+        sim().queue().schedule_express(d.deliver_event, arrival);
     }
 }
 
@@ -139,7 +144,8 @@ void PcieLink::deliver(unsigned dir)
         rx.node_->recv_tlp(rx.node_port_idx_, std::move(tlp));
     }
     if (!d.in_flight.empty()) {
-        schedule(d.deliver_event, d.in_flight.front().arrival);
+        sim().queue().schedule_express(d.deliver_event,
+                                       d.in_flight.front().arrival);
     }
 }
 
@@ -153,7 +159,7 @@ void PcieLink::queue_credit_return(unsigned to_side, unsigned hdr,
     // Lazy accounting: an unstarved transmitter harvests this return the
     // next time it probes can_send(); only a starved one needs the event.
     if ((eager_credits_ || d.tx_starved) && !d.credit_event.scheduled()) {
-        schedule(d.credit_event, arrival);
+        sim().queue().schedule_express(d.credit_event, arrival);
     }
 }
 
@@ -185,7 +191,8 @@ bool PcieLink::can_send_from(unsigned side, const Tlp& tlp)
         Direction& d = dirs_[side];
         d.tx_starved = true;
         if (!d.credit_returns.empty() && !d.credit_event.scheduled()) {
-            schedule(d.credit_event, d.credit_returns.front().arrival);
+            sim().queue().schedule_express(
+                d.credit_event, d.credit_returns.front().arrival);
         }
     }
     return false;
@@ -218,7 +225,8 @@ void PcieLink::credit(unsigned dir)
     }
     if (!d.credit_returns.empty() &&
         (eager_credits_ || d.tx_starved) && !d.credit_event.scheduled()) {
-        schedule(d.credit_event, d.credit_returns.front().arrival);
+        sim().queue().schedule_express(
+            d.credit_event, d.credit_returns.front().arrival);
     }
 }
 

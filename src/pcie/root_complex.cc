@@ -40,6 +40,8 @@ RootComplex::RootComplex(Simulator& sim, std::string name,
       requestor_id_(mem::alloc_requestor_id())
 {
     params_.validate();
+    pkt_pool_ = &mem::packet_pool();
+    tlp_pool_ = &tlp_pool();
     for (std::size_t s = 0; s < params_.max_inbound_reads; ++s) {
         slot_free_bits_[s / 64] |= std::uint64_t{1} << (s % 64);
     }
@@ -58,9 +60,9 @@ RootComplex::RootComplex(Simulator& sim, std::string name,
             auto* self = static_cast<RootComplex*>(s);
             if (!self->delay_q_.empty() &&
                 !self->process_event_.scheduled()) {
-                self->schedule(self->process_event_,
-                               std::max(self->now(),
-                                        self->delay_q_.front().ready));
+                self->sim().queue().schedule_express(
+                    self->process_event_,
+                    std::max(self->now(), self->delay_q_.front().ready));
             }
         },
         this);
@@ -89,7 +91,7 @@ void RootComplex::recv_tlp(unsigned /*port_idx*/, TlpPtr tlp)
     const Tick ready = now() + latency_ticks_;
     delay_q_.push_back(Delayed{ready, std::move(tlp)});
     if (!process_event_.scheduled()) {
-        schedule(process_event_, ready);
+        sim().queue().schedule_express(process_event_, ready);
     }
 }
 
@@ -135,7 +137,8 @@ void RootComplex::process_delayed()
         delay_q_.pop_front();
     }
     if (!delay_q_.empty() && !process_event_.scheduled()) {
-        schedule(process_event_, delay_q_.front().ready);
+        sim().queue().schedule_express(process_event_,
+                                       delay_q_.front().ready);
     }
 }
 
@@ -173,7 +176,7 @@ void RootComplex::service_read(Tlp& tlp)
 
     for (std::uint32_t off = 0, chunk = 0; off < tlp.length; ++chunk) {
         const std::uint32_t n = split_span(tlp.addr, tlp.length, off);
-        auto pkt = mem::packet_pool().make_read(tlp.addr + off, n);
+        auto pkt = pkt_pool_->make_read(tlp.addr + off, n);
         pkt->set_requestor(requestor_id_);
         pkt->set_tag((static_cast<std::uint64_t>(key) << 16) | chunk);
         pkt->set_stream(tlp.requester);
@@ -190,7 +193,7 @@ void RootComplex::service_write(Tlp& tlp)
     ++inbound_write_tlps_;
     for (std::uint32_t off = 0; off < tlp.length;) {
         const std::uint32_t n = split_span(tlp.addr, tlp.length, off);
-        auto pkt = mem::packet_pool().make_write(tlp.addr + off, n);
+        auto pkt = pkt_pool_->make_write(tlp.addr + off, n);
         pkt->set_requestor(requestor_id_);
         pkt->set_stream(tlp.requester);
         pkt->flags.from_device = true;
@@ -256,18 +259,16 @@ void RootComplex::advance_completions(std::size_t slot)
         }
         const std::uint32_t span =
             std::min(params_.max_payload_bytes, rd.size - rd.emitted);
-        const std::uint32_t first = chunk_index(rd.addr, rd.emitted);
         const std::uint32_t last =
             chunk_index(rd.addr, rd.emitted + span - 1);
-        bool all_done = true;
-        for (std::uint32_t c = first; c <= last; ++c) {
-            all_done &= rd.chunk_is_done(c);
-        }
-        if (!all_done) {
+        // Chunks below done_prefix are all complete and earlier spans have
+        // already been emitted, so the span is ready iff the prefix covers
+        // its last chunk — one compare instead of a bit rescan.
+        if (rd.done_prefix <= last) {
             return;
         }
         const bool is_last = rd.emitted + span >= rd.size;
-        egress_->push(tlp_pool().make_completion(span, rd.tag, rd.requester,
+        egress_->push(tlp_pool_->make_completion(span, rd.tag, rd.requester,
                                                  rd.emitted, is_last));
         ++completions_sent_;
         rd.emitted += span;
@@ -278,8 +279,9 @@ void RootComplex::advance_completions(std::size_t slot)
             --inbound_live_;
             // A service slot freed: head-of-line stall may clear.
             if (!delay_q_.empty() && !process_event_.scheduled()) {
-                schedule(process_event_,
-                         std::max(now(), delay_q_.front().ready));
+                sim().queue().schedule_express(
+                    process_event_,
+                    std::max(now(), delay_q_.front().ready));
             }
             return;
         }
@@ -290,7 +292,7 @@ bool RootComplex::recv_req(mem::PacketPtr& pkt)
 {
     if (pkt->is_write()) {
         ++mmio_writes_;
-        auto tlp = tlp_pool().make_mem_write(pkt->addr(), pkt->size(), 0);
+        auto tlp = tlp_pool_->make_mem_write(pkt->addr(), pkt->size(), 0);
         if (pkt->has_payload()) {
             tlp->set_data(pkt->payload_data(), pkt->payload_size());
         }
@@ -315,7 +317,7 @@ bool RootComplex::recv_req(mem::PacketPtr& pkt)
     *free_it = 0;
     ++mmio_reads_;
 
-    auto tlp = tlp_pool().make_mem_read(pkt->addr(), pkt->size(), tag, 0);
+    auto tlp = tlp_pool_->make_mem_read(pkt->addr(), pkt->size(), tag, 0);
     mmio_pending_[tag] = std::move(pkt);
     egress_->push(std::move(tlp));
     return true;

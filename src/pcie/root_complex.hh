@@ -93,6 +93,11 @@ class RootComplex final : public SimObject,
         std::uint32_t chunks = 0;
         std::array<std::uint64_t, kMaxReadChunks / 64> chunk_done{};
         std::uint32_t emitted = 0; ///< bytes already completed, in order
+        /// Chunks [0, done_prefix) are all done. Completion emission is
+        /// strictly in order, so span completeness is one compare against
+        /// the prefix instead of a per-arrival rescan of the span's bits;
+        /// out-of-order arrivals park in the bitmap until the hole fills.
+        std::uint32_t done_prefix = 0;
 
         [[nodiscard]] bool chunk_is_done(std::uint32_t i) const noexcept
         {
@@ -101,6 +106,9 @@ class RootComplex final : public SimObject,
         void mark_chunk_done(std::uint32_t i) noexcept
         {
             chunk_done[i / 64] |= std::uint64_t{1} << (i % 64);
+            while (done_prefix < chunks && chunk_is_done(done_prefix)) {
+                ++done_prefix;
+            }
         }
     };
 
@@ -204,6 +212,8 @@ class RootComplex final : public SimObject,
     std::vector<mem::PacketPtr> mmio_pending_; ///< indexed by MMIO tag
     std::vector<std::uint8_t> mmio_tag_free_;
     std::uint32_t requestor_id_;
+    mem::PacketPool* pkt_pool_ = nullptr; ///< resolved once (chunk loops)
+    TlpPool* tlp_pool_ = nullptr;
     bool mmio_blocked_upstream_ = false;
 
     stats::Scalar inbound_read_tlps_{stat_group(), "inbound_read_tlps",

@@ -42,7 +42,8 @@ void PcieSwitch::forward_delayed()
         }
     }
     if (!delay_q_.empty()) {
-        schedule(forward_event_, delay_q_.front().ready);
+        sim().queue().schedule_express(forward_event_,
+                                       delay_q_.front().ready);
     }
 }
 
@@ -99,6 +100,10 @@ void PcieSwitch::add_downstream(PciePort& port,
     egress_.emplace_back();
     egress_.back().port = &port;
     downstream_.push_back(Downstream{std::move(bars), device_ids});
+    // Drop any memoised BAR answer taken before this port existed (ranges
+    // are checked disjoint above, but the memo must not outlive a
+    // topology change — see test_pcie_fabric BarMemo tests).
+    last_bar_out_ = 0;
     port.attach(*this, idx);
 }
 
@@ -135,7 +140,7 @@ void PcieSwitch::recv_tlp(unsigned port_idx, TlpPtr tlp)
     const Tick ready = now() + latency_ticks_;
     delay_q_.push_back(Delayed{ready, std::move(tlp), port_idx});
     if (!forward_event_.scheduled()) {
-        schedule(forward_event_, ready);
+        sim().queue().schedule_express(forward_event_, ready);
     }
 }
 

@@ -57,10 +57,57 @@ std::uint64_t EventQueue::dispatch_tick(const bool* stop)
     return n;
 }
 
+// Express slot handling shared by run() and drain(): decide what to do
+// with a staged hop entry before looking at the ring/heap.
+//   * dead (descheduled/rescheduled): drop it;
+//   * earliest pending work and within the horizon: dispatch it straight
+//     from the slot — the hop-fusion fast path (zero heap traffic);
+//   * later than the head: fold it into the ring/heap and proceed — the
+//     fast path only pays off when the hop is next, so the slot never
+//     stays parked (a parked slot would re-arbitrate on every dispatch).
+// `dispatched` reports an actual execution; `horizon` that the staged hop
+// (the earliest pending work) lies beyond the caller's window.
+void EventQueue::express_step(Tick max_tick, bool& dispatched, bool& horizon)
+{
+    const Entry e = express_;
+    express_pending_ = false;
+    if (!entry_live(e)) {
+        return;
+    }
+    if (!refresh_top() || later(near_at(0), e)) {
+        // Per-object quiescence: nothing anywhere is due before this hop.
+        if (e.when() > max_tick) {
+            horizon = true;
+            express_pending_ = true; // leave staged for the next window
+            return;
+        }
+        ++stat_express_hits_;
+        exec_entry(e);
+        dispatched = true;
+        return;
+    }
+    ++stat_express_spills_;
+    schedule_entry(e);
+}
+
 std::uint64_t EventQueue::run(Tick max_tick)
 {
     std::uint64_t n = 0;
-    while (refresh_top() && near_at(0).when() <= max_tick) {
+    for (;;) {
+        if (express_pending_) {
+            bool dispatched = false;
+            bool horizon = false;
+            express_step(max_tick, dispatched, horizon);
+            if (horizon) {
+                break; // staged hop past the window (and it is the
+                       // earliest work, so nothing else fits either)
+            }
+            n += dispatched ? 1 : 0;
+            continue;
+        }
+        if (!refresh_top() || near_at(0).when() > max_tick) {
+            break;
+        }
         if (batch_enabled_ && tick_has_run()) {
             n += dispatch_tick(nullptr);
         } else {
@@ -82,6 +129,16 @@ EventQueue::DrainOutcome EventQueue::drain(Tick max_tick, const bool& stop,
     for (;;) {
         if (stop) {
             return DrainOutcome::stopped;
+        }
+        if (express_pending_) {
+            bool dispatched = false;
+            bool horizon = false;
+            express_step(max_tick, dispatched, horizon);
+            if (horizon) {
+                return DrainOutcome::horizon;
+            }
+            executed += dispatched ? 1 : 0;
+            continue;
         }
         if (!refresh_top()) {
             return DrainOutcome::drained;

@@ -27,7 +27,22 @@
 //     earlier-priority insert spills the remainder back to the heap and
 //     re-sorts. Set ACCESYS_NO_BATCH=1 to force the one-event-at-a-time
 //     path (escape hatch; results are identical by contract, see
-//     tests/test_pool_determinism.cpp).
+//     tests/test_pool_determinism.cpp);
+//   * memory-hierarchy hop events (PacketQueue sends, link delivery,
+//     RC/switch process, controller issue) go through a one-slot *express
+//     lane* (`schedule_express`): when nothing earlier is pending the
+//     entry never touches the ring or heap — the run loop's per-object
+//     quiescence check dispatches it straight from the slot, so a
+//     quiescent RC -> membus -> iocache -> LLC -> MemCtrl chain
+//     trampolines hop-to-hop with zero heap traffic. Entries keep the
+//     exact (tick, priority, sequence) key schedule() would assign, so
+//     order (and every stat) is identical by construction; the lane
+//     elides nothing, it only cheapens the bookkeeping.
+//     ACCESYS_NO_HOP_FUSION=1 is the escape hatch (also locked by
+//     tests/test_pool_determinism.cpp). tick_quiescent() — the legality
+//     probe for the synchronous same-tick hand-off in PacketQueue::push —
+//     memoizes a proven-quiescent tick so a fused streaming train pays
+//     the full probe once per tick instead of once per push.
 #pragma once
 
 #include <cstdint>
@@ -139,6 +154,7 @@ class EventQueue {
     {
         heap_.reserve(64);
         batch_enabled_ = std::getenv("ACCESYS_NO_BATCH") == nullptr;
+        fusion_enabled_ = std::getenv("ACCESYS_NO_HOP_FUSION") == nullptr;
     }
     EventQueue(const EventQueue&) = delete;
     EventQueue& operator=(const EventQueue&) = delete;
@@ -166,6 +182,44 @@ class EventQueue {
     /// chains fuse into the running batch instead of heap round-trips).
     void schedule_at_current_tick(Event& ev) { schedule_now(ev); }
 
+    /// Express-lane schedule for memory-hierarchy hop events (PacketQueue
+    /// sends, link delivery, controller issue): semantically identical to
+    /// schedule(), but the entry is staged in a one-slot lane instead of
+    /// the near-ring/heap. The run loop performs a per-object quiescence
+    /// check at its top — is anything due before *this* event? — and when
+    /// the staged hop is the earliest pending work it dispatches straight
+    /// from the slot, so a quiescent RC → membus → iocache → LLC → MemCtrl
+    /// chain trampolines hop-to-hop with zero heap traffic. The entry
+    /// carries the same (tick, priority, sequence) key a schedule() call
+    /// would have produced, so dispatch order — and therefore every stat —
+    /// is identical by construction. ACCESYS_NO_HOP_FUSION=1 disables the
+    /// lane (every call degrades to schedule(); see
+    /// tests/test_pool_determinism.cpp for the bit-identity lock).
+    void schedule_express(Event& ev, Tick when)
+    {
+        if (!fusion_enabled_ || express_pending_ || when <= now_) {
+            schedule(ev, when);
+            return;
+        }
+        const Entry e = stamp_entry(ev, when);
+        // Stage only when the hop can actually be the next dispatch: if an
+        // earlier entry is already waiting (stale keys still order
+        // correctly, so a dead head just spills conservatively), the slot
+        // round-trip is wasted work — place the entry normally instead.
+        if ((near_n_ > 0 && later(e, near_[near_head_])) ||
+            (near_n_ == 0 && !heap_.empty() && later(e, heap_[0]))) {
+            ++stat_express_spills_;
+            if (batch_active()) {
+                schedule_during_batch(e);
+            } else {
+                schedule_entry(e);
+            }
+            return;
+        }
+        express_ = e;
+        express_pending_ = true;
+    }
+
     /// Remove `ev` from the schedule (no-op entry left in heap).
     void deschedule(Event& ev)
     {
@@ -183,23 +237,30 @@ class EventQueue {
     }
 
     /// True when no live (non-squashed) events remain.
-    [[nodiscard]] bool empty() { return !refresh_top(); }
+    [[nodiscard]] bool empty()
+    {
+        flush_express();
+        return !refresh_top();
+    }
 
     /// Tick of the next live event, or kMaxTick when empty.
     [[nodiscard]] Tick next_event_tick()
     {
+        flush_express();
         return refresh_top() ? near_[near_head_].when() : kMaxTick;
     }
 
     /// Name of the next live event (debugging aid); empty when drained.
     [[nodiscard]] std::string next_event_name()
     {
+        flush_express();
         return refresh_top() ? near_[near_head_].ev->name() : std::string{};
     }
 
     /// Execute the single next event; returns false when none remain.
     bool step()
     {
+        flush_express();
         if (!refresh_top()) {
             return false;
         }
@@ -212,6 +273,7 @@ class EventQueue {
     enum class StepOutcome { executed, horizon, drained };
     StepOutcome step_bounded(Tick max_tick)
     {
+        flush_express();
         if (!refresh_top()) {
             return StepOutcome::drained;
         }
@@ -244,6 +306,18 @@ class EventQueue {
         return stat_scheduled_;
     }
 
+    /// Hop events dispatched straight from the express slot (heap-free).
+    [[nodiscard]] std::uint64_t express_hits() const noexcept
+    {
+        return stat_express_hits_;
+    }
+
+    /// Express requests folded back into the ring/heap (not the minimum).
+    [[nodiscard]] std::uint64_t express_spills() const noexcept
+    {
+        return stat_express_spills_;
+    }
+
     /// Advance time with no event execution (used by drained fast-forward).
     void warp_to(Tick when)
     {
@@ -264,6 +338,12 @@ class EventQueue {
         return batch_enabled_;
     }
 
+    /// Whether the express lane is active (ACCESYS_NO_HOP_FUSION unset).
+    [[nodiscard]] bool hop_fusion_enabled() const noexcept
+    {
+        return fusion_enabled_;
+    }
+
     /// True when no live event remains scheduled at the current tick, i.e.
     /// an event the caller (running inside a callback) would schedule "now"
     /// is guaranteed to be the very next dispatch. This is the legality
@@ -273,10 +353,29 @@ class EventQueue {
     /// order-identical to scheduling it.
     [[nodiscard]] bool tick_quiescent()
     {
+        // Memoized positive answer: once the current tick is proven
+        // quiescent, it stays quiescent until something lands *at* this
+        // tick (schedule_impl bumps the epoch; future-tick schedules
+        // cannot end quiescence, and time moving invalidates via the tick
+        // compare). A streaming chain of fused hand-offs pays the full
+        // probe once per tick instead of once per push.
+        if (q_memo_tick_ == now_ && q_memo_epoch_ == at_now_epoch_) {
+            return true;
+        }
         if (batch_pos_ + 1 < batch_len_) {
             return false; // same-tick batch entries still pending
         }
-        return !refresh_top() || near_[near_head_].when() > now_;
+        if (express_pending_ && express_.when() <= now_) {
+            return false; // a staged hop is due (defensive: the run loop
+                          // folds same-tick express entries back before
+                          // dispatching, so this should not trigger)
+        }
+        if (refresh_top() && near_[near_head_].when() <= now_) {
+            return false;
+        }
+        q_memo_tick_ = now_;
+        q_memo_epoch_ = at_now_epoch_;
+        return true;
     }
 
   private:
@@ -362,7 +461,11 @@ class EventQueue {
         return batch_pos_ < batch_len_;
     }
 
-    void schedule_impl(Event& ev, Tick when)
+    /// Shared scheduling bookkeeping: validate, stamp the event with the
+    /// next (sequence, generation) value, and build its heap entry. Both
+    /// the normal path and the express lane stamp through here, so their
+    /// entries are indistinguishable by construction.
+    [[nodiscard]] Entry stamp_entry(Event& ev, Tick when)
     {
         ensure(!ev.scheduled_, "double schedule of event ", ev.name_);
         if (ev.priority_ != kPrioDefault) [[unlikely]] {
@@ -375,8 +478,16 @@ class EventQueue {
         ev.generation_ = seq;
         ev.scheduled_ = true;
         ++stat_scheduled_;
-        const Entry e{make_key(when, pack_prio_seq(ev.priority_, seq)), seq,
-                      &ev};
+        if (when == now_) {
+            ++at_now_epoch_; // ends any memoized quiescence for this tick
+        }
+        return Entry{make_key(when, pack_prio_seq(ev.priority_, seq)), seq,
+                     &ev};
+    }
+
+    void schedule_impl(Event& ev, Tick when)
+    {
+        const Entry e = stamp_entry(ev, when);
         if (batch_active()) {
             schedule_during_batch(e);
             return;
@@ -597,11 +708,9 @@ class EventQueue {
         --near_n_;
     }
 
-    /// Consume the ring head (precondition: refresh_top() returned true).
-    void exec_top()
+    /// Dispatch a live entry pulled from the ring or the express slot.
+    void exec_entry(const Entry& e)
     {
-        const Entry e = near_at(0);
-        near_pop_front();
         ensure(e.when() >= now_, "event heap corrupted");
         now_ = e.when();
         Event& ev = *e.ev;
@@ -614,12 +723,37 @@ class EventQueue {
         ev.invoke_(ev.ctx_);
     }
 
+    /// Consume the ring head (precondition: refresh_top() returned true).
+    void exec_top()
+    {
+        const Entry e = near_at(0);
+        near_pop_front();
+        exec_entry(e);
+    }
+
+    /// Return a staged express entry to the ring/heap (query and step paths
+    /// that need the full ordered view; the run loops handle the slot
+    /// inline instead).
+    void flush_express()
+    {
+        if (express_pending_) [[unlikely]] {
+            express_pending_ = false;
+            if (entry_live(express_)) {
+                ++stat_express_spills_;
+                schedule_entry(express_);
+            }
+        }
+    }
+
     /// Dispatch every event at the cached top's tick (and any same-tick
     /// events scheduled while doing so) back-to-back. Precondition:
     /// refresh_top() returned true. When `stop` is non-null, dispatching
     /// pauses after the event that sets it (the remainder is spilled back
     /// to the heap, preserving order). Returns events executed.
     std::uint64_t dispatch_tick(const bool* stop);
+
+    /// Loop-top express slot arbitration for run()/drain(); see event.cc.
+    void express_step(Tick max_tick, bool& dispatched, bool& horizon);
 
     std::vector<Entry> heap_; ///< 4-ary min-heap (see heap_push/heap_pop)
     /// Sorted ring of the earliest entries (see schedule_entry invariant).
@@ -628,10 +762,23 @@ class EventQueue {
     std::size_t near_head_ = 0;
     std::size_t near_n_ = 0;
     bool batch_enabled_ = true;
+    bool fusion_enabled_ = true; ///< express lane on (ACCESYS_NO_HOP_FUSION)
+    /// One-slot express lane (see schedule_express): a staged hop event the
+    /// run loop dispatches directly when it is the earliest pending work.
+    bool express_pending_ = false;
+    Entry express_{};
     Tick now_ = 0;
+    /// tick_quiescent() memo: the tick proven quiescent and the value of
+    /// `at_now_epoch_` when it was proven (schedules at the current tick
+    /// bump the epoch, ending the memo's validity).
+    Tick q_memo_tick_ = kMaxTick;
+    std::uint64_t q_memo_epoch_ = 0;
+    std::uint64_t at_now_epoch_ = 1;
     std::uint64_t next_seq_ = 0; ///< schedule counter: sort tie-break + generation stamp
     std::uint64_t stat_processed_ = 0;
     std::uint64_t stat_scheduled_ = 0;
+    std::uint64_t stat_express_hits_ = 0;
+    std::uint64_t stat_express_spills_ = 0;
     DispatchObserver* observer_ = nullptr;
     /// Same-tick dispatch batch (active only inside dispatch_tick).
     Entry batch_[kBatchMax];

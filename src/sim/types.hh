@@ -39,7 +39,13 @@ constexpr Tick ticks_from_us(double us)
 
 constexpr double ticks_to_ns(Tick t)
 {
-    return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+    // Multiply by the reciprocal: this runs per translation / per read on
+    // stat-sampling paths, and a divsd is ~3x the latency of a mulsd.
+    // (1/1000 is not exactly representable, so ns-derived stat values can
+    // differ from the divide form in the last ULP — acceptable: every
+    // run of this build agrees with itself, which is what the
+    // fusion-on/off and pool-determinism bit-identity contracts compare.)
+    return static_cast<double>(t) * (1.0 / static_cast<double>(kTicksPerNs));
 }
 
 constexpr double ticks_to_us(Tick t)

@@ -35,6 +35,7 @@ Smmu::Smmu(Simulator& sim, std::string name, const SmmuParams& params,
       walker_requestor_(mem::alloc_requestor_id())
 {
     params_.validate();
+    pkt_pool_ = &mem::packet_pool();
     // Walk-pending pool: max_pending bounds the waiters that can exist at
     // once, so the node pool and record array never grow after this.
     pending_pool_.resize(params_.max_pending);
@@ -233,7 +234,7 @@ void Smmu::issue_pte_read(unsigned slot)
     const Addr va = w.vpn << kPageShift;
     const Addr pte_addr =
         w.table + static_cast<Addr>(level_index(va, w.level)) * 8;
-    auto pkt = mem::packet_pool().make_read(pte_addr, 8);
+    auto pkt = pkt_pool_->make_read(pte_addr, 8);
     pkt->set_requestor(walker_requestor_);
     pkt->set_tag(slot);
     pkt->flags.uncacheable = params_.walker_uncacheable;

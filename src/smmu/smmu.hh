@@ -246,6 +246,7 @@ class Smmu final : public SimObject,
     RingBuffer<std::uint64_t> walk_queue_; ///< VPNs awaiting a walk slot
     std::vector<Walk> walks_;              ///< indexed by slot (== pkt tag)
     std::uint32_t walker_requestor_;
+    mem::PacketPool* pkt_pool_ = nullptr; ///< resolved once (walker reads)
     std::size_t pending_count_ = 0;
     bool blocked_upstream_ = false;
 

@@ -1,7 +1,13 @@
 // Tests for the set-associative write-back cache.
 #include "test_util.hh"
 
+#include <cstdlib>
+#include <sstream>
+#include <tuple>
+
 #include "cache/cache.hh"
+#include "mem/mem_ctrl.hh"
+#include "mem/traffic_gen.hh"
 
 namespace accesys::cache {
 namespace {
@@ -279,6 +285,13 @@ TEST(CacheParams, Validation)
     p = {};
     p.mshrs = 0;
     EXPECT_THROW(p.validate(), ConfigError);
+    p = {};
+    p.mshrs = 128; // > 64: exceeds the free-slot bitmap
+    EXPECT_THROW(p.validate(), ConfigError);
+    p = {};
+    p.line_bytes = 16;
+    p.mshrs = 32; // > line_bytes: slot index no longer fits the fill tag
+    EXPECT_THROW(p.validate(), ConfigError);
 }
 
 // Property sweep: for several geometries, a working set exactly matching
@@ -333,6 +346,168 @@ INSTANTIATE_TEST_SUITE_P(Geometries, CacheGeometry,
                                            Geometry{32 * kKiB, 4},
                                            Geometry{32 * kKiB, 8},
                                            Geometry{64 * kKiB, 16}));
+
+// --- whole-line write run form ----------------------------------------------
+// A write spanning several aligned whole lines is accepted as a run: one
+// tag-array walk, per-line hit/miss accounting identical to the 64 B split
+// train a bridge would otherwise send, and dirty victims flushed as one
+// writeback batch.
+
+TEST_F(CacheFixture, MultiLineWholeLineWriteRunMatchesSplitTrain)
+{
+    // Twin caches: one receives a single 4-line write run, the other the
+    // equivalent four line-sized writes. Same installs, same dirt, same
+    // writebacks (after forcing evictions with a conflicting run).
+    auto run_one = [&](bool as_run) {
+        Simulator s;
+        CacheParams p = params;
+        Cache cache(s, "c", p);
+        MockRequestor drv("drv");
+        MockResponder mem("mem");
+        drv.port().bind(cache.cpu_side());
+        cache.mem_side().bind(mem.port());
+
+        auto write_span = [&](Addr base) {
+            if (as_run) {
+                auto w = Packet::make_write(base, 4 * 64);
+                w->flags.posted = true;
+                ASSERT_TRUE(drv.port().send_req(w));
+            } else {
+                for (int i = 0; i < 4; ++i) {
+                    auto w = Packet::make_write(base + 64ull * i, 64);
+                    w->flags.posted = true;
+                    ASSERT_TRUE(drv.port().send_req(w));
+                }
+            }
+            s.run(s.now() + kTicksPerMs);
+        };
+        write_span(0x0000);
+        write_span(0x0000);  // second pass: pure hits
+        // Conflicting span (same sets, 2-way cache, third distinct tag
+        // after the fill reads' interference-free installs): evicts the
+        // dirty lines -> posted writebacks downstream.
+        write_span(0x10000);
+        write_span(0x20000);
+        s.run(s.now() + kTicksPerMs);
+
+        std::size_t wbs = 0;
+        for (const auto& req : mem.requests) {
+            wbs += req->is_write() ? 1 : 0;
+        }
+        return std::tuple{cache.hits(), cache.misses(), wbs};
+    };
+
+    const auto run = run_one(true);
+    const auto split = run_one(false);
+    EXPECT_EQ(std::get<0>(run), std::get<0>(split));
+    EXPECT_EQ(std::get<1>(run), std::get<1>(split));
+    EXPECT_EQ(std::get<2>(run), std::get<2>(split));
+    EXPECT_GT(std::get<2>(run), 0u); // the scenario really evicted dirt
+}
+
+TEST_F(CacheFixture, WholeLineWriteUnderPendingFillJoinsTheMiss)
+{
+    // A whole-line write arriving while a fill for the same line is in
+    // flight must not install immediately — the landing fill would
+    // re-install the line as a duplicate tag. It joins the miss instead;
+    // the fill lands dirty, and exactly one copy of the line exists
+    // (a snoop invalidate leaves nothing behind).
+    auto cache = make();
+    auto rd = Packet::make_read(0x100, 8);
+    ASSERT_TRUE(cpu.port().send_req(rd));
+    test::drain(sim);
+    ASSERT_EQ(memory.requests.size(), 1u); // fill outstanding, unserved
+
+    auto wr = Packet::make_write(0x100, 64);
+    wr->flags.posted = true;
+    ASSERT_TRUE(cpu.port().send_req(wr));
+    test::drain(sim);
+    EXPECT_FALSE(cache->contains_line(0x100)); // not installed early
+
+    serve_memory();
+    EXPECT_EQ(cpu.responses.size(), 1u); // the read's response
+    ASSERT_TRUE(cache->contains_line(0x100));
+    EXPECT_TRUE(cache->line_dirty(0x100));
+    cache->snoop_invalidate(0x100, 64);
+    EXPECT_FALSE(cache->contains_line(0x100)) << "duplicate tag installed";
+}
+
+TEST_F(CacheFixture, MultiLineRejectsNonRunShapes)
+{
+    auto cache = make();
+    auto unaligned = Packet::make_write(0x20, 128); // straddles, not a run
+    unaligned->flags.posted = true;
+    EXPECT_THROW((void)cpu.port().send_req(unaligned), SimError);
+    auto read = Packet::make_read(0x0, 128); // reads have no run form
+    EXPECT_THROW((void)cpu.port().send_req(read), SimError);
+    // Non-posted runs are rejected too: their completion would have to
+    // wait on in-flight fills (split-train semantics) and no bridge
+    // emits them.
+    auto nonposted = Packet::make_write(0x0, 128);
+    EXPECT_THROW((void)cpu.port().send_req(nonposted), SimError);
+}
+
+// --- hop-fusion determinism -------------------------------------------------
+// A dirty-victim miss train (streaming whole-line writes over a footprint
+// larger than the cache, then a conflicting read pass that forces dirty
+// evictions and fills) must produce bit-identical stats dumps and end
+// ticks with the memory-hierarchy express lane on and off
+// (ACCESYS_NO_HOP_FUSION=1 — read at EventQueue construction, so toggling
+// between Simulator lifetimes switches modes in-process).
+
+struct TrainSnapshot {
+    std::string stats;
+    Tick end_tick = 0;
+};
+
+TrainSnapshot run_dirty_victim_train()
+{
+    Simulator sim;
+    CacheParams cp;
+    cp.size_bytes = 8 * kKiB;
+    cp.assoc = 2;
+    cp.line_bytes = 64;
+    cp.mshrs = 8;
+    Cache cache(sim, "c", cp);
+    mem::SimpleMemParams smp;
+    const mem::AddrRange range(0, 4 * kMiB);
+    mem::SimpleMem memory(sim, "mem", smp, range);
+
+    mem::TrafficGenParams tp;
+    tp.total_bytes = 256 * kKiB;
+    tp.working_set = 64 * kKiB; // 8x the cache: every wrap evicts
+    tp.req_bytes = 64;
+    tp.window = 8;
+    tp.write_fraction = 0.7; // writes install dirt; reads fill over it
+    mem::TrafficGen gen(sim, "gen", tp);
+
+    gen.port().bind(cache.cpu_side());
+    cache.mem_side().bind(memory.port());
+    sim.startup();
+    gen.start([&sim] { sim.request_exit("done"); });
+    (void)sim.run();
+
+    TrainSnapshot snap;
+    snap.end_tick = sim.now();
+    std::ostringstream os;
+    sim.stats().write_text(os);
+    snap.stats = os.str();
+    return snap;
+}
+
+TEST(CacheHopFusion, DirtyVictimMissTrainBitIdenticalFusionOnOff)
+{
+    const TrainSnapshot fused = run_dirty_victim_train();
+    ::setenv("ACCESYS_NO_HOP_FUSION", "1", 1);
+    const TrainSnapshot plain = run_dirty_victim_train();
+    ::unsetenv("ACCESYS_NO_HOP_FUSION");
+
+    EXPECT_EQ(fused.end_tick, plain.end_tick);
+    EXPECT_EQ(fused.stats, plain.stats);
+    const std::string wb_line = "c.writebacks";
+    EXPECT_NE(fused.stats.find(wb_line), std::string::npos)
+        << "scenario must actually exercise the writeback path";
+}
 
 } // namespace
 } // namespace accesys::cache

@@ -469,5 +469,77 @@ TEST(SwitchRules, DeviceIdZeroReserved)
     EXPECT_THROW(sw.add_downstream(link.end_a(), {}, 0), ConfigError);
 }
 
+// --- BAR-route memo audit ---------------------------------------------------
+// The switch memoises the last (BAR range, egress) answer. Pin the stale
+// hazards: alternating BAR targets must re-route every flip, and a
+// downstream added after routing has occurred must be reachable (the memo
+// is dropped on topology growth).
+
+TEST_F(MultiDeviceFixture, BarMemoAlternatingTargetsStaysExact)
+{
+    build();
+    for (int i = 0; i < 3; ++i) {
+        auto wr_a = Packet::make_write(kBarA + 0x8, 8);
+        wr_a->set_payload_value<std::uint64_t>(0xA0 + i);
+        auto wr_b = Packet::make_write(kBarB + 0x8, 8);
+        wr_b->set_payload_value<std::uint64_t>(0xB0 + i);
+        ASSERT_TRUE(cpu.port().send_req(wr_a));
+        test::drain(sim);
+        ASSERT_TRUE(cpu.port().send_req(wr_b));
+        test::drain(sim);
+    }
+    EXPECT_EQ(dev_a->writes.size(), 3u);
+    EXPECT_EQ(dev_b->writes.size(), 3u);
+}
+
+TEST_F(FabricFixture, BarMemoDroppedWhenDownstreamAddedAfterTraffic)
+{
+    build();
+    // Populate the memo with dev's BAR.
+    auto wr = Packet::make_write(kBar0 + 0x8, 8);
+    wr->set_payload_value<std::uint64_t>(0x11);
+    ASSERT_TRUE(cpu.port().send_req(wr));
+    test::drain(sim);
+    ASSERT_EQ(dev->writes.size(), 1u);
+
+    // Grow the topology: a second endpoint behind the same switch, then
+    // address both BARs. The memoised answer predates the new port and
+    // must not survive the add.
+    constexpr Addr kBar1 = 0x100000100000ULL;
+    PcieLink dn2(sim, "dn2", link_params);
+    ProbeDevice dev2(sim, "dev2", 2,
+                     {AddrRange::with_size(kBar1, 64 * kKiB)});
+    sw->add_downstream(dn2.end_a(),
+                       {AddrRange::with_size(kBar1, 64 * kKiB)}, 2);
+    dev2.connect_pcie(dn2.end_b());
+
+    auto wr2 = Packet::make_write(kBar1 + 0x10, 8);
+    wr2->set_payload_value<std::uint64_t>(0x22);
+    auto wr3 = Packet::make_write(kBar0 + 0x18, 8);
+    wr3->set_payload_value<std::uint64_t>(0x33);
+    ASSERT_TRUE(cpu.port().send_req(wr2));
+    test::drain(sim);
+    ASSERT_TRUE(cpu.port().send_req(wr3));
+    test::drain(sim);
+    EXPECT_EQ(dev2.writes.size(), 1u);
+    EXPECT_EQ(dev->writes.size(), 2u);
+}
+
+TEST(SwitchRules, OverlappingBarRejectedAtAdd)
+{
+    // The memo's exactness argument requires disjoint BARs; overlap must
+    // keep failing at add_downstream time.
+    Simulator sim;
+    PcieSwitch sw(sim, "sw", SwitchParams{});
+    PcieLink l1(sim, "l1", LinkParams{});
+    PcieLink l2(sim, "l2", LinkParams{});
+    sw.add_downstream(l1.end_a(),
+                      {AddrRange::with_size(0x1000, 0x1000)}, 1);
+    EXPECT_THROW(sw.add_downstream(
+                     l2.end_a(),
+                     {AddrRange::with_size(0x1800, 0x1000)}, 2),
+                 ConfigError);
+}
+
 } // namespace
 } // namespace accesys::pcie

@@ -104,6 +104,33 @@ TEST(PoolDeterminism, BatchedDispatchMatchesUnbatchedBitExactly)
         << "fusion may only remove self-events, never add them";
 }
 
+TEST(PoolDeterminism, HopFusionExpressLaneMatchesDisabledBitExactly)
+{
+    // The memory-hierarchy express lane (sim/event.hh schedule_express)
+    // stages hop events in a one-slot lane and dispatches them straight
+    // from it when they are the earliest pending work. The staged entry
+    // carries the same (tick, priority, sequence) key a plain schedule()
+    // would have produced, so dispatch order — and with it every stat and
+    // the end tick — must be identical with ACCESYS_NO_HOP_FUSION=1
+    // (which degrades every schedule_express to schedule()). Unlike batch
+    // fusion and lazy credits, the lane elides no events, so the counts
+    // must match exactly as well. The flag is read at EventQueue
+    // construction; toggling between Simulator lifetimes switches modes.
+    const SimSnapshot fused = run_gemm_sim(2, 48);
+    EXPECT_TRUE(fused.verified);
+
+    ::setenv("ACCESYS_NO_HOP_FUSION", "1", 1);
+    const SimSnapshot plain = run_gemm_sim(2, 48);
+    ::unsetenv("ACCESYS_NO_HOP_FUSION");
+    EXPECT_TRUE(plain.verified);
+
+    EXPECT_EQ(fused.end_tick, plain.end_tick);
+    EXPECT_EQ(fused.events, plain.events)
+        << "the express lane must dispatch, not elide";
+    EXPECT_EQ(fused.stats_text, plain.stats_text);
+    EXPECT_EQ(fused.stats_json, plain.stats_json);
+}
+
 TEST(PoolDeterminism, LazyCreditsMatchEagerBitExactly)
 {
     // Lazy link-credit accounting (pcie/link.cc) elides the per-TLP

@@ -237,5 +237,83 @@ TEST_F(XbarFixture, SnooperMustBeRegisteredOnOwnPort)
     EXPECT_THROW(xbar.register_snooper(snoop, foreign_up), ConfigError);
 }
 
+// --- one-entry route memo audit ---------------------------------------------
+// The xbar memoises the last (range, port) routing answer. These tests pin
+// the hazards that could make a memo stale: alternating targets, ports
+// added after traffic has already populated the memo, and default-routed
+// addresses (which must never be memoised as a range answer).
+
+TEST_F(XbarFixture, RouteMemoAlternatingTargetsStaysExact)
+{
+    Xbar xbar(sim, "xbar", params);
+    MockRequestor cpu("cpu");
+    MockResponder memA("memA");
+    MockResponder memB("memB");
+    cpu.port().bind(xbar.add_upstream("cpu"));
+    xbar.add_downstream("a", AddrRange(0, 0x1000)).bind(memA.port());
+    xbar.add_downstream("b", AddrRange(0x1000, 0x2000)).bind(memB.port());
+    sim.startup();
+
+    // A, B, A, B, A: every flip must re-route; a sticky memo would
+    // misdeliver the alternation.
+    for (int i = 0; i < 5; ++i) {
+        auto p = Packet::make_read(i % 2 == 0 ? 0x10 : 0x1800, 4);
+        ASSERT_TRUE(cpu.port().send_req(p));
+        test::drain(sim);
+    }
+    EXPECT_EQ(memA.requests.size(), 3u);
+    EXPECT_EQ(memB.requests.size(), 2u);
+}
+
+TEST_F(XbarFixture, RouteMemoInvalidatedByLatePortAddition)
+{
+    Xbar xbar(sim, "xbar", params);
+    MockRequestor cpu("cpu");
+    MockResponder memA("memA");
+    MockResponder late("late");
+    MockResponder fallback("fallback");
+    cpu.port().bind(xbar.add_upstream("cpu"));
+    xbar.add_downstream("a", AddrRange(0, 0x1000)).bind(memA.port());
+    xbar.add_default_downstream("dflt").bind(fallback.port());
+    sim.startup();
+
+    // Populate the memo with range A, and send an unclaimed address (must
+    // reach the default port and must NOT be memoised as a range answer).
+    auto p1 = Packet::make_read(0x20, 4);
+    auto p2 = Packet::make_read(0x5000, 4);
+    ASSERT_TRUE(cpu.port().send_req(p1));
+    ASSERT_TRUE(cpu.port().send_req(p2));
+    test::drain(sim);
+    EXPECT_EQ(memA.requests.size(), 1u);
+    EXPECT_EQ(fallback.requests.size(), 1u);
+
+    // Add a port claiming the formerly-default address: the memo is
+    // dropped, so the same address now routes to the new port.
+    xbar.add_downstream("late", AddrRange(0x5000, 0x6000)).bind(late.port());
+    auto p3 = Packet::make_read(0x5000, 4);
+    auto p4 = Packet::make_read(0x20, 4); // the old memoised range as well
+    ASSERT_TRUE(cpu.port().send_req(p3));
+    ASSERT_TRUE(cpu.port().send_req(p4));
+    test::drain(sim);
+    EXPECT_EQ(late.requests.size(), 1u);
+    EXPECT_EQ(fallback.requests.size(), 1u); // unchanged
+    EXPECT_EQ(memA.requests.size(), 2u);
+}
+
+TEST_F(XbarFixture, OverlappingRangesStillRejectedAtStartup)
+{
+    // The memo's correctness argument leans on startup()'s disjointness
+    // check (a memoised answer must be the answer the scan would give);
+    // make sure overlap keeps failing loudly.
+    Xbar xbar(sim, "xbar", params);
+    MockRequestor cpu("cpu");
+    MockResponder memA("memA");
+    MockResponder memB("memB");
+    cpu.port().bind(xbar.add_upstream("cpu"));
+    xbar.add_downstream("a", AddrRange(0, 0x1000)).bind(memA.port());
+    xbar.add_downstream("b", AddrRange(0x800, 0x1800)).bind(memB.port());
+    EXPECT_THROW(sim.startup(), ConfigError);
+}
+
 } // namespace
 } // namespace accesys::mem
