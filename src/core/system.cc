@@ -28,6 +28,10 @@ DeviceInstance& System::device(std::size_t idx)
 
 void System::build()
 {
+    // Worker budget must be set before the topology decides whether to
+    // carve endpoint subtrees into parallel simulation domains.
+    sim_.set_threads(cfg_.threads);
+
     const mem::AddrRange host = host_range();
     const Addr pt_root = cfg_.host_dram_bytes - kPtArenaBytes;
     ptable_ = std::make_unique<smmu::PageTable>(

@@ -105,7 +105,7 @@ void MemCtrl::schedule_issue()
     }
     const Tick when = std::max(now(), issue_free_);
     if (!issue_event_.scheduled()) {
-        sim().queue().schedule_express(issue_event_, when);
+        eq().schedule_express(issue_event_, when);
     } else if (issue_event_.when() > when) {
         reschedule(issue_event_, when);
     }

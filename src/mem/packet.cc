@@ -39,6 +39,7 @@ void PacketPool::reserve(std::size_t n)
     free_.reserve(free_.size() + n);
     for (std::size_t i = 0; i < n; ++i) {
         ++allocs_total_;
+        lifetime_allocs_.fetch_add(1, std::memory_order_relaxed);
         Packet* p = new Packet(MemCmd::read_req, 0, 0);
         p->pool_ = this;
         free_.push_back(p);
@@ -52,5 +53,8 @@ PacketPool& PacketPool::global()
     static PacketPool* pool = new PacketPool();
     return *pool;
 }
+
+thread_local PacketPool* PacketPool::current_ = nullptr;
+std::atomic<std::uint64_t> PacketPool::lifetime_allocs_{0};
 
 } // namespace accesys::mem

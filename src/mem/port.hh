@@ -206,7 +206,7 @@ class PacketQueue {
     using HookFn = void (*)(void*);
 
     PacketQueue(Simulator& sim, std::string name, SendFn send, void* send_ctx)
-        : sim_(&sim),
+        : eq_(&sim.current_queue()),
           send_(send),
           send_ctx_(send_ctx),
           send_event_(name + ".send", nullptr)
@@ -214,7 +214,7 @@ class PacketQueue {
         send_event_.set_raw_callback(
             [](void* self) { static_cast<PacketQueue*>(self)->try_send(); },
             this);
-        fuse_ = sim.queue().batching_enabled();
+        fuse_ = eq_->batching_enabled();
     }
 
     /// Queue `pkt` to be sent no earlier than `ready` (absolute tick).
@@ -231,10 +231,10 @@ class PacketQueue {
         // Guard ordering matters: most pushes carry a future ready tick, so
         // the tick compare disqualifies first; the queue-state flags are
         // one cache line; tick_quiescent (a queue probe) runs last.
-        const Tick now = sim_->now();
+        const Tick now = eq_->now();
         if (ready <= now && q_.empty() && !blocked_ && fuse_ &&
             !in_send_ && !send_event_.scheduled() &&
-            sim_->queue().tick_quiescent()) {
+            eq_->tick_quiescent()) {
             in_send_ = true;
             const bool ok = send_(send_ctx_, pkt);
             in_send_ = false;
@@ -261,15 +261,15 @@ class PacketQueue {
             const Tick head_ready = q_.front().ready;
             const Tick when = head_ready > now ? head_ready : now;
             if (!send_event_.scheduled()) {
-                sim_->queue().schedule_express(send_event_, when);
+                eq_->schedule_express(send_event_, when);
             } else if (send_event_.when() > when) {
-                sim_->queue().reschedule(send_event_, when);
+                eq_->reschedule(send_event_, when);
             }
         }
     }
 
     /// Queue `pkt` for immediate send.
-    void push_now(PacketPtr pkt) { push(std::move(pkt), sim_->now()); }
+    void push_now(PacketPtr pkt) { push(std::move(pkt), eq_->now()); }
 
     /// Peer signalled readiness: resume sending.
     void retry()
@@ -308,18 +308,18 @@ class PacketQueue {
         if (q_.empty() || blocked_) {
             return;
         }
-        const Tick when = std::max(q_.front().ready, sim_->now());
+        const Tick when = std::max(q_.front().ready, eq_->now());
         if (!send_event_.scheduled()) {
-            sim_->queue().schedule_express(send_event_, when);
+            eq_->schedule_express(send_event_, when);
         } else if (send_event_.when() > when) {
-            sim_->queue().reschedule(send_event_, when);
+            eq_->reschedule(send_event_, when);
         }
     }
 
     void try_send()
     {
         bool sent_any = false;
-        while (!q_.empty() && !blocked_ && q_.front().ready <= sim_->now()) {
+        while (!q_.empty() && !blocked_ && q_.front().ready <= eq_->now()) {
             PacketPtr& pkt = q_.front().pkt;
             if (!send_(send_ctx_, pkt)) {
                 blocked_ = true;
@@ -335,8 +335,9 @@ class PacketQueue {
     }
 
     // try_send()'s working set first; the Event (large: name + callback)
-    // sits behind it.
-    Simulator* sim_;
+    // sits behind it. Bound to the constructing domain's queue so owners
+    // inside a simulation domain schedule locally.
+    EventQueue* eq_;
     RingBuffer<Entry> q_;
     bool blocked_ = false;
     bool fuse_ = true;    ///< same-tick fusion on (mirrors batch dispatch)

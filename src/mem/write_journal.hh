@@ -1,0 +1,93 @@
+// Per-domain staging of device->host functional writes.
+//
+// Under the parallel event core a device domain must not write host memory
+// mid-window: the root thread (host CPU poll loops, stat probes) may be
+// reading the same bytes. Instead the domain snapshots the source bytes at
+// the moment the write logically happens and appends a journal record; the
+// root thread applies records in tick order while the domain is quiesced —
+// fully at window barriers, or as a prefix (tick <= t) at mid-window read
+// fences (Simulator::sync_functional_reads). Applying a prefix preserves
+// the serial run's read-after-write values exactly: a serial poll at tick
+// t observes precisely the dev->host copies submitted at ticks <= t.
+//
+// Thread contract: record() runs on the owning domain's thread; drain
+// calls run on the root thread only while the domain is quiesced (the
+// done_clock acquire at the barrier/fence is the happens-before edge).
+// The two are never concurrent, so the journal itself needs no locks.
+//
+// Records and snapshot bytes live in flat vectors compacted only when the
+// journal drains completely (every barrier does, since a window's records
+// all carry ticks below the window end), so the steady state reuses
+// capacity and allocates nothing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/backing_store.hh"
+#include "sim/error.hh"
+#include "sim/types.hh"
+
+namespace accesys::mem {
+
+class WriteJournal {
+  public:
+    WriteJournal() = default;
+    WriteJournal(const WriteJournal&) = delete;
+    WriteJournal& operator=(const WriteJournal&) = delete;
+
+    /// Stage a write of `n` bytes to `dst`, snapshotting the current
+    /// contents of `src` (device-local memory — safe to read on the
+    /// domain thread) from `store`. `t` is the write's logical tick;
+    /// event-order recording makes ticks nondecreasing.
+    void record(Tick t, const BackingStore& store, Addr dst, Addr src,
+                std::uint64_t n)
+    {
+        ensure(recs_.empty() || recs_.back().tick <= t,
+               "write journal ticks must be nondecreasing");
+        const std::uint64_t off = bytes_.size();
+        bytes_.resize(off + n);
+        store.read(src, bytes_.data() + off, n);
+        recs_.push_back(Rec{t, dst, off, n});
+        ++recorded_total_;
+    }
+
+    /// Apply every staged record with tick <= `t` to `store`, in record
+    /// (= tick) order. Root thread only, domain quiesced.
+    void apply_until(BackingStore& store, Tick t)
+    {
+        while (next_ < recs_.size() && recs_[next_].tick <= t) {
+            const Rec& r = recs_[next_];
+            store.write(r.dst, bytes_.data() + r.off, r.bytes);
+            ++next_;
+        }
+        if (next_ == recs_.size()) {
+            // Fully drained: recycle capacity so offsets restart at zero.
+            recs_.clear();
+            bytes_.clear();
+            next_ = 0;
+        }
+    }
+
+    [[nodiscard]] bool empty() const noexcept { return recs_.empty(); }
+    /// Records staged over the journal's lifetime (drained or not).
+    [[nodiscard]] std::uint64_t recorded_total() const noexcept
+    {
+        return recorded_total_;
+    }
+
+  private:
+    struct Rec {
+        Tick tick;
+        Addr dst;
+        std::uint64_t off;   ///< offset of the snapshot in `bytes_`
+        std::uint64_t bytes;
+    };
+
+    std::vector<Rec> recs_;
+    std::vector<std::uint8_t> bytes_; ///< snapshot arena
+    std::size_t next_ = 0;            ///< first unapplied record
+    std::uint64_t recorded_total_ = 0;
+};
+
+} // namespace accesys::mem

@@ -1,7 +1,8 @@
 #include "pcie/link.hh"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "sim/env_flags.hh"
 
 namespace accesys::pcie {
 
@@ -79,7 +80,7 @@ PcieLink::PcieLink(Simulator& sim, std::string name, const LinkParams& params)
     : SimObject(sim, std::move(name)), params_(params)
 {
     params_.validate();
-    eager_credits_ = std::getenv("ACCESYS_EAGER_CREDITS") != nullptr;
+    eager_credits_ = env_flags().eager_credits;
     ser_ps_per_byte_ = 1000.0 / params_.effective_gbps();
     prop_ticks_ = ticks_from_ns(params_.propagation_delay_ns);
     for (unsigned side = 0; side < 2; ++side) {
@@ -87,6 +88,10 @@ PcieLink::PcieLink(Simulator& sim, std::string name, const LinkParams& params)
         ports_[side].side_ = side;
         ports_[side].tx_hdr_credits_ = params_.hdr_credits;
         ports_[side].tx_data_credits_ = params_.data_credit_bytes;
+        // Serial default: both directions run on the construction queue.
+        dirs_[side].tx_q = &eq();
+        dirs_[side].rx_q = &eq();
+        dirs_[side].rx_pool = &tlp_pool();
     }
     dirs_[0].deliver_event.set_name(this->name() + ".deliver_ab");
     dirs_[0].deliver_event.set_raw_callback(
@@ -110,18 +115,93 @@ double PcieLink::utilization(unsigned dir) const
                               static_cast<double>(elapsed);
 }
 
+void PcieLink::set_boundary(EventQueue& a_queue, TlpPool& a_pool,
+                            EventQueue& b_queue, TlpPool& b_pool)
+{
+    boundary_ = true;
+    // dirs_[0] carries a->b: transmitted by end_a's domain, delivered
+    // into end_b's; dirs_[1] is the mirror.
+    dirs_[0].tx_q = &a_queue;
+    dirs_[0].rx_q = &b_queue;
+    dirs_[0].rx_pool = &b_pool;
+    dirs_[1].tx_q = &b_queue;
+    dirs_[1].rx_q = &a_queue;
+    dirs_[1].rx_pool = &a_pool;
+}
+
+std::uint64_t PcieLink::flush_boundary()
+{
+    std::uint64_t moved = 0;
+    for (auto& d : dirs_) {
+        // TLP handoffs: re-materialize each staged TLP in the receiving
+        // domain's pool (so its eventual recycle stays thread-confined)
+        // and retire the original into its own pool — both safe here, the
+        // owning domains are quiesced. Arrivals are monotonic per
+        // direction, so appending preserves in_flight's sort order and
+        // the front-arrival arming below matches the serial schedule.
+        while (!d.staged_tlps.empty()) {
+            InFlight& f = d.staged_tlps.front();
+            TlpPtr clone = d.rx_pool->make();
+            *clone = *f.tlp;
+            d.in_flight.push_back(InFlight{f.arrival, std::move(clone)});
+            f.tlp.reset();
+            d.staged_tlps.pop_front();
+            ++moved;
+        }
+        if (!d.in_flight.empty() && !d.deliver_event.scheduled()) {
+            d.rx_q->schedule_express(d.deliver_event,
+                                     d.in_flight.front().arrival);
+        }
+        // Credit returns: append to the transmit side's ring (arrival
+        // order again preserved) and arm the kick exactly as the serial
+        // lazy model would — at the earliest pending return's arrival,
+        // only if the transmitter is starved (or eager mode insists).
+        const bool had_credits = !d.staged_credits.empty();
+        while (!d.staged_credits.empty()) {
+            d.credit_returns.push_back(d.staged_credits.front());
+            d.staged_credits.pop_front();
+        }
+        if (had_credits && (eager_credits_ || d.tx_starved) &&
+            !d.credit_event.scheduled()) {
+            d.tx_q->schedule_express(d.credit_event,
+                                     d.credit_returns.front().arrival);
+        }
+        // Fold the stat shadows (exact: integer-valued doubles).
+        if (d.sh_tlps != 0) {
+            tlps_ += static_cast<double>(d.sh_tlps);
+            payload_bytes_ += static_cast<double>(d.sh_payload);
+            wire_bytes_ += static_cast<double>(d.sh_wire);
+            d.sh_tlps = 0;
+            d.sh_payload = 0;
+            d.sh_wire = 0;
+        }
+    }
+    return moved;
+}
+
 void PcieLink::transmit(unsigned from_side, TlpPtr tlp)
 {
     // dir 0 carries a->b (from side 0), dir 1 carries b->a.
     Direction& d = dirs_[from_side];
 
     const std::uint64_t bytes = wire_bytes(*tlp);
-    const Tick start = std::max(now(), d.busy_until);
+    const Tick start = std::max(d.tx_q->now(), d.busy_until);
     const Tick ser =
         static_cast<Tick>(static_cast<double>(bytes) * ser_ps_per_byte_);
     d.busy_until = start + ser;
     d.busy_ticks += ser;
     const Tick arrival = d.busy_until + prop_ticks_;
+
+    if (boundary_) {
+        // Cross-domain: stage on the transmit side. The arrival is at
+        // least a propagation delay (>= the barrier quantum) away, so the
+        // barrier that injects it always precedes the delivery window.
+        d.sh_tlps += 1;
+        d.sh_payload += tlp->payload_bytes();
+        d.sh_wire += bytes;
+        d.staged_tlps.push_back(InFlight{arrival, std::move(tlp)});
+        return;
+    }
 
     ++tlps_;
     payload_bytes_ += tlp->payload_bytes();
@@ -129,14 +209,15 @@ void PcieLink::transmit(unsigned from_side, TlpPtr tlp)
 
     d.in_flight.push_back(InFlight{arrival, std::move(tlp)});
     if (!d.deliver_event.scheduled()) {
-        sim().queue().schedule_express(d.deliver_event, arrival);
+        d.rx_q->schedule_express(d.deliver_event, arrival);
     }
 }
 
 void PcieLink::deliver(unsigned dir)
 {
     Direction& d = dirs_[dir];
-    while (!d.in_flight.empty() && d.in_flight.front().arrival <= now()) {
+    while (!d.in_flight.empty() &&
+           d.in_flight.front().arrival <= d.rx_q->now()) {
         TlpPtr tlp = std::move(d.in_flight.front().tlp);
         d.in_flight.pop_front();
         PciePort& rx = ports_[1 - dir]; // dir 0 lands at end_b (side 1)
@@ -144,8 +225,8 @@ void PcieLink::deliver(unsigned dir)
         rx.node_->recv_tlp(rx.node_port_idx_, std::move(tlp));
     }
     if (!d.in_flight.empty()) {
-        sim().queue().schedule_express(d.deliver_event,
-                                       d.in_flight.front().arrival);
+        d.rx_q->schedule_express(d.deliver_event,
+                                 d.in_flight.front().arrival);
     }
 }
 
@@ -153,13 +234,19 @@ void PcieLink::queue_credit_return(unsigned to_side, unsigned hdr,
                                    std::uint64_t data)
 {
     // Direction index named by the side whose transmitter gets the credits.
+    // Called by that direction's *receiver* (release_ingress), so the
+    // clock — and in boundary mode the staging ring — is the rx side's.
     Direction& d = dirs_[to_side];
-    const Tick arrival = now() + prop_ticks_;
+    const Tick arrival = d.rx_q->now() + prop_ticks_;
+    if (boundary_) {
+        d.staged_credits.push_back(CreditReturn{arrival, hdr, data});
+        return;
+    }
     d.credit_returns.push_back(CreditReturn{arrival, hdr, data});
     // Lazy accounting: an unstarved transmitter harvests this return the
     // next time it probes can_send(); only a starved one needs the event.
     if ((eager_credits_ || d.tx_starved) && !d.credit_event.scheduled()) {
-        sim().queue().schedule_express(d.credit_event, arrival);
+        d.tx_q->schedule_express(d.credit_event, arrival);
     }
 }
 
@@ -167,7 +254,7 @@ void PcieLink::harvest_credits(unsigned side)
 {
     Direction& d = dirs_[side];
     while (!d.credit_returns.empty() &&
-           d.credit_returns.front().arrival <= now()) {
+           d.credit_returns.front().arrival <= d.tx_q->now()) {
         const CreditReturn cr = d.credit_returns.front();
         d.credit_returns.pop_front();
         ports_[side].tx_hdr_credits_ += cr.hdr;
@@ -191,8 +278,8 @@ bool PcieLink::can_send_from(unsigned side, const Tlp& tlp)
         Direction& d = dirs_[side];
         d.tx_starved = true;
         if (!d.credit_returns.empty() && !d.credit_event.scheduled()) {
-            sim().queue().schedule_express(
-                d.credit_event, d.credit_returns.front().arrival);
+            d.tx_q->schedule_express(d.credit_event,
+                                     d.credit_returns.front().arrival);
         }
     }
     return false;
@@ -204,7 +291,7 @@ void PcieLink::credit(unsigned dir)
     const bool was_starved = d.tx_starved;
     bool granted = false;
     while (!d.credit_returns.empty() &&
-           d.credit_returns.front().arrival <= now()) {
+           d.credit_returns.front().arrival <= d.tx_q->now()) {
         const CreditReturn cr = d.credit_returns.front();
         d.credit_returns.pop_front();
         ports_[dir].tx_hdr_credits_ += cr.hdr;
@@ -225,8 +312,8 @@ void PcieLink::credit(unsigned dir)
     }
     if (!d.credit_returns.empty() &&
         (eager_credits_ || d.tx_starved) && !d.credit_event.scheduled()) {
-        sim().queue().schedule_express(
-            d.credit_event, d.credit_returns.front().arrival);
+        d.tx_q->schedule_express(d.credit_event,
+                                 d.credit_returns.front().arrival);
     }
 }
 

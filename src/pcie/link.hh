@@ -168,6 +168,26 @@ class PcieLink final : public SimObject {
     /// Observed utilisation of direction a->b / b->a so far (0..1).
     [[nodiscard]] double utilization(unsigned dir) const;
 
+    /// Propagation delay in ticks — the cross-domain lookahead this link
+    /// contributes when it forms a simulation-domain boundary.
+    [[nodiscard]] Tick prop_ticks() const noexcept { return prop_ticks_; }
+
+    /// Mark this link as a simulation-domain boundary. `a_queue`/`b_queue`
+    /// are the event queues of the domains owning end_a / end_b, and
+    /// `a_pool`/`b_pool` the TLP pools traffic delivered *toward* each end
+    /// is re-materialized into at barriers. From here on, each direction's
+    /// cross-thread transfers (TLP handoffs, credit returns, the shared
+    /// stat counters) stage in thread-confined buffers until
+    /// flush_boundary() injects them — all timing derived from the staged
+    /// arrival ticks, so results match the serial link exactly.
+    void set_boundary(EventQueue& a_queue, TlpPool& a_pool,
+                      EventQueue& b_queue, TlpPool& b_pool);
+
+    /// Inject staged cross-domain traffic; root thread only, every domain
+    /// quiesced (run from a Simulator barrier hook, in registration
+    /// order). Returns the number of TLP handoffs injected.
+    std::uint64_t flush_boundary();
+
   private:
     friend class PciePort;
 
@@ -182,16 +202,40 @@ class PcieLink final : public SimObject {
         std::uint64_t data;
     };
 
-    struct Direction {
+    /// Per-direction state, split by owning thread in boundary mode: the
+    /// transmit group is only touched by the domain that owns the sending
+    /// end, the receive group by the domain that owns the delivering end
+    /// (the alignas keeps the two groups off one cache line). The root
+    /// thread touches both groups, but only in flush_boundary() while
+    /// every domain is quiesced. In serial mode tx_q == rx_q == eq() and
+    /// the staging buffers stay empty.
+    struct alignas(64) Direction {
+        // --- transmit side (owned by the sending domain's thread) -------
+        EventQueue* tx_q = nullptr;
         Tick busy_until = 0;
-        RingBuffer<InFlight> in_flight;
-        RingBuffer<CreditReturn> credit_returns;
-        Event deliver_event;
-        Event credit_event;
         std::uint64_t busy_ticks = 0; ///< for utilisation stats
+        RingBuffer<CreditReturn> credit_returns;
+        Event credit_event;
         /// A can_send() probe on this side failed: schedule the pending
         /// credit kick instead of harvesting lazily.
         bool tx_starved = false;
+        /// Boundary staging: TLPs sent this window, awaiting injection
+        /// into the receive side at the barrier.
+        RingBuffer<InFlight> staged_tlps;
+        // Shadows of the link-level Scalars (which both directions share
+        // and so cannot be bumped from two threads); folded exactly into
+        // the Scalars at every flush.
+        std::uint64_t sh_tlps = 0;
+        std::uint64_t sh_payload = 0;
+        std::uint64_t sh_wire = 0;
+        // --- receive side (owned by the delivering domain's thread) -----
+        alignas(64) EventQueue* rx_q = nullptr;
+        TlpPool* rx_pool = nullptr;
+        RingBuffer<InFlight> in_flight;
+        Event deliver_event;
+        /// Boundary staging: credit returns released by the receiver this
+        /// window, bound for the transmit side's `credit_returns`.
+        RingBuffer<CreditReturn> staged_credits;
     };
 
     void transmit(unsigned from_side, TlpPtr tlp);
@@ -206,6 +250,7 @@ class PcieLink final : public SimObject {
 
     LinkParams params_;
     bool eager_credits_ = false; ///< ACCESYS_EAGER_CREDITS escape hatch
+    bool boundary_ = false;      ///< set by set_boundary()
     // Serialization/propagation constants hoisted out of the per-TLP path
     // (FP divides are too expensive to re-derive per packet).
     double ser_ps_per_byte_ = 0.0;

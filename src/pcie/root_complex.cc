@@ -60,7 +60,7 @@ RootComplex::RootComplex(Simulator& sim, std::string name,
             auto* self = static_cast<RootComplex*>(s);
             if (!self->delay_q_.empty() &&
                 !self->process_event_.scheduled()) {
-                self->sim().queue().schedule_express(
+                self->eq().schedule_express(
                     self->process_event_,
                     std::max(self->now(), self->delay_q_.front().ready));
             }
@@ -91,7 +91,7 @@ void RootComplex::recv_tlp(unsigned /*port_idx*/, TlpPtr tlp)
     const Tick ready = now() + latency_ticks_;
     delay_q_.push_back(Delayed{ready, std::move(tlp)});
     if (!process_event_.scheduled()) {
-        sim().queue().schedule_express(process_event_, ready);
+        eq().schedule_express(process_event_, ready);
     }
 }
 
@@ -137,7 +137,7 @@ void RootComplex::process_delayed()
         delay_q_.pop_front();
     }
     if (!delay_q_.empty() && !process_event_.scheduled()) {
-        sim().queue().schedule_express(process_event_,
+        eq().schedule_express(process_event_,
                                        delay_q_.front().ready);
     }
 }
@@ -279,7 +279,7 @@ void RootComplex::advance_completions(std::size_t slot)
             --inbound_live_;
             // A service slot freed: head-of-line stall may clear.
             if (!delay_q_.empty() && !process_event_.scheduled()) {
-                sim().queue().schedule_express(
+                eq().schedule_express(
                     process_event_,
                     std::max(now(), delay_q_.front().ready));
             }

@@ -31,4 +31,7 @@ TlpPool& TlpPool::global()
     return *pool;
 }
 
+thread_local TlpPool* TlpPool::current_ = nullptr;
+std::atomic<std::uint64_t> TlpPool::lifetime_allocs_{0};
+
 } // namespace accesys::pcie

@@ -46,11 +46,11 @@
 #pragma once
 
 #include <cstdint>
-#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "sim/env_flags.hh"
 #include "sim/error.hh"
 #include "sim/types.hh"
 
@@ -153,8 +153,11 @@ class EventQueue {
     EventQueue()
     {
         heap_.reserve(64);
-        batch_enabled_ = std::getenv("ACCESYS_NO_BATCH") == nullptr;
-        fusion_enabled_ = std::getenv("ACCESYS_NO_HOP_FUSION") == nullptr;
+        // Cached process-wide snapshot (sim/env_flags.hh): no getenv() on
+        // any path, and every queue — root or domain — agrees by
+        // construction.
+        batch_enabled_ = !env_flags().no_batch;
+        fusion_enabled_ = !env_flags().no_hop_fusion;
     }
     EventQueue(const EventQueue&) = delete;
     EventQueue& operator=(const EventQueue&) = delete;
@@ -316,6 +319,18 @@ class EventQueue {
     [[nodiscard]] std::uint64_t express_spills() const noexcept
     {
         return stat_express_spills_;
+    }
+
+    /// Entries that actually reached the 4-ary heap (pushes, incl. spills).
+    [[nodiscard]] std::uint64_t heap_pushes() const noexcept
+    {
+        return stat_heap_pushes_;
+    }
+
+    /// Schedules absorbed by the sorted near ring without a heap push.
+    [[nodiscard]] std::uint64_t near_ring_hits() const noexcept
+    {
+        return stat_near_hits_;
     }
 
     /// Advance time with no event execution (used by drained fast-forward).
@@ -506,6 +521,7 @@ class EventQueue {
             if (heap_.empty() || later(heap_[0], e)) {
                 near_at(0) = e;
                 near_n_ = 1;
+                ++stat_near_hits_;
             } else {
                 heap_push(e);
             }
@@ -517,6 +533,7 @@ class EventQueue {
             if (near_n_ < kNearCap && (heap_.empty() || later(heap_[0], e))) {
                 near_at(near_n_) = e;
                 ++near_n_;
+                ++stat_near_hits_;
             } else {
                 heap_push(e);
             }
@@ -535,6 +552,7 @@ class EventQueue {
         }
         near_at(pos) = e;
         ++near_n_;
+        ++stat_near_hits_;
     }
 
     /// A schedule issued by an event executing inside a same-tick batch.
@@ -622,6 +640,7 @@ class EventQueue {
 
     void heap_push(const Entry& e)
     {
+        ++stat_heap_pushes_;
         heap_.push_back(e);
         std::size_t i = heap_.size() - 1;
         while (i > 0) {
@@ -779,6 +798,8 @@ class EventQueue {
     std::uint64_t stat_scheduled_ = 0;
     std::uint64_t stat_express_hits_ = 0;
     std::uint64_t stat_express_spills_ = 0;
+    std::uint64_t stat_heap_pushes_ = 0;
+    std::uint64_t stat_near_hits_ = 0;
     DispatchObserver* observer_ = nullptr;
     /// Same-tick dispatch batch (active only inside dispatch_tick).
     Entry batch_[kBatchMax];

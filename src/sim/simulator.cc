@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <thread>
 
 namespace accesys {
 
@@ -18,6 +19,10 @@ void Simulator::startup()
 
 RunResult Simulator::run(Tick max_tick)
 {
+    if (parallel()) {
+        return run_parallel(max_tick);
+    }
+
     startup();
     exit_requested_ = false;
     exit_reason_.clear();
@@ -44,6 +49,195 @@ RunResult Simulator::run(Tick max_tick)
     return res;
 }
 
+std::size_t Simulator::begin_domain(std::string label)
+{
+    ensure(active_domain_ == nullptr, "nested simulation domains");
+    ensure(!started_, "domain carved after startup");
+    auto d = std::make_unique<Domain>();
+    d->label = std::move(label);
+    d->queue = std::make_unique<EventQueue>();
+    domains_.push_back(std::move(d));
+    active_domain_ = domains_.back().get();
+    return domains_.size() - 1;
+}
+
+void Simulator::end_domain()
+{
+    ensure(active_domain_ != nullptr, "end_domain without begin_domain");
+    active_domain_ = nullptr;
+}
+
+void Simulator::await_domains(Tick wend) const
+{
+    // Spin with a yield per probe: windows are short and the wait ends
+    // with the peer's release store, but correctness (and the 1-core CI
+    // host) must not depend on having a core per thread.
+    for (const auto& d : domains_) {
+        while (d->done_clock.load(std::memory_order_acquire) < wend) {
+            std::this_thread::yield();
+        }
+    }
+}
+
+void Simulator::sync_functional_reads(Tick t)
+{
+    if (!parallel_running_) {
+        return;
+    }
+    // Every domain publishes its clock only at window completion, so once
+    // this returns no domain appends to its journal until the root thread
+    // releases the next window — the drains below run race-free.
+    await_domains(window_end_);
+    ++stat_fences_;
+    for (auto& d : domains_) {
+        if (d->drain_functional) {
+            d->drain_functional(t);
+        }
+    }
+}
+
+RunResult Simulator::run_parallel(Tick max_tick)
+{
+    startup();
+    exit_requested_ = false;
+    exit_reason_.clear();
+
+    ensure(quantum_ > 0, "parallel run without a cross-domain quantum");
+    const Tick q = quantum_;
+    const std::size_t nd = domains_.size();
+    const auto nworkers =
+        static_cast<unsigned>(std::min<std::size_t>(threads_ - 1, nd));
+
+    for (auto& d : domains_) {
+        d->events = 0;
+        d->done_clock.store(0, std::memory_order_relaxed);
+    }
+    parallel_running_ = true;
+
+    // Window-release protocol: the root thread writes window_end_, then
+    // bumps `generation` (release). Workers spin on `generation`
+    // (acquire), run each of their domains up to the window end, and
+    // release-publish the domain clock. The acquire/release pairs carry
+    // every cross-thread happens-before edge; all other cross-domain state
+    // is only touched in the root thread's serial barrier section.
+    std::atomic<std::uint64_t> generation{0};
+    std::atomic<bool> quit{false};
+
+    auto worker_body = [&, nworkers](unsigned w) {
+        std::uint64_t seen = 0;
+        for (;;) {
+            while (generation.load(std::memory_order_acquire) == seen) {
+                if (quit.load(std::memory_order_acquire)) {
+                    return;
+                }
+                std::this_thread::yield();
+            }
+            ++seen;
+            const Tick wend = window_end_;
+            for (std::size_t i = w; i < nd; i += nworkers) {
+                Domain& dom = *domains_[i];
+                if (dom.install) {
+                    dom.install(); // thread context (domain pools)
+                }
+                dom.events += dom.queue->run(wend - 1);
+                dom.done_clock.store(wend, std::memory_order_release);
+            }
+        }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(nworkers);
+    for (unsigned w = 0; w < nworkers; ++w) {
+        workers.emplace_back(worker_body, w);
+    }
+
+    RunResult res;
+    std::uint64_t executed = 0;
+
+    // The window grid is absolute (anchored at tick 0) so window
+    // boundaries — and therefore handoff batching — are identical for
+    // every thread count. The first boundary comes from the slowest
+    // domain clock: every pending event sits at or after it.
+    Tick min_now = queue_.now();
+    for (auto& d : domains_) {
+        min_now = std::min(min_now, d->queue->now());
+    }
+    Tick wend = align_down(min_now, q) + q;
+
+    for (;;) {
+        if (max_tick != kMaxTick && wend > max_tick) {
+            wend = max_tick + 1; // final, clipped window
+        }
+        window_end_ = wend;
+        generation.fetch_add(1, std::memory_order_release);
+
+        // The root domain's window runs on this thread, overlapped with
+        // the workers; the exit flag is observed between events exactly
+        // as in the serial loop.
+        const EventQueue::DrainOutcome outcome =
+            queue_.drain(wend - 1, exit_requested_, executed);
+
+        await_domains(wend);
+        ++stat_barriers_;
+
+        // Serial section: every domain is quiesced. Inject cross-domain
+        // handoffs in registration order, then apply staged functional
+        // writes in domain order — both deterministic.
+        for (auto& hook : barrier_hooks_) {
+            hook();
+        }
+        for (auto& d : domains_) {
+            if (d->drain_functional) {
+                d->drain_functional(wend - 1);
+            }
+        }
+
+        if (outcome == EventQueue::DrainOutcome::stopped) {
+            res.cause = ExitCause::exit_requested;
+            res.exit_reason = exit_reason_;
+            break;
+        }
+
+        // Skip-ahead: derive the next window from the earliest pending
+        // event anywhere (flushed handoffs included — they are scheduled
+        // by the hooks above). Deterministic: quiesced state only.
+        Tick next = queue_.next_event_tick();
+        for (auto& d : domains_) {
+            next = std::min(next, d->queue->next_event_tick());
+        }
+        if (next == kMaxTick) {
+            res.cause = ExitCause::queue_drained;
+            break;
+        }
+        if (next > max_tick) {
+            res.cause = ExitCause::horizon_reached;
+            if (queue_.now() < max_tick) {
+                queue_.warp_to(max_tick);
+            }
+            for (auto& d : domains_) {
+                if (d->queue->now() < max_tick) {
+                    d->queue->warp_to(max_tick);
+                }
+            }
+            break;
+        }
+        wend = align_down(next, q) + q;
+    }
+
+    quit.store(true, std::memory_order_release);
+    for (auto& t : workers) {
+        t.join();
+    }
+    parallel_running_ = false;
+
+    res.end_tick = queue_.now();
+    res.events = executed;
+    for (auto& d : domains_) {
+        res.events += d->events;
+    }
+    return res;
+}
+
 void Simulator::detach(SimObject& obj) noexcept
 {
     objects_.erase(std::remove(objects_.begin(), objects_.end(), &obj),
@@ -51,7 +245,10 @@ void Simulator::detach(SimObject& obj) noexcept
 }
 
 SimObject::SimObject(Simulator& sim, std::string name)
-    : sim_(&sim), name_(std::move(name)), stats_(sim.stats(), name_)
+    : sim_(&sim),
+      eq_(&sim.current_queue()),
+      name_(std::move(name)),
+      stats_(sim.stats(), name_)
 {
     sim_->attach(*this);
 }

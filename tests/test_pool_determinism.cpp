@@ -3,6 +3,9 @@
 // with pools warmed by the first run's recycled objects — must produce
 // bit-identical stats registries and end ticks. Any field the pools fail
 // to re-initialise on reuse would show up here as a diverging counter.
+// The same contract extends to the parallel event core: a run carved
+// into per-endpoint domains on N worker threads must be bit-identical
+// to the serial run.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -11,9 +14,30 @@
 #include "core/runner.hh"
 #include "mem/packet.hh"
 #include "pcie/tlp.hh"
+#include "sim/env_flags.hh"
 
 namespace accesys {
 namespace {
+
+/// RAII override of the process-wide EnvFlags snapshot. Components capture
+/// flag values at construction, so the swap is only valid between Simulator
+/// lifetimes — which is exactly how these tests use it.
+class ScopedEnvFlags {
+  public:
+    template <typename Fn>
+    explicit ScopedEnvFlags(Fn tweak) : saved_(env_flags())
+    {
+        EnvFlags flags = saved_;
+        tweak(flags);
+        EnvFlags::set_for_test(flags);
+    }
+    ~ScopedEnvFlags() { EnvFlags::set_for_test(saved_); }
+    ScopedEnvFlags(const ScopedEnvFlags&) = delete;
+    ScopedEnvFlags& operator=(const ScopedEnvFlags&) = delete;
+
+  private:
+    EnvFlags saved_;
+};
 
 struct SimSnapshot {
     std::string stats_text;
@@ -23,11 +47,17 @@ struct SimSnapshot {
     bool verified = false;
 };
 
-SimSnapshot run_gemm_sim(std::size_t devices, std::uint32_t size)
+/// `threads` == 0 leaves the config default (the ACCESYS_THREADS
+/// snapshot) in place; any other value pins the worker budget.
+SimSnapshot run_gemm_sim(std::size_t devices, std::uint32_t size,
+                         unsigned threads = 0)
 {
     core::SystemConfig cfg = core::SystemConfig::paper_default();
     if (devices > 1) {
         cfg.set_num_devices(devices);
+    }
+    if (threads != 0) {
+        cfg.threads = threads;
     }
     core::System sys(cfg);
     core::Runner runner(sys);
@@ -78,6 +108,40 @@ TEST(PoolDeterminism, MultiDeviceWarmRerunIsBitIdentical)
     EXPECT_EQ(first.stats_text, second.stats_text);
 }
 
+TEST(PoolDeterminism, ParallelDomainsMatchSerialBitIdentical)
+{
+    // The parallel event core's determinism contract: carving each
+    // endpoint subtree into its own quantum-synchronized domain thread
+    // (cfg.threads >= 2) must be invisible to simulation results — the
+    // end tick and both stats dumps are bit-identical to the serial run
+    // for any worker count. Each parallel System constructs cold
+    // per-domain Packet/TLP pools, so the first run is the cold case and
+    // the rerun checks run-to-run stability on warmed global pools.
+    // Event *counts* are not compared: the root queue's dispatch counter
+    // covers only the root domain in parallel runs, and cross-domain
+    // handoffs re-arm delivery events at barriers.
+    const SimSnapshot serial = run_gemm_sim(4, 32, /*threads=*/1);
+    EXPECT_TRUE(serial.verified);
+
+    for (const unsigned threads : {2U, 4U}) {
+        const SimSnapshot cold = run_gemm_sim(4, 32, threads);
+        EXPECT_TRUE(cold.verified) << "threads=" << threads;
+        EXPECT_EQ(serial.end_tick, cold.end_tick) << "threads=" << threads;
+        EXPECT_EQ(serial.stats_text, cold.stats_text)
+            << "threads=" << threads;
+        EXPECT_EQ(serial.stats_json, cold.stats_json)
+            << "threads=" << threads;
+
+        const SimSnapshot warm = run_gemm_sim(4, 32, threads);
+        EXPECT_TRUE(warm.verified) << "threads=" << threads;
+        EXPECT_EQ(serial.end_tick, warm.end_tick) << "threads=" << threads;
+        EXPECT_EQ(serial.stats_text, warm.stats_text)
+            << "threads=" << threads;
+        EXPECT_EQ(serial.stats_json, warm.stats_json)
+            << "threads=" << threads;
+    }
+}
+
 TEST(PoolDeterminism, BatchedDispatchMatchesUnbatchedBitExactly)
 {
     // Same-tick batch dispatch and same-resolved-tick egress fusion
@@ -86,15 +150,18 @@ TEST(PoolDeterminism, BatchedDispatchMatchesUnbatchedBitExactly)
     // one-event-at-a-time path and disabling queue fusion — must produce
     // the same end tick and bit-identical stats dumps as the default
     // batched run. Event *counts* may differ (fusion elides self-events),
-    // so they are deliberately not compared. The flag is read at
-    // EventQueue construction, so toggling the environment between
-    // Simulator lifetimes switches modes within one process.
+    // so they are deliberately not compared. Components capture the flag
+    // at EventQueue construction, so the snapshot override swaps modes
+    // between Simulator lifetimes within one process.
     const SimSnapshot batched = run_gemm_sim(2, 48);
     EXPECT_TRUE(batched.verified);
 
-    ::setenv("ACCESYS_NO_BATCH", "1", 1);
-    const SimSnapshot unbatched = run_gemm_sim(2, 48);
-    ::unsetenv("ACCESYS_NO_BATCH");
+    SimSnapshot unbatched;
+    {
+        const ScopedEnvFlags override_flags(
+            [](EnvFlags& f) { f.no_batch = true; });
+        unbatched = run_gemm_sim(2, 48);
+    }
     EXPECT_TRUE(unbatched.verified);
 
     EXPECT_EQ(batched.end_tick, unbatched.end_tick);
@@ -111,17 +178,19 @@ TEST(PoolDeterminism, HopFusionExpressLaneMatchesDisabledBitExactly)
     // from it when they are the earliest pending work. The staged entry
     // carries the same (tick, priority, sequence) key a plain schedule()
     // would have produced, so dispatch order — and with it every stat and
-    // the end tick — must be identical with ACCESYS_NO_HOP_FUSION=1
-    // (which degrades every schedule_express to schedule()). Unlike batch
-    // fusion and lazy credits, the lane elides no events, so the counts
-    // must match exactly as well. The flag is read at EventQueue
-    // construction; toggling between Simulator lifetimes switches modes.
+    // the end tick — must be identical with no_hop_fusion set (which
+    // degrades every schedule_express to schedule()). Unlike batch fusion
+    // and lazy credits, the lane elides no events, so the counts must
+    // match exactly as well.
     const SimSnapshot fused = run_gemm_sim(2, 48);
     EXPECT_TRUE(fused.verified);
 
-    ::setenv("ACCESYS_NO_HOP_FUSION", "1", 1);
-    const SimSnapshot plain = run_gemm_sim(2, 48);
-    ::unsetenv("ACCESYS_NO_HOP_FUSION");
+    SimSnapshot plain;
+    {
+        const ScopedEnvFlags override_flags(
+            [](EnvFlags& f) { f.no_hop_fusion = true; });
+        plain = run_gemm_sim(2, 48);
+    }
     EXPECT_TRUE(plain.verified);
 
     EXPECT_EQ(fused.end_tick, plain.end_tick);
@@ -136,18 +205,21 @@ TEST(PoolDeterminism, LazyCreditsMatchEagerBitExactly)
     // Lazy link-credit accounting (pcie/link.cc) elides the per-TLP
     // credit-return event on unstarved directions; a starved sender's kick
     // is scheduled for the exact tick the eager model would have fired it.
-    // A run with ACCESYS_EAGER_CREDITS=1 — restoring the per-return event —
+    // A run with eager_credits set — restoring the per-return event —
     // must therefore produce the same end tick and bit-identical stats
     // dumps. Event *counts* may differ (the elided kicks were no-ops), so
-    // they are deliberately not compared. The flag is read at PcieLink
-    // construction, so toggling the environment between Simulator
-    // lifetimes switches modes within one process.
+    // they are deliberately not compared. PcieLink captures the flag at
+    // construction; the snapshot override swaps modes between Simulator
+    // lifetimes within one process.
     const SimSnapshot lazy = run_gemm_sim(2, 48);
     EXPECT_TRUE(lazy.verified);
 
-    ::setenv("ACCESYS_EAGER_CREDITS", "1", 1);
-    const SimSnapshot eager = run_gemm_sim(2, 48);
-    ::unsetenv("ACCESYS_EAGER_CREDITS");
+    SimSnapshot eager;
+    {
+        const ScopedEnvFlags override_flags(
+            [](EnvFlags& f) { f.eager_credits = true; });
+        eager = run_gemm_sim(2, 48);
+    }
     EXPECT_TRUE(eager.verified);
 
     EXPECT_EQ(lazy.end_tick, eager.end_tick);
@@ -161,13 +233,18 @@ TEST(PoolDeterminism, SteadyStateForwardingAllocatesNothing)
 {
     // Warm-up run, then measure: the second identical sim must not grow
     // either pool's heap-allocation counter — every transaction object is
-    // served from the free lists.
-    (void)run_gemm_sim(1, 48);
-    const std::uint64_t pkt_allocs = mem::packet_pool().allocs_total();
-    const std::uint64_t tlp_allocs = pcie::tlp_pool().allocs_total();
-    (void)run_gemm_sim(1, 48);
-    EXPECT_EQ(mem::packet_pool().allocs_total(), pkt_allocs);
-    EXPECT_EQ(pcie::tlp_pool().allocs_total(), tlp_allocs);
+    // served from the free lists. Lifetime counters sum the global pools
+    // and every per-domain pool. Pinned to the serial path: parallel
+    // Systems own their domain pools, so a *fresh* parallel System always
+    // re-warms them — the parallel steady state holds within a System
+    // (exercised by perf_baseline's gated contention metric), not across
+    // System lifetimes.
+    (void)run_gemm_sim(1, 48, /*threads=*/1);
+    const std::uint64_t pkt_allocs = mem::PacketPool::lifetime_allocs();
+    const std::uint64_t tlp_allocs = pcie::TlpPool::lifetime_allocs();
+    (void)run_gemm_sim(1, 48, /*threads=*/1);
+    EXPECT_EQ(mem::PacketPool::lifetime_allocs(), pkt_allocs);
+    EXPECT_EQ(pcie::TlpPool::lifetime_allocs(), tlp_allocs);
 }
 
 } // namespace
