@@ -12,6 +12,7 @@ using namespace accesys;
 
 int main(int argc, char** argv)
 {
+    benchutil::install_wall_watchdog(argc, argv);
     const bool quick = benchutil::quick_mode(argc, argv);
     benchutil::header("bench_ablation_blocking", "DESIGN.md ablation",
                       "B-panel width (reuse) x PCIe bandwidth");

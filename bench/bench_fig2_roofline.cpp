@@ -12,6 +12,7 @@ using namespace accesys;
 
 int main(int argc, char** argv)
 {
+    benchutil::install_wall_watchdog(argc, argv);
     const bool quick = benchutil::quick_mode(argc, argv);
     benchutil::header("bench_fig2_roofline", "paper Fig. 2",
                       "GEMM 1024^3, PCIe 8 GB/s, sweep per-tile compute time");

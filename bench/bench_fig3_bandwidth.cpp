@@ -10,6 +10,7 @@ using namespace accesys;
 
 int main(int argc, char** argv)
 {
+    benchutil::install_wall_watchdog(argc, argv);
     const bool quick = benchutil::quick_mode(argc, argv);
     benchutil::header("bench_fig3_bandwidth", "paper Fig. 3",
                       "GEMM 2048^3, lanes x lane-speed sweep, 256 B packets");

@@ -11,6 +11,7 @@ using namespace accesys;
 
 int main(int argc, char** argv)
 {
+    benchutil::install_wall_watchdog(argc, argv);
     const bool quick = benchutil::quick_mode(argc, argv);
     benchutil::header(
         "bench_fig4_packet_size", "paper Fig. 4",

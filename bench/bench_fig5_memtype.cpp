@@ -11,6 +11,7 @@ using namespace accesys;
 
 int main(int argc, char** argv)
 {
+    benchutil::install_wall_watchdog(argc, argv);
     const bool quick = benchutil::quick_mode(argc, argv);
     benchutil::header("bench_fig5_memtype", "paper Fig. 5",
                       "GEMM, {DDR4, LPDDR5, GDDR5, HBM2} x "

@@ -27,6 +27,7 @@ double run_point(const workload::GemmSpec& spec, double gbps,
 
 int main(int argc, char** argv)
 {
+    benchutil::install_wall_watchdog(argc, argv);
     const bool quick = benchutil::quick_mode(argc, argv);
     benchutil::header("bench_fig6_bw_latency", "paper Fig. 6",
                       "GEMM on device-side simple memory; sweep bandwidth "

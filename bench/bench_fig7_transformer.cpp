@@ -58,6 +58,7 @@ std::vector<ConfigPoint> fig7_configs()
 
 int main(int argc, char** argv)
 {
+    benchutil::install_wall_watchdog(argc, argv);
     const bool quick = benchutil::quick_mode(argc, argv);
     benchutil::header("bench_fig7_transformer", "paper Fig. 7",
                       "ViT inference across PCIe-2GB / 8GB / 64GB / DevMem");

@@ -11,6 +11,7 @@ using namespace accesys;
 
 int main(int argc, char** argv)
 {
+    benchutil::install_wall_watchdog(argc, argv);
     const bool quick = benchutil::quick_mode(argc, argv);
     benchutil::header("bench_fig8_gemm_nongemm", "paper Fig. 8",
                       "ViT phase split: GEMM vs Non-GEMM per configuration");

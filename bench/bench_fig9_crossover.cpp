@@ -49,6 +49,7 @@ Measured measure(const char* label, core::Placement place, double pcie_gbps,
 
 int main(int argc, char** argv)
 {
+    benchutil::install_wall_watchdog(argc, argv);
     const bool quick = benchutil::quick_mode(argc, argv);
     benchutil::header("bench_fig9_crossover", "paper Fig. 9",
                       "composition model sweep of the Non-GEMM fraction; "

@@ -14,6 +14,7 @@
 
 int main(int argc, char** argv)
 {
+    benchutil::install_wall_watchdog(argc, argv);
     using namespace accesys;
     const bool quick = benchutil::quick_mode(argc, argv);
     const std::uint32_t size = quick ? 128 : 512;

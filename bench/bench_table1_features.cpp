@@ -10,6 +10,8 @@
 
 #include "core/system.hh"
 
+#include "bench_util.hh"
+
 using namespace accesys;
 
 namespace {
@@ -26,8 +28,9 @@ struct FeatureRow {
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    benchutil::install_wall_watchdog(argc, argv);
     std::printf("Table I — framework feature comparison "
                 "(AcceSys column backed by this repo)\n\n");
 

@@ -7,10 +7,13 @@
 #include "core/system.hh"
 #include "sim/error.hh"
 
+#include "bench_util.hh"
+
 using namespace accesys;
 
-int main()
+int main(int argc, char** argv)
 {
+    benchutil::install_wall_watchdog(argc, argv);
     const core::SystemConfig cfg = core::SystemConfig::paper_default();
 
     std::printf("Table II — system configuration (paper defaults)\n\n");

@@ -10,6 +10,8 @@
 #include "mem/dram_config.hh"
 #include "mem/mem_ctrl.hh"
 #include "mem/traffic_gen.hh"
+
+#include "bench_util.hh"
 #include "sim/simulator.hh"
 
 using namespace accesys;
@@ -41,8 +43,9 @@ double measured_stream_gbps(const mem::DramParams& dram)
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    benchutil::install_wall_watchdog(argc, argv);
     std::printf("Table III — memory configuration (presets + measured)\n\n");
     std::printf("%-10s %8s %10s %12s %10s %12s %10s\n", "Component",
                 "Channel", "Width", "Peak GB/s", "MT/s", "Meas. GB/s",

@@ -6,9 +6,14 @@
 // points) when iterating.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+
+#include <unistd.h>
 
 #include "core/runner.hh"
 
@@ -27,6 +32,44 @@ inline bool flag_present(int argc, char** argv, const char* flag)
 inline bool quick_mode(int argc, char** argv)
 {
     return flag_present(argc, argv, "--quick");
+}
+
+/// Value of `--<flag> N` or `--<flag>=N`, or `fallback` when absent.
+inline long long arg_ll(int argc, char** argv, const char* flag,
+                        long long fallback)
+{
+    const std::size_t len = std::strlen(flag);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+            return std::atoll(argv[i + 1]);
+        }
+        if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+            return std::atoll(argv[i] + len + 1);
+        }
+    }
+    return fallback;
+}
+
+/// `--max-wall-ms N` watchdog: a detached thread hard-exits the process
+/// (status 124, like timeout(1)) if the bench is still running after N
+/// milliseconds of wall time. A wedged simulation — e.g. a fault sweep
+/// that deadlocks instead of degrading — then fails CI loudly instead of
+/// hanging it. No-op when the flag is absent.
+inline void install_wall_watchdog(int argc, char** argv)
+{
+    const long long ms = arg_ll(argc, argv, "--max-wall-ms", 0);
+    if (ms <= 0) {
+        return;
+    }
+    std::thread([ms] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        std::fprintf(stderr,
+                     "bench watchdog: still running after %lld ms, "
+                     "aborting\n",
+                     ms);
+        std::fflush(nullptr);
+        _exit(124);
+    }).detach();
 }
 
 inline void header(const char* bench, const char* paper_artefact,

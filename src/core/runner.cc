@@ -1,12 +1,29 @@
 #include "core/runner.hh"
 
 #include <algorithm>
+#include <iostream>
 
 #include "accel/command.hh"
+#include "sim/fault_injector.hh"
 
 namespace accesys::core {
 
 namespace {
+
+/// Run the simulation; if a SimError escapes mid-run, flush a partial
+/// stats dump to stderr first so the failure state is diagnosable, then
+/// rethrow.
+RunResult run_with_stats_flush(System& sys, const char* what)
+{
+    try {
+        return sys.sim().run();
+    } catch (const SimError&) {
+        std::cerr << "accesys: SimError during " << what << " at tick "
+                  << sys.sim().now() << "; partial stats dump follows\n";
+        sys.stats().write_text(std::cerr);
+        throw;
+    }
+}
 
 /// The doorbell register's system address for endpoint `idx`.
 Addr doorbell_addr(System& sys, std::size_t idx = 0)
@@ -124,20 +141,43 @@ MultiGemmResult Runner::run_dispatched()
     for (const PendingGemm& p : pending_) {
         prog.push_back(cpu::MmioWrite{doorbell_addr(sys, p.device), p.desc});
     }
+    // Fault runs bound each completion poll by the plan's job timeout so
+    // one dead endpoint cannot wedge the whole batch.
+    double job_timeout_ns = 0.0;
+    const FaultInjector* fi = sys.sim().fault_injector();
+    if (fi != nullptr) {
+        job_timeout_ns = fi->plan().job_timeout_ns;
+    }
     for (const PendingGemm& p : pending_) {
-        prog.push_back(cpu::PollFlag{p.flag, p.cmd.flag_value});
+        prog.push_back(cpu::PollFlag{p.flag, p.cmd.flag_value,
+                                     job_timeout_ns});
     }
     prog.push_back(cpu::Call{[&sys, &res] { res.end = sys.sim().now(); }});
 
     sys.host_cpu().run_program(std::move(prog), [&sys] {
         sys.sim().request_exit("dispatched gemms complete");
     });
-    const RunResult rr = sys.sim().run();
-    ensure(rr.cause == ExitCause::exit_requested,
-           "GEMM run deadlocked: simulation drained at tick ", rr.end_tick);
+    const RunResult rr = run_with_stats_flush(sys, "run_dispatched");
+    if (fi == nullptr) {
+        ensure(rr.cause == ExitCause::exit_requested,
+               "GEMM run deadlocked: simulation drained at tick ",
+               rr.end_tick);
+    } else if (rr.cause != ExitCause::exit_requested) {
+        // Graceful degradation: a fault run that drains mid-program still
+        // reports per-job outcomes below (the flags tell timeouts apart).
+        res.end = rr.end_tick;
+    }
 
     for (std::size_t i = 0; i < pending_.size(); ++i) {
         const PendingGemm& p = pending_[i];
+        // The flag itself is the ground truth for per-job success: a
+        // timed-out poll leaves it unset while completed devices posted
+        // theirs.
+        const auto flag = sys.store().read_obj<std::uint64_t>(p.flag);
+        if (flag != p.cmd.flag_value) {
+            res.devices[i].status = JobStatus::timed_out;
+            continue; // no done tick, no verify: the job never finished
+        }
         res.devices[i].done =
             sys.accelerator(p.device).last_complete_tick();
         res.devices[i].dma_bytes =
@@ -255,7 +295,7 @@ VitRunResult Runner::run_vit(const workload::VitConfig& cfg, Placement place)
     sys.host_cpu().run_program(std::move(prog), [&sys] {
         sys.sim().request_exit("vit complete");
     });
-    const RunResult rr = sys.sim().run();
+    const RunResult rr = run_with_stats_flush(sys, "run_vit");
     ensure(rr.cause == ExitCause::exit_requested,
            "ViT run deadlocked: simulation drained at tick ", rr.end_tick);
     return res;

@@ -52,15 +52,27 @@ struct VitRunResult {
     }
 };
 
+/// How one device's job ended in a concurrent multi-device run.
+enum class JobStatus {
+    ok,        ///< completion flag observed
+    timed_out, ///< flag never arrived within FaultPlan::job_timeout_ns
+};
+
 /// Outcome of one device's share of a concurrent multi-device run.
 struct DeviceGemmResult {
     std::size_t device = 0;
     workload::GemmSpec spec{};
+    /// Per-job outcome. Only fault runs with a job timeout can report
+    /// anything but `ok`: a clean run that loses a flag deadlocks loudly
+    /// instead (the old behaviour, preserved).
+    JobStatus status = JobStatus::ok;
     /// Tick the device finished posting its completion flag (device-side,
     /// so dispatch/poll order cannot bias completion-skew measurements).
     Tick done = 0;
     bool verified = false;
     std::uint64_t mismatches = 0;
+
+    [[nodiscard]] bool ok() const noexcept { return status == JobStatus::ok; }
 
     /// Bytes this device's DMA engine moved (payload, both directions).
     std::uint64_t dma_bytes = 0;

@@ -32,6 +32,34 @@ void System::build()
     // carve endpoint subtrees into parallel simulation domains.
     sim_.set_threads(cfg_.threads);
 
+    // The fault injector must exist before any component constructs:
+    // fault-aware components (links, DMA engines, the RC, the CPU) probe
+    // sim().fault_injector() exactly once, in their constructors, to decide
+    // whether to allocate fault state and register fault stats. An inactive
+    // plan creates nothing, keeping clean runs bit-identical.
+    if (cfg_.fault_plan.active()) {
+        fault_ = std::make_unique<FaultInjector>(cfg_.fault_plan);
+        sim_.set_fault_injector(fault_.get());
+    }
+    if (sim_.fault_injector() != nullptr &&
+        cfg_.fault_plan.completion_timeout_ns > 0) {
+        // Propagate the completion-timeout budget to every requester that
+        // waits on PCIe completions.
+        cfg_.accel.dma.completion_timeout_ns =
+            cfg_.fault_plan.completion_timeout_ns;
+        cfg_.accel.dma.completion_max_retries =
+            cfg_.fault_plan.completion_max_retries;
+        for (DeviceConfig& dev : cfg_.devices) {
+            dev.accel.dma.completion_timeout_ns =
+                cfg_.fault_plan.completion_timeout_ns;
+            dev.accel.dma.completion_max_retries =
+                cfg_.fault_plan.completion_max_retries;
+        }
+        cfg_.rc.completion_timeout_ns = cfg_.fault_plan.completion_timeout_ns;
+        cfg_.rc.completion_max_retries =
+            cfg_.fault_plan.completion_max_retries;
+    }
+
     const mem::AddrRange host = host_range();
     const Addr pt_root = cfg_.host_dram_bytes - kPtArenaBytes;
     ptable_ = std::make_unique<smmu::PageTable>(

@@ -126,6 +126,11 @@ class System {
     Simulator sim_;
     mem::BackingStore store_;
 
+    /// Fault-injection registry (created only for an active FaultPlan,
+    /// installed on sim_ before any fault-aware component constructs so
+    /// each one can allocate its fault state exactly once).
+    std::unique_ptr<FaultInjector> fault_;
+
     std::unique_ptr<smmu::PageTable> ptable_;
     std::unique_ptr<mem::Xbar> membus_;
     std::unique_ptr<cpu::HostCpu> cpu_;

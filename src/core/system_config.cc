@@ -192,6 +192,7 @@ void SystemConfig::validate() const
     pcie.validate();
     rc.validate();
     smmu.validate();
+    fault_plan.validate();
     require_cfg(host_dram_bytes >= 256 * kMiB,
                 "host DRAM must be at least 256 MiB (page tables live there)");
 

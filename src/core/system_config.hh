@@ -13,6 +13,7 @@
 #include "pcie/root_complex.hh"
 #include "pcie/switch.hh"
 #include "sim/env_flags.hh"
+#include "sim/fault_injector.hh"
 #include "smmu/smmu.hh"
 
 namespace accesys::core {
@@ -125,6 +126,13 @@ struct SystemConfig {
     std::vector<SwitchConfig> switch_tree;
 
     AccessMode access_mode = AccessMode::dc;
+
+    /// Deterministic fault-injection plan (PCIe corruption, link-down
+    /// windows, completion/job timeouts). Inactive by default: a
+    /// default-constructed plan adds no components, no stats and no
+    /// per-TLP work, so clean runs are bit-identical with or without the
+    /// fault model compiled in. See sim/fault_injector.hh.
+    FaultPlan fault_plan;
 
     /// Simulation worker-thread budget (ACCESYS_THREADS). With >= 2, the
     /// topology carves each endpoint subtree (downstream link + device +

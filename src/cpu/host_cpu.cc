@@ -109,8 +109,11 @@ void HostCpu::exec_current()
         // Wait for the (posted-at-RC) ack before proceeding.
         return;
     }
-    if (std::get_if<PollFlag>(&op) != nullptr) {
+    if (auto* p = std::get_if<PollFlag>(&op); p != nullptr) {
         poll_backoff_ = params_.poll_interval_cycles;
+        poll_deadline_ = p->timeout_ns > 0
+                             ? now() + ticks_from_ns(p->timeout_ns)
+                             : kMaxTick;
         issue_poll();
         return;
     }
@@ -255,6 +258,12 @@ bool HostCpu::recv_resp(mem::PacketPtr& pkt)
         const auto value = store_->read_obj<std::uint64_t>(p.addr);
         pkt.reset();
         if (value == p.expected) {
+            next_op();
+        } else if (now() >= poll_deadline_) {
+            // Job timeout: the flag never arrived within the budget. Give
+            // up on this poll so the program (and the other devices'
+            // polls) can finish; the caller reads the flag to tell
+            // success from timeout.
             next_op();
         } else {
             schedule(poll_event_, now() + cycles_to_ticks(poll_backoff_));

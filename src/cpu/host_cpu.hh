@@ -56,6 +56,10 @@ struct MmioWrite {
 struct PollFlag {
     Addr addr = 0;
     std::uint64_t expected = 1;
+    /// Give-up budget: after this many ns without a match the poll op
+    /// completes anyway (the driver's job timeout). 0 = poll forever.
+    /// Callers decide success by reading the flag after the run.
+    double timeout_ns = 0.0;
 };
 
 struct VectorOp {
@@ -133,6 +137,7 @@ class HostCpu final : public SimObject,
     bool blocked_ = false;
     bool delay_pending_ = false;
     unsigned poll_backoff_ = 0; ///< current poll interval (cycles)
+    Tick poll_deadline_ = kMaxTick; ///< give-up tick of the current poll
 
     // Vector-op progress.
     std::uint64_t vec_read_issued_ = 0;

@@ -32,6 +32,16 @@ DmaEngine::DmaEngine(Simulator& sim, std::string name,
     for (unsigned t = 0; t < params_.max_tags; ++t) {
         tag_free_bits_[t / 64] |= std::uint64_t{1} << (t % 64);
     }
+    if (params_.completion_timeout_ns > 0) {
+        timeout_ticks_ = ticks_from_ns(params_.completion_timeout_ns);
+        fault_stats_ = std::make_unique<FaultStats>(stat_group());
+        timeout_event_.set_name(this->name() + ".cpl_timeout");
+        timeout_event_.set_raw_callback(
+            [](void* self) {
+                static_cast<DmaEngine*>(self)->check_timeouts();
+            },
+            this);
+    }
 }
 
 void DmaEngine::set_request_bytes(std::uint32_t bytes)
@@ -148,6 +158,10 @@ void DmaEngine::pump_read(JobState& js)
         tags_[tag] = TagState{&js, js.issued, chunk, true};
         ++tags_in_use_;
         window_in_use_ += chunk;
+        if (timeout_ticks_ > 0) {
+            tags_[tag].deadline = now() + timeout_ticks_;
+            arm_timeout(tags_[tag].deadline);
+        }
 
         port_->dma_send(
             tlp_pool_->make_mem_read(js.job.host_addr + js.issued, chunk,
@@ -185,11 +199,95 @@ void DmaEngine::pump_write(JobState& js)
     }
 }
 
+void DmaEngine::arm_timeout(Tick deadline)
+{
+    // One shared timer at the earliest known deadline; check_timeouts()
+    // re-arms from a scan. Deadlines only grow (issue order + backoff), so
+    // an already-scheduled timer is never late.
+    if (!timeout_event_.scheduled()) {
+        schedule(timeout_event_, deadline);
+    }
+}
+
+void DmaEngine::check_timeouts()
+{
+    Tick next = kMaxTick;
+    for (unsigned t = 0; t < tags_.size(); ++t) {
+        TagState& ts = tags_[t];
+        if (!ts.busy) {
+            continue;
+        }
+        if (ts.deadline <= now()) {
+            ++fault_stats_->timeouts;
+            if (ts.retries >= params_.completion_max_retries) {
+                // Retry budget exhausted: the whole transfer is abandoned
+                // (frees every tag of this job, including this one).
+                fail_job(*ts.job);
+                continue;
+            }
+            // Re-issue the read under the same tag with exponential
+            // backoff; a late completion of the original attempt retires
+            // the tag early and the duplicate is dropped as stray.
+            ++ts.retries;
+            ts.deadline =
+                now() + (timeout_ticks_ << std::min(ts.retries, 16U));
+            ++fault_stats_->retries;
+            port_->dma_send(
+                tlp_pool_->make_mem_read(ts.job->job.host_addr + ts.offset,
+                                         ts.bytes,
+                                         static_cast<std::uint8_t>(t),
+                                         port_->dma_device_id()),
+                {});
+        }
+        if (ts.busy) {
+            next = std::min(next, ts.deadline);
+        }
+    }
+    if (next != kMaxTick) {
+        schedule(timeout_event_, next);
+    }
+    pump(); // failed jobs free channels; refill from the queue
+}
+
+void DmaEngine::fail_job(JobState& js)
+{
+    ++fault_stats_->jobs_failed;
+    for (unsigned t = 0; t < tags_.size(); ++t) {
+        TagState& ts = tags_[t];
+        if (ts.busy && ts.job == &js) {
+            ts.busy = false;
+            tag_free_bits_[t / 64] |= std::uint64_t{1} << (t % 64);
+            --tags_in_use_;
+            window_in_use_ -= ts.bytes;
+        }
+    }
+    active_.erase(std::remove(active_.begin(), active_.end(), &js),
+                  active_.end());
+    // Job-level failure: the completion callback is dropped, never fired —
+    // the consumer (accelerator pipeline, and transitively the host's
+    // completion-flag poll) observes the failure as absence of progress.
+    js.job = DmaJob{};
+    job_free_.push_back(&js);
+}
+
 void DmaEngine::on_completion(const pcie::Tlp& cpl)
 {
+    if (timeout_ticks_ > 0 &&
+        (cpl.tag >= tags_.size() || !tags_[cpl.tag].busy)) {
+        // Unexpected completion: the tag was retired by a timeout retry
+        // racing the original CplD, or by a job-level failure. Dropped,
+        // exactly as a real requester handles completions it no longer
+        // expects.
+        ++fault_stats_->stray;
+        return;
+    }
     ensure(cpl.tag < tags_.size() && tags_[cpl.tag].busy, name(),
            ": completion for idle tag ", static_cast<int>(cpl.tag));
     if (!cpl.is_last) {
+        if (timeout_ticks_ > 0) {
+            // Data is flowing: restart the watchdog for the tail chunks.
+            tags_[cpl.tag].deadline = now() + timeout_ticks_;
+        }
         return; // partial completion; wait for the final chunk
     }
     TagState& ts = tags_[cpl.tag];

@@ -49,6 +49,15 @@ struct DmaParams {
     unsigned max_tags = 128;           ///< outstanding MRd TLPs
     std::size_t max_egress = 16;       ///< stage writes while egress shallow
 
+    /// Completion timeout for outstanding MRd tags; 0 (the default)
+    /// disables the watchdog entirely — no timer, no fault stats.
+    /// core::System propagates FaultPlan::completion_timeout_ns here.
+    double completion_timeout_ns = 0.0;
+    /// Timed-out reads are re-issued with exponential backoff up to this
+    /// many times; after that the whole job is abandoned (job-level
+    /// failure — the completion callback never fires).
+    unsigned completion_max_retries = 3;
+
     void validate() const;
 };
 
@@ -110,12 +119,37 @@ class DmaEngine final : public SimObject {
         std::uint64_t offset = 0;
         std::uint32_t bytes = 0;
         bool busy = false;
+        Tick deadline = 0;    ///< completion-timeout deadline (fault mode)
+        unsigned retries = 0; ///< re-issues of this tag so far
+    };
+
+    /// Fault-mode stats, allocated only when the completion watchdog is
+    /// enabled so clean-run stat dumps are unchanged.
+    struct FaultStats {
+        explicit FaultStats(stats::Group& g)
+            : timeouts(g, "read_timeouts",
+                       "MRd completion timeouts observed"),
+              retries(g, "read_retries",
+                      "MRd TLPs re-issued after a completion timeout"),
+              stray(g, "stray_completions",
+                    "late CplDs for already-retired tags (dropped)"),
+              jobs_failed(g, "jobs_failed",
+                          "DMA jobs abandoned after the retry budget")
+        {
+        }
+        stats::Scalar timeouts;
+        stats::Scalar retries;
+        stats::Scalar stray;
+        stats::Scalar jobs_failed;
     };
 
     void pump();
     void pump_read(JobState& js);
     void pump_write(JobState& js);
     [[nodiscard]] JobState* acquire_job_state();
+    void arm_timeout(Tick deadline);
+    void check_timeouts();
+    void fail_job(JobState& js);
 
     DmaParams params_;
     DmaPort* port_;
@@ -139,6 +173,10 @@ class DmaEngine final : public SimObject {
     unsigned tags_in_use_ = 0;
     bool pumping_ = false;
     bool repump_ = false;
+
+    Tick timeout_ticks_ = 0; ///< nonzero = completion watchdog armed
+    Event timeout_event_{"", nullptr};
+    std::unique_ptr<FaultStats> fault_stats_;
 
     stats::Scalar reads_issued_{stat_group(), "reads_issued",
                                 "MRd TLPs issued"};

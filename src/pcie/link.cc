@@ -105,6 +105,76 @@ PcieLink::PcieLink(Simulator& sim, std::string name, const LinkParams& params)
     dirs_[1].credit_event.set_name(this->name() + ".credit_ba");
     dirs_[1].credit_event.set_raw_callback(
         [](void* self) { static_cast<PcieLink*>(self)->credit(1); }, this);
+    if (FaultInjector* fi = sim.fault_injector()) {
+        fault_ = std::make_unique<FaultState>(*this, *fi);
+    }
+}
+
+PcieLink::FaultState::FaultState(PcieLink& link, FaultInjector& fi)
+    : plan(fi.plan()),
+      site_id(fi.register_site(link.name())),
+      replay_timeout(ticks_from_ns(plan.replay_timeout_ns)),
+      corrupted(link.stat_group(), "link_corrupted_tlps",
+                "TLPs marked corrupted at transmit"),
+      naks(link.stat_group(), "link_nak_count", "NAKs sent by receivers"),
+      replays(link.stat_group(), "link_replays",
+              "TLP retransmissions from the replay buffer"),
+      dropped(link.stat_group(), "link_dropped_tlps",
+              "TLP transmissions discarded (corrupt/out-of-seq/down)"),
+      dead(link.stat_group(), "link_dead_tlps",
+           "TLPs dropped for good after exhausting the replay budget"),
+      retrains(link.stat_group(), "link_retrains",
+               "link retrains after down windows"),
+      recovery_ns(link.stat_group(), "recovery_ns",
+                  "summed first-transmit-to-ACK latency of replayed TLPs",
+                  [this] {
+                      return ticks_to_ns(dir[0].recovery_ticks +
+                                         dir[1].recovery_ticks);
+                  })
+{
+    static constexpr const char* kDirSuffix[2] = {"_ab", "_ba"};
+    for (unsigned s = 0; s < 2; ++s) {
+        FaultDir& f = dir[s];
+        f.rng.reseed(fi.stream_seed(site_id, s));
+        f.rate_on = fi.rate_applies(link.name());
+        fi.collect(link.name(), s, f.corrupt_at, f.down);
+        f.dll_event.set_name(link.name() + ".dll" + kDirSuffix[s]);
+        f.replay_event.set_name(link.name() + ".replay" + kDirSuffix[s]);
+        f.retrain_event.set_name(link.name() + ".retrain" + kDirSuffix[s]);
+    }
+    dir[0].dll_event.set_raw_callback(
+        [](void* self) { static_cast<PcieLink*>(self)->process_dll(0); },
+        &link);
+    dir[1].dll_event.set_raw_callback(
+        [](void* self) { static_cast<PcieLink*>(self)->process_dll(1); },
+        &link);
+    dir[0].replay_event.set_raw_callback(
+        [](void* self) { static_cast<PcieLink*>(self)->replay_timer(0); },
+        &link);
+    dir[1].replay_event.set_raw_callback(
+        [](void* self) { static_cast<PcieLink*>(self)->replay_timer(1); },
+        &link);
+    dir[0].retrain_event.set_raw_callback(
+        [](void* self) { static_cast<PcieLink*>(self)->retrain(0); },
+        &link);
+    dir[1].retrain_event.set_raw_callback(
+        [](void* self) { static_cast<PcieLink*>(self)->retrain(1); },
+        &link);
+}
+
+void PcieLink::startup()
+{
+    if (fault_ == nullptr) {
+        return;
+    }
+    // Boundary wiring (set_boundary) is final here, so each direction's
+    // retrain event lands on the queue that owns its transmit state.
+    for (unsigned s = 0; s < 2; ++s) {
+        FaultDir& f = fault_->dir[s];
+        if (!f.down.empty()) {
+            dirs_[s].tx_q->schedule(f.retrain_event, f.down[0].second);
+        }
+    }
 }
 
 double PcieLink::utilization(unsigned dir) const
@@ -132,6 +202,43 @@ void PcieLink::set_boundary(EventQueue& a_queue, TlpPool& a_pool,
 std::uint64_t PcieLink::flush_boundary()
 {
     std::uint64_t moved = 0;
+    if (fault_ != nullptr) {
+        for (unsigned s = 0; s < 2; ++s) {
+            Direction& d = dirs_[s];
+            FaultDir& f = fault_->dir[s];
+            // DLL records cross the domain boundary exactly like credit
+            // returns: arrival order preserved, the kick armed as the
+            // serial model would — always for NAKs, for ACKs only when
+            // the transmitter is replay-starved.
+            bool want_kick = false;
+            while (!f.staged_dll.empty()) {
+                const DllRecord rec = f.staged_dll.take_front();
+                if (rec.nak) {
+                    ++f.naks_pending;
+                    want_kick = true;
+                }
+                f.dll.push_back(rec);
+            }
+            if ((want_kick || (f.replay_starved && !f.dll.empty())) &&
+                !f.dll_event.scheduled()) {
+                d.tx_q->schedule_express(
+                    f.dll_event,
+                    std::max(d.tx_q->now(), f.dll.front().arrival));
+            }
+            // Fold the fault-stat shadows (exact integer-valued doubles,
+            // except recovery_ns which is a plain sum either way).
+            fault_->corrupted += static_cast<double>(f.sh_corrupted);
+            fault_->naks += static_cast<double>(f.sh_naks);
+            fault_->replays += static_cast<double>(f.sh_replays);
+            fault_->dropped +=
+                static_cast<double>(f.sh_dropped_tx + f.sh_dropped_rx);
+            fault_->dead += static_cast<double>(f.sh_dead);
+            fault_->retrains += static_cast<double>(f.sh_retrains);
+            f.sh_corrupted = f.sh_naks = f.sh_replays = 0;
+            f.sh_dropped_tx = f.sh_dropped_rx = 0;
+            f.sh_dead = f.sh_retrains = 0;
+        }
+    }
     for (auto& d : dirs_) {
         // TLP handoffs: re-materialize each staged TLP in the receiving
         // domain's pool (so its eventual recycle stays thread-confined)
@@ -179,8 +286,376 @@ std::uint64_t PcieLink::flush_boundary()
     return moved;
 }
 
+namespace {
+
+/// Is `t` inside one of the sorted, merged `[start, end)` windows?
+/// `idx` is a monotonic cursor (each caller's probe ticks never go back).
+bool in_window(const std::vector<std::pair<Tick, Tick>>& w, std::size_t& idx,
+               Tick t)
+{
+    while (idx < w.size() && w[idx].second <= t) {
+        ++idx;
+    }
+    return idx < w.size() && t >= w[idx].first;
+}
+
+} // namespace
+
+void PcieLink::synthesize_credits(unsigned side, unsigned hdr,
+                                  std::uint64_t data)
+{
+    // The wire ate a TLP for good: hand its flow-control credits straight
+    // back to the transmit side (the receiver will never release them).
+    // Thread-safe: only ever called from `side`'s own transmit path.
+    Direction& d = dirs_[side];
+    d.credit_returns.push_back(CreditReturn{d.tx_q->now(), hdr, data});
+    if ((eager_credits_ || d.tx_starved) && !d.credit_event.scheduled()) {
+        d.tx_q->schedule_express(d.credit_event, d.tx_q->now());
+    }
+}
+
+void PcieLink::arm_replay_timer(unsigned dir)
+{
+    FaultDir& f = fault_->dir[dir];
+    if (!f.replay.empty() && !f.replay_event.scheduled()) {
+        dirs_[dir].tx_q->schedule(f.replay_event,
+                                  dirs_[dir].tx_q->now() +
+                                      fault_->replay_timeout);
+    }
+}
+
+void PcieLink::fault_transmit(unsigned side, TlpPtr tlp)
+{
+    Direction& d = dirs_[side];
+    FaultDir& f = fault_->dir[side];
+    if (f.link_failed) {
+        // Direction declared dead: swallow the TLP, return its credits so
+        // upstream queues drain, and let completion timeouts surface the
+        // loss.
+        if (boundary_) {
+            ++f.sh_dead;
+        } else {
+            ++fault_->dead;
+        }
+        synthesize_credits(side, 1, tlp->payload_bytes());
+        return;
+    }
+    tlp->dl_seq = f.next_seq++;
+    ReplayEntry e;
+    e.first_tx = e.ack_base = d.tx_q->now();
+    e.seq = tlp->dl_seq;
+    e.hdr_cost = 1;
+    e.data_cost = tlp->payload_bytes();
+    e.tlp = *tlp; // value snapshot — pool-less, survives delivery
+    f.replay.push_back(std::move(e));
+    arm_replay_timer(side);
+    const Tick ack_due = send_attempt(side, std::move(tlp),
+                                      /*is_replay=*/false);
+    if (ack_due != 0) {
+        f.replay[f.replay.size() - 1].ack_base = ack_due;
+    }
+}
+
+Tick PcieLink::send_attempt(unsigned side, TlpPtr tlp, bool is_replay)
+{
+    Direction& d = dirs_[side];
+    FaultDir& f = fault_->dir[side];
+    const Tick start = std::max(d.tx_q->now(), d.busy_until);
+
+    // A downed link transmits nothing: the TLP stays in the replay buffer
+    // and the replay timer re-sends it after the retrain.
+    if (in_window(f.down, f.tx_down_idx, start)) {
+        if (boundary_) {
+            ++f.sh_dropped_tx;
+        } else {
+            ++fault_->dropped;
+        }
+        return 0;
+    }
+
+    // Corruption is decided per wire attempt — a replay can be hit again.
+    bool corrupt = f.rate_on && f.rng.chance(fault_->plan.corrupt_rate);
+    if (!corrupt && f.corrupt_idx < f.corrupt_at.size() &&
+        start >= f.corrupt_at[f.corrupt_idx]) {
+        corrupt = true;
+        ++f.corrupt_idx;
+    }
+    tlp->dl_corrupt = corrupt;
+    if (corrupt) {
+        if (boundary_) {
+            ++f.sh_corrupted;
+        } else {
+            ++fault_->corrupted;
+        }
+    }
+
+    const std::uint64_t bytes = wire_bytes(*tlp);
+    const Tick ser =
+        static_cast<Tick>(static_cast<double>(bytes) * ser_ps_per_byte_);
+    d.busy_until = start + ser;
+    d.busy_ticks += ser;
+    const Tick arrival = d.busy_until + prop_ticks_;
+
+    if (boundary_) {
+        if (!is_replay) {
+            d.sh_tlps += 1;
+            d.sh_payload += tlp->payload_bytes();
+            d.sh_wire += bytes;
+        }
+        d.staged_tlps.push_back(InFlight{arrival, std::move(tlp)});
+        return arrival + prop_ticks_;
+    }
+    if (!is_replay) {
+        ++tlps_;
+        payload_bytes_ += tlp->payload_bytes();
+        wire_bytes_ += static_cast<double>(bytes);
+    }
+    d.in_flight.push_back(InFlight{arrival, std::move(tlp)});
+    if (!d.deliver_event.scheduled()) {
+        d.rx_q->schedule_express(d.deliver_event, arrival);
+    }
+    return arrival + prop_ticks_;
+}
+
+bool PcieLink::fault_accept(unsigned dir, Tlp& tlp, Tick arrival)
+{
+    FaultDir& f = fault_->dir[dir];
+    const auto drop = [&] {
+        if (boundary_) {
+            ++f.sh_dropped_rx;
+        } else {
+            ++fault_->dropped;
+        }
+    };
+    const auto nak = [&] {
+        if (boundary_) {
+            ++f.sh_naks;
+        } else {
+            ++fault_->naks;
+        }
+        f.nak_armed = true;
+        queue_dll(dir, DllRecord{arrival + prop_ticks_, f.expect_seq, true});
+    };
+
+    // Receiver off during a down window: the TLP evaporates on the wire.
+    if (in_window(f.down, f.rx_down_idx, arrival)) {
+        drop();
+        return false;
+    }
+    if (tlp.dl_corrupt) {
+        // A failed LCRC always NAKs — a replayed TLP corrupted again
+        // draws another NAK (this is what a NAK storm is made of).
+        drop();
+        nak();
+        return false;
+    }
+    if (tlp.dl_seq != f.expect_seq) {
+        drop();
+        // Gap after a loss: NAK once per error window. Duplicates from
+        // replay overlap (seq below expected) are discarded silently.
+        if (tlp.dl_seq > f.expect_seq && !f.nak_armed) {
+            nak();
+        }
+        return false;
+    }
+    f.expect_seq = tlp.dl_seq + 1;
+    f.nak_armed = false;
+    // Cumulative ACK: everything below expect_seq has been accepted.
+    queue_dll(dir, DllRecord{arrival + prop_ticks_, f.expect_seq, false});
+    return true;
+}
+
+void PcieLink::queue_dll(unsigned dir, DllRecord rec)
+{
+    // Called by direction `dir`'s receiver; the record travels back to
+    // the transmit side, arriving a propagation delay later.
+    Direction& d = dirs_[dir];
+    FaultDir& f = fault_->dir[dir];
+    if (boundary_) {
+        f.staged_dll.push_back(rec);
+        return;
+    }
+    const bool nak = rec.nak;
+    f.dll.push_back(rec);
+    if (nak) {
+        ++f.naks_pending;
+    }
+    // Lazy like credit returns: ACKs are harvested by the next transmit
+    // probe; only NAKs (which must trigger replay unprompted) and a
+    // replay-starved transmitter need the event.
+    if ((nak || f.replay_starved) && !f.dll_event.scheduled()) {
+        // Clamp: the front record can be a stale, lazily-unharvested ACK
+        // whose arrival tick is already in the past.
+        d.tx_q->schedule_express(
+            f.dll_event, std::max(d.tx_q->now(), f.dll.front().arrival));
+    }
+}
+
+bool PcieLink::harvest_acks(unsigned dir)
+{
+    Direction& d = dirs_[dir];
+    FaultDir& f = fault_->dir[dir];
+    bool freed = false;
+    while (!f.dll.empty() && f.dll.front().arrival <= d.tx_q->now()) {
+        const DllRecord rec = f.dll.take_front();
+        while (!f.replay.empty() && f.replay.front().seq < rec.seq) {
+            const ReplayEntry& e = f.replay.front();
+            if (e.tries > 0) {
+                f.recovery_ticks += rec.arrival - e.first_tx;
+            }
+            f.replay.pop_front();
+            freed = true;
+        }
+        if (rec.nak) {
+            --f.naks_pending;
+            do_replay(dir, rec.seq);
+        }
+    }
+    return freed;
+}
+
+void PcieLink::do_replay(unsigned dir, std::uint64_t from_seq)
+{
+    FaultDir& f = fault_->dir[dir];
+    if (f.link_failed) {
+        return;
+    }
+    for (std::size_t i = 0; i < f.replay.size();) {
+        ReplayEntry& e = f.replay[i];
+        if (e.seq < from_seq) {
+            ++i;
+            continue;
+        }
+        if (e.tries >= fault_->plan.max_replays) {
+            // Replay budget exhausted: this TLP is gone for good and the
+            // direction can never re-sync its sequence — latch it failed
+            // so later traffic fast-fails instead of storming.
+            if (boundary_) {
+                ++f.sh_dead;
+            } else {
+                ++fault_->dead;
+            }
+            synthesize_credits(dir, e.hdr_cost, e.data_cost);
+            f.link_failed = true;
+            f.replay.erase_at(i);
+            break; // the flush below retires whatever is left
+        }
+        ++e.tries;
+        e.ack_base = dirs_[dir].tx_q->now();
+        if (boundary_) {
+            ++f.sh_replays;
+        } else {
+            ++fault_->replays;
+        }
+        TlpPtr clone = tlp_pool().make();
+        *clone = e.tlp;
+        const Tick ack_due =
+            send_attempt(dir, std::move(clone), /*is_replay=*/true);
+        if (ack_due != 0) {
+            e.ack_base = ack_due;
+        }
+        ++i;
+    }
+    if (f.link_failed) {
+        // Flush what's left: a failed direction keeps nothing alive.
+        while (!f.replay.empty()) {
+            const ReplayEntry& e = f.replay.front();
+            if (boundary_) {
+                ++f.sh_dead;
+            } else {
+                ++fault_->dead;
+            }
+            synthesize_credits(dir, e.hdr_cost, e.data_cost);
+            f.replay.pop_front();
+        }
+    }
+    arm_replay_timer(dir);
+}
+
+void PcieLink::process_dll(unsigned dir)
+{
+    Direction& d = dirs_[dir];
+    FaultDir& f = fault_->dir[dir];
+    const bool was_starved = f.replay_starved;
+    const bool freed = harvest_acks(dir);
+    // Clear before the kick, exactly like credit(): a still-starved
+    // sender's probe inside credit_avail() re-arms below.
+    f.replay_starved = false;
+    if (freed || was_starved) {
+        PciePort& tx = ports_[dir];
+        ensure(tx.node_ != nullptr, name(), ": unattached PCIe port");
+        tx.node_->credit_avail(tx.node_port_idx_);
+    }
+    if (!f.dll.empty() && (f.naks_pending > 0 || f.replay_starved) &&
+        !f.dll_event.scheduled()) {
+        d.tx_q->schedule_express(
+            f.dll_event, std::max(d.tx_q->now(), f.dll.front().arrival));
+    }
+}
+
+void PcieLink::replay_timer(unsigned dir)
+{
+    Direction& d = dirs_[dir];
+    FaultDir& f = fault_->dir[dir];
+    const bool was_starved = f.replay_starved;
+    const bool freed = harvest_acks(dir);
+    f.replay_starved = false;
+    if (freed || was_starved) {
+        PciePort& tx = ports_[dir];
+        ensure(tx.node_ != nullptr, name(), ": unattached PCIe port");
+        tx.node_->credit_avail(tx.node_port_idx_);
+    }
+    if (f.replay.empty()) {
+        return;
+    }
+    const Tick due = f.replay.front().ack_base + fault_->replay_timeout;
+    if (due <= d.tx_q->now()) {
+        // Nothing ACKed the oldest entry in a full timeout: the receiver
+        // never saw it (link-down loss, lost to a dead window) — replay
+        // the whole buffer.
+        do_replay(dir, f.replay.front().seq);
+    }
+    if (!f.replay.empty() && !f.replay_event.scheduled()) {
+        const Tick next =
+            f.replay.front().ack_base + fault_->replay_timeout;
+        d.tx_q->schedule(f.replay_event, std::max(next, d.tx_q->now()));
+    }
+}
+
+void PcieLink::retrain(unsigned dir)
+{
+    // Fires at a down-window end, on the transmit side's queue. The wire
+    // comes back clean: drain every in-flight credit return (they belong
+    // to the pre-down world) and re-arm the full advertised credits, then
+    // kick the transmitter — its egress likely backed up during the
+    // window. Sequence state is kept: the replay timer re-sends what the
+    // down window ate, under the original sequence numbers.
+    Direction& d = dirs_[dir];
+    FaultDir& f = fault_->dir[dir];
+    d.credit_returns.clear();
+    ports_[dir].tx_hdr_credits_ = params_.hdr_credits;
+    ports_[dir].tx_data_credits_ = params_.data_credit_bytes;
+    if (boundary_) {
+        ++f.sh_retrains;
+    } else {
+        ++fault_->retrains;
+    }
+    d.tx_starved = false;
+    PciePort& tx = ports_[dir];
+    ensure(tx.node_ != nullptr, name(), ": unattached PCIe port");
+    tx.node_->credit_avail(tx.node_port_idx_);
+    ++f.retrain_idx;
+    if (f.retrain_idx < f.down.size()) {
+        d.tx_q->schedule(f.retrain_event, f.down[f.retrain_idx].second);
+    }
+}
+
 void PcieLink::transmit(unsigned from_side, TlpPtr tlp)
 {
+    if (fault_ != nullptr) {
+        fault_transmit(from_side, std::move(tlp));
+        return;
+    }
     // dir 0 carries a->b (from side 0), dir 1 carries b->a.
     Direction& d = dirs_[from_side];
 
@@ -218,8 +693,12 @@ void PcieLink::deliver(unsigned dir)
     Direction& d = dirs_[dir];
     while (!d.in_flight.empty() &&
            d.in_flight.front().arrival <= d.rx_q->now()) {
+        const Tick arrival = d.in_flight.front().arrival;
         TlpPtr tlp = std::move(d.in_flight.front().tlp);
         d.in_flight.pop_front();
+        if (fault_ != nullptr && !fault_accept(dir, *tlp, arrival)) {
+            continue; // discarded by the DLL; replay recovers it
+        }
         PciePort& rx = ports_[1 - dir]; // dir 0 lands at end_b (side 1)
         ensure(rx.node_ != nullptr, name(), ": unattached PCIe port");
         rx.node_->recv_tlp(rx.node_port_idx_, std::move(tlp));
@@ -260,6 +739,15 @@ void PcieLink::harvest_credits(unsigned side)
         ports_[side].tx_hdr_credits_ += cr.hdr;
         ports_[side].tx_data_credits_ += cr.data;
     }
+    if (fault_ != nullptr) {
+        // A retrain re-arms full credits; a straggling release from the
+        // pre-down world must not push the balance past the advertised
+        // buffer.
+        ports_[side].tx_hdr_credits_ =
+            std::min(ports_[side].tx_hdr_credits_, params_.hdr_credits);
+        ports_[side].tx_data_credits_ = std::min(
+            ports_[side].tx_data_credits_, params_.data_credit_bytes);
+    }
 }
 
 bool PcieLink::can_send_from(unsigned side, const Tlp& tlp)
@@ -267,6 +755,24 @@ bool PcieLink::can_send_from(unsigned side, const Tlp& tlp)
     PciePort& p = ports_[side];
     if (!eager_credits_) {
         harvest_credits(side);
+    }
+    if (fault_ != nullptr) {
+        FaultDir& f = fault_->dir[side];
+        harvest_acks(side); // frees ACKed replay entries (and serves NAKs)
+        if (!f.link_failed &&
+            f.replay.size() >= fault_->plan.replay_buffer_tlps) {
+            // Replay buffer full: back-pressure exactly like credit
+            // starvation — the kick comes from the next DLL record (or
+            // the replay timer, which is always armed while entries
+            // exist).
+            f.replay_starved = true;
+            if (!f.dll.empty() && !f.dll_event.scheduled()) {
+                dirs_[side].tx_q->schedule_express(
+                    f.dll_event, std::max(dirs_[side].tx_q->now(),
+                                          f.dll.front().arrival));
+            }
+            return false;
+        }
     }
     if (p.tx_hdr_credits_ >= 1 &&
         p.tx_data_credits_ >= tlp.payload_bytes()) {
@@ -297,6 +803,12 @@ void PcieLink::credit(unsigned dir)
         ports_[dir].tx_hdr_credits_ += cr.hdr;
         ports_[dir].tx_data_credits_ += cr.data;
         granted = true;
+    }
+    if (fault_ != nullptr) {
+        ports_[dir].tx_hdr_credits_ =
+            std::min(ports_[dir].tx_hdr_credits_, params_.hdr_credits);
+        ports_[dir].tx_data_credits_ = std::min(
+            ports_[dir].tx_data_credits_, params_.data_credit_bytes);
     }
     // Clear before the kick: a still-starved sender's can_send() probe
     // inside credit_avail() re-arms the next pending arrival. The kick

@@ -21,9 +21,28 @@
 // its credit_avail() — so results are bit-identical by contract (locked by
 // test_pool_determinism). ACCESYS_EAGER_CREDITS=1 (read at link
 // construction) restores the per-return event as an escape hatch.
+// Fault model (active only when a FaultPlan is configured — see
+// sim/fault_injector.hh): each direction becomes a data-link layer with
+// sequence numbers, a bounded replay buffer, cumulative ACK / NAK-once
+// accounting and a replay timer. A TLP marked corrupted at transmit is
+// discarded by the receiving end (never delivered) and recovered by
+// retransmission from the replay buffer; TLPs that exhaust the replay
+// budget are dropped for good (their flow-control credits synthesized
+// back) and the direction latches failed — recovery above that point is
+// the transaction layer's completion timeouts. Link-down windows drop
+// everything in transit; the retrain at window end drains pending credit
+// returns, re-arms full credits and kicks the starved transmitter, while
+// the replay timer re-sends what the wire lost. Without a plan no fault
+// state is allocated and no fault stat registered: the clean path and its
+// stats dumps are bit-identical to a build without the fault model.
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "pcie/tlp.hh"
+#include "sim/fault_injector.hh"
+#include "sim/random.hh"
 #include "sim/ring_buffer.hh"
 #include "sim/simulator.hh"
 
@@ -188,6 +207,10 @@ class PcieLink final : public SimObject {
     /// order). Returns the number of TLP handoffs injected.
     std::uint64_t flush_boundary();
 
+    /// Arms the per-direction retrain events for scheduled link-down
+    /// windows (fault model only; boundary wiring is final by startup).
+    void startup() override;
+
   private:
     friend class PciePort;
 
@@ -238,6 +261,111 @@ class PcieLink final : public SimObject {
         RingBuffer<CreditReturn> staged_credits;
     };
 
+    // --- fault model (allocated only when a FaultPlan is active) -----------
+
+    /// ACK/NAK record on the (lossless) DLLP side channel, receiver to
+    /// transmitter. `seq` is cumulative: every sequence below it has been
+    /// accepted; a NAK additionally requests replay from `seq`.
+    struct DllRecord {
+        Tick arrival = 0;
+        std::uint64_t seq = 0;
+        bool nak = false;
+    };
+
+    /// Replay-buffer entry: a value snapshot of a transmitted TLP plus
+    /// the flow-control credits it consumed (replays bypass flow control;
+    /// the credits are synthesized back if the TLP dies for good).
+    struct ReplayEntry {
+        Tick first_tx = 0;
+        /// Tick the replay timer counts from: the expected ACK-return tick
+        /// of the latest wire attempt (wire backlog + propagation both
+        /// ways), so a congested link never looks like a lossy one. Falls
+        /// back to the attempt tick when the wire was down and the attempt
+        /// transmitted nothing.
+        Tick ack_base = 0;
+        std::uint64_t seq = 0;
+        unsigned tries = 0; ///< retransmissions so far
+        unsigned hdr_cost = 0;
+        std::uint64_t data_cost = 0;
+        Tlp tlp;
+    };
+
+    /// Per-direction fault/recovery state with the same thread-ownership
+    /// split as Direction: the transmit group belongs to the sending
+    /// domain, the receive group to the delivering domain; the root
+    /// thread touches both only in flush_boundary() while quiesced.
+    struct alignas(64) FaultDir {
+        // --- transmit side -----------------------------------------------
+        Rng rng;            ///< per-(site, dir) corruption stream
+        bool rate_on = false;
+        bool link_failed = false; ///< replay budget exhausted: fast-fail
+        std::uint64_t next_seq = 0;
+        RingBuffer<ReplayEntry> replay;
+        RingBuffer<DllRecord> dll; ///< matured by `arrival`, tx harvests
+        unsigned naks_pending = 0; ///< NAK records still in `dll`
+        Event dll_event;           ///< NAK service / replay-starved kick
+        Event replay_event;        ///< replay timer
+        Event retrain_event;       ///< fires at each down-window end
+        bool replay_starved = false;
+        std::vector<Tick> corrupt_at; ///< one-shot corruption ticks
+        std::size_t corrupt_idx = 0;
+        std::vector<std::pair<Tick, Tick>> down; ///< link-down windows
+        std::size_t tx_down_idx = 0;
+        std::size_t retrain_idx = 0;
+        // Boundary-mode stat shadows (transmit side).
+        std::uint64_t sh_corrupted = 0;
+        std::uint64_t sh_replays = 0;
+        std::uint64_t sh_dropped_tx = 0;
+        std::uint64_t sh_dead = 0;
+        std::uint64_t sh_retrains = 0;
+        /// Summed first-transmit-to-ACK ticks of replayed TLPs. Not a
+        /// shadow: accumulated in integer ticks on the transmit side and
+        /// read only at dump time (the recovery_ns ValueFn), so serial
+        /// and parallel runs sum in the same exact arithmetic.
+        std::uint64_t recovery_ticks = 0;
+        // --- receive side ------------------------------------------------
+        alignas(64) std::uint64_t expect_seq = 0;
+        bool nak_armed = false; ///< NAK sent, replay not yet seen
+        std::size_t rx_down_idx = 0;
+        RingBuffer<DllRecord> staged_dll; ///< boundary staging, rx-owned
+        std::uint64_t sh_naks = 0;
+        std::uint64_t sh_dropped_rx = 0;
+    };
+
+    struct FaultState {
+        FaultState(PcieLink& link, FaultInjector& fi);
+        const FaultPlan& plan;
+        unsigned site_id;
+        Tick replay_timeout;
+        FaultDir dir[2];
+        stats::Scalar corrupted, naks, replays, dropped, dead, retrains;
+        stats::ValueFn recovery_ns;
+    };
+
+    void fault_transmit(unsigned side, TlpPtr tlp);
+    /// One wire attempt (first transmission or replay): rolls the
+    /// corruption decision, drops during down windows, serializes and
+    /// stages/queues delivery.
+    /// One wire attempt (original or replay). Returns the tick the
+    /// transmitter should expect the receiver's ACK back — arrival plus
+    /// the return propagation — or 0 when the attempt hit a down window
+    /// and transmitted nothing.
+    Tick send_attempt(unsigned side, TlpPtr tlp, bool is_replay);
+    /// Receiver-side DLL filter; true = deliver to the node.
+    [[nodiscard]] bool fault_accept(unsigned dir, Tlp& tlp, Tick arrival);
+    void queue_dll(unsigned dir, DllRecord rec);
+    /// Apply matured ACK/NAK records; returns true when entries freed.
+    bool harvest_acks(unsigned dir);
+    void process_dll(unsigned dir);
+    void replay_timer(unsigned dir);
+    /// Retransmit every replay entry with seq >= `from_seq` (killing the
+    /// ones past their replay budget).
+    void do_replay(unsigned dir, std::uint64_t from_seq);
+    void retrain(unsigned dir);
+    void arm_replay_timer(unsigned dir);
+    /// Return credits the wire ate (dead TLP / failed-direction drop).
+    void synthesize_credits(unsigned side, unsigned hdr, std::uint64_t data);
+
     void transmit(unsigned from_side, TlpPtr tlp);
     void queue_credit_return(unsigned to_side, unsigned hdr,
                              std::uint64_t data);
@@ -257,6 +385,9 @@ class PcieLink final : public SimObject {
     Tick prop_ticks_ = 0;
     PciePort ports_[2];
     Direction dirs_[2]; ///< dirs_[0]: a->b, dirs_[1]: b->a
+    /// Null on clean links — the fault model costs one branch per
+    /// transmit/deliver/probe and nothing else.
+    std::unique_ptr<FaultState> fault_;
 
     stats::Scalar tlps_{stat_group(), "tlps", "TLPs transported"};
     stats::Scalar payload_bytes_{stat_group(), "payload_bytes",

@@ -48,6 +48,17 @@ RootComplex::RootComplex(Simulator& sim, std::string name,
     latency_ticks_ = ticks_from_ns(params_.latency_ns);
     split_shift_ = log2i(params_.host_split_bytes);
     split_mask_ = params_.host_split_bytes - 1;
+    if (params_.completion_timeout_ns > 0) {
+        cpl_timeout_ticks_ = ticks_from_ns(params_.completion_timeout_ns);
+        watchdog_ = std::make_unique<MmioWatchdog>(stat_group(),
+                                                   params_.mmio_tags);
+        cpl_timeout_event_.set_name(this->name() + ".cpl_timeout");
+        cpl_timeout_event_.set_raw_callback(
+            [](void* self) {
+                static_cast<RootComplex*>(self)->check_mmio_timeouts();
+            },
+            this);
+    }
     process_event_.set_name(this->name() + ".process");
     process_event_.set_raw_callback(
         [](void* self) {
@@ -144,13 +155,20 @@ void RootComplex::process_delayed()
 
 void RootComplex::service_read(Tlp& tlp)
 {
-    ++inbound_read_tlps_;
     const std::uint32_t key = read_key(tlp.requester, tlp.tag);
     if (key >= slot_of_key_.size()) {
         // First use of this (requester, tag) pair: grow the direct map
         // (bounded by num_devices << 8 entries, hit once per new key).
         slot_of_key_.resize(key + 1, -1);
     }
+    if (watchdog_ != nullptr && slot_of_key_[key] >= 0) {
+        // A completion-timeout retry raced the still-in-service original
+        // read (the requester gave up too early). The original's
+        // completions will serve the tag; drop the duplicate request.
+        ++watchdog_->dup_reads;
+        return;
+    }
+    ++inbound_read_tlps_;
     ensure(slot_of_key_[key] < 0, name(), ": duplicate inbound read tag ",
            key);
 
@@ -212,6 +230,15 @@ void RootComplex::service_completion(TlpPtr tlp)
 {
     // Completion for an outbound (CPU MMIO) read.
     const std::uint8_t tag = tlp->tag;
+    if (watchdog_ != nullptr &&
+        (tag >= mmio_pending_.size() || mmio_pending_[tag] == nullptr)) {
+        // Late completion for a tag already master-aborted (or a duplicate
+        // from a retry racing the original): drop it, keep the credits
+        // flowing.
+        ++watchdog_->stray;
+        pcie_port_->release_ingress(tlp->payload_bytes());
+        return;
+    }
     ensure(tag < mmio_pending_.size() && mmio_pending_[tag] != nullptr,
            name(), ": stray MMIO completion tag ", static_cast<int>(tag));
     mem::PacketPtr pkt = std::move(mmio_pending_[tag]);
@@ -320,7 +347,62 @@ bool RootComplex::recv_req(mem::PacketPtr& pkt)
     auto tlp = tlp_pool_->make_mem_read(pkt->addr(), pkt->size(), tag, 0);
     mmio_pending_[tag] = std::move(pkt);
     egress_->push(std::move(tlp));
+    if (watchdog_ != nullptr) {
+        watchdog_->deadline[tag] = now() + cpl_timeout_ticks_;
+        watchdog_->tries[tag] = 0;
+        if (!cpl_timeout_event_.scheduled()) {
+            schedule(cpl_timeout_event_, watchdog_->deadline[tag]);
+        }
+    }
     return true;
+}
+
+void RootComplex::check_mmio_timeouts()
+{
+    Tick next = kMaxTick;
+    for (std::size_t tag = 0; tag < mmio_pending_.size(); ++tag) {
+        if (mmio_pending_[tag] == nullptr) {
+            continue;
+        }
+        if (watchdog_->deadline[tag] <= now()) {
+            ++watchdog_->timeouts;
+            if (watchdog_->tries[tag] >= params_.completion_max_retries) {
+                // Master abort: answer the fabric with all-ones so the CPU
+                // observes the classic dead-device read value instead of
+                // hanging forever.
+                ++watchdog_->aborts;
+                mem::PacketPtr pkt = std::move(mmio_pending_[tag]);
+                mmio_tag_free_[tag] = 1;
+                const std::vector<std::uint8_t> ones(pkt->size(), 0xFF);
+                pkt->make_response();
+                pkt->set_payload(ones.data(), ones.size());
+                mmio_resp_q_.push(std::move(pkt), now());
+                if (mmio_blocked_upstream_) {
+                    mmio_blocked_upstream_ = false;
+                    mmio_port_.send_retry_req();
+                }
+                continue;
+            }
+            // Re-issue the MRd under the same tag with exponential
+            // backoff; a late completion of the original attempt wins the
+            // race and the duplicate is dropped as stray.
+            ++watchdog_->tries[tag];
+            watchdog_->deadline[tag] =
+                now() + (cpl_timeout_ticks_
+                         << std::min(watchdog_->tries[tag], 16U));
+            ++watchdog_->retries;
+            const mem::PacketPtr& pkt = mmio_pending_[tag];
+            egress_->push(tlp_pool_->make_mem_read(
+                pkt->addr(), pkt->size(), static_cast<std::uint8_t>(tag),
+                0));
+        }
+        if (mmio_pending_[tag] != nullptr) {
+            next = std::min(next, watchdog_->deadline[tag]);
+        }
+    }
+    if (next != kMaxTick) {
+        schedule(cpl_timeout_event_, next);
+    }
 }
 
 } // namespace accesys::pcie

@@ -43,6 +43,15 @@ struct RcParams {
     /// DM access mode: all inbound DMA bypasses the cache hierarchy.
     bool inbound_uncacheable = false;
 
+    /// Completion timeout for outbound (CPU MMIO) reads; 0 (the default)
+    /// disables the watchdog. core::System propagates
+    /// FaultPlan::completion_timeout_ns here.
+    double completion_timeout_ns = 0.0;
+    /// Timed-out MMIO reads are re-issued with exponential backoff this
+    /// many times, then master-aborted: the fabric gets an all-ones
+    /// response so the CPU is never wedged on a dead device.
+    unsigned completion_max_retries = 3;
+
     void validate() const;
 };
 
@@ -148,6 +157,35 @@ class RootComplex final : public SimObject,
     void service_write(Tlp& tlp);
     void service_completion(TlpPtr tlp);
     void advance_completions(std::size_t slot);
+    void check_mmio_timeouts();
+
+    /// MMIO completion-timeout state + fault stats, allocated only when
+    /// the watchdog is enabled so clean-run stat dumps are unchanged.
+    struct MmioWatchdog {
+        MmioWatchdog(stats::Group& g, std::size_t tags)
+            : timeouts(g, "mmio_timeouts",
+                       "MMIO read completion timeouts observed"),
+              retries(g, "mmio_retries",
+                      "MMIO MRd TLPs re-issued after a timeout"),
+              aborts(g, "mmio_aborts",
+                     "MMIO reads master-aborted (all-ones response)"),
+              stray(g, "stray_completions",
+                    "late CplDs for already-retired MMIO tags (dropped)"),
+              dup_reads(g, "dup_inbound_reads",
+                        "duplicate inbound MRds from requester completion-"
+                        "timeout retries (dropped; original still live)"),
+              deadline(tags, 0),
+              tries(tags, 0)
+        {
+        }
+        stats::Scalar timeouts;
+        stats::Scalar retries;
+        stats::Scalar aborts;
+        stats::Scalar stray;
+        stats::Scalar dup_reads;
+        std::vector<Tick> deadline;    ///< per MMIO tag
+        std::vector<unsigned> tries;   ///< re-issues per tag
+    };
 
     // Inbound requests are split at host_split_bytes-aligned boundaries
     // (unaligned DMA may yield short head/tail chunks).
@@ -215,6 +253,10 @@ class RootComplex final : public SimObject,
     mem::PacketPool* pkt_pool_ = nullptr; ///< resolved once (chunk loops)
     TlpPool* tlp_pool_ = nullptr;
     bool mmio_blocked_upstream_ = false;
+
+    Tick cpl_timeout_ticks_ = 0; ///< nonzero = MMIO watchdog armed
+    Event cpl_timeout_event_{"", nullptr};
+    std::unique_ptr<MmioWatchdog> watchdog_;
 
     stats::Scalar inbound_read_tlps_{stat_group(), "inbound_read_tlps",
                                      "device MRd TLPs serviced"};

@@ -111,6 +111,8 @@ struct Tlp {
           requester(o.requester),
           byte_offset(o.byte_offset),
           is_last(o.is_last),
+          dl_seq(o.dl_seq),
+          dl_corrupt(o.dl_corrupt),
           data_size_(o.data_size_),
           data_(o.data_)
     {
@@ -124,6 +126,8 @@ struct Tlp {
         requester = o.requester;
         byte_offset = o.byte_offset;
         is_last = o.is_last;
+        dl_seq = o.dl_seq;
+        dl_corrupt = o.dl_corrupt;
         data_size_ = o.data_size_;
         data_ = o.data_;
         return *this; // pool_ intentionally untouched
@@ -136,6 +140,15 @@ struct Tlp {
     std::uint16_t requester = 0; ///< requester id (endpoint/port number)
     std::uint32_t byte_offset = 0; ///< CplD: offset of this chunk in the request
     bool is_last = true;           ///< CplD: final completion of the request
+
+    // --- data-link layer (fault model only; untouched on clean links) ------
+    /// Per-direction DLL sequence number, stamped by PcieLink::transmit
+    /// when a fault plan is active (the receiver drops out-of-sequence
+    /// TLPs and NAKs for replay).
+    std::uint64_t dl_seq = 0;
+    /// Injected transmission error: the receiving link end discards this
+    /// TLP (as a failed LCRC would) instead of delivering it.
+    bool dl_corrupt = false;
 
     /// True when the TLP type carries payload bytes on the wire.
     [[nodiscard]] bool has_payload() const noexcept
@@ -185,6 +198,8 @@ struct Tlp {
         requester = 0;
         byte_offset = 0;
         is_last = true;
+        dl_seq = 0;
+        dl_corrupt = false;
         data_size_ = 0;
     }
 

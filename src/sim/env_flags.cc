@@ -12,6 +12,9 @@ EnvFlags read_env()
     f.no_batch = std::getenv("ACCESYS_NO_BATCH") != nullptr;
     f.no_hop_fusion = std::getenv("ACCESYS_NO_HOP_FUSION") != nullptr;
     f.eager_credits = std::getenv("ACCESYS_EAGER_CREDITS") != nullptr;
+    if (const char* v = std::getenv("ACCESYS_FAULTS")) {
+        f.faults = v[0] != '0';
+    }
     if (const char* t = std::getenv("ACCESYS_THREADS")) {
         const long n = std::strtol(t, nullptr, 10);
         f.threads = n > 1 ? static_cast<unsigned>(n) : 1;

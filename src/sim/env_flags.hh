@@ -13,6 +13,7 @@
 //   ACCESYS_NO_HOP_FUSION=1  disable the event-queue express lane
 //   ACCESYS_EAGER_CREDITS=1  per-return PCIe credit events (lazy default)
 //   ACCESYS_THREADS=N        simulation worker threads (default 1 = serial)
+//   ACCESYS_FAULTS=0         ignore any configured FaultPlan (escape hatch)
 #pragma once
 
 namespace accesys {
@@ -21,6 +22,7 @@ struct EnvFlags {
     bool no_batch = false;
     bool no_hop_fusion = false;
     bool eager_credits = false;
+    bool faults = true;
     unsigned threads = 1;
 
     /// The process-wide snapshot (taken on first use, immutable after —

@@ -1,0 +1,113 @@
+#include "sim/fault_injector.hh"
+
+#include <algorithm>
+
+#include "sim/env_flags.hh"
+#include "sim/error.hh"
+
+namespace accesys {
+
+namespace {
+
+/// splitmix64 step — the standard seed spreader (same as Rng::reseed).
+std::uint64_t splitmix64(std::uint64_t& x) noexcept
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+bool site_matches(const std::string& pattern, const std::string& name)
+{
+    return pattern.empty() || name.find(pattern) != std::string::npos;
+}
+
+} // namespace
+
+void FaultPlan::validate() const
+{
+    require_cfg(corrupt_rate >= 0.0 && corrupt_rate <= 1.0,
+                "fault corrupt_rate must be in [0, 1] (got ", corrupt_rate,
+                ")");
+    require_cfg(replay_buffer_tlps > 0,
+                "fault replay buffer must hold at least one TLP");
+    require_cfg(max_replays > 0, "fault max_replays must be non-zero");
+    require_cfg(replay_timeout_ns > 0.0,
+                "fault replay_timeout_ns must be positive");
+    require_cfg(completion_timeout_ns >= 0.0 && job_timeout_ns >= 0.0,
+                "fault timeouts must be non-negative");
+    for (const FaultEvent& ev : events) {
+        require_cfg(ev.dir <= 2, "fault event dir must be 0, 1 or 2");
+        require_cfg(ev.at_ns >= 0.0, "fault event time must be >= 0");
+        if (ev.kind == FaultKind::link_down) {
+            require_cfg(ev.duration_ns > 0.0,
+                        "link_down fault needs a positive duration");
+        }
+    }
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan)
+{
+    plan_.validate();
+    enabled_ = plan_.active() && env_flags().faults;
+}
+
+unsigned FaultInjector::register_site(const std::string& name)
+{
+    sites_.push_back(name);
+    return static_cast<unsigned>(sites_.size() - 1);
+}
+
+std::uint64_t FaultInjector::stream_seed(unsigned site_id,
+                                         unsigned dir) const noexcept
+{
+    std::uint64_t x = plan_.seed;
+    std::uint64_t s = splitmix64(x);
+    x = s ^ (static_cast<std::uint64_t>(site_id) << 1 | dir);
+    s = splitmix64(x);
+    return s;
+}
+
+bool FaultInjector::rate_applies(const std::string& name) const
+{
+    return plan_.corrupt_rate > 0.0 &&
+           site_matches(plan_.corrupt_site, name);
+}
+
+void FaultInjector::collect(
+    const std::string& name, unsigned dir, std::vector<Tick>& corrupt_ticks,
+    std::vector<std::pair<Tick, Tick>>& down_windows) const
+{
+    corrupt_ticks.clear();
+    down_windows.clear();
+    for (const FaultEvent& ev : plan_.events) {
+        if (!site_matches(ev.site, name) ||
+            (ev.dir != 2 && ev.dir != dir)) {
+            continue;
+        }
+        const Tick at = ticks_from_ns(ev.at_ns);
+        if (ev.kind == FaultKind::corrupt_tlp) {
+            corrupt_ticks.push_back(at);
+        } else {
+            down_windows.emplace_back(at, at + ticks_from_ns(ev.duration_ns));
+        }
+    }
+    std::sort(corrupt_ticks.begin(), corrupt_ticks.end());
+    std::sort(down_windows.begin(), down_windows.end());
+    // Merge overlapping/adjacent down windows so per-tick scans can keep a
+    // single monotonic cursor.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < down_windows.size(); ++i) {
+        if (out > 0 && down_windows[i].first <= down_windows[out - 1].second) {
+            down_windows[out - 1].second = std::max(
+                down_windows[out - 1].second, down_windows[i].second);
+        } else {
+            down_windows[out++] = down_windows[i];
+        }
+    }
+    down_windows.resize(out);
+}
+
+} // namespace accesys

@@ -3,7 +3,16 @@
 #include <algorithm>
 #include <thread>
 
+#include "sim/fault_injector.hh"
+
 namespace accesys {
+
+FaultInjector* Simulator::fault_injector() const noexcept
+{
+    return fault_injector_ != nullptr && fault_injector_->enabled()
+               ? fault_injector_
+               : nullptr;
+}
 
 void Simulator::startup()
 {

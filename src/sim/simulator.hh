@@ -36,6 +36,7 @@
 
 namespace accesys {
 
+class FaultInjector;
 class SimObject;
 
 /// Why a Simulator::run() call returned.
@@ -97,6 +98,19 @@ class Simulator {
     {
         return exit_requested_;
     }
+
+    /// Install the fault injector (owned by core::System, set before any
+    /// fault-aware component constructs). Null — the default — means no
+    /// fault model: components must allocate no fault state and register
+    /// no fault stats, keeping clean runs bit-identical.
+    void set_fault_injector(FaultInjector* fi) noexcept
+    {
+        fault_injector_ = fi;
+    }
+    /// The active fault injector, or null when faults are not modelled.
+    /// (A disabled injector is also reported as null so call sites need
+    /// only one check.)
+    [[nodiscard]] FaultInjector* fault_injector() const noexcept;
 
     /// Invoke SimObject::startup() on every attached object (once).
     void startup();
@@ -194,6 +208,7 @@ class Simulator {
     bool exit_requested_ = false;
     std::string exit_reason_;
 
+    FaultInjector* fault_injector_ = nullptr;
     unsigned threads_ = 1;
     Tick quantum_ = 0;
     std::vector<std::unique_ptr<Domain>> domains_;

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "pcie/link.hh"
+#include "sim/fault_injector.hh"
 #include "sim/simulator.hh"
 
 namespace accesys::pcie {
@@ -303,6 +304,105 @@ TEST_F(LinkFixture, SameTickProbeCannotSwallowStarvedKick)
     EXPECT_EQ(rx2.received.size(), 2u)
         << "starved sender never got its credit kick";
     EXPECT_TRUE(tx2.q.empty());
+}
+
+TEST_F(LinkFixture, OneShotCorruptionIsReplayedNeverSilentlyDelivered)
+{
+    // An explicit corrupt_tlp event hits the first TLP transmitted at or
+    // after its tick; the receiver drops and NAKs it, and the transmitter
+    // replays from its buffer — exactly one delivery, no dead TLP.
+    FaultPlan plan;
+    FaultEvent ev;
+    ev.kind = FaultKind::corrupt_tlp;
+    ev.site = "link";
+    ev.dir = 0; // a -> b
+    ev.at_ns = 0.0;
+    plan.events.push_back(ev);
+    FaultInjector fi(plan);
+    sim.set_fault_injector(&fi);
+    auto link = make();
+
+    link->end_a().send(make_mem_write(0x10, 64, 1));
+    drain();
+
+    ASSERT_EQ(node_b.received.size(), 1u);
+    EXPECT_EQ(node_b.received[0]->addr, 0x10u);
+    EXPECT_EQ(sim.stats().value("link.link_corrupted_tlps"), 1.0);
+    EXPECT_EQ(sim.stats().value("link.link_nak_count"), 1.0);
+    EXPECT_EQ(sim.stats().value("link.link_replays"), 1.0);
+    EXPECT_EQ(sim.stats().value("link.link_dead_tlps"), 0.0);
+    EXPECT_GT(sim.stats().value("link.recovery_ns"), 0.0);
+}
+
+TEST_F(LinkFixture, ReplayBufferExhaustionBackpressuresUntilAcked)
+{
+    // A full replay buffer must back-pressure the transmitter exactly like
+    // credit starvation — can_send() fails even with link credits free —
+    // and release it once cumulative ACKs retire entries.
+    FaultPlan plan;
+    plan.replay_buffer_tlps = 2;
+    FaultEvent ev; // activates the plan; the site never matches this link
+    ev.kind = FaultKind::corrupt_tlp;
+    ev.site = "elsewhere";
+    plan.events.push_back(ev);
+    FaultInjector fi(plan);
+    sim.set_fault_injector(&fi);
+    params.hdr_credits = 64; // credits are NOT the bottleneck here
+    auto link = make();
+
+    link->end_a().send(make_mem_write(1, 64, 1));
+    link->end_a().send(make_mem_write(2, 64, 1));
+    auto t3 = make_mem_write(3, 64, 1);
+    EXPECT_FALSE(link->end_a().can_send(*t3))
+        << "two un-ACKed TLPs must fill the depth-2 replay buffer";
+    drain(); // deliveries + DLL ACKs retire both entries
+
+    EXPECT_TRUE(link->end_a().can_send(*t3));
+    link->end_a().send(std::move(t3));
+    drain();
+    ASSERT_EQ(node_b.received.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(node_b.received[i]->addr, static_cast<Addr>(i + 1));
+    }
+    EXPECT_EQ(sim.stats().value("link.link_replays"), 0.0);
+    EXPECT_EQ(sim.stats().value("link.link_dead_tlps"), 0.0);
+    EXPECT_GE(node_a.credit_notifications, 1)
+        << "the starved sender never got its replay-buffer kick";
+}
+
+TEST_F(LinkFixture, NakStormEscalatesToLinkFailureWithoutWedging)
+{
+    // corrupt_rate = 1.0: every transmission — including every replay —
+    // is corrupted, so the receiver NAK-storms and the replay budget runs
+    // out. The direction latches link-failed: the TLP dies, its credits
+    // are synthesized back, and later sends fast-fail instead of wedging.
+    FaultPlan plan;
+    plan.seed = 3;
+    plan.corrupt_rate = 1.0;
+    plan.max_replays = 2;
+    plan.replay_timeout_ns = 1000.0;
+    FaultInjector fi(plan);
+    sim.set_fault_injector(&fi);
+    auto link = make();
+
+    link->end_a().send(make_mem_write(1, 64, 1));
+    drain(); // must terminate: a dead direction re-arms no replay timer
+
+    EXPECT_EQ(node_b.received.size(), 0u)
+        << "a corrupted TLP must never be delivered";
+    EXPECT_EQ(sim.stats().value("link.link_dead_tlps"), 1.0);
+    EXPECT_GE(sim.stats().value("link.link_nak_count"), 3.0)
+        << "initial transmission plus both replays NAKed";
+    EXPECT_EQ(sim.stats().value("link.link_replays"), 2.0);
+
+    // The failed direction absorbs further traffic without throwing or
+    // deadlocking: the TLP is swallowed, its credits synthesized back, and
+    // the loss is left for transaction-layer timeouts to surface.
+    ASSERT_TRUE(link->end_a().can_send(*make_mem_write(2, 64, 1)));
+    link->end_a().send(make_mem_write(2, 64, 1));
+    drain();
+    EXPECT_EQ(node_b.received.size(), 0u);
+    EXPECT_EQ(sim.stats().value("link.link_dead_tlps"), 2.0);
 }
 
 TEST_F(LinkFixture, UtilizationTracksBusyTime)

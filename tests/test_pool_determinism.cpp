@@ -48,9 +48,11 @@ struct SimSnapshot {
 };
 
 /// `threads` == 0 leaves the config default (the ACCESYS_THREADS
-/// snapshot) in place; any other value pins the worker budget.
+/// snapshot) in place; any other value pins the worker budget. A non-null
+/// `fault` installs that FaultPlan on the config.
 SimSnapshot run_gemm_sim(std::size_t devices, std::uint32_t size,
-                         unsigned threads = 0)
+                         unsigned threads = 0,
+                         const FaultPlan* fault = nullptr)
 {
     core::SystemConfig cfg = core::SystemConfig::paper_default();
     if (devices > 1) {
@@ -58,6 +60,9 @@ SimSnapshot run_gemm_sim(std::size_t devices, std::uint32_t size,
     }
     if (threads != 0) {
         cfg.threads = threads;
+    }
+    if (fault != nullptr) {
+        cfg.fault_plan = *fault;
     }
     core::System sys(cfg);
     core::Runner runner(sys);
@@ -227,6 +232,99 @@ TEST(PoolDeterminism, LazyCreditsMatchEagerBitExactly)
     EXPECT_EQ(lazy.stats_json, eager.stats_json);
     EXPECT_GE(eager.events, lazy.events)
         << "lazy accounting may only elide credit events, never add them";
+}
+
+TEST(PoolDeterminism, SeededFaultPlanBitIdenticalAcrossThreads)
+{
+    // The fault-injection determinism contract: per-(site, direction)
+    // corruption streams are keyed by topology registration order — which
+    // is single-threaded — and each stream is drawn only by the domain
+    // thread owning that direction's transmitter, so a fixed seeded plan
+    // (Bernoulli corruption everywhere plus a mid-run link-down window)
+    // is bit-identical for any ACCESYS_THREADS worker count.
+    FaultPlan plan;
+    plan.seed = 11;
+    plan.corrupt_rate = 0.01;
+    FaultEvent down;
+    down.kind = FaultKind::link_down;
+    down.site = "link_dn2";
+    down.at_ns = 5000.0;
+    down.duration_ns = 10000.0;
+    plan.events.push_back(down);
+    plan.max_replays = 16;
+    plan.replay_timeout_ns = 3000.0;
+
+    const SimSnapshot serial = run_gemm_sim(4, 32, /*threads=*/1, &plan);
+    EXPECT_TRUE(serial.verified) << "replay must recover every corruption";
+
+    for (const unsigned threads : {2U, 4U}) {
+        const SimSnapshot par = run_gemm_sim(4, 32, threads, &plan);
+        EXPECT_TRUE(par.verified) << "threads=" << threads;
+        EXPECT_EQ(serial.end_tick, par.end_tick) << "threads=" << threads;
+        EXPECT_EQ(serial.stats_text, par.stats_text)
+            << "threads=" << threads;
+        EXPECT_EQ(serial.stats_json, par.stats_json)
+            << "threads=" << threads;
+    }
+}
+
+TEST(PoolDeterminism, DegradedRunBitIdenticalAcrossThreads)
+{
+    // Graceful degradation must also be deterministic: with one endpoint's
+    // link dead from tick 0 and completion/job timeouts armed, the failed
+    // job's give-up path and the surviving endpoints' completions land on
+    // the same ticks for any worker count.
+    FaultPlan plan;
+    FaultEvent down;
+    down.kind = FaultKind::link_down;
+    down.site = "link_dn1";
+    down.at_ns = 0.0;
+    down.duration_ns = 1e12;
+    plan.events.push_back(down);
+    plan.max_replays = 4;
+    plan.replay_timeout_ns = 2000.0;
+    plan.completion_timeout_ns = 50000.0;
+    plan.job_timeout_ns = 2e6;
+
+    const SimSnapshot serial = run_gemm_sim(4, 32, /*threads=*/1, &plan);
+    EXPECT_FALSE(serial.verified) << "device 1's job must have timed out";
+
+    for (const unsigned threads : {2U, 4U}) {
+        const SimSnapshot par = run_gemm_sim(4, 32, threads, &plan);
+        EXPECT_EQ(serial.end_tick, par.end_tick) << "threads=" << threads;
+        EXPECT_EQ(serial.stats_text, par.stats_text)
+            << "threads=" << threads;
+        EXPECT_EQ(serial.stats_json, par.stats_json)
+            << "threads=" << threads;
+    }
+}
+
+TEST(PoolDeterminism, DisabledFaultsMatchEmptyPlanBitExactly)
+{
+    // ACCESYS_FAULTS=0 is the escape hatch: a populated FaultPlan must
+    // then behave exactly like an absent one — no fault state allocated,
+    // no fault stats registered, and both dumps bit-identical to a run
+    // with the default (inactive) plan.
+    const SimSnapshot clean = run_gemm_sim(2, 32);
+    EXPECT_TRUE(clean.verified);
+
+    FaultPlan plan;
+    plan.seed = 17;
+    plan.corrupt_rate = 0.05;
+    plan.completion_timeout_ns = 50000.0;
+    plan.job_timeout_ns = 1e6;
+
+    SimSnapshot disabled;
+    {
+        const ScopedEnvFlags override_flags(
+            [](EnvFlags& f) { f.faults = false; });
+        disabled = run_gemm_sim(2, 32, /*threads=*/0, &plan);
+    }
+    EXPECT_TRUE(disabled.verified);
+    EXPECT_EQ(clean.end_tick, disabled.end_tick);
+    EXPECT_EQ(clean.events, disabled.events);
+    EXPECT_EQ(clean.stats_text, disabled.stats_text);
+    EXPECT_EQ(clean.stats_json, disabled.stats_json);
 }
 
 TEST(PoolDeterminism, SteadyStateForwardingAllocatesNothing)

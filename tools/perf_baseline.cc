@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "../bench/bench_util.hh"
 #include "cache/cache.hh"
 #include "core/runner.hh"
 #include "mem/dram_timing.hh"
@@ -588,7 +589,7 @@ void profile_contention(std::uint32_t size)
 // first repeat warms the pools; steady_pool_allocs reports the heap
 // allocations the pools performed across the later (measured) repeats.
 void contention_4ep(const char* label, std::uint32_t size, int repeats,
-                    unsigned threads = 0)
+                    unsigned threads = 0, double corrupt_rate = 0.0)
 {
     double best = 1e100;
     std::uint64_t events = 0;
@@ -599,6 +600,11 @@ void contention_4ep(const char* label, std::uint32_t size, int repeats,
         cfg.threads = threads != 0 ? threads
                                    : g_threads != 0 ? g_threads
                                                     : cfg.threads;
+        if (corrupt_rate > 0.0) {
+            cfg.fault_plan.seed = 1;
+            cfg.fault_plan.corrupt_rate = corrupt_rate;
+            cfg.fault_plan.max_replays = 64;
+        }
         core::System sys(cfg);
         core::Runner runner(sys);
         const workload::GemmSpec spec{size, size, size, 3};
@@ -618,6 +624,15 @@ void contention_4ep(const char* label, std::uint32_t size, int repeats,
         }
     }
     const std::string prefix = label;
+    if (corrupt_rate > 0.0) {
+        // Faulty leg: the fault plan activates replay-buffer accounting on
+        // every link, so this measures the whole error-recovery tax under
+        // contention. Informational, never --check gated: the clean-path
+        // metrics above already gate the zero-fault-tax contract, and
+        // replay TLP clones legitimately warm the TLP pool in-run.
+        record(prefix + ".wall_ms_faulty", best * 1000.0);
+        return;
+    }
     if (threads != 0) {
         // Parallel leg: each repeat constructs a fresh System whose
         // per-domain pools start cold, so in-run allocations here are
@@ -753,6 +768,7 @@ int check_against(const std::string& baseline_path, double tolerance)
 
 int main(int argc, char** argv)
 {
+    benchutil::install_wall_watchdog(argc, argv);
     std::string out_path = "BENCH_hotpath.json";
     std::string check_path;
     std::string only;
@@ -777,6 +793,11 @@ int main(int argc, char** argv)
             if (attempts < 1) {
                 attempts = 1;
             }
+        } else if (std::strcmp(argv[i], "--max-wall-ms") == 0 &&
+                   i + 1 < argc) {
+            ++i; // consumed by install_wall_watchdog above
+        } else if (std::strncmp(argv[i], "--max-wall-ms=", 14) == 0) {
+            // consumed by install_wall_watchdog above
         } else {
             std::fprintf(stderr,
                          "usage: %s [--out FILE] [--check BASELINE.json] "
@@ -799,7 +820,10 @@ int main(int argc, char** argv)
                          "--check gates assume the serial default)\n"
                          "  --attempts N      re-run the suite up to N "
                          "times, keeping each metric's best (CI flake "
-                         "hardening; wall times keep their fastest)\n",
+                         "hardening; wall times keep their fastest)\n"
+                         "  --max-wall-ms N   watchdog: hard-exit with "
+                         "status 124 if the whole run exceeds N ms of "
+                         "wall time\n",
                          argv[0]);
             return 2;
         }
@@ -857,6 +881,12 @@ int main(int argc, char** argv)
         // count (see the note in BENCH_hotpath.json).
         if (want("contention_4ep_512_t4")) {
             contention_4ep("contention_4ep_512", 512, 3, 4);
+        }
+        // The flagship config with a fixed 1e-6 seeded TLP-corruption
+        // rate: the link-level replay protocol's overhead under
+        // contention. Informational, never --check gated.
+        if (want("contention_4ep_512_faulty")) {
+            contention_4ep("contention_4ep_512", 512, 3, 0, 1e-6);
         }
     };
 
