@@ -43,6 +43,7 @@ int main(int argc, char** argv)
         cfg.fault_plan.max_replays = 64;
 
         core::System sys(cfg);
+        benchutil::WatchScope watch(sys);
         core::Runner runner(sys);
         const workload::GemmSpec spec{size, size, size, /*seed=*/3};
         for (std::size_t d = 0; d < devices; ++d) {

@@ -83,6 +83,7 @@ int main(int argc, char** argv)
         double base_ms = -1.0;
         for (const auto& c : configs) {
             core::System sys(c.cfg);
+            benchutil::WatchScope watch(sys);
             core::Runner runner(sys);
             const auto res = runner.run_vit(model, c.place);
             if (base_ms < 0) {

@@ -55,6 +55,7 @@ int main(int argc, char** argv)
                 cfg.set_pcie_target_gbps(64.0, 16);
             }
             core::System sys(cfg);
+            benchutil::WatchScope watch(sys);
             core::Runner runner(sys);
             const auto res = runner.run_vit(model, p.place);
             const double ng = ticks_to_ms(res.nongemm_ticks);

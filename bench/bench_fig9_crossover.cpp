@@ -34,6 +34,7 @@ Measured measure(const char* label, core::Placement place, double pcie_gbps,
         cfg.set_pcie_target_gbps(64.0, 16);
     }
     core::System sys(cfg);
+    benchutil::WatchScope watch(sys);
     core::Runner runner(sys);
     const auto res = runner.run_vit(model, place);
 

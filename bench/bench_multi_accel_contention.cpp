@@ -8,8 +8,14 @@
 // per-device bandwidth falls roughly as 1/N while aggregate bandwidth and
 // utilization plateau; completion-time skew between devices stays small
 // because the switch round-robins ingress fairly.
+// Checkpoint round-trip mode (CI): `--devices N` runs one scenario only;
+// `--ckpt-at-ns T --ckpt PATH` snapshots mid-run and exits 3;
+// `--restore PATH` resumes a snapshot; `--stats-out PATH` writes the final
+// stats registry as JSON. A straight run and a split-at-T run must produce
+// byte-identical stats files (the bit-identity contract).
 #include "bench_util.hh"
 
+#include <fstream>
 #include <vector>
 
 int main(int argc, char** argv)
@@ -19,6 +25,16 @@ int main(int argc, char** argv)
     const bool quick = benchutil::quick_mode(argc, argv);
     const std::uint32_t size = quick ? 128 : 512;
     const std::size_t max_devices = 4;
+    const auto only = static_cast<std::size_t>(
+        benchutil::arg_ll(argc, argv, "--devices", 0));
+    const long long ckpt_at_ns =
+        benchutil::arg_ll(argc, argv, "--ckpt-at-ns", 0);
+    const std::string ckpt_path =
+        benchutil::arg_str(argc, argv, "--ckpt", "contention.ckpt");
+    const std::string restore =
+        benchutil::arg_str(argc, argv, "--restore", "");
+    const std::string stats_out =
+        benchutil::arg_str(argc, argv, "--stats-out", "");
 
     benchutil::header("bench_multi_accel_contention",
                       "multi-accelerator extension of Fig. 3",
@@ -32,16 +48,44 @@ int main(int argc, char** argv)
 
     double solo_gbps = 0.0;
     for (std::size_t n = 1; n <= max_devices; ++n) {
+        if (only != 0 && n != only) {
+            continue;
+        }
         core::SystemConfig cfg = core::SystemConfig::paper_default();
         cfg.set_num_devices(n);
         core::System sys(cfg);
+        benchutil::WatchScope watch(sys);
         core::Runner runner(sys);
+
+        if (ckpt_at_ns > 0) {
+            sys.sim().request_checkpoint_at(ckpt_path,
+                                            ticks_from_ns(ckpt_at_ns));
+        }
+        if (!restore.empty()) {
+            runner.set_restore_path(restore);
+        }
 
         const workload::GemmSpec spec{size, size, size, /*seed=*/3};
         for (std::size_t d = 0; d < n; ++d) {
             runner.dispatch(d, spec, core::Placement::host);
         }
         const auto res = runner.run_dispatched();
+        if (res.checkpointed) {
+            std::printf("checkpoint written to %s at tick %llu\n",
+                        ckpt_path.c_str(),
+                        static_cast<unsigned long long>(res.end));
+            return 3;
+        }
+        if (ckpt_at_ns > 0) {
+            std::fprintf(stderr,
+                         "error: run completed before --ckpt-at-ns %lld\n",
+                         ckpt_at_ns);
+            return 4;
+        }
+        if (!stats_out.empty()) {
+            std::ofstream out(stats_out);
+            sys.stats().write_json(out);
+        }
 
         Tick first_done = res.devices.front().done;
         Tick last_done = res.devices.front().done;

@@ -68,6 +68,7 @@ int main(int argc, char** argv)
     core::SystemConfig cfg = core::SystemConfig::paper_default();
     cfg.set_devmem("HBM2");
     core::System sys(cfg);
+    benchutil::WatchScope watch(sys);
     std::printf("\nverification: full system with PCIe+SMMU+DMA+DevMem "
                 "constructed OK (%zu stats registered).\n",
                 sys.stats().size());

@@ -46,6 +46,7 @@ int main(int argc, char** argv)
             cfg.set_pcie_target_gbps(8.0);
             cfg.smmu.enabled = false;
             core::System sys(cfg);
+            benchutil::WatchScope watch(sys);
             core::Runner runner(sys);
             ideal_ms = runner.run_gemm(spec, core::Placement::host).ms();
         }
@@ -53,6 +54,7 @@ int main(int argc, char** argv)
         core::SystemConfig cfg = core::SystemConfig::paper_default();
         cfg.set_pcie_target_gbps(8.0);
         core::System sys(cfg);
+        benchutil::WatchScope watch(sys);
         core::Runner runner(sys);
         const auto res = runner.run_gemm(spec, core::Placement::host);
 

@@ -6,18 +6,43 @@
 // points) when iterating.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <thread>
 
 #include <unistd.h>
 
 #include "core/runner.hh"
+#include "sim/env_flags.hh"
 
 namespace benchutil {
+
+/// The System the wall watchdog snapshots on expiry (see WatchScope).
+inline std::atomic<accesys::core::System*> g_watch_sys{nullptr};
+
+/// Register `sys` as the watchdog's snapshot target for one run. Arms the
+/// interrupt-checkpoint path so expiry needs only flag writes: the run
+/// loop writes the checkpoint at its next quiescent point and returns
+/// ExitCause::checkpointed, and a later invocation can resume from it.
+class WatchScope {
+  public:
+    explicit WatchScope(accesys::core::System& sys,
+                        std::string ckpt_path = "bench_watchdog.ckpt")
+    {
+        if (accesys::env_flags().ckpt) {
+            sys.sim().arm_interrupt_checkpoint(std::move(ckpt_path));
+        }
+        g_watch_sys.store(&sys, std::memory_order_release);
+    }
+    WatchScope(const WatchScope&) = delete;
+    WatchScope& operator=(const WatchScope&) = delete;
+    ~WatchScope() { g_watch_sys.store(nullptr, std::memory_order_release); }
+};
 
 inline bool flag_present(int argc, char** argv, const char* flag)
 {
@@ -32,6 +57,22 @@ inline bool flag_present(int argc, char** argv, const char* flag)
 inline bool quick_mode(int argc, char** argv)
 {
     return flag_present(argc, argv, "--quick");
+}
+
+/// Value of `--<flag> S` or `--<flag>=S`, or `fallback` when absent.
+inline std::string arg_str(int argc, char** argv, const char* flag,
+                           const char* fallback)
+{
+    const std::size_t len = std::strlen(flag);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+            return argv[i + 1];
+        }
+        if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+            return argv[i] + len + 1;
+        }
+    }
+    return fallback;
 }
 
 /// Value of `--<flag> N` or `--<flag>=N`, or `fallback` when absent.
@@ -55,6 +96,13 @@ inline long long arg_ll(int argc, char** argv, const char* flag,
 /// milliseconds of wall time. A wedged simulation — e.g. a fault sweep
 /// that deadlocks instead of degrading — then fails CI loudly instead of
 /// hanging it. No-op when the flag is absent.
+///
+/// Before exiting, the watchdog posts an interrupt on the registered
+/// System (WatchScope): the run loop writes the armed checkpoint at its
+/// next quiescent point, so the aborted run is resumable, and after a
+/// grace window the registry's partial stats are flushed to stderr so the
+/// wedged state is diagnosable. A simulation stuck *below* run() (never
+/// reaching an event boundary) still exits 124, just without a snapshot.
 inline void install_wall_watchdog(int argc, char** argv)
 {
     const long long ms = arg_ll(argc, argv, "--max-wall-ms", 0);
@@ -63,10 +111,32 @@ inline void install_wall_watchdog(int argc, char** argv)
     }
     std::thread([ms] {
         std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        accesys::core::System* sys =
+            g_watch_sys.load(std::memory_order_acquire);
+        if (sys != nullptr) {
+            sys->sim().post_interrupt(); // flag writes only
+            // Grace window: the run loop checkpoints and the bench
+            // unregisters (WatchScope destructor) on its way out.
+            for (int i = 0;
+                 i < 20 && g_watch_sys.load(std::memory_order_acquire) !=
+                               nullptr;
+                 ++i) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+            }
+        }
         std::fprintf(stderr,
                      "bench watchdog: still running after %lld ms, "
                      "aborting\n",
                      ms);
+        sys = g_watch_sys.load(std::memory_order_acquire);
+        if (sys != nullptr) {
+            // Best-effort diagnostics: after the grace window the sim is
+            // quiesced (checkpoint written) unless it is wedged below
+            // run(); a torn line in that case beats no dump at all.
+            std::fprintf(stderr, "bench watchdog: partial stats dump:\n");
+            sys->stats().write_text(std::cerr);
+        }
         std::fflush(nullptr);
         _exit(124);
     }).detach();
@@ -88,6 +158,7 @@ inline double gemm_ms(const accesys::core::SystemConfig& cfg,
                       accesys::core::Placement place)
 {
     accesys::core::System sys(cfg);
+    WatchScope watch(sys);
     accesys::core::Runner runner(sys);
     return runner.run_gemm(spec, place).ms();
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/serialize.hh"
+
 namespace accesys::accel {
 
 void PcieDmaMover::submit(TransferJob job)
@@ -22,7 +24,7 @@ void PcieDmaMover::submit(TransferJob job)
         dj.dev_addr = job.src;
     }
     dj.bytes = job.bytes;
-    dj.on_complete = std::move(job.on_complete);
+    dj.on_complete = job.on_complete;
     engine_->submit(std::move(dj));
 }
 
@@ -109,12 +111,11 @@ void DevMemMover::reap()
 {
     while (!active_.empty() &&
            active_.front()->finished >= active_.front()->job.bytes) {
-        std::function<void()> cb =
-            std::move(active_.front()->job.on_complete);
+        const dma::Continuation cb = active_.front()->job.on_complete;
         by_id_.erase(active_.front()->id);
         active_.pop_front();
         if (cb) {
-            cb();
+            cb.fire();
         }
     }
 }
@@ -136,6 +137,48 @@ bool DevMemMover::recv_resp(mem::PacketPtr& pkt)
     pkt.reset();
     pump();
     return true;
+}
+
+void DevMemMover::serialize(Ckpt& ar)
+{
+    ensure(!pumping_, name(), ": checkpoint mid-pump");
+    std::uint64_t n = active_.size();
+    ar.io(n, next_id_, outstanding_, blocked_);
+    if (ar.saving()) {
+        for (auto& jsp : active_) {
+            std::uint8_t has_cont = jsp->job.on_complete ? 1 : 0;
+            ar.io(jsp->job.src, jsp->job.dst, jsp->job.bytes, has_cont,
+                  jsp->job.on_complete.kind, jsp->job.on_complete.arg,
+                  jsp->id, jsp->issued, jsp->finished, jsp->reads_devmem);
+        }
+    } else {
+        ensure(active_.empty(), name(), ": restore into a busy mover");
+        for (std::uint64_t i = 0; i < n; ++i) {
+            auto js = std::make_unique<JobState>();
+            std::uint8_t has_cont = 0;
+            ar.io(js->job.src, js->job.dst, js->job.bytes, has_cont,
+                  js->job.on_complete.kind, js->job.on_complete.arg,
+                  js->id, js->issued, js->finished, js->reads_devmem);
+            if (has_cont != 0) {
+                ensure(listener_ != nullptr, name(),
+                       ": job with continuation but no listener");
+                js->job.on_complete.listener = listener_;
+            }
+            by_id_[js->id] = js.get();
+            active_.push_back(std::move(js));
+        }
+    }
+    port_.serialize(ar);
+}
+
+void DevMemMover::report_occupancy(std::string& out) const
+{
+    if (active_.empty() && outstanding_ == 0) {
+        return;
+    }
+    out += "  " + name() + ": active_jobs=" + std::to_string(active_.size()) +
+           ", outstanding_reqs=" + std::to_string(outstanding_) +
+           (blocked_ ? ", blocked on downstream" : "") + "\n";
 }
 
 } // namespace accesys::accel

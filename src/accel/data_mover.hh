@@ -23,7 +23,9 @@ struct TransferJob {
     Addr src = 0;
     Addr dst = 0;
     std::uint64_t bytes = 0;
-    std::function<void()> on_complete;
+    /// Plain-data completion descriptor (see dma::Continuation) — keeps
+    /// in-flight transfers checkpointable.
+    dma::Continuation on_complete;
 };
 
 class DataMover {
@@ -67,6 +69,16 @@ class DevMemMover final : public SimObject,
 
     [[nodiscard]] bool idle() const { return active_.empty(); }
 
+    /// Listener re-bound into restored job continuations (one per device).
+    void set_continuation_listener(dma::TransferListener* l) noexcept
+    {
+        listener_ = l;
+    }
+
+    /// Checkpoint/restore the job pipeline and outstanding-request state.
+    void serialize(Ckpt& ar) override;
+    void report_occupancy(std::string& out) const override;
+
   private:
     bool recv_resp(mem::PacketPtr& pkt) override;
     void retry_req() override
@@ -89,6 +101,7 @@ class DevMemMover final : public SimObject,
     Params params_;
     mem::AddrRange devmem_range_;
     mem::BackingStore* store_;
+    dma::TransferListener* listener_ = nullptr;
     mem::RequestPort port_;
     /// Jobs pipeline: chunks are issued from every job in admission order,
     /// bounded only by the shared outstanding-request window.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/serialize.hh"
+
 namespace accesys::accel {
 
 namespace {
@@ -44,6 +46,7 @@ MatrixFlowDevice::MatrixFlowDevice(Simulator& sim, std::string name,
                   this)
 {
     params_.validate();
+    dma_.set_continuation_listener(this);
     aperture_port_.set_fast_path(
         [](void* s, mem::PacketPtr& pkt) {
             return static_cast<MatrixFlowDevice*>(s)->recv_resp(pkt);
@@ -63,6 +66,7 @@ void MatrixFlowDevice::attach_devmem(mem::AddrRange devmem_range,
     devmem_mover_ = std::make_unique<DevMemMover>(
         sim(), name() + ".devmem_mover", params_.devmem_mover, devmem_range,
         *store_);
+    devmem_mover_->set_continuation_listener(this);
     devmem_mover_->port().bind(mover_port);
     aperture_port_.bind(aperture_port);
 }
@@ -114,14 +118,58 @@ void MatrixFlowDevice::fetch_next_command()
 
     pcie_mover_.submit(TransferJob{
         desc, params_.local_base + kDescScratch, sizeof(GemmCommand),
-        [this] {
-            fetching_ = false;
-            const auto cmd = store_->read_obj<GemmCommand>(
-                params_.local_base + kDescScratch);
-            ensure(cmd.magic == GemmCommand::kMagic, name(),
-                   ": bad descriptor magic");
-            start_run(cmd);
-        }});
+        dma::Continuation{this, kContDescFetched, 0}});
+}
+
+void MatrixFlowDevice::transfer_done(std::uint8_t kind, std::uint32_t arg)
+{
+    switch (kind) {
+    case kContDescFetched: {
+        fetching_ = false;
+        const auto cmd = store_->read_obj<GemmCommand>(params_.local_base +
+                                                       kDescScratch);
+        ensure(cmd.magic == GemmCommand::kMagic, name(),
+               ": bad descriptor magic");
+        start_run(cmd);
+        break;
+    }
+    case kContBLoaded: {
+        Run& r = *run_;
+        r.b_loaded = true;
+        // Kick the A pipeline: fill both slots.
+        load_a_strip(0);
+        if (r.num_strips > 1) {
+            load_a_strip(1);
+        }
+        try_compute();
+        break;
+    }
+    case kContALoaded: {
+        run_->a_slot_ready[arg % 2] = true;
+        try_compute();
+        break;
+    }
+    case kContCWritten: {
+        Run& r = *run_;
+        ensure(r.outstanding_c_jobs > 0, name(),
+               ": C write accounting bug");
+        --r.outstanding_c_jobs;
+        if (r.all_blocks_issued && r.outstanding_c_jobs == 0) {
+            run_complete();
+        }
+        break;
+    }
+    case kContFlagPosted: {
+        ++n_commands_;
+        last_complete_tick_ = now();
+        run_.reset();
+        fetch_next_command();
+        break;
+    }
+    default:
+        panic(name(), ": unknown transfer continuation kind ",
+              static_cast<int>(kind));
+    }
 }
 
 void MatrixFlowDevice::start_run(const GemmCommand& cmd)
@@ -190,16 +238,8 @@ void MatrixFlowDevice::start_block()
     // B panel: `cur_cols` rows of B-transposed, each k bytes — contiguous.
     r.mover->submit(TransferJob{
         r.cmd.addr_b + static_cast<Addr>(col0) * r.cmd.k, r.buf_b,
-        static_cast<std::uint64_t>(r.cur_cols) * r.cmd.k, [this] {
-            Run& rr = *run_;
-            rr.b_loaded = true;
-            // Kick the A pipeline: fill both slots.
-            load_a_strip(0);
-            if (rr.num_strips > 1) {
-                load_a_strip(1);
-            }
-            try_compute();
-        }});
+        static_cast<std::uint64_t>(r.cur_cols) * r.cmd.k,
+        dma::Continuation{this, kContBLoaded, 0}});
 }
 
 std::uint32_t MatrixFlowDevice::strip_rows(std::uint32_t strip) const
@@ -224,11 +264,7 @@ void MatrixFlowDevice::load_a_strip(std::uint32_t strip)
         static_cast<std::uint64_t>(strip_rows(strip)) * r.cmd.k;
     r.mover->submit(TransferJob{
         r.cmd.addr_a + static_cast<Addr>(strip) * 16 * r.cmd.k,
-        r.buf_a[slot], bytes, [this, strip] {
-            Run& rr = *run_;
-            rr.a_slot_ready[strip % 2] = true;
-            try_compute();
-        }});
+        r.buf_a[slot], bytes, dma::Continuation{this, kContALoaded, strip}});
 }
 
 void MatrixFlowDevice::try_compute()
@@ -296,15 +332,8 @@ void MatrixFlowDevice::write_c_strip(std::uint32_t strip)
         ++r.outstanding_c_jobs;
         r.mover->submit(TransferJob{
             r.buf_c + static_cast<Addr>(row) * r.cur_cols * 4, dst,
-            static_cast<std::uint64_t>(r.cur_cols) * 4, [this] {
-                Run& rr = *run_;
-                ensure(rr.outstanding_c_jobs > 0, name(),
-                       ": C write accounting bug");
-                --rr.outstanding_c_jobs;
-                if (rr.all_blocks_issued && rr.outstanding_c_jobs == 0) {
-                    run_complete();
-                }
-            }});
+            static_cast<std::uint64_t>(r.cur_cols) * 4,
+            dma::Continuation{this, kContCWritten, 0}});
     }
 }
 
@@ -330,12 +359,8 @@ void MatrixFlowDevice::run_complete()
     store_->write_obj(params_.local_base + kFlagScratch, r.cmd.flag_value);
     const Addr flag_addr = r.cmd.flag_addr;
     pcie_mover_.submit(TransferJob{
-        params_.local_base + kFlagScratch, flag_addr, 8, [this] {
-            ++n_commands_;
-            last_complete_tick_ = now();
-            run_.reset();
-            fetch_next_command();
-        }});
+        params_.local_base + kFlagScratch, flag_addr, 8,
+        dma::Continuation{this, kContFlagPosted, 0}});
 }
 
 // --- DMA plumbing ------------------------------------------------------------
@@ -343,6 +368,122 @@ void MatrixFlowDevice::run_complete()
 void MatrixFlowDevice::recv_dma_completion(const pcie::Tlp& cpl)
 {
     dma_.on_completion(cpl);
+}
+
+std::uint64_t MatrixFlowDevice::encode_sent_hook(
+    const pcie::SentHook& hook) const
+{
+    return dma_.encode_sent_hook(hook);
+}
+
+pcie::SentHook MatrixFlowDevice::decode_sent_hook(std::uint64_t code)
+{
+    return dma_.decode_sent_hook(code);
+}
+
+// --- checkpoint/restore ------------------------------------------------------
+
+void MatrixFlowDevice::serialize(Ckpt& ar)
+{
+    // DMA job lists first: the endpoint's staged egress SentHooks encode as
+    // indices into the engine's active-job deque, so that deque must exist
+    // before the base class decodes them. (The engine's own section — tags,
+    // window accounting — restores later, in registration order.)
+    dma_.serialize_jobs(ar);
+    Endpoint::serialize(ar);
+
+    ar.io(last_complete_tick_, fetching_, next_aperture_tag_);
+
+    std::uint64_t n_fifo = cmd_fifo_.size();
+    ar.io(n_fifo);
+    if (ar.loading()) {
+        cmd_fifo_.clear();
+    }
+    for (std::uint64_t i = 0; i < n_fifo; ++i) {
+        Addr desc = ar.saving() ? cmd_fifo_[i] : 0;
+        ar.io(desc);
+        if (ar.loading()) {
+            cmd_fifo_.push_back(desc);
+        }
+    }
+
+    std::uint8_t has_run = run_.has_value() ? 1 : 0;
+    ar.io(has_run);
+    if (ar.loading()) {
+        run_.reset();
+        if (has_run != 0) {
+            run_.emplace();
+        }
+    }
+    if (has_run != 0) {
+        Run& r = *run_;
+        std::uint8_t use_devmem =
+            ar.saving() && r.mover == devmem_mover_.get() ? 1 : 0;
+        ar.io(r.cmd, use_devmem, r.jb_cols, r.num_jblocks, r.num_strips,
+              r.cur_jb, r.cur_cols, r.buf_b, r.buf_a[0], r.buf_a[1], r.buf_c,
+              r.b_loaded, r.a_slot_strip[0], r.a_slot_strip[1],
+              r.a_slot_ready[0], r.a_slot_ready[1], r.next_compute_strip,
+              r.next_load_strip, r.computing, r.outstanding_c_jobs,
+              r.all_blocks_issued);
+        if (ar.loading()) {
+            if (use_devmem != 0) {
+                ensure(devmem_mover_ != nullptr, name(),
+                       ": checkpointed DevMem run without device memory");
+                r.mover = devmem_mover_.get();
+            } else {
+                r.mover = &pcie_mover_;
+            }
+        }
+    }
+
+    // Aperture read bookkeeping: sort keys on save so checkpoint bytes are
+    // independent of unordered_map iteration order.
+    std::uint64_t n_ap = aperture_reads_.size();
+    ar.io(n_ap);
+    if (ar.saving()) {
+        std::vector<std::uint64_t> keys;
+        keys.reserve(aperture_reads_.size());
+        for (const auto& [k, v] : aperture_reads_) {
+            keys.push_back(k);
+        }
+        std::sort(keys.begin(), keys.end());
+        for (std::uint64_t k : keys) {
+            ApertureRead& v = aperture_reads_.at(k);
+            ar.io(k, v.pcie_tag, v.requester, v.length);
+        }
+    } else {
+        aperture_reads_.clear();
+        for (std::uint64_t i = 0; i < n_ap; ++i) {
+            std::uint64_t k = 0;
+            ApertureRead v{};
+            ar.io(k, v.pcie_tag, v.requester, v.length);
+            aperture_reads_.emplace(k, v);
+        }
+    }
+
+    aperture_q_.serialize(ar);
+    aperture_port_.serialize(ar);
+    compute_event_.serialize(ar, eq());
+}
+
+void MatrixFlowDevice::report_occupancy(std::string& out) const
+{
+    Endpoint::report_occupancy(out);
+    if (!run_.has_value() && cmd_fifo_.empty() && !fetching_) {
+        return;
+    }
+    out += "  " + name() + ": cmd_fifo=" + std::to_string(cmd_fifo_.size()) +
+           (fetching_ ? ", fetching descriptor" : "");
+    if (run_.has_value()) {
+        const Run& r = *run_;
+        out += ", run{block " + std::to_string(r.cur_jb) + "/" +
+               std::to_string(r.num_jblocks) + ", strip " +
+               std::to_string(r.next_compute_strip) + "/" +
+               std::to_string(r.num_strips) +
+               ", outstanding_c=" + std::to_string(r.outstanding_c_jobs) +
+               (r.computing ? ", computing" : "") + "}";
+    }
+    out += "\n";
 }
 
 // --- device-memory aperture (CPU NUMA path) ---------------------------------

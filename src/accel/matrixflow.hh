@@ -61,6 +61,7 @@ inline constexpr Addr kRegTileCount = 0x18; ///< R: tiles computed
 
 class MatrixFlowDevice final : public pcie::Endpoint,
                                public dma::DmaPort,
+                               public dma::TransferListener,
                                private mem::Requestor {
   public:
     MatrixFlowDevice(Simulator& sim, std::string name,
@@ -113,12 +114,25 @@ class MatrixFlowDevice final : public pcie::Endpoint,
         return device_id();
     }
 
+    // dma::TransferListener — continuation dispatch for every transfer the
+    // controller issues (see the kCont* kinds below).
+    void transfer_done(std::uint8_t kind, std::uint32_t arg) override;
+
+    /// Checkpoint/restore the controller: DMA job lists first (egress
+    /// SentHooks point into them), then the endpoint queues, then the
+    /// GEMM run state and aperture bookkeeping.
+    void serialize(Ckpt& ar) override;
+    void report_occupancy(std::string& out) const override;
+
   protected:
     std::uint64_t mmio_read(Addr addr, std::uint32_t size) override;
     void mmio_write(Addr addr, std::uint32_t size,
                     std::uint64_t value) override;
     void recv_dma_completion(const pcie::Tlp& cpl) override;
     void tx_ready() override { dma_.on_tx_ready(); }
+    std::uint64_t encode_sent_hook(
+        const pcie::SentHook& hook) const override;
+    pcie::SentHook decode_sent_hook(std::uint64_t code) override;
 
   private:
     // mem::Requestor — device-memory aperture traffic (CPU NUMA accesses).
@@ -149,6 +163,15 @@ class MatrixFlowDevice final : public pcie::Endpoint,
         bool computing = false;
         std::uint32_t outstanding_c_jobs = 0;
         bool all_blocks_issued = false;
+    };
+
+    // Continuation kinds (TransferJob::on_complete descriptors).
+    enum : std::uint8_t {
+        kContDescFetched = 1, ///< command descriptor landed in scratch
+        kContBLoaded = 2,     ///< B panel staged for the current block
+        kContALoaded = 3,     ///< A strip staged (arg = strip index)
+        kContCWritten = 4,    ///< one C row segment drained
+        kContFlagPosted = 5,  ///< completion flag reached host memory
     };
 
     void doorbell(Addr desc_addr);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "sim/serialize.hh"
 #include "sim/simd.hh"
 
 namespace accesys::cache {
@@ -488,6 +489,68 @@ void Cache::snoop_clean(Addr addr, std::uint32_t size)
             ++n_snoop_cleans_;
         }
     }
+}
+
+namespace {
+
+void ckpt_packet_vec(Ckpt& ar, std::vector<mem::PacketPtr>& v)
+{
+    std::uint64_t n = v.size();
+    ar.io(n);
+    if (ar.loading()) {
+        v.clear();
+        v.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            mem::PacketPtr pkt;
+            mem::ckpt_packet(ar, pkt);
+            v.push_back(std::move(pkt));
+        }
+    } else {
+        for (auto& pkt : v) {
+            mem::ckpt_packet(ar, pkt);
+        }
+    }
+}
+
+} // namespace
+
+void Cache::serialize(Ckpt& ar)
+{
+    // Tag array + replacement state (fixed geometry; lines_ is one machine
+    // word per way, so the raw image is the natural representation).
+    ensure(wb_batch_.empty(), name(),
+           ": checkpoint inside an install run (writebacks staged)");
+    ar.raw(lines_.data(), lines_.size() * sizeof(Line));
+    ar.pod_vec(lru_);
+    ar.io(lru_clock_, valid_lines_, dirty_lines_, blocked_upstream_,
+          mshr_free_bits_);
+    std::uint64_t live = mshrs_live_;
+    ar.io(live);
+    mshrs_live_ = static_cast<std::size_t>(live);
+    ar.pod_vec(mshr_keys_);
+    for (Mshr& m : mshrs_) {
+        ar.io(m.laddr, m.live, m.fill_sent, m.dirty_on_fill);
+        ckpt_packet_vec(ar, m.targets);
+    }
+    rng_.serialize(ar);
+    cpu_port_.serialize(ar);
+    mem_port_.serialize(ar);
+    resp_q_.serialize(ar);
+    mem_q_.serialize(ar);
+}
+
+void Cache::report_occupancy(std::string& out) const
+{
+    if (mshrs_live_ == 0 && resp_q_.empty() && mem_q_.empty() &&
+        !blocked_upstream_) {
+        return;
+    }
+    out += "  " + name() + ": mshrs_live=" + std::to_string(mshrs_live_) +
+           ", resp_q=" + std::to_string(resp_q_.size()) +
+           (resp_q_.blocked() ? " (blocked)" : "") +
+           ", mem_q=" + std::to_string(mem_q_.size()) +
+           (mem_q_.blocked() ? " (blocked)" : "") +
+           (blocked_upstream_ ? ", upstream refused" : "") + "\n";
 }
 
 } // namespace accesys::cache

@@ -72,6 +72,11 @@ class Cache final : public SimObject,
         return static_cast<std::uint64_t>(n_misses_.value());
     }
 
+    /// Checkpoint/restore tags, LRU clocks, MSHRs (with queued target
+    /// packets), egress queues and the replacement RNG.
+    void serialize(Ckpt& ar) override;
+    void report_occupancy(std::string& out) const override;
+
     // mem::Snooper
     void snoop_invalidate(Addr addr, std::uint32_t size) override;
     void snoop_clean(Addr addr, std::uint32_t size) override;

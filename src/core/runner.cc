@@ -1,12 +1,43 @@
 #include "core/runner.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <iostream>
+#include <utility>
 
 #include "accel/command.hh"
+#include "sim/env_flags.hh"
 #include "sim/fault_injector.hh"
 
 namespace accesys::core {
+
+namespace {
+
+/// Simulator targeted by the signal-checkpoint handler. post_interrupt()
+/// is flag writes only, so the handler is async-signal-safe.
+std::atomic<Simulator*> g_signal_sim{nullptr};
+
+void on_checkpoint_signal(int)
+{
+    Simulator* sim = g_signal_sim.load(std::memory_order_relaxed);
+    if (sim != nullptr) {
+        sim->post_interrupt();
+    }
+}
+
+} // namespace
+
+void arm_signal_checkpoint(System& sys, std::string path)
+{
+    if (!env_flags().ckpt) {
+        return;
+    }
+    sys.sim().arm_interrupt_checkpoint(std::move(path));
+    g_signal_sim.store(&sys.sim(), std::memory_order_relaxed);
+    std::signal(SIGINT, on_checkpoint_signal);
+    std::signal(SIGTERM, on_checkpoint_signal);
+}
 
 namespace {
 
@@ -157,11 +188,23 @@ MultiGemmResult Runner::run_dispatched()
     sys.host_cpu().run_program(std::move(prog), [&sys] {
         sys.sim().request_exit("dispatched gemms complete");
     });
+    if (!restore_.empty()) {
+        sys.sim().restore(std::exchange(restore_, {}));
+    }
     const RunResult rr = run_with_stats_flush(sys, "run_dispatched");
+    if (rr.cause == ExitCause::checkpointed) {
+        res.checkpointed = true;
+        res.end = rr.end_tick;
+        pending_.clear();
+        return res;
+    }
     if (fi == nullptr) {
+        // Liveness: a clean run that drains with the program unfinished is
+        // a deadlock — report who still holds work instead of hanging.
         ensure(rr.cause == ExitCause::exit_requested,
                "GEMM run deadlocked: simulation drained at tick ",
-               rr.end_tick);
+               rr.end_tick, " with jobs outstanding; component occupancy:\n",
+               sys.sim().occupancy_report());
     } else if (rr.cause != ExitCause::exit_requested) {
         // Graceful degradation: a fault run that drains mid-program still
         // reports per-job outcomes below (the flags tell timeouts apart).
@@ -190,6 +233,38 @@ MultiGemmResult Runner::run_dispatched()
     }
     pending_.clear();
     return res;
+}
+
+void Runner::restore_dispatched(const std::string& path)
+{
+    System& sys = *sys_;
+    ensure(!pending_.empty(), "restore_dispatched with nothing dispatched");
+
+    // Same op shape as run_dispatched(): one descriptor-fill Call, one
+    // doorbell per job, one poll per job, one end-sample Call. The Calls
+    // are stubs — the snapshot's restored store already holds the
+    // descriptors, and nothing here will read the result fields.
+    std::vector<cpu::CpuOp> prog;
+    prog.push_back(cpu::Call{[] {}});
+    for (const PendingGemm& p : pending_) {
+        prog.push_back(cpu::MmioWrite{doorbell_addr(sys, p.device), p.desc});
+    }
+    double job_timeout_ns = 0.0;
+    const FaultInjector* fi = sys.sim().fault_injector();
+    if (fi != nullptr) {
+        job_timeout_ns = fi->plan().job_timeout_ns;
+    }
+    for (const PendingGemm& p : pending_) {
+        prog.push_back(cpu::PollFlag{p.flag, p.cmd.flag_value,
+                                     job_timeout_ns});
+    }
+    prog.push_back(cpu::Call{[] {}});
+
+    sys.host_cpu().run_program(std::move(prog), [&sys] {
+        sys.sim().request_exit("dispatched gemms complete");
+    });
+    sys.sim().restore(path);
+    pending_.clear();
 }
 
 VitRunResult Runner::run_vit(const workload::VitConfig& cfg, Placement place)
@@ -295,9 +370,18 @@ VitRunResult Runner::run_vit(const workload::VitConfig& cfg, Placement place)
     sys.host_cpu().run_program(std::move(prog), [&sys] {
         sys.sim().request_exit("vit complete");
     });
+    if (!restore_.empty()) {
+        sys.sim().restore(std::exchange(restore_, {}));
+    }
     const RunResult rr = run_with_stats_flush(sys, "run_vit");
+    if (rr.cause == ExitCause::checkpointed) {
+        res.end = rr.end_tick;
+        return res;
+    }
     ensure(rr.cause == ExitCause::exit_requested,
-           "ViT run deadlocked: simulation drained at tick ", rr.end_tick);
+           "ViT run deadlocked: simulation drained at tick ", rr.end_tick,
+           " with jobs outstanding; component occupancy:\n",
+           sys.sim().occupancy_report());
     return res;
 }
 

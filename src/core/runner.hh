@@ -90,6 +90,11 @@ struct DeviceGemmResult {
 struct MultiGemmResult {
     Tick start = 0;
     Tick end = 0;
+    /// True when the run stopped early because a requested/armed
+    /// checkpoint was written (see Runner::set_restore_path and
+    /// arm_signal_checkpoint): per-device outcomes below are meaningless
+    /// and verification was skipped.
+    bool checkpointed = false;
     std::vector<DeviceGemmResult> devices;
 
     [[nodiscard]] Tick elapsed() const { return end - start; }
@@ -152,6 +157,26 @@ class Runner {
     /// Figs. 7 and 8 report.
     VitRunResult run_vit(const workload::VitConfig& cfg, Placement place);
 
+    /// Restore checkpoint `path` before the next run enters the event
+    /// loop. Protocol: the caller re-runs the *identical* dispatch in a
+    /// fresh process (same SystemConfig, same alloc/map/dispatch calls —
+    /// all deterministic), which re-stages the CPU program and its
+    /// closures; restore() then overwrites every component's dynamic
+    /// state on top, and run() resumes bit-identically. Host-side result
+    /// fields sampled by Call ops that executed before the checkpoint
+    /// (start ticks, DMA baselines) stay unset in the restored process;
+    /// the stats registry — the bit-identity contract — is restored.
+    void set_restore_path(std::string path) { restore_ = std::move(path); }
+
+    /// Restore checkpoint `path` into the fresh System *without* running
+    /// it: re-stages a program with the same op shape as run_dispatched()
+    /// (the CPU's restored pc must land inside an identical program) and
+    /// then loads the snapshot. For tooling that measures or inspects
+    /// restored state only — the host-side sampling Calls are stubs, so
+    /// resume a run through set_restore_path() + run_dispatched() instead.
+    /// Clears the dispatch list.
+    void restore_dispatched(const std::string& path);
+
   private:
     struct PendingGemm {
         std::size_t device = 0;
@@ -166,6 +191,15 @@ class Runner {
 
     System* sys_;
     std::vector<PendingGemm> pending_;
+    std::string restore_;
 };
+
+/// Arm SIGINT/SIGTERM as checkpoint-then-exit: the handler posts an
+/// interrupt on the simulator (flag writes only — async-signal-safe), the
+/// run loop writes `path` at the next quiescent point and returns
+/// ExitCause::checkpointed. Call sites observe MultiGemmResult::
+/// checkpointed (or the RunResult cause) and exit; a later invocation
+/// resumes via Runner::set_restore_path. No-op when ACCESYS_CKPT=0.
+void arm_signal_checkpoint(System& sys, std::string path);
 
 } // namespace accesys::core

@@ -1,5 +1,9 @@
 #include "core/system.hh"
 
+#include <cstring>
+
+#include "sim/serialize.hh"
+
 namespace accesys::core {
 
 namespace {
@@ -8,6 +12,114 @@ namespace {
 /// arena occupies the top 128 MiB.
 constexpr Addr kDataBase = 16 * kMiB;
 constexpr std::uint64_t kPtArenaBytes = 128 * kMiB;
+
+std::uint64_t dbits(double v) noexcept
+{
+    std::uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+}
+
+std::uint64_t mix_str(std::uint64_t h, const std::string& s) noexcept
+{
+    h = fnv1a64(h, s.size());
+    for (const char c : s) {
+        h = fnv1a64(h, static_cast<std::uint8_t>(c));
+    }
+    return h;
+}
+
+std::uint64_t mix_link(std::uint64_t h, const pcie::LinkParams& l) noexcept
+{
+    h = fnv1a64(h, l.lanes);
+    h = fnv1a64(h, dbits(l.lane_gbps));
+    h = fnv1a64(h, static_cast<std::uint64_t>(l.gen));
+    h = fnv1a64(h, dbits(l.propagation_delay_ns));
+    h = fnv1a64(h, l.tlp_overhead_bytes);
+    h = fnv1a64(h, l.hdr_credits);
+    h = fnv1a64(h, l.data_credit_bytes);
+    return h;
+}
+
+/// Curated FNV-1a hash of everything a checkpoint's validity depends on:
+/// topology shape, address map, timing-relevant knobs and the fault plan.
+/// `threads` is deliberately excluded — the barrier bit-identity contract
+/// makes a checkpoint valid under any ACCESYS_THREADS.
+std::uint64_t config_hash(const SystemConfig& cfg)
+{
+    std::uint64_t h = kFnvBasis;
+    h = fnv1a64(h, cfg.host_dram_bytes);
+    h = fnv1a64(h, static_cast<std::uint64_t>(cfg.access_mode));
+    h = fnv1a64(h, cfg.host_simple ? 1 : 0);
+    h = fnv1a64(h, dbits(cfg.cpu.freq_ghz));
+    h = fnv1a64(h, cfg.cpu.mem_window);
+    h = fnv1a64(h, cfg.cpu.line_bytes);
+    h = fnv1a64(h, cfg.cpu.max_polls_per_op);
+    h = fnv1a64(h, dbits(cfg.rc.latency_ns));
+    h = fnv1a64(h, cfg.rc.host_split_bytes);
+    h = fnv1a64(h, cfg.rc.max_payload_bytes);
+    h = fnv1a64(h, cfg.rc.max_inbound_reads);
+    h = fnv1a64(h, cfg.rc.mmio_tags);
+    h = fnv1a64(h, cfg.smmu.enabled ? 1 : 0);
+    h = mix_link(h, cfg.pcie);
+
+    const auto switches = cfg.resolved_switch_tree();
+    h = fnv1a64(h, switches.size());
+    for (const SwitchConfig& sw : switches) {
+        h = fnv1a64(h, sw.parent);
+        h = fnv1a64(h, dbits(sw.params.latency_ns));
+        h = mix_link(h, sw.uplink);
+    }
+
+    const auto devices = cfg.resolved_devices();
+    h = fnv1a64(h, devices.size());
+    for (const DeviceConfig& dev : devices) {
+        h = mix_str(h, dev.name);
+        h = fnv1a64(h, dev.stream_id);
+        h = fnv1a64(h, dev.attach_to);
+        h = fnv1a64(h, dev.accel.ep.device_id);
+        h = fnv1a64(h, dev.accel.bar0_base);
+        h = fnv1a64(h, dev.accel.bar0_size);
+        h = fnv1a64(h, dev.accel.local_base);
+        h = fnv1a64(h, dev.accel.local_buffer_bytes);
+        h = fnv1a64(h, dev.accel.max_block_cols);
+        h = fnv1a64(h, dev.accel.cmd_fifo_depth);
+        h = fnv1a64(h, dev.accel.dma.channels);
+        h = fnv1a64(h, dev.accel.dma.request_bytes);
+        h = fnv1a64(h, dev.accel.dma.write_bytes);
+        h = fnv1a64(h, dev.accel.dma.window_bytes);
+        h = fnv1a64(h, dev.accel.dma.max_tags);
+        if (dev.link) {
+            h = mix_link(h, *dev.link);
+        }
+        h = fnv1a64(h, dev.enable_devmem ? 1 : 0);
+        h = fnv1a64(h, dev.devmem_base);
+        h = fnv1a64(h, dev.enable_devmem ? dev.devmem_bytes : 0);
+    }
+
+    const FaultPlan& fp = cfg.fault_plan;
+    h = fnv1a64(h, fp.active() ? 1 : 0);
+    if (fp.active()) {
+        h = fnv1a64(h, fp.seed);
+        h = fnv1a64(h, dbits(fp.corrupt_rate));
+        h = mix_str(h, fp.corrupt_site);
+        h = fnv1a64(h, fp.events.size());
+        for (const FaultEvent& ev : fp.events) {
+            h = fnv1a64(h, static_cast<std::uint64_t>(ev.kind));
+            h = mix_str(h, ev.site);
+            h = fnv1a64(h, ev.dir);
+            h = fnv1a64(h, dbits(ev.at_ns));
+            h = fnv1a64(h, dbits(ev.duration_ns));
+        }
+        h = fnv1a64(h, fp.replay_buffer_tlps);
+        h = fnv1a64(h, fp.max_replays);
+        h = fnv1a64(h, dbits(fp.replay_timeout_ns));
+        h = fnv1a64(h, dbits(fp.completion_timeout_ns));
+        h = fnv1a64(h, fp.completion_max_retries);
+        h = fnv1a64(h, dbits(fp.job_timeout_ns));
+    }
+    return h;
+}
 
 } // namespace
 
@@ -118,6 +230,56 @@ void System::build()
     for (const DeviceInstance& dev : topo_.devices) {
         smmu_->map_stream(dev.device->device_id(), dev.stream_id);
     }
+
+    // --- checkpoint/restore wiring --------------------------------------------
+    sim_.set_config_hash(config_hash(cfg_));
+    // Root-domain thread context: the process-wide pools. Restore installs
+    // this before re-materializing root components so their packets/TLPs
+    // come from the same pool they will be recycled into.
+    sim_.set_root_install([] {
+        pcie::TlpPool::set_current(nullptr);
+        mem::PacketPool::set_current(nullptr);
+    });
+    // Non-SimObject state, serialized between the component and stats
+    // sections. The store first (components re-materialized nothing that
+    // touches it), then the pool counters: they must overwrite the
+    // acquires the component restore itself performed so the counter
+    // streams continue as if never interrupted.
+    sim_.add_ckpt_hook("store", [this](Ckpt& ar) { store_.serialize(ar); });
+    sim_.add_ckpt_hook("pools", [this](Ckpt& ar) {
+        // Count-prefixed: per-device pools exist only under a parallel
+        // carve, and snapshots are thread-count-neutral. On a carve
+        // mismatch the saved records are drained unapplied and every pool
+        // keeps its organic counters — those truthfully track this
+        // process's construction + restore acquires, which is what the
+        // recycle accounting must balance against.
+        std::uint64_t np = 2;
+        for (const DeviceInstance& dev : topo_.devices) {
+            np += (dev.pkt_pool ? 1 : 0) + (dev.tlp_pool ? 1 : 0);
+        }
+        const std::uint64_t np_here = np;
+        ar.io(np);
+        if (np == np_here) {
+            mem::PacketPool::global().serialize_counters(ar);
+            pcie::TlpPool::global().serialize_counters(ar);
+            for (DeviceInstance& dev : topo_.devices) {
+                if (dev.pkt_pool) {
+                    dev.pkt_pool->serialize_counters(ar);
+                }
+                if (dev.tlp_pool) {
+                    dev.tlp_pool->serialize_counters(ar);
+                }
+            }
+            return;
+        }
+        // Record shape: keep in sync with Pool::serialize_counters.
+        for (std::uint64_t i = 0; i < np; ++i) {
+            std::uint64_t allocs = 0;
+            std::uint64_t acquires = 0;
+            std::uint64_t recycles = 0;
+            ar.io(allocs, acquires, recycles);
+        }
+    });
 }
 
 Addr System::alloc_host(std::uint64_t bytes, std::uint64_t align)

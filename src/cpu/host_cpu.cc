@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/serialize.hh"
+
 namespace accesys::cpu {
 
 namespace {
@@ -110,6 +112,7 @@ void HostCpu::exec_current()
         return;
     }
     if (auto* p = std::get_if<PollFlag>(&op); p != nullptr) {
+        polls_this_op_ = 0;
         poll_backoff_ = params_.poll_interval_cycles;
         poll_deadline_ = p->timeout_ns > 0
                              ? now() + ticks_from_ns(p->timeout_ns)
@@ -151,6 +154,15 @@ void HostCpu::issue_poll()
                std::holds_alternative<PollFlag>(program_[pc_]),
            name(), ": poll issue outside a poll op (pc=", pc_, ")");
     const auto& p = std::get<PollFlag>(program_[pc_]);
+    if (params_.max_polls_per_op != 0 &&
+        ++polls_this_op_ > params_.max_polls_per_op) {
+        throw SimError(strcat_msg(
+            name(), ": poll of flag 0x", p.addr, " exceeded ",
+            params_.max_polls_per_op,
+            " reads without a match (liveness watchdog: the completion "
+            "can no longer arrive); component occupancy:\n",
+            sim().occupancy_report()));
+    }
     ++n_polls_;
     auto pkt = mem::packet_pool().make_read(p.addr, 8);
     pkt->set_tag(kTagPoll);
@@ -295,6 +307,37 @@ bool HostCpu::recv_resp(mem::PacketPtr& pkt)
     default:
         panic(name(), ": response with unknown tag ", pkt->tag());
     }
+}
+
+void HostCpu::serialize(Ckpt& ar)
+{
+    std::uint64_t pc = pc_;
+    ar.io(pc, running_, blocked_, delay_pending_, poll_backoff_,
+          poll_deadline_, polls_this_op_, vec_read_issued_, vec_read_done_,
+          vec_write_issued_, vec_inflight_, vec_alu_done_,
+          vec_reads_complete_);
+    pc_ = static_cast<std::size_t>(pc);
+    port_.serialize(ar);
+    wake_event_.serialize(ar, eq());
+    poll_event_.serialize(ar, eq());
+    alu_event_.serialize(ar, eq());
+    if (ar.loading()) {
+        ensure(!running_ || pc_ < program_.size(), name(),
+               ": checkpointed pc ", pc_, " outside the re-dispatched "
+               "program (", program_.size(),
+               " ops) — restore needs the identical dispatch");
+    }
+}
+
+void HostCpu::report_occupancy(std::string& out) const
+{
+    if (!running_) {
+        return;
+    }
+    out += "  " + name() + ": op " + std::to_string(pc_) + "/" +
+           std::to_string(program_.size()) +
+           (blocked_ ? " (blocked on fabric)" : "") + ", vec_inflight=" +
+           std::to_string(vec_inflight_) + "\n";
 }
 
 } // namespace accesys::cpu

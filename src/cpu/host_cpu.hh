@@ -44,6 +44,12 @@ struct CpuParams {
     /// Missed polls back off exponentially up to this cap (models a driver
     /// easing off the flag; keeps long offloads cheap to simulate).
     unsigned poll_interval_max_cycles = 8192;
+    /// Liveness watchdog: a single PollFlag op issuing more than this many
+    /// reads without a match raises a diagnostic SimError instead of
+    /// spinning forever (a flag that can never arrive — e.g. the job went
+    /// to a latched-failed link — with timeout_ns=0 would otherwise poll
+    /// until the heat death of the host). 0 = unlimited.
+    std::uint64_t max_polls_per_op = 0;
 
     void validate() const;
 };
@@ -102,6 +108,13 @@ class HostCpu final : public SimObject,
 
     [[nodiscard]] bool idle() const noexcept { return !running_; }
 
+    /// Checkpoint/restore execution position and in-op progress. The
+    /// program itself (ops + completion closure) is not serialized: the
+    /// caller re-runs the identical dispatch before restore (see
+    /// core::Runner), and this overwrites pc_/progress on top of it.
+    void serialize(Ckpt& ar) override;
+    void report_occupancy(std::string& out) const override;
+
   private:
     bool recv_resp(mem::PacketPtr& pkt) override;
     void retry_req() override
@@ -138,6 +151,7 @@ class HostCpu final : public SimObject,
     bool delay_pending_ = false;
     unsigned poll_backoff_ = 0; ///< current poll interval (cycles)
     Tick poll_deadline_ = kMaxTick; ///< give-up tick of the current poll
+    std::uint64_t polls_this_op_ = 0; ///< liveness cap (max_polls_per_op)
 
     // Vector-op progress.
     std::uint64_t vec_read_issued_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/serialize.hh"
+
 namespace accesys::dma {
 
 void DmaParams::validate() const
@@ -103,13 +105,13 @@ void DmaEngine::pump()
         for (auto it = active_.begin(); it != active_.end();) {
             if ((*it)->finished >= (*it)->job.bytes) {
                 JobState* js = *it;
-                std::function<void()> cb = std::move(js->job.on_complete);
-                js->job = DmaJob{}; // drop captures before recycling
+                const Continuation cb = js->job.on_complete;
+                js->job = DmaJob{}; // drop the descriptor before recycling
                 job_free_.push_back(js);
                 it = active_.erase(it);
                 ++jobs_done_;
                 if (cb) {
-                    cb();
+                    cb.fire();
                 }
             } else {
                 ++it;
@@ -184,18 +186,19 @@ void DmaEngine::pump_write(JobState& js)
         port_->dma_send(
             tlp_pool_->make_mem_write(js.job.host_addr + off, chunk,
                                       port_->dma_device_id()),
-            pcie::SentHook{
-                [](void* p, std::uint32_t sent) {
-                    auto* jsp = static_cast<JobState*>(p);
-                    jsp->finished += sent;
-                    jsp->engine->bytes_written_ += sent;
-                    if (jsp->finished >= jsp->job.bytes) {
-                        jsp->engine->pump(); // reap + refill the channel
-                    }
-                },
-                &js, chunk});
+            pcie::SentHook{&DmaEngine::write_sent_cb, &js, chunk});
         ++writes_issued_;
         js.issued += chunk;
+    }
+}
+
+void DmaEngine::write_sent_cb(void* p, std::uint32_t sent)
+{
+    auto* jsp = static_cast<JobState*>(p);
+    jsp->finished += sent;
+    jsp->engine->bytes_written_ += sent;
+    if (jsp->finished >= jsp->job.bytes) {
+        jsp->engine->pump(); // reap + refill the channel
     }
 }
 
@@ -302,6 +305,122 @@ void DmaEngine::on_completion(const pcie::Tlp& cpl)
     tag_free_bits_[cpl.tag / 64] |= std::uint64_t{1} << (cpl.tag % 64);
     --tags_in_use_;
     pump();
+}
+
+namespace {
+
+void ckpt_dma_job(Ckpt& ar, DmaJob& job, TransferListener* listener)
+{
+    auto dir = static_cast<std::uint8_t>(job.dir);
+    std::uint8_t has_cont = job.on_complete ? 1 : 0;
+    ar.io(dir, job.host_addr, job.dev_addr, job.bytes, has_cont,
+          job.on_complete.kind, job.on_complete.arg);
+    if (ar.loading()) {
+        job.dir = static_cast<DmaJob::Dir>(dir);
+        if (has_cont != 0) {
+            ensure(listener != nullptr,
+                   "DMA job with continuation but no listener registered");
+            job.on_complete.listener = listener;
+        } else {
+            job.on_complete.listener = nullptr;
+        }
+    }
+}
+
+} // namespace
+
+void DmaEngine::serialize_jobs(Ckpt& ar)
+{
+    std::uint64_t n_active = active_.size();
+    std::uint64_t n_queued = queued_.size();
+    ar.io(n_active, n_queued);
+    if (ar.saving()) {
+        for (JobState* js : active_) {
+            ckpt_dma_job(ar, js->job, listener_);
+            ar.io(js->issued, js->finished);
+        }
+        for (DmaJob& job : queued_) {
+            ckpt_dma_job(ar, job, listener_);
+        }
+    } else {
+        ensure(active_.empty() && queued_.empty(), name(),
+               ": restore into a busy DMA engine");
+        for (std::uint64_t i = 0; i < n_active; ++i) {
+            JobState* js = acquire_job_state();
+            ckpt_dma_job(ar, js->job, listener_);
+            ar.io(js->issued, js->finished);
+            active_.push_back(js);
+        }
+        for (std::uint64_t i = 0; i < n_queued; ++i) {
+            DmaJob job;
+            ckpt_dma_job(ar, job, listener_);
+            queued_.push_back(std::move(job));
+        }
+    }
+}
+
+void DmaEngine::serialize(Ckpt& ar)
+{
+    ensure(!pumping_, name(), ": checkpoint mid-pump");
+    ar.io(window_in_use_, tags_in_use_);
+    ar.pod_vec(tag_free_bits_);
+    for (TagState& ts : tags_) {
+        ar.io(ts.busy, ts.offset, ts.bytes, ts.deadline, ts.retries);
+        std::uint64_t job_idx = ~0ULL;
+        if (ar.saving() && ts.busy) {
+            const auto it =
+                std::find(active_.begin(), active_.end(), ts.job);
+            ensure(it != active_.end(), name(),
+                   ": busy tag points at a retired job");
+            job_idx =
+                static_cast<std::uint64_t>(it - active_.begin());
+        }
+        ar.io(job_idx);
+        if (ar.loading()) {
+            if (ts.busy) {
+                ensure(job_idx < active_.size(), name(),
+                       ": tag job index out of range");
+                ts.job = active_[static_cast<std::size_t>(job_idx)];
+            } else {
+                ts.job = nullptr;
+            }
+        }
+    }
+    if (timeout_ticks_ > 0) {
+        timeout_event_.serialize(ar, eq());
+    }
+}
+
+void DmaEngine::report_occupancy(std::string& out) const
+{
+    if (active_.empty() && queued_.empty()) {
+        return;
+    }
+    out += "  " + name() + ": active_jobs=" + std::to_string(active_.size()) +
+           ", queued_jobs=" + std::to_string(queued_.size()) +
+           ", tags_in_use=" + std::to_string(tags_in_use_) +
+           ", window_bytes=" + std::to_string(window_in_use_) + "\n";
+}
+
+std::uint64_t DmaEngine::encode_sent_hook(const pcie::SentHook& h) const
+{
+    ensure(h.fn == &DmaEngine::write_sent_cb, name(),
+           ": unencodable SentHook staged in egress");
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+        if (active_[i] == h.ctx) {
+            return (static_cast<std::uint64_t>(i) << 32) | h.arg;
+        }
+    }
+    panic(name(), ": SentHook context is not an active DMA job");
+}
+
+pcie::SentHook DmaEngine::decode_sent_hook(std::uint64_t code)
+{
+    const auto idx = static_cast<std::size_t>(code >> 32);
+    ensure(idx < active_.size(), name(),
+           ": SentHook job index out of range");
+    return pcie::SentHook{&DmaEngine::write_sent_cb, active_[idx],
+                          static_cast<std::uint32_t>(code & 0xffffffffULL)};
 }
 
 } // namespace accesys::dma

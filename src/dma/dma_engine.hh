@@ -61,6 +61,27 @@ struct DmaParams {
     void validate() const;
 };
 
+/// Receives transfer-completion continuations (see Continuation below).
+class TransferListener {
+  public:
+    virtual ~TransferListener() = default;
+    virtual void transfer_done(std::uint8_t kind, std::uint32_t arg) = 0;
+};
+
+/// Completion continuation carried by a transfer job: a (listener, kind,
+/// arg) descriptor instead of a heap-allocated closure. The descriptor is
+/// plain data, so in-flight jobs checkpoint/restore exactly — the listener
+/// pointer is re-bound structurally (each engine/mover serves exactly one
+/// listener) and (kind, arg) travel in the checkpoint.
+struct Continuation {
+    TransferListener* listener = nullptr;
+    std::uint8_t kind = 0;
+    std::uint32_t arg = 0;
+
+    explicit operator bool() const noexcept { return listener != nullptr; }
+    void fire() const { listener->transfer_done(kind, arg); }
+};
+
 struct DmaJob {
     enum class Dir {
         host_to_dev, ///< MRd: pull host data into device-local storage
@@ -70,7 +91,7 @@ struct DmaJob {
     Addr host_addr = 0;
     Addr dev_addr = 0;
     std::uint64_t bytes = 0;
-    std::function<void()> on_complete;
+    Continuation on_complete;
 };
 
 class DmaEngine final : public SimObject {
@@ -105,6 +126,31 @@ class DmaEngine final : public SimObject {
     // Hooks called by the hosting endpoint.
     void on_completion(const pcie::Tlp& cpl);
     void on_tx_ready() { pump(); }
+
+    /// The single listener restored into job continuations on load (each
+    /// engine serves exactly one device controller).
+    void set_continuation_listener(TransferListener* l) noexcept
+    {
+        listener_ = l;
+    }
+
+    /// Checkpoint the job lists (active channels + admission queue). Split
+    /// out of serialize() so the hosting endpoint can restore jobs *before*
+    /// decoding the SentHooks staged in its egress queue, which point at
+    /// active JobStates.
+    void serialize_jobs(Ckpt& ar);
+
+    /// Checkpoint/restore tags, window accounting and the timeout watchdog
+    /// (serialize_jobs must already have run — hosting endpoints register
+    /// before their engine member, so object order guarantees it).
+    void serialize(Ckpt& ar) override;
+    void report_occupancy(std::string& out) const override;
+
+    /// Encode/decode a pump_write SentHook as (active-job index, chunk) for
+    /// the hosting endpoint's egress-queue checkpoint.
+    [[nodiscard]] std::uint64_t encode_sent_hook(
+        const pcie::SentHook& h) const;
+    [[nodiscard]] pcie::SentHook decode_sent_hook(std::uint64_t code);
 
   private:
     struct JobState {
@@ -150,10 +196,12 @@ class DmaEngine final : public SimObject {
     void arm_timeout(Tick deadline);
     void check_timeouts();
     void fail_job(JobState& js);
+    static void write_sent_cb(void* p, std::uint32_t sent);
 
     DmaParams params_;
     DmaPort* port_;
     mem::BackingStore* store_;
+    TransferListener* listener_ = nullptr; ///< continuation re-bind on load
     mem::WriteJournal* journal_ = nullptr; ///< dev->host staging (parallel)
     pcie::TlpPool* tlp_pool_ = nullptr; ///< resolved once (chunk loops)
 

@@ -1,0 +1,37 @@
+#include "mem/backing_store.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/serialize.hh"
+
+namespace accesys::mem {
+
+void BackingStore::serialize(Ckpt& ar)
+{
+    if (ar.saving()) {
+        std::vector<std::uint64_t> keys;
+        keys.reserve(chunks_.size());
+        for (const auto& [key, chunk] : chunks_) {
+            keys.push_back(key);
+        }
+        std::sort(keys.begin(), keys.end());
+        std::uint64_t n = keys.size();
+        ar.io(n);
+        for (const std::uint64_t key : keys) {
+            std::uint64_t k = key;
+            ar.io(k);
+            ar.raw(chunks_.at(key).get(), kChunkBytes);
+        }
+    } else {
+        std::uint64_t n = 0;
+        ar.io(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint64_t key = 0;
+            ar.io(key);
+            ar.raw(chunk_for(key * kChunkBytes), kChunkBytes);
+        }
+    }
+}
+
+} // namespace accesys::mem

@@ -27,6 +27,10 @@
 #include "sim/error.hh"
 #include "sim/types.hh"
 
+namespace accesys {
+class Ckpt;
+}
+
 namespace accesys::mem {
 
 namespace detail {
@@ -147,6 +151,12 @@ class BackingStore {
         std::shared_lock rd(mu_);
         return chunks_.size();
     }
+
+    /// Checkpoint/restore every allocated chunk (sorted by key so the
+    /// byte stream is independent of directory iteration order). Load
+    /// overwrites in place: workload setup re-touches a subset of the
+    /// checkpointed chunks, never any others, so nothing is cleared.
+    void serialize(Ckpt& ar);
 
   private:
     std::uint8_t* chunk_for(Addr addr)

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/serialize.hh"
+
 namespace accesys::mem {
 
 DramTiming::DramTiming(const DramParams& params) : params_(params)
@@ -165,6 +167,21 @@ DramTiming::Access DramTiming::access_run(Addr addr, std::uint64_t n_bursts,
     row_hits_ += hits;
     bursts_ += n_bursts;
     return out;
+}
+
+void DramTiming::serialize(Ckpt& ar)
+{
+    for (Channel& ch : channels_) {
+        for (Bank& b : ch.banks) {
+            ar.io(b.open_row, b.ready_at, b.act_done);
+        }
+        ar.io(ch.bus_free, ch.next_refresh);
+    }
+    ar.pod_vec(open_keys_);
+    ar.io(row_hits_, row_misses_, bursts_, refreshes_);
+    if (ar.loading()) {
+        memo_burst_ = ~0ULL; // pure decode cache; rebuilt on first access
+    }
 }
 
 } // namespace accesys::mem

@@ -26,6 +26,10 @@
 #include "mem/dram_config.hh"
 #include "sim/types.hh"
 
+namespace accesys {
+class Ckpt;
+}
+
 namespace accesys::mem {
 
 class DramTiming {
@@ -117,6 +121,10 @@ class DramTiming {
         std::uint64_t row;
     };
     [[nodiscard]] Coord decode(Addr addr) const;
+
+    /// Checkpoint/restore bank/bus/refresh state and the burst counters
+    /// (the decode memo is a pure cache and is simply invalidated).
+    void serialize(Ckpt& ar);
 
   private:
     static constexpr std::uint64_t kNoRow = ~0ULL;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/serialize.hh"
 #include "sim/simd.hh"
 
 namespace accesys::mem {
@@ -284,6 +285,76 @@ bool SimpleMem::recv_req(PacketPtr& pkt)
 void SimpleMem::retry_resp()
 {
     resp_q_.retry();
+}
+
+void MemCtrl::serialize(Ckpt& ar)
+{
+    ar.io(issue_free_, draining_writes_, blocked_upstream_);
+    std::uint64_t nr = read_q_.size();
+    std::uint64_t nw = write_q_.size();
+    ar.io(nr, nw);
+    if (ar.saving()) {
+        for (std::size_t i = 0; i < nr; ++i) {
+            ckpt_packet(ar, read_q_[i]);
+            ar.io(read_keys_[i]);
+        }
+        for (std::size_t i = 0; i < nw; ++i) {
+            ar.io(write_q_[i]);
+        }
+    } else {
+        read_q_.clear();
+        read_keys_.clear();
+        write_q_.clear();
+        for (std::uint64_t i = 0; i < nr; ++i) {
+            PacketPtr pkt;
+            ckpt_packet(ar, pkt);
+            std::uint64_t key = 0;
+            ar.io(key);
+            read_q_.push_back(std::move(pkt));
+            read_keys_.push_back(key);
+        }
+        for (std::uint64_t i = 0; i < nw; ++i) {
+            WriteJob job{};
+            ar.io(job);
+            write_q_.push_back(job);
+        }
+    }
+    dram_.serialize(ar);
+    port_.serialize(ar);
+    resp_q_.serialize(ar);
+    issue_event_.serialize(ar, eq());
+}
+
+void MemCtrl::report_occupancy(std::string& out) const
+{
+    if (read_q_.empty() && write_q_.empty() && resp_q_.empty() &&
+        !blocked_upstream_) {
+        return;
+    }
+    out += "  " + name() + ": read_q=" + std::to_string(read_q_.size()) +
+           ", write_q=" + std::to_string(write_q_.size()) +
+           ", resp_q=" + std::to_string(resp_q_.size()) +
+           (resp_q_.blocked() ? " (blocked)" : "") +
+           (blocked_upstream_ ? ", upstream refused" : "") + "\n";
+}
+
+void SimpleMem::serialize(Ckpt& ar)
+{
+    std::uint64_t inflight = in_flight_;
+    ar.io(bus_free_, inflight, blocked_upstream_);
+    in_flight_ = static_cast<std::size_t>(inflight);
+    port_.serialize(ar);
+    resp_q_.serialize(ar);
+}
+
+void SimpleMem::report_occupancy(std::string& out) const
+{
+    if (in_flight_ == 0 && resp_q_.empty() && !blocked_upstream_) {
+        return;
+    }
+    out += "  " + name() + ": in_flight=" + std::to_string(in_flight_) +
+           ", resp_q=" + std::to_string(resp_q_.size()) +
+           (blocked_upstream_ ? ", upstream refused" : "") + "\n";
 }
 
 } // namespace accesys::mem

@@ -45,6 +45,10 @@ class MemCtrl final : public SimObject, private Responder {
     /// Row-hit fraction over all bursts so far (test/diagnostic hook).
     [[nodiscard]] double row_hit_rate() const;
 
+    /// Checkpoint/restore queues, pacing horizons and DRAM bank state.
+    void serialize(Ckpt& ar) override;
+    void report_occupancy(std::string& out) const override;
+
   private:
     // Responder interface.
     bool recv_req(PacketPtr& pkt) override;
@@ -128,6 +132,10 @@ class SimpleMem final : public SimObject, private Responder {
 
     [[nodiscard]] ResponsePort& port() noexcept { return port_; }
     [[nodiscard]] const AddrRange& range() const noexcept { return range_; }
+
+    /// Checkpoint/restore the response queue and bus/occupancy state.
+    void serialize(Ckpt& ar) override;
+    void report_occupancy(std::string& out) const override;
 
   private:
     bool recv_req(PacketPtr& pkt) override;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sim/serialize.hh"
+
 namespace accesys::mem {
 
 std::uint32_t alloc_requestor_id()
@@ -56,5 +58,36 @@ PacketPool& PacketPool::global()
 
 thread_local PacketPool* PacketPool::current_ = nullptr;
 std::atomic<std::uint64_t> PacketPool::lifetime_allocs_{0};
+
+void Packet::serialize(Ckpt& ar)
+{
+    ar.io(cmd_, addr_, size_, orig_addr_, requestor_, stream_, tag_,
+          created_at_, flags.uncacheable, flags.from_device,
+          flags.needs_translation, flags.posted, route_depth_,
+          payload_size_);
+    ar.raw(route_.data(), route_.size() * sizeof(route_[0]));
+    ar.raw(payload_.data(), payload_.size());
+}
+
+void PacketPool::serialize_counters(Ckpt& ar)
+{
+    ar.io(allocs_total_, acquires_total_, recycles_total_);
+}
+
+void ckpt_packet(Ckpt& ar, PacketPtr& pkt)
+{
+    std::uint8_t present = pkt != nullptr ? 1 : 0;
+    ar.io(present);
+    if (present == 0) {
+        if (ar.loading()) {
+            pkt.reset();
+        }
+        return;
+    }
+    if (ar.loading()) {
+        pkt = PacketPool::current().make(MemCmd::read_req, 0, 0);
+    }
+    pkt->serialize(ar);
+}
 
 } // namespace accesys::mem

@@ -37,6 +37,10 @@
 #include "sim/error.hh"
 #include "sim/types.hh"
 
+namespace accesys {
+class Ckpt;
+}
+
 namespace accesys::mem {
 
 /// Process-wide unique requestor-id allocator; every component that
@@ -220,6 +224,10 @@ class Packet {
 
     [[nodiscard]] std::string describe() const;
 
+    /// Checkpoint/restore every field except the owning-pool link (the
+    /// materializing pool stamps itself; see ckpt_packet below).
+    void serialize(Ckpt& ar);
+
   private:
     friend class PacketPool;
     friend struct PacketDeleter;
@@ -292,6 +300,12 @@ class PacketPool {
 
     /// Pre-populate the free list with `n` packets.
     void reserve(std::size_t n);
+
+    /// Checkpoint/restore the pool counters. Runs after the components
+    /// re-materialized their in-flight packets, so the saved values
+    /// overwrite the acquires the restore itself performed and the
+    /// counter stream continues as if never interrupted.
+    void serialize_counters(Ckpt& ar);
 
     /// Heap allocations performed (flat once the pool is warm).
     [[nodiscard]] std::uint64_t allocs_total() const noexcept
@@ -371,6 +385,12 @@ class PacketPool {
 {
     return PacketPool::current();
 }
+
+/// Checkpoint/restore an owning packet slot, empty or occupied. On load an
+/// occupied slot re-materializes from the calling thread's current pool —
+/// the restoring component's own domain pool — preserving the
+/// zero-steady-state-allocation property for the resumed run.
+void ckpt_packet(Ckpt& ar, PacketPtr& pkt);
 
 inline PacketPtr Packet::make_read(Addr addr, std::uint32_t size)
 {

@@ -1,5 +1,7 @@
 #include "mem/port.hh"
 
+#include "sim/serialize.hh"
+
 namespace accesys::mem {
 
 void RequestPort::bind(ResponsePort& peer)
@@ -9,6 +11,39 @@ void RequestPort::bind(ResponsePort& peer)
            peer.name_);
     peer_ = &peer;
     peer.peer_ = this;
+}
+
+void RequestPort::serialize(Ckpt& ar)
+{
+    ar.io(want_retry_);
+}
+
+void ResponsePort::serialize(Ckpt& ar)
+{
+    ar.io(want_retry_);
+}
+
+void PacketQueue::serialize(Ckpt& ar)
+{
+    ar.io(blocked_);
+    send_event_.serialize(ar, *eq_);
+    std::uint64_t n = q_.size();
+    ar.io(n);
+    if (ar.saving()) {
+        for (std::size_t i = 0; i < n; ++i) {
+            Entry& e = q_[i];
+            ar.io(e.ready);
+            ckpt_packet(ar, e.pkt);
+        }
+    } else {
+        q_.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Entry e;
+            ar.io(e.ready);
+            ckpt_packet(ar, e.pkt);
+            q_.push_back(std::move(e));
+        }
+    }
 }
 
 } // namespace accesys::mem

@@ -88,6 +88,10 @@ class RequestPort {
     [[nodiscard]] bool bound() const noexcept { return peer_ != nullptr; }
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
+    /// Checkpoint/restore the retry obligation (the only dynamic state a
+    /// port holds; owners call this from their serialize()).
+    void serialize(Ckpt& ar);
+
     /// Send a request to the bound responder. On `false` the caller keeps
     /// `pkt` and must wait for retry_req().
     [[nodiscard]] bool send_req(PacketPtr& pkt);
@@ -133,6 +137,10 @@ class ResponsePort {
     void bind(RequestPort& peer) { peer.bind(*this); }
     [[nodiscard]] bool bound() const noexcept { return peer_ != nullptr; }
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Checkpoint/restore the retry obligation (the only dynamic state a
+    /// port holds; owners call this from their serialize()).
+    void serialize(Ckpt& ar);
 
     /// Send a response to the bound requestor. On `false` the caller keeps
     /// `pkt` and must wait for retry_resp().
@@ -289,6 +297,10 @@ class PacketQueue {
     [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
     [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
     [[nodiscard]] bool blocked() const noexcept { return blocked_; }
+
+    /// Checkpoint/restore the queued entries (re-materialized from the
+    /// calling thread's pool), the blocked flag and the send event.
+    void serialize(Ckpt& ar);
 
     /// Tick at which the head entry becomes sendable (kMaxTick when empty).
     [[nodiscard]] Tick head_ready() const noexcept

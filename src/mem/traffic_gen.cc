@@ -1,5 +1,7 @@
 #include "mem/traffic_gen.hh"
 
+#include "sim/serialize.hh"
+
 namespace accesys::mem {
 
 void TrafficGenParams::validate() const
@@ -93,6 +95,13 @@ void TrafficGen::finish()
     if (on_done_) {
         on_done_();
     }
+}
+
+void TrafficGen::serialize(Ckpt& ar)
+{
+    rng_.serialize(ar);
+    ar.io(issued_, completed_, acked_bytes_, in_flight_, blocked_, done_,
+          start_tick_, end_tick_);
 }
 
 double TrafficGen::achieved_gbps() const

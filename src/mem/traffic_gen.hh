@@ -48,6 +48,11 @@ class TrafficGen final : public SimObject, private Requestor {
         return latency_ns_.mean();
     }
 
+    /// Stream position and window occupancy. `on_done_` is a closure and
+    /// follows the restore protocol: the restoring process re-calls
+    /// start() with the same callback before loading the snapshot.
+    void serialize(Ckpt& ar) override;
+
   private:
     bool recv_resp(PacketPtr& pkt) override;
     void retry_req() override

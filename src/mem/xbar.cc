@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/serialize.hh"
+
 namespace accesys::mem {
 
 namespace {
@@ -275,6 +277,74 @@ bool Xbar::handle_resp(std::uint16_t out_idx, PacketPtr& pkt)
     const Tick ready = in->ser_free + resp_lat_ticks_;
     in->resp_q.push(std::move(pkt), ready);
     return true;
+}
+
+namespace {
+
+// Retry-waiter lists hold raw pointers into ins_/outs_; checkpoint them as
+// index lists and rebuild the pointers on load.
+template <typename Side, typename Owner>
+void ckpt_waiters(Ckpt& ar, std::vector<Side*>& waiters,
+                  const std::vector<std::unique_ptr<Owner>>& pool)
+{
+    std::uint64_t n = waiters.size();
+    ar.io(n);
+    if (ar.saving()) {
+        for (Side* w : waiters) {
+            std::uint16_t idx = w->idx_;
+            ar.io(idx);
+        }
+    } else {
+        waiters.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint16_t idx = 0;
+            ar.io(idx);
+            ensure(idx < pool.size(), "xbar waiter index out of range");
+            waiters.push_back(pool[idx].get());
+        }
+    }
+}
+
+} // namespace
+
+void Xbar::serialize(Ckpt& ar)
+{
+    for (auto& in : ins_) {
+        ar.io(in->ser_free);
+        in->rport.serialize(ar);
+        in->resp_q.serialize(ar);
+        ckpt_waiters(ar, in->resp_waiters, outs_);
+    }
+    for (auto& out : outs_) {
+        ar.io(out->ser_free);
+        out->qport.serialize(ar);
+        out->req_q.serialize(ar);
+        ckpt_waiters(ar, out->req_waiters, ins_);
+    }
+    if (ar.loading()) {
+        last_route_ = nullptr; // pure route memo; rebuilt on first lookup
+    }
+}
+
+void Xbar::report_occupancy(std::string& out) const
+{
+    std::size_t req = 0;
+    std::size_t resp = 0;
+    std::size_t waiters = 0;
+    for (const auto& in : ins_) {
+        resp += in->resp_q.size();
+        waiters += in->resp_waiters.size();
+    }
+    for (const auto& o : outs_) {
+        req += o->req_q.size();
+        waiters += o->req_waiters.size();
+    }
+    if (req == 0 && resp == 0 && waiters == 0) {
+        return;
+    }
+    out += "  " + name() + ": req_queued=" + std::to_string(req) +
+           ", resp_queued=" + std::to_string(resp) +
+           ", retry_waiters=" + std::to_string(waiters) + "\n";
 }
 
 } // namespace accesys::mem

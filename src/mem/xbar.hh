@@ -76,6 +76,11 @@ class Xbar final : public SimObject {
 
     void startup() override;
 
+    /// Checkpoint/restore per-port queues, serialization horizons and
+    /// retry-waiter lists (the route memo is a pure cache and is reset).
+    void serialize(Ckpt& ar) override;
+    void report_occupancy(std::string& out) const override;
+
   private:
     struct InSide;
     struct OutSide;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "sim/serialize.hh"
+
 namespace accesys::pcie {
 
 Endpoint::Endpoint(Simulator& sim, std::string name,
@@ -125,6 +127,71 @@ void Endpoint::send_tlp(TlpPtr tlp, SentHook on_sent)
 std::size_t Endpoint::egress_depth() const
 {
     return egress_q_.size();
+}
+
+std::uint64_t Endpoint::encode_sent_hook(const SentHook& hook) const
+{
+    ensure(!hook, name(), ": staged SentHook with no encoder");
+    return 0;
+}
+
+SentHook Endpoint::decode_sent_hook(std::uint64_t /*code*/)
+{
+    panic(name(), ": SentHook decode without an encoder override");
+}
+
+void Endpoint::serialize(Ckpt& ar)
+{
+    std::uint64_t n_delay = delay_q_.size();
+    std::uint64_t n_egress = egress_q_.size();
+    ar.io(n_delay, n_egress);
+    if (ar.saving()) {
+        for (std::size_t i = 0; i < n_delay; ++i) {
+            Delayed& d = delay_q_[i];
+            ar.io(d.ready);
+            ckpt_tlp(ar, d.tlp);
+        }
+        for (std::size_t i = 0; i < n_egress; ++i) {
+            Staged& s = egress_q_[i];
+            std::uint8_t has_hook = s.on_sent ? 1 : 0;
+            std::uint64_t code = has_hook != 0
+                                     ? encode_sent_hook(s.on_sent)
+                                     : 0;
+            ar.io(has_hook, code);
+            ckpt_tlp(ar, s.tlp);
+        }
+    } else {
+        delay_q_.clear();
+        egress_q_.clear();
+        for (std::uint64_t i = 0; i < n_delay; ++i) {
+            Delayed d;
+            ar.io(d.ready);
+            ckpt_tlp(ar, d.tlp);
+            delay_q_.push_back(std::move(d));
+        }
+        for (std::uint64_t i = 0; i < n_egress; ++i) {
+            Staged s;
+            std::uint8_t has_hook = 0;
+            std::uint64_t code = 0;
+            ar.io(has_hook, code);
+            ckpt_tlp(ar, s.tlp);
+            if (has_hook != 0) {
+                s.on_sent = decode_sent_hook(code);
+            }
+            egress_q_.push_back(std::move(s));
+        }
+    }
+    process_event_.serialize(ar, eq());
+}
+
+void Endpoint::report_occupancy(std::string& out) const
+{
+    if (delay_q_.empty() && egress_q_.empty()) {
+        return;
+    }
+    out += "  " + name() + ": ingress_delayed=" +
+           std::to_string(delay_q_.size()) +
+           ", egress_staged=" + std::to_string(egress_q_.size()) + "\n";
 }
 
 void Endpoint::kick_egress()

@@ -40,7 +40,19 @@ class Endpoint : public SimObject, public PcieNode {
     void recv_tlp(unsigned port_idx, TlpPtr tlp) override;
     void credit_avail(unsigned port_idx) override;
 
+    /// Checkpoint/restore the delay and egress queues. Subclasses carrying
+    /// extra state override, call this, and append their own fields.
+    void serialize(Ckpt& ar) override;
+    void report_occupancy(std::string& out) const override;
+
   protected:
+    /// Encode/decode a staged SentHook for checkpointing. The base class
+    /// never produces hooks, so the defaults only handle the empty case;
+    /// subclasses whose engines attach hooks must override both.
+    [[nodiscard]] virtual std::uint64_t encode_sent_hook(
+        const SentHook& hook) const;
+    [[nodiscard]] virtual SentHook decode_sent_hook(std::uint64_t code);
+
     /// Register read at BAR-relative `addr`; returns the register value.
     virtual std::uint64_t mmio_read(Addr addr, std::uint32_t size) = 0;
 

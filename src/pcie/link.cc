@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/env_flags.hh"
+#include "sim/serialize.hh"
 
 namespace accesys::pcie {
 
@@ -715,6 +716,9 @@ void PcieLink::queue_credit_return(unsigned to_side, unsigned hdr,
     // Direction index named by the side whose transmitter gets the credits.
     // Called by that direction's *receiver* (release_ingress), so the
     // clock — and in boundary mode the staging ring — is the rx side's.
+    if (test_credit_leak_[to_side]) {
+        return; // test hook: the peer "lost" this release
+    }
     Direction& d = dirs_[to_side];
     const Tick arrival = d.rx_q->now() + prop_ticks_;
     if (boundary_) {
@@ -826,6 +830,163 @@ void PcieLink::credit(unsigned dir)
         (eager_credits_ || d.tx_starved) && !d.credit_event.scheduled()) {
         d.tx_q->schedule_express(d.credit_event,
                                  d.credit_returns.front().arrival);
+    }
+}
+
+void PcieLink::test_leak_credits(unsigned side)
+{
+    test_credit_leak_[side] = true;
+    ports_[side].tx_hdr_credits_ = 0;
+    ports_[side].tx_data_credits_ = 0;
+    dirs_[side].credit_returns.clear();
+}
+
+void PcieLink::serialize(Ckpt& ar)
+{
+    for (auto& port : ports_) {
+        ar.io(port.tx_hdr_credits_, port.tx_data_credits_);
+    }
+    for (Direction& d : dirs_) {
+        // Boundary staging and stat shadows are drained by the barrier
+        // flush that precedes every parallel checkpoint (and never used
+        // serially), so they are not part of the format.
+        ensure(d.staged_tlps.empty() && d.staged_credits.empty() &&
+                   d.sh_tlps == 0,
+               name(), ": checkpoint with unflushed boundary staging");
+        ar.io(d.busy_until, d.busy_ticks, d.tx_starved);
+        std::uint64_t n_credits = d.credit_returns.size();
+        std::uint64_t n_flight = d.in_flight.size();
+        ar.io(n_credits, n_flight);
+        if (ar.saving()) {
+            for (std::size_t i = 0; i < n_credits; ++i) {
+                CreditReturn& cr = d.credit_returns[i];
+                ar.io(cr.arrival, cr.hdr, cr.data);
+            }
+            for (std::size_t i = 0; i < n_flight; ++i) {
+                InFlight& f = d.in_flight[i];
+                ar.io(f.arrival);
+                f.tlp->serialize(ar);
+            }
+        } else {
+            d.credit_returns.clear();
+            d.in_flight.clear();
+            for (std::uint64_t i = 0; i < n_credits; ++i) {
+                CreditReturn cr{};
+                ar.io(cr.arrival, cr.hdr, cr.data);
+                d.credit_returns.push_back(cr);
+            }
+            for (std::uint64_t i = 0; i < n_flight; ++i) {
+                InFlight f{};
+                ar.io(f.arrival);
+                // Materialize into the receiving domain's pool, exactly
+                // where the live TLP was drawn from (flush_boundary).
+                f.tlp = d.rx_pool->make();
+                f.tlp->serialize(ar);
+                d.in_flight.push_back(std::move(f));
+            }
+        }
+        d.credit_event.serialize(ar, *d.tx_q);
+        d.deliver_event.serialize(ar, *d.rx_q);
+    }
+    if (fault_ == nullptr) {
+        return; // same config => same plan presence on both sides
+    }
+    for (unsigned s = 0; s < 2; ++s) {
+        Direction& d = dirs_[s];
+        FaultDir& f = fault_->dir[s];
+        ensure(f.staged_dll.empty() && f.sh_replays == 0,
+               name(), ": checkpoint with unflushed DLL staging");
+        f.rng.serialize(ar);
+        ar.io(f.link_failed, f.next_seq, f.naks_pending, f.replay_starved,
+              f.recovery_ticks, f.expect_seq, f.nak_armed);
+        std::uint64_t ci = f.corrupt_idx;
+        std::uint64_t ti = f.tx_down_idx;
+        std::uint64_t ri = f.retrain_idx;
+        std::uint64_t xi = f.rx_down_idx;
+        ar.io(ci, ti, ri, xi);
+        f.corrupt_idx = static_cast<std::size_t>(ci);
+        f.tx_down_idx = static_cast<std::size_t>(ti);
+        f.retrain_idx = static_cast<std::size_t>(ri);
+        f.rx_down_idx = static_cast<std::size_t>(xi);
+        std::uint64_t n_replay = f.replay.size();
+        std::uint64_t n_dll = f.dll.size();
+        ar.io(n_replay, n_dll);
+        if (ar.saving()) {
+            for (std::size_t i = 0; i < n_replay; ++i) {
+                ReplayEntry& e = f.replay[i];
+                ar.io(e.first_tx, e.ack_base, e.seq, e.tries, e.hdr_cost,
+                      e.data_cost);
+                e.tlp.serialize(ar);
+            }
+            for (std::size_t i = 0; i < n_dll; ++i) {
+                DllRecord& rec = f.dll[i];
+                ar.io(rec.arrival, rec.seq, rec.nak);
+            }
+        } else {
+            f.replay.clear();
+            f.dll.clear();
+            for (std::uint64_t i = 0; i < n_replay; ++i) {
+                ReplayEntry e;
+                ar.io(e.first_tx, e.ack_base, e.seq, e.tries, e.hdr_cost,
+                      e.data_cost);
+                e.tlp.serialize(ar);
+                f.replay.push_back(std::move(e));
+            }
+            for (std::uint64_t i = 0; i < n_dll; ++i) {
+                DllRecord rec;
+                ar.io(rec.arrival, rec.seq, rec.nak);
+                f.dll.push_back(rec);
+            }
+        }
+        f.dll_event.serialize(ar, *d.tx_q);
+        f.replay_event.serialize(ar, *d.tx_q);
+        f.retrain_event.serialize(ar, *d.tx_q);
+    }
+}
+
+void PcieLink::report_occupancy(std::string& out) const
+{
+    const std::size_t flight =
+        dirs_[0].in_flight.size() + dirs_[1].in_flight.size();
+    const std::size_t replay =
+        fault_ != nullptr
+            ? fault_->dir[0].replay.size() + fault_->dir[1].replay.size()
+            : 0;
+    const bool failed =
+        fault_ != nullptr &&
+        (fault_->dir[0].link_failed || fault_->dir[1].link_failed);
+    const bool starved = dirs_[0].tx_starved || dirs_[1].tx_starved;
+    if (flight == 0 && replay == 0 && !failed && !starved) {
+        return;
+    }
+    out += "  " + name() + ": in_flight=" + std::to_string(flight);
+    if (fault_ != nullptr) {
+        out += ", replay_buffered=" + std::to_string(replay);
+    }
+    if (failed) {
+        out += ", direction latched FAILED";
+    }
+    if (starved) {
+        out += ", tx credit-starved";
+    }
+    out += "\n";
+}
+
+void TlpQueue::serialize(Ckpt& ar)
+{
+    std::uint64_t n = q_.size();
+    ar.io(n);
+    if (ar.saving()) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            ckpt_tlp(ar, q_[i]);
+        }
+    } else {
+        q_.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            TlpPtr tlp;
+            ckpt_tlp(ar, tlp);
+            q_.push_back(std::move(tlp));
+        }
     }
 }
 

@@ -161,6 +161,9 @@ class TlpQueue {
     [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
     [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
 
+    /// Checkpoint/restore the staged TLPs (defined in link.cc).
+    void serialize(Ckpt& ar);
+
   private:
     PciePort* port_;
     RingBuffer<TlpPtr> q_;
@@ -210,6 +213,19 @@ class PcieLink final : public SimObject {
     /// Arms the per-direction retrain events for scheduled link-down
     /// windows (fault model only; boundary wiring is final by startup).
     void startup() override;
+
+    /// Checkpoint/restore wire state: per-side transmit credits, in-flight
+    /// TLPs, pending credit returns, and — when the fault model is active —
+    /// the full data-link recovery state (sequence numbers, replay buffer,
+    /// ACK/NAK records, RNG stream positions, down-window cursors).
+    void serialize(Ckpt& ar) override;
+    void report_occupancy(std::string& out) const override;
+
+    /// Test hook: silently drop every future credit return toward `side`'s
+    /// transmitter and zero its current balance, as if the peer stopped
+    /// releasing its ingress buffers. Liveness-watchdog tests use this to
+    /// fabricate a credit-leak deadlock; never called on the clean path.
+    void test_leak_credits(unsigned side);
 
   private:
     friend class PciePort;
@@ -385,6 +401,7 @@ class PcieLink final : public SimObject {
     Tick prop_ticks_ = 0;
     PciePort ports_[2];
     Direction dirs_[2]; ///< dirs_[0]: a->b, dirs_[1]: b->a
+    bool test_credit_leak_[2] = {false, false}; ///< see test_leak_credits()
     /// Null on clean links — the fault model costs one branch per
     /// transmit/deliver/probe and nothing else.
     std::unique_ptr<FaultState> fault_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/serialize.hh"
+
 namespace accesys::pcie {
 
 void RcParams::validate() const
@@ -403,6 +405,84 @@ void RootComplex::check_mmio_timeouts()
     if (next != kMaxTick) {
         schedule(cpl_timeout_event_, next);
     }
+}
+
+void RootComplex::serialize(Ckpt& ar)
+{
+    std::uint64_t n_delay = delay_q_.size();
+    ar.io(n_delay);
+    if (ar.loading()) {
+        delay_q_.clear();
+    }
+    for (std::uint64_t i = 0; i < n_delay; ++i) {
+        if (ar.saving()) {
+            Delayed& d = delay_q_[i];
+            ar.io(d.ready);
+            ckpt_tlp(ar, d.tlp);
+        } else {
+            Delayed d;
+            ar.io(d.ready);
+            ckpt_tlp(ar, d.tlp);
+            delay_q_.push_back(std::move(d));
+        }
+    }
+
+    // Inbound read slots: POD, fixed pool.
+    const std::size_t n_slots = inbound_reads_.size();
+    ar.pod_vec(inbound_reads_);
+    ensure(inbound_reads_.size() == n_slots, name(),
+           ": inbound slot count changed across checkpoint");
+    ar.pod_vec(slot_of_key_);
+    ar.pod_vec(slot_free_bits_);
+    std::uint64_t live = inbound_live_;
+    ar.io(live, mmio_blocked_upstream_);
+    inbound_live_ = static_cast<std::size_t>(live);
+
+    // MMIO tag state.
+    ar.pod_vec(mmio_tag_free_);
+    for (auto& slot : mmio_pending_) {
+        std::uint8_t has_pkt = slot != nullptr ? 1 : 0;
+        ar.io(has_pkt);
+        if (has_pkt != 0) {
+            mem::ckpt_packet(ar, slot);
+        } else if (ar.loading()) {
+            slot.reset();
+        }
+    }
+    if (watchdog_ != nullptr) {
+        ar.pod_vec(watchdog_->deadline);
+        ar.pod_vec(watchdog_->tries);
+        cpl_timeout_event_.serialize(ar, eq());
+    }
+
+    if (egress_ != nullptr) {
+        egress_->serialize(ar);
+    }
+    mem_port_.serialize(ar);
+    mmio_port_.serialize(ar);
+    mem_q_.serialize(ar);
+    mmio_resp_q_.serialize(ar);
+    process_event_.serialize(ar, eq());
+}
+
+void RootComplex::report_occupancy(std::string& out) const
+{
+    std::size_t mmio_live = 0;
+    for (const auto& slot : mmio_pending_) {
+        mmio_live += slot != nullptr ? 1 : 0;
+    }
+    if (delay_q_.empty() && inbound_live_ == 0 && mmio_live == 0 &&
+        mem_q_.empty() && mmio_resp_q_.empty() &&
+        (egress_ == nullptr || egress_->empty())) {
+        return;
+    }
+    out += "  " + name() + ": delayed=" + std::to_string(delay_q_.size()) +
+           ", inbound_reads=" + std::to_string(inbound_live_) +
+           ", mmio_pending=" + std::to_string(mmio_live) +
+           ", mem_q=" + std::to_string(mem_q_.size()) +
+           ", egress=" +
+           std::to_string(egress_ != nullptr ? egress_->size() : 0) +
+           (mmio_blocked_upstream_ ? ", blocking CPU MMIO" : "") + "\n";
 }
 
 } // namespace accesys::pcie

@@ -78,6 +78,11 @@ class RootComplex final : public SimObject,
     void recv_tlp(unsigned port_idx, TlpPtr tlp) override;
     void credit_avail(unsigned port_idx) override;
 
+    /// Checkpoint/restore inbound read slots, MMIO tag state, the delay
+    /// stage and all staging queues.
+    void serialize(Ckpt& ar) override;
+    void report_occupancy(std::string& out) const override;
+
   private:
     // mem::Requestor (mem_side)
     bool recv_resp(mem::PacketPtr& pkt) override;

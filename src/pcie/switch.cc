@@ -1,5 +1,7 @@
 #include "pcie/switch.hh"
 
+#include "sim/serialize.hh"
+
 namespace accesys::pcie {
 
 PcieSwitch::PcieSwitch(Simulator& sim, std::string name,
@@ -164,6 +166,68 @@ void PcieSwitch::kick(unsigned egress_idx)
         egress_[staged.from].port->release_ingress(cost);
         ++forwarded_;
     }
+}
+
+void PcieSwitch::serialize(Ckpt& ar)
+{
+    std::uint64_t n_delay = delay_q_.size();
+    ar.io(n_delay);
+    if (ar.loading()) {
+        delay_q_.clear();
+    }
+    for (std::uint64_t i = 0; i < n_delay; ++i) {
+        if (ar.saving()) {
+            Delayed& d = delay_q_[i];
+            ar.io(d.ready, d.from);
+            ckpt_tlp(ar, d.tlp);
+        } else {
+            Delayed d;
+            ar.io(d.ready, d.from);
+            ckpt_tlp(ar, d.tlp);
+            delay_q_.push_back(std::move(d));
+        }
+    }
+
+    std::uint64_t n_egress = egress_.size();
+    ar.io(n_egress);
+    ensure(n_egress == egress_.size(), name(),
+           ": port count changed across checkpoint");
+    for (Egress& e : egress_) {
+        std::uint64_t n_staged = e.q.size();
+        ar.io(n_staged);
+        if (ar.loading()) {
+            e.q.clear();
+        }
+        for (std::uint64_t i = 0; i < n_staged; ++i) {
+            if (ar.saving()) {
+                Egress::Staged& s = e.q[i];
+                ar.io(s.from);
+                ckpt_tlp(ar, s.tlp);
+            } else {
+                Egress::Staged s;
+                ar.io(s.from);
+                ckpt_tlp(ar, s.tlp);
+                e.q.push_back(std::move(s));
+            }
+        }
+    }
+    if (ar.loading()) {
+        last_bar_out_ = 0; // pure routing memo
+    }
+    forward_event_.serialize(ar, eq());
+}
+
+void PcieSwitch::report_occupancy(std::string& out) const
+{
+    std::size_t staged = 0;
+    for (const Egress& e : egress_) {
+        staged += e.q.size();
+    }
+    if (delay_q_.empty() && staged == 0) {
+        return;
+    }
+    out += "  " + name() + ": delayed=" + std::to_string(delay_q_.size()) +
+           ", egress_staged=" + std::to_string(staged) + "\n";
 }
 
 } // namespace accesys::pcie

@@ -52,6 +52,10 @@ class PcieSwitch final : public SimObject, public PcieNode {
     void recv_tlp(unsigned port_idx, TlpPtr tlp) override;
     void credit_avail(unsigned port_idx) override;
 
+    /// Checkpoint/restore the delay stage and per-egress staging queues.
+    void serialize(Ckpt& ar) override;
+    void report_occupancy(std::string& out) const override;
+
   private:
     struct Egress {
         PciePort* port = nullptr;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sim/serialize.hh"
+
 namespace accesys::pcie {
 
 std::string Tlp::describe() const
@@ -33,5 +35,33 @@ TlpPool& TlpPool::global()
 
 thread_local TlpPool* TlpPool::current_ = nullptr;
 std::atomic<std::uint64_t> TlpPool::lifetime_allocs_{0};
+
+void Tlp::serialize(Ckpt& ar)
+{
+    ar.io(type, addr, length, tag, requester, byte_offset, is_last, dl_seq,
+          dl_corrupt, data_size_);
+    ar.raw(data_.data(), data_.size());
+}
+
+void TlpPool::serialize_counters(Ckpt& ar)
+{
+    ar.io(allocs_total_, acquires_total_, recycles_total_);
+}
+
+void ckpt_tlp(Ckpt& ar, TlpPtr& tlp)
+{
+    std::uint8_t present = tlp != nullptr ? 1 : 0;
+    ar.io(present);
+    if (present == 0) {
+        if (ar.loading()) {
+            tlp.reset();
+        }
+        return;
+    }
+    if (ar.loading()) {
+        tlp = TlpPool::current().make();
+    }
+    tlp->serialize(ar);
+}
 
 } // namespace accesys::pcie

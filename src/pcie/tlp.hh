@@ -19,6 +19,10 @@
 #include "sim/error.hh"
 #include "sim/types.hh"
 
+namespace accesys {
+class Ckpt;
+}
+
 namespace accesys::pcie {
 
 /// Raw post-send callback carried alongside a staged TLP: `fn(ctx, arg)`.
@@ -184,6 +188,10 @@ struct Tlp {
 
     [[nodiscard]] std::string describe() const;
 
+    /// Checkpoint/restore every field except the owning-pool link (the
+    /// materializing pool stamps itself; see ckpt_tlp below).
+    void serialize(Ckpt& ar);
+
   private:
     friend class TlpPool;
     friend struct TlpDeleter;
@@ -279,6 +287,10 @@ class TlpPool {
         t->is_last = is_last;
         return t;
     }
+
+    /// Checkpoint/restore the pool counters (see
+    /// mem::PacketPool::serialize_counters for the ordering contract).
+    void serialize_counters(Ckpt& ar);
 
     [[nodiscard]] std::uint64_t allocs_total() const noexcept
     {
@@ -386,5 +398,11 @@ inline void TlpDeleter::operator()(Tlp* tlp) const noexcept
     return TlpPool::current().make_completion(length, tag, requester,
                                               byte_offset, is_last);
 }
+
+/// Checkpoint/restore an owning TLP slot, empty or occupied. On load an
+/// occupied slot re-materializes from the calling thread's current pool —
+/// the restoring component's own domain pool — preserving the
+/// zero-steady-state-allocation property for the resumed run.
+void ckpt_tlp(Ckpt& ar, TlpPtr& tlp);
 
 } // namespace accesys::pcie

@@ -1,6 +1,89 @@
 #include "sim/event.hh"
 
+#include "sim/serialize.hh"
+
 namespace accesys {
+
+void Event::serialize(Ckpt& ar, EventQueue& eq)
+{
+    std::uint8_t sched = scheduled_ ? 1 : 0;
+    ar.io(when_, generation_, priority_, sched);
+    if (ar.loading()) {
+        scheduled_ = sched != 0;
+        if (scheduled_) {
+            eq.restore_event(*this);
+        }
+    }
+}
+
+std::uint64_t EventQueue::live_event_count() const
+{
+    ensure(batch_pos_ >= batch_len_,
+           "live_event_count inside a dispatch batch");
+    std::uint64_t n = 0;
+    if (express_pending_ && entry_live(express_)) {
+        ++n;
+    }
+    for (std::size_t i = 0; i < near_n_; ++i) {
+        n += entry_live(near_[(near_head_ + i) & (kNearCap - 1)]) ? 1 : 0;
+    }
+    for (const Entry& e : heap_) {
+        n += entry_live(e) ? 1 : 0;
+    }
+    return n;
+}
+
+void EventQueue::restore_begin() noexcept
+{
+    // Mark every pending event idle so events a fresh construction+startup
+    // scheduled — but the checkpoint does not cover — end up cleanly
+    // unscheduled rather than flagged-scheduled with no entry.
+    if (express_pending_) {
+        express_.ev->scheduled_ = false;
+        express_pending_ = false;
+    }
+    for (std::size_t i = 0; i < near_n_; ++i) {
+        near_[(near_head_ + i) & (kNearCap - 1)].ev->scheduled_ = false;
+    }
+    near_head_ = 0;
+    near_n_ = 0;
+    for (Entry& e : heap_) {
+        e.ev->scheduled_ = false;
+    }
+    heap_.clear();
+    batch_pos_ = 0;
+    batch_len_ = 0;
+    q_memo_tick_ = kMaxTick;
+    q_memo_epoch_ = 0;
+    at_now_epoch_ = 1;
+    expected_live_ = 0;
+    restored_count_ = 0;
+}
+
+void EventQueue::serialize_clock(Ckpt& ar)
+{
+    std::uint64_t live = ar.saving() ? live_event_count() : 0;
+    ar.io(now_, next_seq_, live);
+    if (ar.loading()) {
+        expected_live_ = live;
+    }
+}
+
+void EventQueue::serialize_counters(Ckpt& ar)
+{
+    ar.io(stat_processed_, stat_scheduled_, stat_express_hits_,
+          stat_express_spills_, stat_heap_pushes_, stat_near_hits_);
+}
+
+void EventQueue::restore_event(Event& ev)
+{
+    ensure(ev.scheduled_, "restore_event on an idle event: ", ev.name_);
+    check_priority(ev.priority_);
+    heap_push(Entry{
+        make_key(ev.when_, pack_prio_seq(ev.priority_, ev.generation_)),
+        ev.generation_, &ev});
+    ++restored_count_;
+}
 
 std::uint64_t EventQueue::dispatch_tick(const bool* stop)
 {

@@ -56,6 +56,7 @@
 
 namespace accesys {
 
+class Ckpt;
 class EventQueue;
 
 /// Priorities: lower value runs earlier within the same tick.
@@ -110,6 +111,15 @@ class Event {
     [[nodiscard]] Tick when() const noexcept { return when_; }
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
     [[nodiscard]] int priority() const noexcept { return priority_; }
+
+    /// Checkpoint this event's schedule state (see sim/serialize.hh). On
+    /// load the event re-enters `eq` with its exact saved (tick, priority,
+    /// sequence) key, so the resumed run dispatches in the same total
+    /// order — bit-for-bit — as the uninterrupted one. Every component
+    /// owning a schedulable Event must route it through here from its own
+    /// serialize(); the queue cross-checks the count against the saved
+    /// live-entry total.
+    void serialize(Ckpt& ar, EventQueue& eq);
 
   private:
     friend class EventQueue;
@@ -357,6 +367,64 @@ class EventQueue {
     [[nodiscard]] bool hop_fusion_enabled() const noexcept
     {
         return fusion_enabled_;
+    }
+
+    // --- checkpoint/restore (see sim/serialize.hh) --------------------------
+
+    /// Live (non-squashed) entries currently pending, the express slot
+    /// included. Non-mutating — a checkpoint probe must not perturb the
+    /// dispatch-path counters of the run it snapshots.
+    [[nodiscard]] std::uint64_t live_event_count() const;
+
+    /// Wipe every scheduling structure ahead of a restore: pending entries
+    /// are dropped wholesale (their events marked unscheduled) — each
+    /// component re-inserts its own events via Event::serialize. Resets
+    /// the quiescence memo and the restored-event tally.
+    void restore_begin() noexcept;
+
+    /// Clock + schedule counter + saved live-entry count. Load side must
+    /// run after restore_begin() and before any component section.
+    void serialize_clock(Ckpt& ar);
+
+    /// Cross-layout restore: seed this queue's clock and schedule counter
+    /// directly when the snapshot was taken under a different domain
+    /// carve (no per-queue record maps onto it). Seeding the saving
+    /// process's maximum sequence makes every post-resume schedule order
+    /// after every restored key, exactly as it would have there.
+    void seed_clock(Tick now, std::uint64_t seq) noexcept
+    {
+        now_ = now;
+        next_seq_ = seq;
+    }
+
+    /// Monotonic schedule-sequence counter (tie-break + generation stamp).
+    [[nodiscard]] std::uint64_t next_seq() const noexcept
+    {
+        return next_seq_;
+    }
+
+    /// Dispatch-path counters. Load side must run after every component
+    /// section (restoration itself bumps them; the saved values win).
+    void serialize_counters(Ckpt& ar);
+
+    /// Re-insert a restored event with its exact saved key. Called from
+    /// Event::serialize's load path only; the event's fields are already
+    /// restored.
+    void restore_event(Event& ev);
+
+    /// True once every saved live entry has been re-inserted (checked by
+    /// Simulator::restore after the last component section).
+    [[nodiscard]] bool restore_complete() const noexcept
+    {
+        return restored_count_ == expected_live_;
+    }
+    [[nodiscard]] std::uint64_t restored_count() const noexcept
+    {
+        return restored_count_;
+    }
+    [[nodiscard]] std::uint64_t expected_live() const noexcept
+    {
+        return expected_live_;
     }
 
     /// True when no live event remains scheduled at the current tick, i.e.
@@ -800,6 +868,8 @@ class EventQueue {
     std::uint64_t stat_express_spills_ = 0;
     std::uint64_t stat_heap_pushes_ = 0;
     std::uint64_t stat_near_hits_ = 0;
+    std::uint64_t expected_live_ = 0;  ///< saved live count (restore)
+    std::uint64_t restored_count_ = 0; ///< restore_event() calls so far
     DispatchObserver* observer_ = nullptr;
     /// Same-tick dispatch batch (active only inside dispatch_tick).
     Entry batch_[kBatchMax];

@@ -9,6 +9,8 @@
 
 namespace accesys {
 
+class Ckpt;
+
 class Rng {
   public:
     explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
@@ -63,6 +65,10 @@ class Rng {
 
     /// Bernoulli trial with probability `p` of returning true.
     bool chance(double p) { return uniform() < p; }
+
+    /// Checkpoint/restore the stream position: a restored Rng continues
+    /// the exact draw sequence of the saved one.
+    void serialize(Ckpt& ar);
 
   private:
     static std::uint64_t rotl(std::uint64_t x, int k)

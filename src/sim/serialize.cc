@@ -1,0 +1,195 @@
+#include "sim/serialize.hh"
+
+#include <array>
+#include <cstdio>
+
+#include "sim/random.hh"
+
+namespace accesys {
+
+void Rng::serialize(Ckpt& ar)
+{
+    ar.io(state_[0], state_[1], state_[2], state_[3]);
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+        }
+        t[i] = c;
+    }
+    return t;
+}
+
+} // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed)
+{
+    static const std::array<std::uint32_t, 256> table = make_crc_table();
+    std::uint32_t c = seed ^ 0xFFFFFFFFU;
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    }
+    return c ^ 0xFFFFFFFFU;
+}
+
+void Ckpt::begin_section(const std::string& name)
+{
+    ensure(!in_section_, "Ckpt section '", name, "' opened inside '",
+           cur_name_, "'");
+    in_section_ = true;
+    cur_name_ = name;
+    if (saving()) {
+        cur_payload_.clear();
+        return;
+    }
+    const Section* s = find_section(name);
+    ensure(s != nullptr, "checkpoint has no section '", name,
+           "' (component set mismatch)");
+    read_pos_ = s->offset;
+    read_end_ = s->offset + s->size;
+}
+
+void Ckpt::end_section()
+{
+    ensure(in_section_, "Ckpt::end_section without begin_section");
+    in_section_ = false;
+    if (saving()) {
+        Section s;
+        s.name = cur_name_;
+        s.size = cur_payload_.size();
+        s.crc = crc32(cur_payload_.data(), cur_payload_.size());
+        sections_.push_back(std::move(s));
+        payloads_.push_back(std::move(cur_payload_));
+        cur_payload_.clear();
+    } else {
+        ensure(read_pos_ == read_end_, "checkpoint section '", cur_name_,
+               "' has ", read_end_ - read_pos_,
+               " unread bytes (field list mismatch)");
+    }
+    cur_name_.clear();
+}
+
+const Ckpt::Section* Ckpt::find_section(const std::string& name) const
+{
+    for (const Section& s : sections_) {
+        if (s.name == name) {
+            return &s;
+        }
+    }
+    return nullptr;
+}
+
+void Ckpt::write_file(const std::string& path, std::uint64_t config_hash)
+{
+    ensure(saving(), "write_file on a loading Ckpt");
+    ensure(!in_section_, "write_file with section '", cur_name_, "' open");
+
+    std::vector<std::uint8_t> out;
+    auto put = [&out](const void* p, std::size_t n) {
+        const auto* b = static_cast<const std::uint8_t*>(p);
+        out.insert(out.end(), b, b + n);
+    };
+    put(kMagic, sizeof(kMagic));
+    const std::uint32_t ver = kFormatVersion;
+    put(&ver, sizeof(ver));
+    put(&config_hash, sizeof(config_hash));
+    const auto count = static_cast<std::uint32_t>(sections_.size());
+    put(&count, sizeof(count));
+    for (std::size_t i = 0; i < sections_.size(); ++i) {
+        const Section& s = sections_[i];
+        const auto name_len = static_cast<std::uint16_t>(s.name.size());
+        put(&name_len, sizeof(name_len));
+        put(s.name.data(), s.name.size());
+        put(&s.size, sizeof(s.size));
+        put(&s.crc, sizeof(s.crc));
+        put(payloads_[i].data(), payloads_[i].size());
+    }
+
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    ensure(f != nullptr, "cannot open checkpoint file ", tmp);
+    const std::size_t wrote = std::fwrite(out.data(), 1, out.size(), f);
+    const bool ok = wrote == out.size() && std::fclose(f) == 0;
+    ensure(ok, "short write to checkpoint file ", tmp);
+    ensure(std::rename(tmp.c_str(), path.c_str()) == 0,
+           "cannot rename checkpoint file into place: ", path);
+}
+
+Ckpt Ckpt::parse(const std::string& path)
+{
+    Ckpt ar(Mode::load);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ensure(f != nullptr, "cannot open checkpoint file ", path);
+    std::fseek(f, 0, SEEK_END);
+    const long sz = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    ensure(sz >= 0, "cannot stat checkpoint file ", path);
+    ar.blob_.resize(static_cast<std::size_t>(sz));
+    const std::size_t got = std::fread(ar.blob_.data(), 1, ar.blob_.size(), f);
+    std::fclose(f);
+    ensure(got == ar.blob_.size(), "short read from checkpoint file ", path);
+
+    std::uint64_t pos = 0;
+    auto get = [&](void* p, std::size_t n) {
+        ensure(pos + n <= ar.blob_.size(), "truncated checkpoint file ",
+               path);
+        std::memcpy(p, ar.blob_.data() + pos, n);
+        pos += n;
+    };
+    char magic[sizeof(kMagic)];
+    get(magic, sizeof(magic));
+    ensure(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+           "not a checkpoint file: ", path);
+    get(&ar.format_version_, sizeof(ar.format_version_));
+    ensure(ar.format_version_ == kFormatVersion, "checkpoint format v",
+           ar.format_version_, " unsupported (this build reads v",
+           kFormatVersion, "): ", path);
+    get(&ar.config_hash_, sizeof(ar.config_hash_));
+    std::uint32_t count = 0;
+    get(&count, sizeof(count));
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Section s;
+        std::uint16_t name_len = 0;
+        get(&name_len, sizeof(name_len));
+        s.name.resize(name_len);
+        get(s.name.data(), name_len);
+        get(&s.size, sizeof(s.size));
+        get(&s.crc, sizeof(s.crc));
+        ensure(pos + s.size <= ar.blob_.size(),
+               "truncated checkpoint section '", s.name, "': ", path);
+        s.offset = pos;
+        pos += s.size;
+        ensure(crc32(ar.blob_.data() + s.offset, s.size) == s.crc,
+               "checkpoint section '", s.name, "' failed its CRC: ", path);
+        ar.sections_.push_back(std::move(s));
+    }
+    ensure(pos == ar.blob_.size(), "trailing garbage in checkpoint file ",
+           path);
+    ar.read_base_ = ar.blob_.data();
+    return ar;
+}
+
+Ckpt Ckpt::load_file_unchecked(const std::string& path)
+{
+    return parse(path);
+}
+
+Ckpt Ckpt::load_file(const std::string& path,
+                     std::uint64_t expect_config_hash)
+{
+    Ckpt ar = parse(path);
+    ensure(ar.config_hash_ == expect_config_hash,
+           "checkpoint was taken under a different SystemConfig (hash ",
+           ar.config_hash_, " != ", expect_config_hash, "): ", path);
+    return ar;
+}
+
+} // namespace accesys

@@ -39,11 +39,15 @@ namespace accesys {
 class FaultInjector;
 class SimObject;
 
+class Ckpt;
+
 /// Why a Simulator::run() call returned.
 enum class ExitCause {
     queue_drained,   ///< no live events remain
     exit_requested,  ///< a component called request_exit()
     horizon_reached, ///< max_tick passed without drain/exit
+    checkpointed,    ///< a requested checkpoint was written (see exit_reason
+                     ///< for the path); resume via Simulator::restore()
 };
 
 struct RunResult {
@@ -71,11 +75,17 @@ class Simulator {
         /// tick), in domain order. May be empty.
         std::function<void(Tick)> drain_functional;
         std::uint64_t events = 0; ///< events executed in the current run()
-        /// Window-completion publication: the end tick of the last window
-        /// this domain finished. Release-published by the worker; the root
-        /// thread acquires it at barriers and read fences, which is the
-        /// happens-before edge covering everything the window wrote.
-        alignas(64) std::atomic<Tick> done_clock{0};
+        /// Window-completion publication: the generation of the last
+        /// window this domain finished. A generation — not the window-end
+        /// tick — because a barrier hook can schedule work back inside the
+        /// just-finished window, forcing the same window end to be
+        /// republished; a tick-based barrier would treat the previous
+        /// completion as already satisfying the repeat and let the root's
+        /// serial section race the still-running worker. Release-published
+        /// by the worker; the root thread acquires it at barriers and read
+        /// fences, which is the happens-before edge covering everything
+        /// the window wrote.
+        alignas(64) std::atomic<std::uint64_t> done_gen{0};
     };
 
     Simulator() = default;
@@ -91,6 +101,7 @@ class Simulator {
     void request_exit(std::string reason)
     {
         exit_requested_ = true;
+        stop_now_ = true;
         exit_reason_ = std::move(reason);
     }
 
@@ -191,15 +202,104 @@ class Simulator {
         return stat_fences_;
     }
 
+    // --- checkpoint/restore (see sim/serialize.hh) --------------------------
+
+    /// Hash of the originating SystemConfig, stamped into every checkpoint
+    /// and verified on restore. core::System sets it at construction.
+    void set_config_hash(std::uint64_t h) noexcept { config_hash_ = h; }
+    [[nodiscard]] std::uint64_t config_hash() const noexcept
+    {
+        return config_hash_;
+    }
+
+    /// Thread-context setup for the root domain (pool installation),
+    /// mirroring Domain::install; used while restoring root components.
+    void set_root_install(std::function<void()> fn)
+    {
+        root_install_ = std::move(fn);
+    }
+
+    /// Register a named serialization hook for stateful non-SimObject
+    /// state (backing store, packet/TLP pools, runner bookkeeping). Runs
+    /// in registration order between the component and stats sections.
+    void add_ckpt_hook(std::string name, std::function<void(Ckpt&)> fn)
+    {
+        ckpt_hooks_.push_back({std::move(name), std::move(fn)});
+    }
+
+    /// Write a checkpoint of the current state to `path`. Legal only at a
+    /// quiescent point: between events when serial, at a window barrier
+    /// when parallel — run() enforces this via the request_* entry points
+    /// below, which is how callers should normally checkpoint.
+    void checkpoint(const std::string& path);
+
+    /// Ask run() to write a checkpoint to `path` at the first legal point
+    /// covering tick `at` (exactly `at` when serial, the first barrier
+    /// whose window covers it when parallel), then return
+    /// ExitCause::checkpointed. Deterministic: the snapshot is identical
+    /// for every ACCESYS_THREADS by the barrier bit-identity contract.
+    void request_checkpoint_at(std::string path, Tick at);
+
+    /// Pre-register the checkpoint path used when an asynchronous
+    /// interrupt arrives (post_interrupt allocates nothing).
+    void arm_interrupt_checkpoint(std::string path)
+    {
+        interrupt_ckpt_path_ = std::move(path);
+    }
+
+    /// Async-signal/watchdog-thread entry point: request a checkpoint (to
+    /// the armed path) at the next legal point, then return
+    /// ExitCause::checkpointed. Only flag writes — safe from a signal
+    /// handler or another thread while run() executes.
+    void post_interrupt() noexcept
+    {
+        interrupt_posted_ = true;
+        stop_now_ = true;
+    }
+    [[nodiscard]] bool interrupt_posted() const noexcept
+    {
+        return interrupt_posted_;
+    }
+
+    /// Rebuild dynamic state from a checkpoint written under the same
+    /// SystemConfig (fresh process, construction and wiring complete).
+    /// The next run() resumes such that final results are bit-identical
+    /// to the uninterrupted run. Throws SimError on any mismatch.
+    void restore(const std::string& path);
+    [[nodiscard]] bool restored() const noexcept { return restored_; }
+
+    // --- liveness watchdog --------------------------------------------------
+
+    /// Parallel no-progress horizon: consecutive window barriers with zero
+    /// dispatched events before run() raises a diagnostic SimError
+    /// (0 disables). Serial runs surface the same condition as a drain
+    /// with jobs outstanding (core::Runner turns that into the SimError).
+    void set_max_idle_quanta(unsigned n) noexcept { max_idle_quanta_ = n; }
+    [[nodiscard]] unsigned max_idle_quanta() const noexcept
+    {
+        return max_idle_quanta_;
+    }
+
+    /// One line per component that currently holds queued/blocked work —
+    /// the diagnostic payload for liveness-watchdog SimErrors.
+    [[nodiscard]] std::string occupancy_report() const;
+
   private:
     friend class SimObject;
     void attach(SimObject& obj) { objects_.push_back(&obj); }
     void detach(SimObject& obj) noexcept;
 
     RunResult run_parallel(Tick max_tick);
-    /// Spin until every domain published completion of the window ending
-    /// at `wend` (yields: correctness must not depend on core count).
-    void await_domains(Tick wend) const;
+    /// Spin until every domain published completion of window generation
+    /// `gen` (yields: correctness must not depend on core count).
+    void await_domains(std::uint64_t gen) const;
+
+    /// Per-queue clock/live-count payload of the "sim" section.
+    void serialize_sim_clocks(Ckpt& ar);
+    /// Run the thread-context install hook owning queue `q` (root install
+    /// or the domain's install) so pool re-materialization during restore
+    /// draws from the correct per-domain pool.
+    void install_context_for(EventQueue* q);
 
     EventQueue queue_;
     stats::Registry stats_;
@@ -220,9 +320,40 @@ class Simulator {
     /// window, read by workers after acquiring the generation).
     bool parallel_running_ = false;
     Tick window_end_ = 0;
+    /// Window-release counter: bumped (release) by the root thread after
+    /// writing window_end_; workers spin on it (acquire). Monotonic across
+    /// repeat windows, so it doubles as the barrier identity await_domains
+    /// waits on.
+    std::atomic<std::uint64_t> window_gen_{0};
     std::uint64_t stat_barriers_ = 0;
     std::uint64_t stat_fences_ = 0;
     std::uint64_t stat_handoffs_ = 0;
+
+    // --- checkpoint/restore state -------------------------------------------
+    /// Run-loop stop flag polled between events: request_exit() and
+    /// post_interrupt() both raise it (a plain bool on purpose — it must
+    /// be writable from a signal handler, and a one-byte store/load is
+    /// the same cost the exit flag always paid).
+    bool stop_now_ = false;
+    bool interrupt_posted_ = false;
+    bool restored_ = false;
+    std::uint64_t config_hash_ = 0;
+    std::string ckpt_path_;            ///< request_checkpoint_at target
+    Tick ckpt_at_ = kMaxTick;          ///< request_checkpoint_at tick
+    std::string interrupt_ckpt_path_;  ///< armed async-interrupt target
+    std::function<void()> root_install_;
+    struct CkptHook {
+        std::string name;
+        std::function<void(Ckpt&)> fn;
+    };
+    std::vector<CkptHook> ckpt_hooks_;
+    /// Whether the snapshot being restored was taken under the same
+    /// domain carve (thread count). Snapshots are thread-count-neutral:
+    /// on a mismatch the per-queue clock records collapse to canonical
+    /// values and live-entry verification switches to the global total.
+    bool ckpt_layout_match_ = true;
+    std::uint64_t ckpt_live_total_ = 0;
+    unsigned max_idle_quanta_ = 64;
 };
 
 /// Base class for every named simulated component.
@@ -247,6 +378,19 @@ class SimObject {
 
     /// Hook called once before the first run(); wiring must be complete.
     virtual void startup() {}
+
+    /// Checkpoint/restore this object's dynamic state (one symmetric
+    /// field list; see sim/serialize.hh). The default is for stateless
+    /// objects only — every component holding queues, in-flight packets,
+    /// scheduled events or counters outside the stats registry must
+    /// override, and must route each owned Event through
+    /// Event::serialize(ar, eq()).
+    virtual void serialize(Ckpt& ar) { (void)ar; }
+
+    /// Append "name: <occupancy>" lines for any queued/blocked work this
+    /// object currently holds (liveness-watchdog diagnostics). Objects
+    /// holding nothing append nothing.
+    virtual void report_occupancy(std::string& out) const { (void)out; }
 
   protected:
     void schedule(Event& ev, Tick when) { eq_->schedule(ev, when); }

@@ -2,6 +2,8 @@
 
 #include <iomanip>
 
+#include "sim/serialize.hh"
+
 namespace accesys::stats {
 
 Stat::Stat(Group& group, std::string name, std::string desc)
@@ -164,6 +166,46 @@ void Registry::reset_all()
 {
     for (auto& [name, stat] : stats_) {
         stat->reset();
+    }
+}
+
+void Scalar::serialize(Ckpt& ar)
+{
+    ar.io(v_);
+}
+
+void Average::serialize(Ckpt& ar)
+{
+    ar.io(sum_, count_);
+}
+
+void Distribution::serialize(Ckpt& ar)
+{
+    ar.io(sum_, sum_sq_, min_, max_, count_);
+}
+
+void Histogram::serialize(Ckpt& ar)
+{
+    const std::size_t nbuckets = buckets_.size();
+    ar.io(underflow_, overflow_, count_, sum_);
+    ar.pod_vec(buckets_);
+    ensure(buckets_.size() == nbuckets, "histogram ", full_name(),
+           " bucket count changed across checkpoint (", nbuckets, " -> ",
+           buckets_.size(), ")");
+}
+
+void Registry::serialize(Ckpt& ar)
+{
+    std::uint64_t n = stats_.size();
+    ar.io(n);
+    ensure(n == stats_.size(), "checkpoint has ", n, " stats, this run has ",
+           stats_.size(), " (component set mismatch)");
+    for (auto& [name, stat] : stats_) {
+        std::string key = name;
+        ar.str(key);
+        ensure(key == name, "checkpoint stat order mismatch: expected ",
+               name, ", found ", key);
+        stat->serialize(ar);
     }
 }
 

@@ -19,6 +19,10 @@
 
 #include "sim/error.hh"
 
+namespace accesys {
+class Ckpt;
+}
+
 namespace accesys::stats {
 
 class Group;
@@ -40,6 +44,9 @@ class Stat {
     virtual void write_text(std::ostream& os) const = 0;
     virtual void write_json(std::ostream& os) const = 0;
     virtual void reset() = 0;
+    /// Checkpoint/restore the accumulated samples. Computed stats
+    /// (ValueFn) hold no state and keep this default.
+    virtual void serialize(Ckpt& ar) { (void)ar; }
 
   private:
     std::string full_name_;
@@ -68,6 +75,7 @@ class Scalar : public Stat {
     void write_text(std::ostream& os) const override;
     void write_json(std::ostream& os) const override;
     void reset() override { v_ = 0.0; }
+    void serialize(Ckpt& ar) override;
 
   private:
     double v_ = 0.0;
@@ -99,6 +107,7 @@ class Average : public Stat {
         sum_ = 0.0;
         count_ = 0;
     }
+    void serialize(Ckpt& ar) override;
 
   private:
     double sum_ = 0.0;
@@ -148,6 +157,7 @@ class Distribution : public Stat {
         sum_ = sum_sq_ = min_ = max_ = 0.0;
         count_ = 0;
     }
+    void serialize(Ckpt& ar) override;
 
   private:
     double sum_ = 0.0;
@@ -180,6 +190,7 @@ class Histogram : public Stat {
     void write_text(std::ostream& os) const override;
     void write_json(std::ostream& os) const override;
     void reset() override;
+    void serialize(Ckpt& ar) override;
 
   private:
     double lo_;
@@ -229,6 +240,11 @@ class Registry {
     void write_text(std::ostream& os) const;
     void write_json(std::ostream& os) const;
     void reset_all();
+
+    /// Checkpoint/restore every registered stat, keyed and ordered by
+    /// full name. The registered set must match the checkpoint exactly
+    /// (same SystemConfig implies the same components and stats).
+    void serialize(Ckpt& ar);
 
     [[nodiscard]] std::size_t size() const { return stats_.size(); }
 

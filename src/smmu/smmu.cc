@@ -2,7 +2,21 @@
 
 #include <algorithm>
 
+#include "sim/serialize.hh"
+
 namespace accesys::smmu {
+
+void Tlb::serialize(Ckpt& ar)
+{
+    const std::size_t n_slots = slots_.size();
+    ar.io(clock_, lookups_, hits_, misses_, evictions_);
+    ar.pod_vec(slots_);
+    ensure(slots_.size() == n_slots,
+           "TLB geometry changed across checkpoint");
+    if (ar.loading()) {
+        mru_ = nullptr;
+    }
+}
 
 void SmmuParams::validate() const
 {
@@ -350,6 +364,150 @@ const Addr* Smmu::pwc_find(unsigned level, std::uint64_t prefix)
     }
     it->second.second = ++pwc_clock_;
     return &it->second.first;
+}
+
+void Smmu::serialize(Ckpt& ar)
+{
+    // Stream contexts: create-on-load must happen before the global stats
+    // section restores (it runs last), so their counters land in place.
+    std::uint64_t n_streams = streams_.size();
+    ar.io(n_streams);
+    if (ar.saving()) {
+        for (auto& [id, ctx] : streams_) {
+            std::uint32_t sid = id;
+            ar.io(sid);
+            ctx->utlb.serialize(ar);
+        }
+    } else {
+        ensure(streams_.size() == 1, name(),
+               ": restore into an SMMU with live streams");
+        for (std::uint64_t i = 0; i < n_streams; ++i) {
+            std::uint32_t sid = 0;
+            ar.io(sid);
+            stream_ctx(sid).utlb.serialize(ar);
+        }
+        last_ctx_ = nullptr;
+        last_stream_ = 0;
+    }
+
+    // Stream remaps (config-driven, but cheap to carry and verify).
+    std::uint64_t n_remap = stream_remap_.size();
+    ar.io(n_remap);
+    if (ar.saving()) {
+        std::vector<std::uint32_t> keys;
+        keys.reserve(stream_remap_.size());
+        for (const auto& [k, v] : stream_remap_) {
+            keys.push_back(k);
+        }
+        std::sort(keys.begin(), keys.end());
+        for (std::uint32_t k : keys) {
+            std::uint32_t v = stream_remap_.at(k);
+            ar.io(k, v);
+        }
+    } else {
+        for (std::uint64_t i = 0; i < n_remap; ++i) {
+            std::uint32_t k = 0;
+            std::uint32_t v = 0;
+            ar.io(k, v);
+            stream_remap_[k] = v;
+        }
+    }
+
+    tlb_.serialize(ar);
+
+    // Walk-pending pool: preserve the exact slot layout (indices live in
+    // records and chains).
+    ar.io(pending_free_, pending_count_, blocked_upstream_);
+    const std::size_t pool_slots = pending_pool_.size();
+    std::uint64_t n_pool = pool_slots;
+    ar.io(n_pool);
+    ensure(n_pool == pool_slots, name(),
+           ": pending-pool size changed across checkpoint");
+    for (auto& p : pending_pool_) {
+        std::uint8_t has_pkt = p.pkt != nullptr ? 1 : 0;
+        ar.io(has_pkt, p.arrived, p.stream, p.next);
+        if (has_pkt != 0) {
+            mem::ckpt_packet(ar, p.pkt);
+        } else if (ar.loading()) {
+            p.pkt.reset();
+        }
+    }
+    ar.pod_vec(walk_records_);
+
+    std::uint64_t n_wq = walk_queue_.size();
+    ar.io(n_wq);
+    if (ar.loading()) {
+        walk_queue_.clear();
+    }
+    for (std::uint64_t i = 0; i < n_wq; ++i) {
+        std::uint64_t vpn = ar.saving() ? walk_queue_[i] : 0;
+        ar.io(vpn);
+        if (ar.loading()) {
+            walk_queue_.push_back(vpn);
+        }
+    }
+
+    for (Walk& w : walks_) {
+        ar.io(w.vpn, w.level, w.table, w.started, w.active);
+    }
+
+    // Page-walk cache (sorted for byte-stable checkpoints).
+    ar.io(pwc_clock_);
+    std::uint64_t n_pwc = pwc_.size();
+    ar.io(n_pwc);
+    if (ar.saving()) {
+        std::vector<PwcKey> keys;
+        keys.reserve(pwc_.size());
+        for (const auto& [k, v] : pwc_) {
+            keys.push_back(k);
+        }
+        std::sort(keys.begin(), keys.end(),
+                  [](const PwcKey& a, const PwcKey& b) {
+                      return a.level != b.level ? a.level < b.level
+                                                : a.prefix < b.prefix;
+                  });
+        for (const PwcKey& k : keys) {
+            auto& v = pwc_.at(k);
+            std::uint32_t level = k.level;
+            std::uint64_t prefix = k.prefix;
+            ar.io(level, prefix, v.first, v.second);
+        }
+    } else {
+        pwc_.clear();
+        for (std::uint64_t i = 0; i < n_pwc; ++i) {
+            std::uint32_t level = 0;
+            std::uint64_t prefix = 0;
+            Addr table = 0;
+            std::uint64_t stamp = 0;
+            ar.io(level, prefix, table, stamp);
+            pwc_[PwcKey{level, prefix}] = {table, stamp};
+        }
+    }
+
+    ar.io(translations_, total_translation_ns_, ptw_count_, total_ptw_ns_);
+
+    dev_port_.serialize(ar);
+    mem_port_.serialize(ar);
+    dev_resp_q_.serialize(ar);
+    mem_q_.serialize(ar);
+}
+
+void Smmu::report_occupancy(std::string& out) const
+{
+    std::size_t active_walks = 0;
+    for (const Walk& w : walks_) {
+        active_walks += w.active ? 1 : 0;
+    }
+    if (pending_count_ == 0 && active_walks == 0 && walk_queue_.empty() &&
+        dev_resp_q_.empty() && mem_q_.empty()) {
+        return;
+    }
+    out += "  " + name() + ": pending=" + std::to_string(pending_count_) +
+           ", walks=" + std::to_string(active_walks) +
+           ", walk_queue=" + std::to_string(walk_queue_.size()) +
+           ", dev_resp_q=" + std::to_string(dev_resp_q_.size()) +
+           ", mem_q=" + std::to_string(mem_q_.size()) +
+           (blocked_upstream_ ? ", blocking upstream" : "") + "\n";
 }
 
 } // namespace accesys::smmu

@@ -145,6 +145,12 @@ class Smmu final : public SimObject,
     }
     [[nodiscard]] const Tlb& main_tlb() const noexcept { return tlb_; }
 
+    /// Checkpoint/restore: TLBs, in-flight walks, pending waiter chains and
+    /// the page-walk cache. Stream contexts are re-created on load (before
+    /// the global stats section restores their counters).
+    void serialize(Ckpt& ar) override;
+    void report_occupancy(std::string& out) const override;
+
   private:
     // mem::Responder (dev side)
     bool recv_req(mem::PacketPtr& pkt) override;

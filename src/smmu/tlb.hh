@@ -9,6 +9,10 @@
 #include "sim/error.hh"
 #include "sim/types.hh"
 
+namespace accesys {
+class Ckpt;
+}
+
 namespace accesys::smmu {
 
 class Tlb {
@@ -86,6 +90,10 @@ class Tlb {
         }
         mru_ = nullptr;
     }
+
+    /// Checkpoint/restore slots, LRU clock and counters (defined in
+    /// smmu.cc; the MRU memo resets on load).
+    void serialize(Ckpt& ar);
 
     [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
     [[nodiscard]] std::uint64_t lookups() const noexcept { return lookups_; }

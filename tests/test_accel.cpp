@@ -75,11 +75,24 @@ TEST(SystolicParams, Validation)
     EXPECT_THROW(p.validate(), ConfigError);
 }
 
+/// Records completion continuations by arg (the descriptor-based
+/// replacement for the old capture-a-bool closures).
+struct Recorder final : dma::TransferListener {
+    std::vector<std::uint32_t> fired;
+    void transfer_done(std::uint8_t, std::uint32_t arg) override
+    {
+        fired.push_back(arg);
+    }
+    dma::Continuation cont(std::uint32_t arg = 0) { return {this, 0, arg}; }
+    [[nodiscard]] bool done() const { return !fired.empty(); }
+};
+
 struct MoverFixture : ::testing::Test {
     Simulator sim;
     mem::BackingStore store;
     DevMemMover::Params params;
     mem::SimpleMemParams mem_params;
+    Recorder rec;
     static constexpr Addr kDevBase = 0x200000000000ULL;
 
     std::unique_ptr<DevMemMover> mover;
@@ -105,11 +118,10 @@ TEST_F(MoverFixture, LoadsDeviceMemoryIntoScratchpad)
     build();
     const char msg[] = "devmem -> scratchpad";
     store.write(kDevBase + 0x100, msg, sizeof(msg));
-    bool done = false;
     mover->submit(TransferJob{kDevBase + 0x100, 0x700000000000ULL, 4096,
-                              [&done] { done = true; }});
+                              rec.cont()});
     test::drain(sim);
-    ASSERT_TRUE(done);
+    ASSERT_TRUE(rec.done());
     char out[sizeof(msg)] = {};
     store.read(0x700000000000ULL, out, sizeof(msg));
     EXPECT_STREQ(out, msg);
@@ -121,27 +133,25 @@ TEST_F(MoverFixture, StoresScratchpadToDeviceMemory)
     build();
     const char msg[] = "scratchpad -> devmem";
     store.write(0x700000000000ULL, msg, sizeof(msg));
-    bool done = false;
     mover->submit(TransferJob{0x700000000000ULL, kDevBase + 0x4000, 4096,
-                              [&done] { done = true; }});
+                              rec.cont()});
     // Write path snapshots functionally at submit.
     char out[sizeof(msg)] = {};
     store.read(kDevBase + 0x4000, out, sizeof(msg));
     EXPECT_STREQ(out, msg);
     test::drain(sim);
-    EXPECT_TRUE(done);
+    EXPECT_TRUE(rec.done());
 }
 
 TEST_F(MoverFixture, JobsCompleteInSubmissionOrder)
 {
     build();
-    std::vector<int> order;
     mover->submit(TransferJob{kDevBase, 0x700000000000ULL, 8192,
-                              [&order] { order.push_back(1); }});
+                              rec.cont(1)});
     mover->submit(TransferJob{kDevBase + 0x10000, 0x700000002000ULL, 256,
-                              [&order] { order.push_back(2); }});
+                              rec.cont(2)});
     test::drain(sim);
-    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(rec.fired, (std::vector<std::uint32_t>{1, 2}));
 }
 
 TEST_F(MoverFixture, ThroughputScalesWithOutstanding)
@@ -151,12 +161,11 @@ TEST_F(MoverFixture, ThroughputScalesWithOutstanding)
 
     params.max_outstanding = 1;
     build();
-    bool done = false;
     mover->submit(TransferJob{kDevBase, 0x700000000000ULL, 16 * kKiB,
-                              [&done] { done = true; }});
+                              rec.cont()});
     test::drain(sim);
     const Tick serial_time = sim.now();
-    ASSERT_TRUE(done);
+    ASSERT_TRUE(rec.done());
 
     Simulator sim2;
     DevMemMover::Params p2 = params;
@@ -165,11 +174,11 @@ TEST_F(MoverFixture, ThroughputScalesWithOutstanding)
     mem::SimpleMem devmem2(sim2, "devmem", mem_params, range);
     DevMemMover mover2(sim2, "mover", p2, range, store);
     mover2.port().bind(devmem2.port());
-    bool done2 = false;
+    Recorder rec2;
     mover2.submit(TransferJob{kDevBase, 0x700000000000ULL, 16 * kKiB,
-                              [&done2] { done2 = true; }});
+                              rec2.cont()});
     sim2.run();
-    ASSERT_TRUE(done2);
+    ASSERT_TRUE(rec2.done());
     EXPECT_LT(sim2.now() * 4, serial_time); // at least 4x faster
 }
 

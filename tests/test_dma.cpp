@@ -39,11 +39,24 @@ struct MockPort : DmaPort {
     std::size_t egress_depth = 0;
 };
 
+/// Records completion continuations by arg (the descriptor-based
+/// replacement for the old capture-a-bool closures).
+struct Recorder final : TransferListener {
+    std::vector<std::uint32_t> fired;
+    void transfer_done(std::uint8_t, std::uint32_t arg) override
+    {
+        fired.push_back(arg);
+    }
+    Continuation cont(std::uint32_t arg = 0) { return {this, 0, arg}; }
+    [[nodiscard]] bool done() const { return !fired.empty(); }
+};
+
 struct DmaFixture : ::testing::Test {
     Simulator sim;
     mem::BackingStore store;
     DmaParams params;
     MockPort port;
+    Recorder rec;
 
     std::unique_ptr<DmaEngine> make()
     {
@@ -67,9 +80,8 @@ TEST_F(DmaFixture, ReadJobChunksAtRequestSize)
     params.request_bytes = 256;
     params.window_bytes = 64 * kKiB;
     auto dma = make();
-    bool done = false;
     dma->submit(DmaJob{DmaJob::Dir::host_to_dev, 0x1000, 0x700000, 1024,
-                       [&done] { done = true; }});
+                       rec.cont()});
     ASSERT_EQ(port.sent.size(), 4u);
     for (int i = 0; i < 4; ++i) {
         EXPECT_EQ(port.sent[i].tlp->addr, 0x1000u + i * 256);
@@ -78,7 +90,7 @@ TEST_F(DmaFixture, ReadJobChunksAtRequestSize)
     while (!port.sent.empty()) {
         complete_one(*dma);
     }
-    EXPECT_TRUE(done);
+    EXPECT_TRUE(rec.done());
     EXPECT_TRUE(dma->idle());
 }
 
@@ -115,11 +127,10 @@ TEST_F(DmaFixture, ReadCopiesDataOnCompletion)
     auto dma = make();
     const char msg[] = "dma payload check";
     store.write(0x2000, msg, sizeof(msg));
-    bool done = false;
     dma->submit(DmaJob{DmaJob::Dir::host_to_dev, 0x2000, 0x700000, 128,
-                       [&done] { done = true; }});
+                       rec.cont()});
     complete_one(*dma);
-    ASSERT_TRUE(done);
+    ASSERT_TRUE(rec.done());
     char out[sizeof(msg)] = {};
     store.read(0x700000, out, sizeof(msg));
     EXPECT_STREQ(out, msg);
@@ -129,19 +140,18 @@ TEST_F(DmaFixture, PartialCompletionsWaitForLast)
 {
     params.request_bytes = 256;
     auto dma = make();
-    bool done = false;
     dma->submit(DmaJob{DmaJob::Dir::host_to_dev, 0, 0x700000, 256,
-                       [&done] { done = true; }});
+                       rec.cont()});
     ASSERT_EQ(port.sent.size(), 1u);
     const auto tag = port.sent[0].tlp->tag;
     port.sent.pop_front();
 
     auto c1 = pcie::make_completion(128, tag, 1, 0, false);
     dma->on_completion(*c1);
-    EXPECT_FALSE(done);
+    EXPECT_FALSE(rec.done());
     auto c2 = pcie::make_completion(128, tag, 1, 128, true);
     dma->on_completion(*c2);
-    EXPECT_TRUE(done);
+    EXPECT_TRUE(rec.done());
 }
 
 TEST_F(DmaFixture, WriteJobSnapshotsAndPostsChunks)
@@ -150,9 +160,8 @@ TEST_F(DmaFixture, WriteJobSnapshotsAndPostsChunks)
     auto dma = make();
     const char msg[] = "write me to host";
     store.write(0x700000, msg, sizeof(msg));
-    bool done = false;
     dma->submit(DmaJob{DmaJob::Dir::dev_to_host, 0x5000, 0x700000, 512,
-                       [&done] { done = true; }});
+                       rec.cont()});
     // Functional data lands at submit (drain-FIFO semantics).
     char out[sizeof(msg)] = {};
     store.read(0x5000, out, sizeof(msg));
@@ -160,9 +169,9 @@ TEST_F(DmaFixture, WriteJobSnapshotsAndPostsChunks)
 
     ASSERT_EQ(port.sent.size(), 2u);
     EXPECT_EQ(port.sent[0].tlp->type, pcie::TlpType::mem_write);
-    EXPECT_FALSE(done);
+    EXPECT_FALSE(rec.done());
     port.flush_sent_callbacks(); // both hit the wire
-    EXPECT_TRUE(done);
+    EXPECT_TRUE(rec.done());
 }
 
 TEST_F(DmaFixture, WriteGatedByEgressDepth)
@@ -198,14 +207,13 @@ TEST_F(DmaFixture, CompletionOrderCallbacksInOrder)
 {
     params.channels = 1;
     auto dma = make();
-    std::vector<int> order;
     dma->submit(DmaJob{DmaJob::Dir::host_to_dev, 0, 0x700000, 256,
-                       [&order] { order.push_back(1); }});
+                       rec.cont(1)});
     dma->submit(DmaJob{DmaJob::Dir::host_to_dev, 0x1000, 0x710000, 256,
-                       [&order] { order.push_back(2); }});
+                       rec.cont(2)});
     complete_one(*dma);
     complete_one(*dma);
-    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(rec.fired, (std::vector<std::uint32_t>{1, 2}));
 }
 
 TEST_F(DmaFixture, SetRequestBytesOnlyWhenIdle)

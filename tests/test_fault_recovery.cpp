@@ -6,6 +6,9 @@
 // finish and verify.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "core/runner.hh"
 
 namespace accesys::core {
@@ -161,6 +164,67 @@ TEST(FaultRecovery, LinkFailureMidRunFailsJobGracefully)
     EXPECT_GT(sys.stat("mf.dma.read_retries"), 0.0);
     // Both operand-pull jobs (A and B run concurrently) may fail.
     EXPECT_GE(sys.stat("mf.dma.jobs_failed"), 1.0);
+}
+
+TEST(FaultRecovery, RestoredRngStreamsContinueExactFaultSequence)
+{
+    // Checkpoint mid-run under seeded corruption, resume in a fresh
+    // System: the serialized per-(site, direction) RNG stream positions
+    // must make the resumed run draw the exact corruption tail the
+    // straight run drew — same corrupted-TLP count, same NAK/replay
+    // counts, same end tick.
+    auto make_cfg = [] {
+        auto cfg = SystemConfig::paper_default();
+        cfg.fault_plan.seed = 99;
+        cfg.fault_plan.corrupt_rate = 0.02;
+        cfg.fault_plan.corrupt_site = "link_dn";
+        return cfg;
+    };
+    const GemmSpec spec{64, 64, 64, 42};
+
+    Tick straight_end = 0;
+    double corrupted = 0.0;
+    double naks = 0.0;
+    double replays = 0.0;
+    {
+        System sys(make_cfg());
+        Runner runner(sys);
+        runner.dispatch(0, spec, Placement::host, true);
+        const auto res = runner.run_dispatched();
+        ASSERT_TRUE(res.all_verified());
+        straight_end = sys.sim().now();
+        corrupted = sys.stat("link_dn.link_corrupted_tlps");
+        naks = sys.stat("link_dn.link_nak_count");
+        replays = sys.stat("link_dn.link_replays");
+        ASSERT_GT(corrupted, 0.0) << "plan must actually corrupt TLPs";
+    }
+
+    const std::string path = ::testing::TempDir() + "fault_rng.ckpt";
+    {
+        System sys(make_cfg());
+        Runner runner(sys);
+        runner.dispatch(0, spec, Placement::host, true);
+        sys.sim().request_checkpoint_at(path, straight_end / 2);
+        const auto res = runner.run_dispatched();
+        ASSERT_TRUE(res.checkpointed);
+        // The first half already corrupted something, so the resumed run
+        // can only match the straight totals by continuing the stream —
+        // not by restarting it.
+        EXPECT_GT(sys.stat("link_dn.link_corrupted_tlps"), 0.0);
+        EXPECT_LT(sys.stat("link_dn.link_corrupted_tlps"), corrupted);
+    }
+
+    System sys(make_cfg());
+    Runner runner(sys);
+    runner.dispatch(0, spec, Placement::host, true);
+    runner.set_restore_path(path);
+    const auto res = runner.run_dispatched();
+    std::remove(path.c_str());
+    ASSERT_TRUE(res.all_verified());
+    EXPECT_EQ(sys.sim().now(), straight_end);
+    EXPECT_EQ(sys.stat("link_dn.link_corrupted_tlps"), corrupted);
+    EXPECT_EQ(sys.stat("link_dn.link_nak_count"), naks);
+    EXPECT_EQ(sys.stat("link_dn.link_replays"), replays);
 }
 
 TEST(FaultRecovery, InactivePlanRegistersNoFaultStats)

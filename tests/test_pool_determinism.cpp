@@ -8,6 +8,7 @@
 // to the serial run.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -71,6 +72,69 @@ SimSnapshot run_gemm_sim(std::size_t devices, std::uint32_t size,
         runner.dispatch(d, spec, core::Placement::host, /*verify=*/true);
     }
     const auto res = runner.run_dispatched();
+
+    SimSnapshot snap;
+    snap.end_tick = sys.sim().now();
+    snap.events = sys.sim().queue().events_processed();
+    snap.verified = res.all_verified();
+    std::ostringstream text;
+    sys.stats().write_text(text);
+    snap.stats_text = text.str();
+    std::ostringstream json;
+    sys.stats().write_json(json);
+    snap.stats_json = json.str();
+    return snap;
+}
+
+/// Split-at-`ckpt_at` variant of run_gemm_sim: one System runs until the
+/// scheduled checkpoint fires and exits, then a *fresh* System is built
+/// from the same config, the identical dispatch sequence is re-run (the
+/// restore protocol: programs and closures are reconstructed, not
+/// serialized), the snapshot overwrites its dynamic state, and the run
+/// finishes. The returned snapshot must be bit-identical to the straight
+/// run's. Saving and resuming may use different worker budgets — the
+/// config hash deliberately excludes `threads`.
+SimSnapshot run_gemm_split(std::size_t devices, std::uint32_t size,
+                           unsigned save_threads, unsigned restore_threads,
+                           const FaultPlan* fault, Tick ckpt_at,
+                           const std::string& path)
+{
+    const workload::GemmSpec spec{size, size, size, /*seed=*/3};
+    auto make_cfg = [&](unsigned threads) {
+        core::SystemConfig cfg = core::SystemConfig::paper_default();
+        if (devices > 1) {
+            cfg.set_num_devices(devices);
+        }
+        if (threads != 0) {
+            cfg.threads = threads;
+        }
+        if (fault != nullptr) {
+            cfg.fault_plan = *fault;
+        }
+        return cfg;
+    };
+
+    {
+        core::System sys(make_cfg(save_threads));
+        core::Runner runner(sys);
+        for (std::size_t d = 0; d < devices; ++d) {
+            runner.dispatch(d, spec, core::Placement::host, /*verify=*/true);
+        }
+        sys.sim().request_checkpoint_at(path, ckpt_at);
+        const auto res = runner.run_dispatched();
+        EXPECT_TRUE(res.checkpointed)
+            << "run finished at " << res.end
+            << " before the checkpoint tick " << ckpt_at;
+    }
+
+    core::System sys(make_cfg(restore_threads));
+    core::Runner runner(sys);
+    for (std::size_t d = 0; d < devices; ++d) {
+        runner.dispatch(d, spec, core::Placement::host, /*verify=*/true);
+    }
+    runner.set_restore_path(path);
+    const auto res = runner.run_dispatched();
+    std::remove(path.c_str());
 
     SimSnapshot snap;
     snap.end_tick = sys.sim().now();
@@ -325,6 +389,92 @@ TEST(PoolDeterminism, DisabledFaultsMatchEmptyPlanBitExactly)
     EXPECT_EQ(clean.events, disabled.events);
     EXPECT_EQ(clean.stats_text, disabled.stats_text);
     EXPECT_EQ(clean.stats_json, disabled.stats_json);
+}
+
+TEST(CheckpointRoundTrip, SplitRunBitIdenticalAcrossThreads)
+{
+    // The checkpoint/restore bit-identity contract: a run checkpointed at
+    // its midpoint and resumed in a fresh System — for any worker count —
+    // must finish with the same end tick and byte-identical stats dumps
+    // as the uninterrupted run.
+    const SimSnapshot straight = run_gemm_sim(4, 32, /*threads=*/1);
+    ASSERT_TRUE(straight.verified);
+    const Tick mid = straight.end_tick / 2;
+    ASSERT_GT(mid, 0u);
+
+    for (const unsigned threads : {1U, 2U, 4U}) {
+        const std::string path = ::testing::TempDir() + "roundtrip_t" +
+                                 std::to_string(threads) + ".ckpt";
+        const SimSnapshot split =
+            run_gemm_split(4, 32, threads, threads, nullptr, mid, path);
+        EXPECT_TRUE(split.verified) << "threads=" << threads;
+        EXPECT_EQ(straight.end_tick, split.end_tick)
+            << "threads=" << threads;
+        EXPECT_EQ(straight.stats_text, split.stats_text)
+            << "threads=" << threads;
+        EXPECT_EQ(straight.stats_json, split.stats_json)
+            << "threads=" << threads;
+    }
+}
+
+TEST(CheckpointRoundTrip, SaveSerialRestoreParallel)
+{
+    // The config hash deliberately excludes the worker budget: a snapshot
+    // written by a serial run must resume bit-identically on 4 domain
+    // threads (and the barrier-tick legality rule makes the snapshot
+    // thread-count-neutral by construction).
+    const SimSnapshot straight = run_gemm_sim(4, 32, /*threads=*/1);
+    ASSERT_TRUE(straight.verified);
+    const std::string path = ::testing::TempDir() + "roundtrip_1to4.ckpt";
+
+    const SimSnapshot split = run_gemm_split(
+        4, 32, /*save_threads=*/1, /*restore_threads=*/4, nullptr,
+        straight.end_tick / 2, path);
+    EXPECT_TRUE(split.verified);
+    EXPECT_EQ(straight.end_tick, split.end_tick);
+    EXPECT_EQ(straight.stats_text, split.stats_text);
+    EXPECT_EQ(straight.stats_json, split.stats_json);
+}
+
+TEST(CheckpointRoundTrip, MidLinkDownWindowWithSeededCorruption)
+{
+    // Hardest restore case: checkpoint inside an active link_down window
+    // of a seeded plan with Bernoulli corruption everywhere. The snapshot
+    // must carry the replay buffers, ACK/NAK state, down-window cursors,
+    // and — critically — the per-(site, direction) RNG stream positions,
+    // so the resumed run draws the exact corruption sequence the straight
+    // run drew.
+    FaultPlan plan;
+    plan.seed = 11;
+    plan.corrupt_rate = 0.01;
+    FaultEvent down;
+    down.kind = FaultKind::link_down;
+    down.site = "link_dn2";
+    down.at_ns = 5000.0;
+    down.duration_ns = 10000.0;
+    plan.events.push_back(down);
+    plan.max_replays = 16;
+    plan.replay_timeout_ns = 3000.0;
+
+    const SimSnapshot straight = run_gemm_sim(4, 32, /*threads=*/1, &plan);
+    ASSERT_TRUE(straight.verified);
+    const Tick in_window = ticks_from_ns(8000.0); // 5000 + 10000 window
+    ASSERT_GT(straight.end_tick, in_window)
+        << "run must outlast the checkpoint point";
+
+    for (const unsigned threads : {1U, 2U}) {
+        const std::string path = ::testing::TempDir() + "roundtrip_fault_t" +
+                                 std::to_string(threads) + ".ckpt";
+        const SimSnapshot split =
+            run_gemm_split(4, 32, threads, threads, &plan, in_window, path);
+        EXPECT_TRUE(split.verified) << "threads=" << threads;
+        EXPECT_EQ(straight.end_tick, split.end_tick)
+            << "threads=" << threads;
+        EXPECT_EQ(straight.stats_text, split.stats_text)
+            << "threads=" << threads;
+        EXPECT_EQ(straight.stats_json, split.stats_json)
+            << "threads=" << threads;
+    }
 }
 
 TEST(PoolDeterminism, SteadyStateForwardingAllocatesNothing)
