@@ -120,11 +120,28 @@ void DevMemMover::reap()
     }
 }
 
+void DevMemMover::flr_reset()
+{
+    ensure(!pumping_, name(), ": function-level reset mid-pump");
+    // Issued-but-unanswered requests become orphans: their responses are
+    // already queued downstream and must be drained, not asserted on.
+    orphans_pending_ += outstanding_;
+    outstanding_ = 0;
+    by_id_.clear();
+    active_.clear();
+    blocked_ = false;
+}
+
 bool DevMemMover::recv_resp(mem::PacketPtr& pkt)
 {
     const std::uint64_t id = pkt->tag() >> 24;
     const std::uint64_t off = pkt->tag() & ((1ULL << 24) - 1);
     const auto it = by_id_.find(id);
+    if (it == by_id_.end() && orphans_pending_ > 0) {
+        --orphans_pending_;
+        pkt.reset();
+        return true;
+    }
     ensure(it != by_id_.end(), name(), ": response for unknown job");
     JobState& js = *it->second;
     const auto chunk = pkt->size();
@@ -143,7 +160,7 @@ void DevMemMover::serialize(Ckpt& ar)
 {
     ensure(!pumping_, name(), ": checkpoint mid-pump");
     std::uint64_t n = active_.size();
-    ar.io(n, next_id_, outstanding_, blocked_);
+    ar.io(n, next_id_, outstanding_, orphans_pending_, blocked_);
     if (ar.saving()) {
         for (auto& jsp : active_) {
             std::uint8_t has_cont = jsp->job.on_complete ? 1 : 0;

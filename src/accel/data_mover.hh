@@ -69,6 +69,12 @@ class DevMemMover final : public SimObject,
 
     [[nodiscard]] bool idle() const { return active_.empty(); }
 
+    /// Function-level reset: drop every active job without firing
+    /// continuations and free the outstanding-request window. Responses
+    /// for requests already in flight toward the memory controller are
+    /// swallowed as orphans when they return.
+    void flr_reset();
+
     /// Listener re-bound into restored job continuations (one per device).
     void set_continuation_listener(dma::TransferListener* l) noexcept
     {
@@ -109,6 +115,9 @@ class DevMemMover final : public SimObject,
     std::unordered_map<std::uint64_t, JobState*> by_id_;
     std::uint64_t next_id_ = 0;
     unsigned outstanding_ = 0;
+    /// Responses still owed to jobs dropped by a function-level reset;
+    /// swallowed on arrival instead of tripping the unknown-job check.
+    unsigned orphans_pending_ = 0;
     bool blocked_ = false;
     bool pumping_ = false;
 

@@ -55,6 +55,27 @@ MatrixFlowDevice::MatrixFlowDevice(Simulator& sim, std::string name,
         this);
     compute_event_.set_name(this->name() + ".compute_done");
     compute_event_.set_callback([this] { compute_done(); });
+    flr_kick_event_.set_name(this->name() + ".flr_kick");
+    flr_kick_event_.set_callback([this] { fetch_next_command(); });
+    if (FaultInjector* fi = sim.fault_injector(); fi != nullptr) {
+        mf_fault_ = std::make_unique<MfFaultState>(stat_group(), *fi,
+                                                   this->name(),
+                                                   fault_site_id());
+    }
+}
+
+MatrixFlowDevice::MfFaultState::MfFaultState(stats::Group& g,
+                                             FaultInjector& fi,
+                                             const std::string& site_name,
+                                             unsigned site_id)
+    : hangs(g, "hangs", "seeded accelerator hangs (FSM frozen until FLR)")
+{
+    hang_rate_on = fi.hang_applies(site_name);
+    hang_rate = fi.plan().hang_rate;
+    hang_rng.reseed(fi.device_stream_seed(site_id, 1));
+    std::vector<Tick> poison_discard; // the Endpoint collects its own
+    std::vector<std::pair<Tick, Tick>> ur_discard;
+    fi.collect_device(site_name, hang_ticks, poison_discard, ur_discard);
 }
 
 void MatrixFlowDevice::attach_devmem(mem::AddrRange devmem_range,
@@ -77,7 +98,9 @@ std::uint64_t MatrixFlowDevice::mmio_read(Addr addr, std::uint32_t /*size*/)
 {
     switch (addr) {
     case kRegStatus:
-        return busy() ? 1 : 0;
+        // A wedged or resetting function reports busy: the driver's status
+        // probe cannot mistake it for idle.
+        return busy() || hung() || in_flr() ? 1 : 0;
     case kRegCmdCount:
         return commands_done();
     case kRegTileCount:
@@ -112,6 +135,17 @@ void MatrixFlowDevice::fetch_next_command()
     if (fetching_ || run_.has_value() || cmd_fifo_.empty()) {
         return;
     }
+    if (hung()) {
+        return; // FSM frozen: only an FLR restarts command fetch
+    }
+    if (in_flr()) {
+        // Doorbell rang while the function was resetting: resume fetching
+        // when the reset window closes.
+        if (!flr_kick_event_.scheduled()) {
+            schedule(flr_kick_event_, flr_until());
+        }
+        return;
+    }
     fetching_ = true;
     const Addr desc = cmd_fifo_.front();
     cmd_fifo_.pop_front();
@@ -130,6 +164,15 @@ void MatrixFlowDevice::transfer_done(std::uint8_t kind, std::uint32_t arg)
                                                        kDescScratch);
         ensure(cmd.magic == GemmCommand::kMagic, name(),
                ": bad descriptor magic");
+        if (mf_fault_ != nullptr && hang_roll()) {
+            // Seeded accelerator hang at the command boundary: the
+            // descriptor is consumed but the FSM freezes before launch.
+            // The host observes a missing completion flag; recovery is an
+            // FLR issued by the runner's health machinery.
+            mf_fault_->hung = true;
+            ++mf_fault_->hangs;
+            break;
+        }
         start_run(cmd);
         break;
     }
@@ -363,6 +406,45 @@ void MatrixFlowDevice::run_complete()
         dma::Continuation{this, kContFlagPosted, 0}});
 }
 
+bool MatrixFlowDevice::hang_roll()
+{
+    MfFaultState& f = *mf_fault_;
+    bool hit = false;
+    if (f.hang_idx < f.hang_ticks.size() &&
+        now() >= f.hang_ticks[f.hang_idx]) {
+        ++f.hang_idx;
+        hit = true;
+    }
+    if (f.hang_rate_on) {
+        // Always consume the stream: one draw per command launch, so
+        // explicit events never shift the Bernoulli sequence.
+        const bool rolled = f.hang_rng.chance(f.hang_rate);
+        hit = hit || rolled;
+    }
+    return hit;
+}
+
+void MatrixFlowDevice::begin_flr(Tick duration)
+{
+    if (mf_fault_ != nullptr) {
+        mf_fault_->hung = false;
+    }
+    if (compute_event_.scheduled()) {
+        deschedule(compute_event_);
+    }
+    run_.reset();
+    fetching_ = false;
+    cmd_fifo_.clear();
+    // Base first: it drops the staged egress queue, whose SentHooks point
+    // at DMA JobStates the engine reset below recycles.
+    Endpoint::begin_flr(duration);
+    dma_.flr_reset();
+    if (devmem_mover_ != nullptr) {
+        devmem_mover_->flr_reset();
+    }
+    // Aperture state survives: the CPU NUMA path is function-independent.
+}
+
 // --- DMA plumbing ------------------------------------------------------------
 
 void MatrixFlowDevice::recv_dma_completion(const pcie::Tlp& cpl)
@@ -464,16 +546,23 @@ void MatrixFlowDevice::serialize(Ckpt& ar)
     aperture_q_.serialize(ar);
     aperture_port_.serialize(ar);
     compute_event_.serialize(ar, eq());
+    flr_kick_event_.serialize(ar, eq());
+    if (mf_fault_ != nullptr) {
+        // Config-keyed presence, like the endpoint's fault block.
+        ar.io(mf_fault_->hung, mf_fault_->hang_idx);
+        mf_fault_->hang_rng.serialize(ar);
+    }
 }
 
 void MatrixFlowDevice::report_occupancy(std::string& out) const
 {
     Endpoint::report_occupancy(out);
-    if (!run_.has_value() && cmd_fifo_.empty() && !fetching_) {
+    if (!run_.has_value() && cmd_fifo_.empty() && !fetching_ && !hung()) {
         return;
     }
     out += "  " + name() + ": cmd_fifo=" + std::to_string(cmd_fifo_.size()) +
-           (fetching_ ? ", fetching descriptor" : "");
+           (fetching_ ? ", fetching descriptor" : "") +
+           (hung() ? ", HUNG (awaiting FLR)" : "");
     if (run_.has_value()) {
         const Run& r = *run_;
         out += ", run{block " + std::to_string(r.cur_jb) + "/" +

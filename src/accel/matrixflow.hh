@@ -113,6 +113,22 @@ class MatrixFlowDevice final : public pcie::Endpoint,
     {
         return device_id();
     }
+    [[nodiscard]] bool dma_path_dead() const override
+    {
+        return pcie_tx_failed();
+    }
+
+    /// Function-level reset: clear a seeded hang, abandon the current run
+    /// and command FIFO, reset the DMA engine and device-memory mover, then
+    /// delegate to the endpoint base (ingress/egress drain + busy window).
+    void begin_flr(Tick duration) override;
+
+    /// Wedged by a seeded accelerator-hang fault (FSM frozen at a command
+    /// boundary; only an FLR recovers it)?
+    [[nodiscard]] bool hung() const noexcept
+    {
+        return mf_fault_ != nullptr && mf_fault_->hung;
+    }
 
     // dma::TransferListener — continuation dispatch for every transfer the
     // controller issues (see the kCont* kinds below).
@@ -211,6 +227,28 @@ class MatrixFlowDevice final : public pcie::Endpoint,
     std::optional<Run> run_;
     bool fetching_ = false;
     Event compute_event_{"", nullptr};
+    /// Fires at the end of an FLR busy window to resume command fetch for
+    /// doorbells that arrived while the function was resetting.
+    Event flr_kick_event_{"", nullptr};
+
+    /// Seeded accelerator-hang decision (explicit one-shot events first,
+    /// then the Bernoulli stream; fixed draw count per command).
+    bool hang_roll();
+
+    /// Controller-level fault state, allocated iff the simulator carries an
+    /// enabled FaultInjector (mirrors Endpoint::EpFaultState).
+    struct MfFaultState {
+        MfFaultState(stats::Group& g, FaultInjector& fi,
+                     const std::string& site_name, unsigned site_id);
+        Rng hang_rng{0};
+        bool hang_rate_on = false;
+        double hang_rate = 0.0;
+        std::vector<Tick> hang_ticks; ///< one-shot explicit hangs
+        std::size_t hang_idx = 0;
+        bool hung = false;
+        stats::Scalar hangs;
+    };
+    std::unique_ptr<MfFaultState> mf_fault_;
 
     stats::Scalar n_commands_{stat_group(), "commands",
                               "GEMM commands completed"};

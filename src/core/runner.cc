@@ -121,6 +121,7 @@ void Runner::dispatch(std::size_t device_idx, const workload::GemmSpec& spec,
     PendingGemm p;
     p.device = device_idx;
     p.spec = spec;
+    p.place = place;
     p.verify = verify;
     p.c = c;
     p.flag = flag;
@@ -149,6 +150,15 @@ MultiGemmResult Runner::run_dispatched()
 {
     System& sys = *sys_;
     ensure(!pending_.empty(), "run_dispatched with nothing dispatched");
+
+    // Failover armed: an active fault plan that allows more than one
+    // attempt per job routes through the round-based health-tracked path.
+    // Everything else (clean runs, single-attempt fault runs) takes the
+    // classic single-round path below, unchanged.
+    if (const FaultInjector* fi0 = sys.sim().fault_injector();
+        fi0 != nullptr && fi0->plan().job_max_attempts > 1) {
+        return run_failover(fi0->plan());
+    }
 
     MultiGemmResult res;
     res.devices.resize(pending_.size());
@@ -229,6 +239,298 @@ MultiGemmResult Runner::run_dispatched()
             res.devices[i].mismatches =
                 workload::gemm_check(sys.store(), p.spec, p.c, p.golden);
             res.devices[i].verified = res.devices[i].mismatches == 0;
+        }
+    }
+    pending_.clear();
+    return res;
+}
+
+std::string Runner::health_summary() const
+{
+    auto state_name = [](EndpointHealth h) {
+        switch (h) {
+        case EndpointHealth::healthy:
+            return "healthy";
+        case EndpointHealth::degraded:
+            return "degraded";
+        case EndpointHealth::quarantined:
+            return "quarantined";
+        }
+        return "?";
+    };
+    std::string out = "endpoint health:\n";
+    for (std::size_t ep = 0; ep < health_.size(); ++ep) {
+        const EpHealth& h = health_[ep];
+        out += "  ep" + std::to_string(ep) + ": " + state_name(h.state) +
+               ", failures=" + std::to_string(h.failures_total) +
+               " (consecutive " + std::to_string(h.consecutive_failures) +
+               "), successes=" + std::to_string(h.successes_total) +
+               " (consecutive " + std::to_string(h.consecutive_successes) +
+               ")\n";
+    }
+    return out;
+}
+
+MultiGemmResult Runner::run_failover(const FaultPlan& plan)
+{
+    System& sys = *sys_;
+    const std::size_t n_eps = sys.device_count();
+    if (fleet_ == nullptr) {
+        fleet_ = std::make_unique<FleetStats>(sys.stats());
+    }
+    if (health_.size() < n_eps) {
+        health_.resize(n_eps);
+    }
+
+    MultiGemmResult res;
+    res.devices.resize(pending_.size());
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        res.devices[i].device = pending_[i].device;
+        res.devices[i].spec = pending_[i].spec;
+    }
+
+    // Jobs awaiting dispatch, in job order (deterministic round shapes).
+    std::vector<std::size_t> backlog(pending_.size());
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        backlog[i] = i;
+    }
+    unsigned redispatch_budget = plan.fleet_retry_budget;
+    bool first_round = true;
+
+    auto fail_job = [&](std::size_t job) {
+        res.devices[job].status = JobStatus::failed;
+        ++fleet_->failures;
+    };
+
+    // Pick an endpoint for `job` this round. Returns the endpoint index,
+    // -1 when the job must wait for a later round (its candidates are
+    // claimed), or -2 when no endpoint can ever take it (pinned to a
+    // quarantined device).
+    auto pick_endpoint = [&](std::size_t job,
+                             const std::vector<bool>& claimed)
+        -> std::ptrdiff_t {
+        const PendingGemm& p = pending_[job];
+        if (p.place == Placement::devmem) {
+            // Operands live in the original device's memory: pinned.
+            if (health_[p.device].state == EndpointHealth::quarantined) {
+                return -2;
+            }
+            return claimed[p.device]
+                       ? -1
+                       : static_cast<std::ptrdiff_t>(p.device);
+        }
+        const bool first_attempt = res.devices[job].attempts.empty();
+        if (first_attempt &&
+            health_[p.device].state != EndpointHealth::quarantined &&
+            !claimed[p.device]) {
+            return static_cast<std::ptrdiff_t>(p.device);
+        }
+        // Re-dispatch (or displaced first attempt): least-loaded healthy
+        // endpoint, falling back to degraded; lowest index breaks ties.
+        for (const EndpointHealth want :
+             {EndpointHealth::healthy, EndpointHealth::degraded}) {
+            std::ptrdiff_t best = -1;
+            std::uint64_t best_load = 0;
+            for (std::size_t ep = 0; ep < n_eps; ++ep) {
+                if (health_[ep].state != want || claimed[ep]) {
+                    continue;
+                }
+                const std::uint64_t load = health_[ep].failures_total +
+                                           health_[ep].successes_total;
+                if (best < 0 || load < best_load) {
+                    best = static_cast<std::ptrdiff_t>(ep);
+                    best_load = load;
+                }
+            }
+            if (best >= 0) {
+                return best;
+            }
+        }
+        return -1; // usable endpoints exist but are claimed this round
+    };
+
+    while (!backlog.empty()) {
+        bool any_usable = false;
+        for (std::size_t ep = 0; ep < n_eps; ++ep) {
+            any_usable |=
+                health_[ep].state != EndpointHealth::quarantined;
+        }
+        ensure(any_usable, "fleet stalled: every endpoint is quarantined "
+                           "with ",
+               backlog.size(), " job(s) outstanding\n", health_summary(),
+               "component occupancy:\n", sys.sim().occupancy_report());
+
+        // Claim endpoints for this round: at most one job per endpoint, so
+        // per-device DMA stat deltas attribute cleanly.
+        struct Slot {
+            std::size_t job;
+            std::size_t ep;
+        };
+        std::vector<Slot> round;
+        std::vector<bool> claimed(n_eps, false);
+        std::vector<std::size_t> waiting;
+        for (std::size_t job : backlog) {
+            const std::ptrdiff_t ep = pick_endpoint(job, claimed);
+            if (ep >= 0) {
+                claimed[static_cast<std::size_t>(ep)] = true;
+                round.push_back(Slot{job, static_cast<std::size_t>(ep)});
+            } else if (ep == -1) {
+                waiting.push_back(job);
+            } else {
+                fail_job(job); // pinned to a quarantined endpoint
+            }
+        }
+        if (round.empty()) {
+            // Nothing can run now or ever (the -1 case needs a claim, and
+            // nothing claimed): abandon what's left.
+            for (std::size_t job : waiting) {
+                fail_job(job);
+            }
+            break;
+        }
+        ++fleet_->rounds;
+
+        std::vector<std::uint64_t> dma_before(round.size());
+        for (std::size_t s = 0; s < round.size(); ++s) {
+            dma_before[s] = dma_bytes(sys, round[s].ep);
+        }
+
+        Tick round_start = 0;
+        Tick round_end = 0;
+        std::vector<cpu::CpuOp> prog;
+        prog.push_back(cpu::Call{[this, &sys, &res, &round_start,
+                                  first_round] {
+            round_start = sys.sim().now();
+            if (first_round) {
+                res.start = round_start;
+                for (const PendingGemm& p : pending_) {
+                    sys.store().write_obj(p.desc, p.cmd);
+                }
+            }
+        }});
+        for (const Slot& s : round) {
+            prog.push_back(cpu::MmioWrite{doorbell_addr(sys, s.ep),
+                                          pending_[s.job].desc});
+        }
+        for (const Slot& s : round) {
+            prog.push_back(cpu::PollFlag{pending_[s.job].flag,
+                                         pending_[s.job].cmd.flag_value,
+                                         plan.job_timeout_ns});
+        }
+        prog.push_back(cpu::Call{
+            [&sys, &round_end] { round_end = sys.sim().now(); }});
+
+        sys.host_cpu().run_program(std::move(prog), [&sys] {
+            sys.sim().request_exit("dispatch round complete");
+        });
+        if (first_round && !restore_.empty()) {
+            sys.sim().restore(std::exchange(restore_, {}));
+        }
+        first_round = false;
+
+        RunResult rr;
+        try {
+            rr = run_with_stats_flush(sys, "run_dispatched(failover)");
+        } catch (const SimError&) {
+            std::cerr << health_summary();
+            throw;
+        }
+        if (rr.cause == ExitCause::checkpointed) {
+            res.checkpointed = true;
+            res.end = rr.end_tick;
+            pending_.clear();
+            return res;
+        }
+        if (round_end == 0) {
+            round_end = rr.end_tick; // drained mid-program (graceful path)
+        }
+        res.end = round_end;
+
+        // Evaluate the round: the functional flag is ground truth (it is
+        // only ever written at device run_complete()).
+        std::vector<std::size_t> next_backlog;
+        for (std::size_t s = 0; s < round.size(); ++s) {
+            const Slot& slot = round[s];
+            const PendingGemm& p = pending_[slot.job];
+            DeviceGemmResult& d = res.devices[slot.job];
+            EpHealth& h = health_[slot.ep];
+            const auto flag = sys.store().read_obj<std::uint64_t>(p.flag);
+            const bool done = flag == p.cmd.flag_value;
+
+            d.dma_bytes += dma_bytes(sys, slot.ep) - dma_before[s];
+            d.attempts.push_back(JobAttempt{
+                slot.ep, done ? JobStatus::ok : JobStatus::timed_out,
+                round_start, round_end});
+
+            if (done) {
+                d.status = JobStatus::ok;
+                d.done = sys.accelerator(slot.ep).last_complete_tick();
+                h.consecutive_failures = 0;
+                ++h.consecutive_successes;
+                ++h.successes_total;
+                if (h.state == EndpointHealth::degraded &&
+                    h.consecutive_successes >= plan.rehab_successes) {
+                    h.state = EndpointHealth::healthy;
+                    ++fleet_->rehabs;
+                }
+                continue;
+            }
+
+            // Failure: update health with hysteresis, then reset the
+            // endpoint — the FLR drains whatever wedged it (hung FSM,
+            // abandoned DMA state) and re-arms the link credits.
+            h.consecutive_successes = 0;
+            ++h.consecutive_failures;
+            ++h.failures_total;
+            if (h.state == EndpointHealth::healthy) {
+                h.state = EndpointHealth::degraded;
+                ++fleet_->degrades;
+            }
+            if (h.state == EndpointHealth::degraded &&
+                h.consecutive_failures >= plan.quarantine_failures) {
+                h.state = EndpointHealth::quarantined;
+                ++fleet_->quarantines;
+            }
+            sys.accelerator(slot.ep).begin_flr(ticks_from_ns(plan.flr_ns));
+            ++fleet_->flrs;
+            ++res.flrs;
+
+            if (d.attempts.size() >=
+                static_cast<std::size_t>(plan.job_max_attempts)) {
+                d.status = JobStatus::failed;
+                ++fleet_->failures;
+            } else if (redispatch_budget == 0) {
+                d.status = JobStatus::failed;
+                ++fleet_->failures;
+            } else {
+                --redispatch_budget;
+                ++fleet_->redispatches;
+                ++res.redispatches;
+                next_backlog.push_back(slot.job);
+            }
+        }
+        // Preserve job order: waiting jobs first (they were dispatched
+        // earlier), then this round's retries.
+        waiting.insert(waiting.end(), next_backlog.begin(),
+                       next_backlog.end());
+        std::sort(waiting.begin(), waiting.end());
+        backlog = std::move(waiting);
+    }
+
+    res.health.resize(n_eps);
+    for (std::size_t ep = 0; ep < n_eps; ++ep) {
+        res.health[ep] = health_[ep].state;
+    }
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        const PendingGemm& p = pending_[i];
+        DeviceGemmResult& d = res.devices[i];
+        if (d.status != JobStatus::ok) {
+            continue;
+        }
+        if (p.verify) {
+            d.mismatches =
+                workload::gemm_check(sys.store(), p.spec, p.c, p.golden);
+            d.verified = d.mismatches == 0;
         }
     }
     pending_.clear();

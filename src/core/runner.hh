@@ -11,6 +11,8 @@
 // single-device shorthand built on the same path.
 #pragma once
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "accel/command.hh"
@@ -56,6 +58,23 @@ struct VitRunResult {
 enum class JobStatus {
     ok,        ///< completion flag observed
     timed_out, ///< flag never arrived within FaultPlan::job_timeout_ns
+    failed,    ///< every allowed attempt timed out (failover exhausted)
+};
+
+/// Endpoint health as tracked by the runner's failover machinery.
+enum class EndpointHealth {
+    healthy,     ///< full member of the dispatch pool
+    degraded,    ///< recent failure; retries avoid it when possible
+    quarantined, ///< consecutive-failure threshold hit; never dispatched
+};
+
+/// One attempt at running a job on some endpoint (failover runs record the
+/// full history; single-shot runs record exactly one).
+struct JobAttempt {
+    std::size_t device = 0;
+    JobStatus status = JobStatus::ok;
+    Tick start = 0; ///< round start (doorbell ring)
+    Tick end = 0;   ///< round end (flag seen or poll given up)
 };
 
 /// Outcome of one device's share of a concurrent multi-device run.
@@ -66,6 +85,9 @@ struct DeviceGemmResult {
     /// anything but `ok`: a clean run that loses a flag deadlocks loudly
     /// instead (the old behaviour, preserved).
     JobStatus status = JobStatus::ok;
+    /// Attempt history (failover runs only; empty on the classic
+    /// single-round path, where `status` is the whole story).
+    std::vector<JobAttempt> attempts;
     /// Tick the device finished posting its completion flag (device-side,
     /// so dispatch/poll order cannot bias completion-skew measurements).
     Tick done = 0;
@@ -96,6 +118,12 @@ struct MultiGemmResult {
     /// and verification was skipped.
     bool checkpointed = false;
     std::vector<DeviceGemmResult> devices;
+    /// Per-endpoint health after the run (failover runs; empty otherwise).
+    std::vector<EndpointHealth> health;
+    /// Jobs re-dispatched to another endpoint after a failed attempt.
+    std::uint64_t redispatches = 0;
+    /// Function-level resets issued to recover failed endpoints.
+    std::uint64_t flrs = 0;
 
     [[nodiscard]] Tick elapsed() const { return end - start; }
     [[nodiscard]] double ms() const { return ticks_to_ms(elapsed()); }
@@ -181,6 +209,7 @@ class Runner {
     struct PendingGemm {
         std::size_t device = 0;
         workload::GemmSpec spec{};
+        Placement place = Placement::host;
         bool verify = false;
         Addr c = 0;
         Addr flag = 0;
@@ -189,9 +218,58 @@ class Runner {
         std::vector<std::int32_t> golden;
     };
 
+    /// Per-endpoint health record (hysteresis counters; persists across
+    /// run_dispatched() batches, like real fleet health would).
+    struct EpHealth {
+        EndpointHealth state = EndpointHealth::healthy;
+        unsigned consecutive_failures = 0;
+        unsigned consecutive_successes = 0;
+        std::uint64_t failures_total = 0;
+        std::uint64_t successes_total = 0;
+    };
+
+    /// Fleet-level failover stats, registered only when failover is armed
+    /// (active plan with job_max_attempts > 1) so clean dumps are
+    /// unchanged.
+    struct FleetStats {
+        explicit FleetStats(stats::Registry& reg)
+            : group(reg, "runner.fleet"),
+              rounds(group, "rounds", "dispatch rounds executed"),
+              redispatches(group, "redispatches",
+                           "jobs re-dispatched after a failed attempt"),
+              flrs(group, "flrs",
+                   "function-level resets issued to failed endpoints"),
+              degrades(group, "degrades",
+                       "healthy -> degraded health transitions"),
+              quarantines(group, "quarantines",
+                          "degraded -> quarantined health transitions"),
+              rehabs(group, "rehabs",
+                     "degraded -> healthy health transitions"),
+              failures(group, "job_failures",
+                       "jobs abandoned after attempts/budget ran out")
+        {
+        }
+        stats::Group group;
+        stats::Scalar rounds;
+        stats::Scalar redispatches;
+        stats::Scalar flrs;
+        stats::Scalar degrades;
+        stats::Scalar quarantines;
+        stats::Scalar rehabs;
+        stats::Scalar failures;
+    };
+
+    /// Round-based failover path of run_dispatched() (armed by an active
+    /// fault plan with job_max_attempts > 1).
+    MultiGemmResult run_failover(const FaultPlan& plan);
+    /// One line per endpoint: health state and hysteresis counters.
+    [[nodiscard]] std::string health_summary() const;
+
     System* sys_;
     std::vector<PendingGemm> pending_;
     std::string restore_;
+    std::vector<EpHealth> health_;
+    std::unique_ptr<FleetStats> fleet_;
 };
 
 /// Arm SIGINT/SIGTERM as checkpoint-then-exit: the handler posts an

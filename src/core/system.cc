@@ -117,6 +117,16 @@ std::uint64_t config_hash(const SystemConfig& cfg)
         h = fnv1a64(h, dbits(fp.completion_timeout_ns));
         h = fnv1a64(h, fp.completion_max_retries);
         h = fnv1a64(h, dbits(fp.job_timeout_ns));
+        h = fnv1a64(h, dbits(fp.hang_rate));
+        h = mix_str(h, fp.hang_site);
+        h = fnv1a64(h, dbits(fp.poison_rate));
+        h = mix_str(h, fp.poison_site);
+        h = fnv1a64(h, dbits(fp.smmu_fault_rate));
+        h = fnv1a64(h, dbits(fp.flr_ns));
+        h = fnv1a64(h, fp.job_max_attempts);
+        h = fnv1a64(h, fp.fleet_retry_budget);
+        h = fnv1a64(h, fp.quarantine_failures);
+        h = fnv1a64(h, fp.rehab_successes);
     }
     return h;
 }
@@ -140,6 +150,11 @@ DeviceInstance& System::device(std::size_t idx)
 
 void System::build()
 {
+    // Requestor ids must depend only on construction order so serialized
+    // in-flight packets keep matching their originating components after
+    // a restore in a process that already built other Systems.
+    mem::reset_requestor_ids();
+
     // Worker budget must be set before the topology decides whether to
     // carve endpoint subtrees into parallel simulation domains.
     sim_.set_threads(cfg_.threads);
@@ -170,6 +185,15 @@ void System::build()
         cfg_.rc.completion_timeout_ns = cfg_.fault_plan.completion_timeout_ns;
         cfg_.rc.completion_max_retries =
             cfg_.fault_plan.completion_max_retries;
+    }
+    if (sim_.fault_injector() != nullptr) {
+        // Any enabled plan arms DMA fault mode: stray-completion tolerance
+        // and poison containment work even without a completion watchdog
+        // (FLR drains and poisoned CplDs produce both).
+        cfg_.accel.dma.fault_mode = true;
+        for (DeviceConfig& dev : cfg_.devices) {
+            dev.accel.dma.fault_mode = true;
+        }
     }
 
     const mem::AddrRange host = host_range();

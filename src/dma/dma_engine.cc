@@ -34,9 +34,11 @@ DmaEngine::DmaEngine(Simulator& sim, std::string name,
     for (unsigned t = 0; t < params_.max_tags; ++t) {
         tag_free_bits_[t / 64] |= std::uint64_t{1} << (t % 64);
     }
+    if (params_.completion_timeout_ns > 0 || params_.fault_mode) {
+        fault_stats_ = std::make_unique<FaultStats>(stat_group());
+    }
     if (params_.completion_timeout_ns > 0) {
         timeout_ticks_ = ticks_from_ns(params_.completion_timeout_ns);
-        fault_stats_ = std::make_unique<FaultStats>(stat_group());
         timeout_event_.set_name(this->name() + ".cpl_timeout");
         timeout_event_.set_raw_callback(
             [](void* self) {
@@ -222,6 +224,13 @@ void DmaEngine::check_timeouts()
         }
         if (ts.deadline <= now()) {
             ++fault_stats_->timeouts;
+            if (port_->dma_path_dead()) {
+                // The link tx path has latched failed: no retry can ever
+                // complete, so skip the backoff ladder and fail now.
+                ++fault_stats_->dead_path;
+                fail_job(*ts.job);
+                continue;
+            }
             if (ts.retries >= params_.completion_max_retries) {
                 // Retry budget exhausted: the whole transfer is abandoned
                 // (frees every tag of this job, including this one).
@@ -273,9 +282,34 @@ void DmaEngine::fail_job(JobState& js)
     job_free_.push_back(&js);
 }
 
+void DmaEngine::flr_reset()
+{
+    ensure(!pumping_, name(), ": function-level reset mid-pump");
+    for (unsigned t = 0; t < tags_.size(); ++t) {
+        TagState& ts = tags_[t];
+        if (ts.busy) {
+            ts.busy = false;
+            tag_free_bits_[t / 64] |= std::uint64_t{1} << (t % 64);
+        }
+        ts.job = nullptr;
+        ts.retries = 0;
+    }
+    tags_in_use_ = 0;
+    window_in_use_ = 0;
+    // Reset discards jobs without firing continuations: the controller
+    // state they would notify dies with the same reset.
+    for (JobState* js : active_) {
+        js->job = DmaJob{};
+        job_free_.push_back(js);
+    }
+    active_.clear();
+    queued_.clear();
+    // A scheduled watchdog tick fires over all-free tags and goes idle.
+}
+
 void DmaEngine::on_completion(const pcie::Tlp& cpl)
 {
-    if (timeout_ticks_ > 0 &&
+    if ((timeout_ticks_ > 0 || params_.fault_mode) &&
         (cpl.tag >= tags_.size() || !tags_[cpl.tag].busy)) {
         // Unexpected completion: the tag was retired by a timeout retry
         // racing the original CplD, or by a job-level failure. Dropped,
@@ -286,6 +320,16 @@ void DmaEngine::on_completion(const pcie::Tlp& cpl)
     }
     ensure(cpl.tag < tags_.size() && tags_[cpl.tag].busy, name(),
            ": completion for idle tag ", static_cast<int>(cpl.tag));
+    if (cpl.poisoned) {
+        // Poison containment: the data is never consumed — no store copy,
+        // no progress. The whole job is failed (its other tags retire as
+        // strays) so the poison surfaces as a missing completion flag, not
+        // silent corruption.
+        ++fault_stats_->poisoned;
+        fail_job(*tags_[cpl.tag].job);
+        pump();
+        return;
+    }
     if (!cpl.is_last) {
         if (timeout_ticks_ > 0) {
             // Data is flowing: restart the watchdog for the tail chunks.

@@ -36,6 +36,11 @@ class DmaPort {
 
     /// Requester id stamped into outgoing TLPs.
     [[nodiscard]] virtual std::uint16_t dma_device_id() const = 0;
+
+    /// The transmit path has latched failed (link replay budget exhausted):
+    /// outstanding reads can never complete, so the watchdog short-circuits
+    /// retries into an immediate job failure. Defaults to "alive".
+    [[nodiscard]] virtual bool dma_path_dead() const { return false; }
 };
 
 struct DmaParams {
@@ -57,6 +62,11 @@ struct DmaParams {
     /// many times; after that the whole job is abandoned (job-level
     /// failure — the completion callback never fires).
     unsigned completion_max_retries = 3;
+
+    /// Set by core::System whenever a FaultInjector is enabled: allocates
+    /// the fault stats and tolerates completions for retired tags (poison
+    /// containment / FLR drains produce strays even without a watchdog).
+    bool fault_mode = false;
 
     void validate() const;
 };
@@ -127,6 +137,13 @@ class DmaEngine final : public SimObject {
     void on_completion(const pcie::Tlp& cpl);
     void on_tx_ready() { pump(); }
 
+    /// Function-level reset: discard every active and queued job without
+    /// firing continuations, free all tags and window bytes. Late
+    /// completions for the dropped tags are then counted as strays. The
+    /// hosting endpoint must have dropped its staged egress first (the
+    /// SentHooks point at JobStates recycled here).
+    void flr_reset();
+
     /// The single listener restored into job continuations on load (each
     /// engine serves exactly one device controller).
     void set_continuation_listener(TransferListener* l) noexcept
@@ -180,13 +197,20 @@ class DmaEngine final : public SimObject {
               stray(g, "stray_completions",
                     "late CplDs for already-retired tags (dropped)"),
               jobs_failed(g, "jobs_failed",
-                          "DMA jobs abandoned after the retry budget")
+                          "DMA jobs abandoned after the retry budget"),
+              poisoned(g, "poisoned_cpls_contained",
+                       "poisoned completions contained (job failed, data "
+                       "never consumed)"),
+              dead_path(g, "dead_path_failures",
+                        "jobs fast-failed on a latched-dead link path")
         {
         }
         stats::Scalar timeouts;
         stats::Scalar retries;
         stats::Scalar stray;
         stats::Scalar jobs_failed;
+        stats::Scalar poisoned;
+        stats::Scalar dead_path;
     };
 
     void pump();

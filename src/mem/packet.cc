@@ -6,10 +6,18 @@
 
 namespace accesys::mem {
 
+namespace {
+std::uint32_t next_requestor_id = 1;
+} // namespace
+
 std::uint32_t alloc_requestor_id()
 {
-    static std::uint32_t next = 1;
-    return next++;
+    return next_requestor_id++;
+}
+
+void reset_requestor_ids()
+{
+    next_requestor_id = 1;
 }
 
 std::string Packet::describe() const
@@ -63,8 +71,8 @@ void Packet::serialize(Ckpt& ar)
 {
     ar.io(cmd_, addr_, size_, orig_addr_, requestor_, stream_, tag_,
           created_at_, flags.uncacheable, flags.from_device,
-          flags.needs_translation, flags.posted, route_depth_,
-          payload_size_);
+          flags.needs_translation, flags.posted, flags.poisoned,
+          route_depth_, payload_size_);
     ar.raw(route_.data(), route_.size() * sizeof(route_[0]));
     ar.raw(payload_.data(), payload_.size());
 }

@@ -43,10 +43,21 @@ class Ckpt;
 
 namespace accesys::mem {
 
-/// Process-wide unique requestor-id allocator; every component that
-/// originates packets (CPU, caches, DMA channels, walkers) draws one so
-/// responses can be attributed and self-created packets recognised.
+/// Requestor-id allocator; every component that originates packets (CPU,
+/// caches, DMA channels, walkers) draws one so responses can be
+/// attributed and self-created packets recognised. Ids are unique within
+/// one System and deterministic across System lifetimes: core::System
+/// resets the counter before building its topology, so a component's id
+/// depends only on construction order. That determinism is load-bearing
+/// for checkpoints — Packet::serialize stores requestor ids verbatim, and
+/// a restored in-flight packet must still match the id of the component
+/// that created it (e.g. a cache's MSHR-fill ownership test).
 [[nodiscard]] std::uint32_t alloc_requestor_id();
+
+/// Rewind the requestor-id counter for a fresh System build (see above).
+/// Packets never cross System boundaries, so overlapping id spaces
+/// between Systems are harmless.
+void reset_requestor_ids();
 
 enum class MemCmd : std::uint8_t {
     read_req,
@@ -77,6 +88,9 @@ struct PktFlags {
     bool needs_translation = false;
     /// Posted write: no response expected by the requestor.
     bool posted = false;
+    /// Poisoned data (fault model only): a fault on the path marked the
+    /// payload bad; consumers must contain it, never copy it through.
+    bool poisoned = false;
 };
 
 class Packet;

@@ -18,6 +18,22 @@ Endpoint::Endpoint(Simulator& sim, std::string name,
     process_event_.set_raw_callback(
         [](void* self) { static_cast<Endpoint*>(self)->process_delayed(); },
         this);
+    if (FaultInjector* fi = sim.fault_injector(); fi != nullptr) {
+        fault_ =
+            std::make_unique<EpFaultState>(stat_group(), *fi, this->name());
+    }
+}
+
+Endpoint::EpFaultState::EpFaultState(stats::Group& g, FaultInjector& fi,
+                                     const std::string& site_name)
+    : stats(g)
+{
+    site_id = fi.register_site(site_name);
+    poison_rate_on = fi.poison_applies(site_name);
+    poison_rate = fi.plan().poison_rate;
+    poison_rng.reseed(fi.device_stream_seed(site_id, 0));
+    std::vector<Tick> hang_ticks; // MatrixFlow collects its own
+    fi.collect_device(site_name, hang_ticks, poison_ticks, ur_windows);
 }
 
 void Endpoint::connect_pcie(PciePort& port)
@@ -62,8 +78,15 @@ void Endpoint::process_delayed()
         switch (tlp->type) {
         case TlpType::mem_read: {
             ++mmio_reads_;
-            const std::uint64_t value =
-                mmio_read(bar_offset(tlp->addr), tlp->length);
+            std::uint64_t value;
+            if (fault_ != nullptr && mmio_ur_active()) {
+                // Unsupported request: complete all-ones without touching
+                // the register file.
+                ++fault_->stats.ur_reads;
+                value = ~std::uint64_t{0};
+            } else {
+                value = mmio_read(bar_offset(tlp->addr), tlp->length);
+            }
             auto cpl = tlp_pool().make_completion(tlp->length, tlp->tag,
                                                   tlp->requester, 0, true);
             cpl->set_data(&value,
@@ -73,6 +96,13 @@ void Endpoint::process_delayed()
         }
         case TlpType::mem_write: {
             ++mmio_writes_;
+            if (fault_ != nullptr && mmio_ur_active()) {
+                // Posted write into a UR window: silently dropped, like a
+                // real UR on a posted request (the host finds out via the
+                // missing completion flag).
+                ++fault_->stats.ur_dropped_writes;
+                break;
+            }
             std::uint64_t value = 0;
             if (tlp->has_data()) {
                 std::memcpy(&value, tlp->data(),
@@ -84,6 +114,10 @@ void Endpoint::process_delayed()
         }
         case TlpType::completion:
             ++dma_completions_;
+            if (fault_ != nullptr && poison_roll()) {
+                tlp->poisoned = true;
+                ++fault_->stats.poisoned_cpls;
+            }
             recv_dma_completion(*tlp);
             break;
         }
@@ -93,6 +127,69 @@ void Endpoint::process_delayed()
         eq().schedule_express(process_event_,
                                        delay_q_.front().ready);
     }
+}
+
+bool Endpoint::poison_roll()
+{
+    EpFaultState& f = *fault_;
+    bool hit = false;
+    if (f.poison_idx < f.poison_ticks.size() &&
+        now() >= f.poison_ticks[f.poison_idx]) {
+        ++f.poison_idx;
+        hit = true;
+    }
+    if (f.poison_rate_on) {
+        // Always consume the stream: the draw count per arrival is fixed,
+        // so explicit events never shift the Bernoulli sequence.
+        const bool rolled = f.poison_rng.chance(f.poison_rate);
+        hit = hit || rolled;
+    }
+    return hit;
+}
+
+bool Endpoint::mmio_ur_active()
+{
+    EpFaultState& f = *fault_;
+    while (f.ur_idx < f.ur_windows.size() &&
+           now() >= f.ur_windows[f.ur_idx].second) {
+        ++f.ur_idx;
+    }
+    return f.ur_idx < f.ur_windows.size() &&
+           now() >= f.ur_windows[f.ur_idx].first;
+}
+
+unsigned Endpoint::fault_site_id() const
+{
+    ensure(fault_ != nullptr, name(), ": fault site id without fault state");
+    return fault_->site_id;
+}
+
+bool Endpoint::pcie_tx_failed() const
+{
+    ensure(pcie_port_ != nullptr, name(), ": endpoint not connected");
+    return pcie_port_->tx_failed();
+}
+
+void Endpoint::begin_flr(Tick duration)
+{
+    ensure(fault_ != nullptr, name(),
+           ": function-level reset without an active fault plan");
+    ++fault_->stats.flrs;
+    // Every TLP parked in the ingress delay stage still holds link ingress
+    // credits: drop the TLP and release them, re-arming the link.
+    while (!delay_q_.empty()) {
+        TlpPtr tlp = std::move(delay_q_.front().tlp);
+        delay_q_.pop_front();
+        ++fault_->stats.flr_dropped_tlps;
+        pcie_port_->release_ingress(tlp->payload_bytes());
+    }
+    // Staged egress TLPs never consumed credits; their sent-hooks point at
+    // function state that dies with this reset — drop them.
+    while (!egress_q_.empty()) {
+        egress_q_.pop_front();
+        ++fault_->stats.flr_dropped_tlps;
+    }
+    fault_->flr_until = now() + duration;
 }
 
 void Endpoint::credit_avail(unsigned /*port_idx*/)
@@ -182,6 +279,12 @@ void Endpoint::serialize(Ckpt& ar)
         }
     }
     process_event_.serialize(ar, eq());
+    if (fault_ != nullptr) {
+        // Config-keyed presence (plan active + ACCESYS_FAULTS): a restore
+        // against the same config reconstructs the same block.
+        ar.io(fault_->poison_idx, fault_->ur_idx, fault_->flr_until);
+        fault_->poison_rng.serialize(ar);
+    }
 }
 
 void Endpoint::report_occupancy(std::string& out) const

@@ -6,10 +6,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "mem/addr_range.hh"
 #include "pcie/link.hh"
+#include "sim/fault_injector.hh"
+#include "sim/random.hh"
 #include "sim/ring_buffer.hh"
 #include "sim/simulator.hh"
 
@@ -39,6 +42,21 @@ class Endpoint : public SimObject, public PcieNode {
     // PcieNode
     void recv_tlp(unsigned port_idx, TlpPtr tlp) override;
     void credit_avail(unsigned port_idx) override;
+
+    /// Modeled function-level reset: drop everything parked in the ingress
+    /// delay stage (releasing the link ingress credits each entry still
+    /// holds — re-arming the link) and the staged egress queue, then sit
+    /// busy until now() + `duration` ticks. Subclasses override to also
+    /// drain their command/DMA state and call this base. Only legal under
+    /// an active fault plan, from a quiescent point (between runs or at a
+    /// quantum barrier on the endpoint's own domain thread).
+    virtual void begin_flr(Tick duration);
+
+    /// Inside a function-level reset window?
+    [[nodiscard]] bool in_flr() const noexcept
+    {
+        return fault_ != nullptr && now() < fault_->flr_until;
+    }
 
     /// Checkpoint/restore the delay and egress queues. Subclasses carrying
     /// extra state override, call this, and append their own fields.
@@ -79,8 +97,34 @@ class Endpoint : public SimObject, public PcieNode {
     /// recv_tlp override (bypassing the base delay stage).
     void release_pcie_ingress(std::uint32_t payload_bytes);
 
+    /// End of the current FLR window (0 when none was ever issued).
+    [[nodiscard]] Tick flr_until() const noexcept
+    {
+        return fault_ != nullptr ? fault_->flr_until : 0;
+    }
+
+    /// Endpoint fault state present (active plan + faults enabled)?
+    [[nodiscard]] bool fault_armed() const noexcept
+    {
+        return fault_ != nullptr;
+    }
+
+    /// This endpoint's fault site id (subclasses key additional RNG
+    /// channels off it). Requires fault_armed().
+    [[nodiscard]] unsigned fault_site_id() const;
+
+    /// This endpoint's transmit direction has latched failed (replay
+    /// budget exhausted on the downstream link). Reads only the tx-side
+    /// latch this endpoint's domain thread owns.
+    [[nodiscard]] bool pcie_tx_failed() const;
+
   private:
     void process_delayed();
+    /// Deterministic per-completion poison decision (explicit one-shot
+    /// events first, then the seeded Bernoulli stream).
+    bool poison_roll();
+    /// Inside an mmio_ur fault window? Advances the monotonic cursor.
+    bool mmio_ur_active();
 
     EndpointParams params_;
     Tick latency_ticks_ = 0; ///< precomputed ticks_from_ns(latency_ns)
@@ -100,6 +144,47 @@ class Endpoint : public SimObject, public PcieNode {
     };
     RingBuffer<Delayed> delay_q_;
     Event process_event_{"", nullptr};
+
+    /// Device-level fault stats, registered only under an active plan so
+    /// clean-run stat dumps are untouched.
+    struct EpFaultStats {
+        explicit EpFaultStats(stats::Group& g)
+            : poisoned_cpls(g, "poisoned_cpls",
+                            "DMA completions delivered with the poison bit"),
+              ur_reads(g, "ur_reads",
+                       "MMIO reads completed as all-ones unsupported-request"),
+              ur_dropped_writes(g, "ur_dropped_writes",
+                                "MMIO writes dropped in a UR window"),
+              flrs(g, "flrs", "function-level resets performed"),
+              flr_dropped_tlps(g, "flr_dropped_tlps",
+                               "queued TLPs drained by function-level reset")
+        {
+        }
+        stats::Scalar poisoned_cpls;
+        stats::Scalar ur_reads;
+        stats::Scalar ur_dropped_writes;
+        stats::Scalar flrs;
+        stats::Scalar flr_dropped_tlps;
+    };
+
+    /// Per-endpoint fault state: allocated in the constructor iff the
+    /// simulator carries an enabled FaultInjector (any active plan), so an
+    /// inactive plan costs a single null check on the hot paths.
+    struct EpFaultState {
+        EpFaultState(stats::Group& g, FaultInjector& fi,
+                     const std::string& site_name);
+        unsigned site_id = 0;
+        Rng poison_rng{0};
+        bool poison_rate_on = false;
+        double poison_rate = 0.0;
+        std::vector<Tick> poison_ticks; ///< one-shot explicit poisons
+        std::size_t poison_idx = 0;
+        std::vector<std::pair<Tick, Tick>> ur_windows;
+        std::size_t ur_idx = 0;
+        Tick flr_until = 0;
+        EpFaultStats stats;
+    };
+    std::unique_ptr<EpFaultState> fault_;
 
     stats::Scalar mmio_reads_{stat_group(), "mmio_reads",
                               "register reads served"};

@@ -56,6 +56,13 @@ std::uint64_t PciePort::data_credits() const
     return tx_data_credits_;
 }
 
+bool PciePort::tx_failed() const
+{
+    ensure(link_ != nullptr, "PCIe port not part of a link");
+    return link_->fault_ != nullptr &&
+           link_->fault_->dir[side_].link_failed;
+}
+
 void PciePort::send(TlpPtr tlp)
 {
     ensure(link_ != nullptr, "PCIe port not part of a link");

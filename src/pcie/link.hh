@@ -121,6 +121,11 @@ class PciePort {
     [[nodiscard]] unsigned hdr_credits() const;
     [[nodiscard]] std::uint64_t data_credits() const;
 
+    /// This side's transmit direction has latched failed (replay budget
+    /// exhausted). Reads only the tx-side latch the attached node's domain
+    /// thread owns; always false on clean links.
+    [[nodiscard]] bool tx_failed() const;
+
   private:
     friend class PcieLink;
     PcieLink* link_ = nullptr;

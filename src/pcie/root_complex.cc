@@ -269,9 +269,11 @@ bool RootComplex::recv_resp(mem::PacketPtr& pkt)
     const auto chunk = static_cast<std::uint32_t>(pkt->tag() & 0xFFFF);
 
     const std::ptrdiff_t slot = find_inbound_slot(key);
-    ensure(slot >= 0, name(), ": response for unknown read");
+    ensure(slot >= 0, name(), ": response for unknown read key=", key,
+           " chunk=", chunk, " addr=0x", std::hex, pkt->addr());
     InboundRead* rd = &inbound_reads_[static_cast<std::size_t>(slot)];
     ensure(chunk < rd->chunks, name(), ": bad chunk index");
+    rd->poisoned |= pkt->flags.poisoned;
     rd->mark_chunk_done(chunk);
 
     advance_completions(static_cast<std::size_t>(slot));
@@ -297,8 +299,10 @@ void RootComplex::advance_completions(std::size_t slot)
             return;
         }
         const bool is_last = rd.emitted + span >= rd.size;
-        egress_->push(tlp_pool_->make_completion(span, rd.tag, rd.requester,
-                                                 rd.emitted, is_last));
+        TlpPtr cpl = tlp_pool_->make_completion(span, rd.tag, rd.requester,
+                                                rd.emitted, is_last);
+        cpl->poisoned = rd.poisoned;
+        egress_->push(std::move(cpl));
         ++completions_sent_;
         rd.emitted += span;
         if (is_last) {

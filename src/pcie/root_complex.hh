@@ -112,6 +112,10 @@ class RootComplex final : public SimObject,
         /// the prefix instead of a per-arrival rescan of the span's bits;
         /// out-of-order arrivals park in the bitmap until the hole fills.
         std::uint32_t done_prefix = 0;
+        /// Any fabric response for this read carried the poison flag (e.g.
+        /// an SMMU translation fault); every remaining CplD is stamped
+        /// poisoned so the requester contains instead of consuming.
+        bool poisoned = false;
 
         [[nodiscard]] bool chunk_is_done(std::uint32_t i) const noexcept
         {

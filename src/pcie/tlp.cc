@@ -39,7 +39,7 @@ std::atomic<std::uint64_t> TlpPool::lifetime_allocs_{0};
 void Tlp::serialize(Ckpt& ar)
 {
     ar.io(type, addr, length, tag, requester, byte_offset, is_last, dl_seq,
-          dl_corrupt, data_size_);
+          dl_corrupt, poisoned, data_size_);
     ar.raw(data_.data(), data_.size());
 }
 

@@ -117,6 +117,7 @@ struct Tlp {
           is_last(o.is_last),
           dl_seq(o.dl_seq),
           dl_corrupt(o.dl_corrupt),
+          poisoned(o.poisoned),
           data_size_(o.data_size_),
           data_(o.data_)
     {
@@ -132,6 +133,7 @@ struct Tlp {
         is_last = o.is_last;
         dl_seq = o.dl_seq;
         dl_corrupt = o.dl_corrupt;
+        poisoned = o.poisoned;
         data_size_ = o.data_size_;
         data_ = o.data_;
         return *this; // pool_ intentionally untouched
@@ -153,6 +155,10 @@ struct Tlp {
     /// Injected transmission error: the receiving link end discards this
     /// TLP (as a failed LCRC would) instead of delivering it.
     bool dl_corrupt = false;
+    /// EP/completer poison bit (fault model only): the payload is known
+    /// bad. Consumers must contain it — count and fail the transaction —
+    /// never copy the data through.
+    bool poisoned = false;
 
     /// True when the TLP type carries payload bytes on the wire.
     [[nodiscard]] bool has_payload() const noexcept
@@ -208,6 +214,7 @@ struct Tlp {
         is_last = true;
         dl_seq = 0;
         dl_corrupt = false;
+        poisoned = false;
         data_size_ = 0;
     }
 

@@ -24,6 +24,23 @@ bool site_matches(const std::string& pattern, const std::string& name)
     return pattern.empty() || name.find(pattern) != std::string::npos;
 }
 
+/// Sort and merge overlapping/adjacent [start, end) windows so per-tick
+/// scans can keep a single monotonic cursor.
+void merge_windows(std::vector<std::pair<Tick, Tick>>& windows)
+{
+    std::sort(windows.begin(), windows.end());
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        if (out > 0 && windows[i].first <= windows[out - 1].second) {
+            windows[out - 1].second =
+                std::max(windows[out - 1].second, windows[i].second);
+        } else {
+            windows[out++] = windows[i];
+        }
+    }
+    windows.resize(out);
+}
+
 } // namespace
 
 void FaultPlan::validate() const
@@ -38,8 +55,26 @@ void FaultPlan::validate() const
                 "fault replay_timeout_ns must be positive");
     require_cfg(completion_timeout_ns >= 0.0 && job_timeout_ns >= 0.0,
                 "fault timeouts must be non-negative");
+    require_cfg(hang_rate >= 0.0 && hang_rate <= 1.0,
+                "fault hang_rate must be in [0, 1] (got ", hang_rate, ")");
+    require_cfg(poison_rate >= 0.0 && poison_rate <= 1.0,
+                "fault poison_rate must be in [0, 1] (got ", poison_rate,
+                ")");
+    require_cfg(smmu_fault_rate >= 0.0 && smmu_fault_rate <= 1.0,
+                "fault smmu_fault_rate must be in [0, 1] (got ",
+                smmu_fault_rate, ")");
+    require_cfg(flr_ns > 0.0, "fault flr_ns must be positive");
+    require_cfg(job_max_attempts >= 1,
+                "fault job_max_attempts must be at least 1");
+    require_cfg(quarantine_failures >= 1 && rehab_successes >= 1,
+                "fault health hysteresis thresholds must be at least 1");
     for (const FaultEvent& ev : events) {
-        require_cfg(ev.dir <= 2, "fault event dir must be 0, 1 or 2");
+        const bool link_kind = ev.kind == FaultKind::corrupt_tlp ||
+                               ev.kind == FaultKind::link_down;
+        // Link kinds address a direction; smmu_fault reuses `dir` as the
+        // stream id and device kinds ignore it.
+        require_cfg(!link_kind || ev.dir <= 2,
+                    "fault event dir must be 0, 1 or 2");
         require_cfg(ev.at_ns >= 0.0, "fault event time must be >= 0");
         if (ev.kind == FaultKind::link_down) {
             require_cfg(ev.duration_ns > 0.0,
@@ -70,10 +105,34 @@ std::uint64_t FaultInjector::stream_seed(unsigned site_id,
     return s;
 }
 
+std::uint64_t
+FaultInjector::device_stream_seed(unsigned site_id,
+                                  unsigned channel) const noexcept
+{
+    // High bit set keeps this keyspace disjoint from stream_seed()'s
+    // (site << 1 | dir) values for every realistic site count.
+    std::uint64_t x = plan_.seed;
+    std::uint64_t s = splitmix64(x);
+    x = s ^ (0x8000000000000000ULL |
+             static_cast<std::uint64_t>(site_id) << 16 | channel);
+    s = splitmix64(x);
+    return s;
+}
+
 bool FaultInjector::rate_applies(const std::string& name) const
 {
     return plan_.corrupt_rate > 0.0 &&
            site_matches(plan_.corrupt_site, name);
+}
+
+bool FaultInjector::hang_applies(const std::string& name) const
+{
+    return plan_.hang_rate > 0.0 && site_matches(plan_.hang_site, name);
+}
+
+bool FaultInjector::poison_applies(const std::string& name) const
+{
+    return plan_.poison_rate > 0.0 && site_matches(plan_.poison_site, name);
 }
 
 void FaultInjector::collect(
@@ -90,24 +149,65 @@ void FaultInjector::collect(
         const Tick at = ticks_from_ns(ev.at_ns);
         if (ev.kind == FaultKind::corrupt_tlp) {
             corrupt_ticks.push_back(at);
-        } else {
+        } else if (ev.kind == FaultKind::link_down) {
             down_windows.emplace_back(at, at + ticks_from_ns(ev.duration_ns));
         }
     }
     std::sort(corrupt_ticks.begin(), corrupt_ticks.end());
-    std::sort(down_windows.begin(), down_windows.end());
-    // Merge overlapping/adjacent down windows so per-tick scans can keep a
-    // single monotonic cursor.
-    std::size_t out = 0;
-    for (std::size_t i = 0; i < down_windows.size(); ++i) {
-        if (out > 0 && down_windows[i].first <= down_windows[out - 1].second) {
-            down_windows[out - 1].second = std::max(
-                down_windows[out - 1].second, down_windows[i].second);
-        } else {
-            down_windows[out++] = down_windows[i];
+    merge_windows(down_windows);
+}
+
+void FaultInjector::collect_device(
+    const std::string& name, std::vector<Tick>& hang_ticks,
+    std::vector<Tick>& poison_ticks,
+    std::vector<std::pair<Tick, Tick>>& ur_windows) const
+{
+    hang_ticks.clear();
+    poison_ticks.clear();
+    ur_windows.clear();
+    for (const FaultEvent& ev : plan_.events) {
+        if (!site_matches(ev.site, name)) {
+            continue;
+        }
+        const Tick at = ticks_from_ns(ev.at_ns);
+        if (ev.kind == FaultKind::accel_hang) {
+            hang_ticks.push_back(at);
+        } else if (ev.kind == FaultKind::poisoned_cpl) {
+            poison_ticks.push_back(at);
+        } else if (ev.kind == FaultKind::mmio_ur) {
+            ur_windows.emplace_back(at, ev.duration_ns <= 0.0
+                                            ? kMaxTick
+                                            : at + ticks_from_ns(
+                                                       ev.duration_ns));
         }
     }
-    down_windows.resize(out);
+    std::sort(hang_ticks.begin(), hang_ticks.end());
+    std::sort(poison_ticks.begin(), poison_ticks.end());
+    merge_windows(ur_windows);
+}
+
+void FaultInjector::collect_smmu(const std::string& name, unsigned stream,
+                                 std::vector<Tick>& fault_ticks) const
+{
+    fault_ticks.clear();
+    for (const FaultEvent& ev : plan_.events) {
+        if (ev.kind != FaultKind::smmu_fault ||
+            !site_matches(ev.site, name) || ev.dir != stream) {
+            continue;
+        }
+        fault_ticks.push_back(ticks_from_ns(ev.at_ns));
+    }
+    std::sort(fault_ticks.begin(), fault_ticks.end());
+}
+
+bool FaultInjector::has_smmu_events() const
+{
+    for (const FaultEvent& ev : plan_.events) {
+        if (ev.kind == FaultKind::smmu_fault) {
+            return true;
+        }
+    }
+    return false;
 }
 
 } // namespace accesys

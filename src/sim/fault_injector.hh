@@ -2,12 +2,14 @@
 //
 // A FaultPlan (carried on core::SystemConfig) describes *what* can go
 // wrong: a seeded Bernoulli TLP-corruption rate, explicit (time, site)
-// fault events (one-shot corruptions, link-down/retrain windows), and the
-// recovery knobs the stack uses to fight back (replay-buffer depth, replay
-// budget, completion timeouts). The FaultInjector is the runtime face of a
-// plan: every PcieLink registers itself as a fault *site* at construction
-// and receives a per-(site, direction) RNG stream seeded from
-// (plan.seed, site_id, dir).
+// fault events (one-shot corruptions, link-down/retrain windows,
+// endpoint hangs, poisoned completions, MMIO-UR windows, SMMU translation
+// faults), and the recovery knobs the stack uses to fight back
+// (replay-buffer depth, replay budget, completion timeouts, function-level
+// reset + failover parameters). The FaultInjector is the runtime face of a
+// plan: every PcieLink, endpoint and the SMMU registers itself as a fault
+// *site* at construction and receives per-(site, channel) RNG streams
+// seeded from (plan.seed, site_id, channel).
 //
 // Determinism contract: sites are registered in topology construction
 // order, which is single-threaded and independent of ACCESYS_THREADS, and
@@ -35,17 +37,27 @@ enum class FaultKind : std::uint8_t {
     corrupt_tlp, ///< one-shot: the next TLP transmitted at/after `at_ns`
     link_down,   ///< the link drops everything for `duration_ns`, then
                  ///< retrains (credits drained and re-armed)
+    accel_hang,  ///< endpoint FSM freezes at the next command boundary
+                 ///< at/after `at_ns` (permanent until function-level reset)
+    poisoned_cpl, ///< the next DMA completion arriving at the endpoint
+                  ///< at/after `at_ns` carries the poison bit
+    mmio_ur,      ///< endpoint MMIO window: reads complete all-ones
+                  ///< unsupported-request, writes are dropped, for
+                  ///< `duration_ns` (0 = permanent)
+    smmu_fault,   ///< the next translated request on stream `dir` at/after
+                  ///< `at_ns` takes a translation fault instead of a walk
 };
 
-/// One scheduled fault. `site` is matched as a substring of the link name
-/// ("" matches every link); `dir` selects the a->b (0) / b->a (1)
-/// direction, or both (2).
+/// One scheduled fault. `site` is matched as a substring of the site name
+/// ("" matches every site). For link kinds `dir` selects the a->b (0) /
+/// b->a (1) direction, or both (2); for smmu_fault it is the translation
+/// stream id; device kinds ignore it.
 struct FaultEvent {
     FaultKind kind = FaultKind::corrupt_tlp;
     std::string site;
     unsigned dir = 2;
     double at_ns = 0.0;
-    double duration_ns = 0.0; ///< link_down only
+    double duration_ns = 0.0; ///< link_down / mmio_ur only
 };
 
 /// Everything the fault subsystem needs, in one value on SystemConfig.
@@ -81,11 +93,37 @@ struct FaultPlan {
     /// 0 polls forever (the clean-path behaviour).
     double job_timeout_ns = 0.0;
 
+    // --- device-level fault kinds (Bernoulli rates) ------------------------
+    /// Per-command hang probability at the accelerator's command boundary.
+    double hang_rate = 0.0;
+    std::string hang_site; ///< endpoint-name substring filter ("" = all)
+    /// Per-completion poison probability at endpoint completion ingress.
+    double poison_rate = 0.0;
+    std::string poison_site;
+    /// Per-translated-request SMMU translation-fault probability.
+    double smmu_fault_rate = 0.0;
+
+    // --- recovery machinery (Runner failover) ------------------------------
+    /// Modeled function-level reset duration: the wedged endpoint drains
+    /// its DMA/command state and sits busy for this long before rejoining
+    /// the healthy pool.
+    double flr_ns = 2000.0;
+    /// Dispatch attempts per job including the first (1 = no failover —
+    /// a failed job stays failed, the pre-failover behaviour).
+    unsigned job_max_attempts = 1;
+    /// Fleet-wide re-dispatch budget across all jobs of one batch.
+    unsigned fleet_retry_budget = 16;
+    /// Consecutive failures on one endpoint before degraded -> quarantined.
+    unsigned quarantine_failures = 3;
+    /// Consecutive successes before a degraded endpoint is healthy again.
+    unsigned rehab_successes = 2;
+
     /// An inactive plan is indistinguishable from no plan at all.
     [[nodiscard]] bool active() const noexcept
     {
         return corrupt_rate > 0.0 || !events.empty() ||
-               completion_timeout_ns > 0.0 || job_timeout_ns > 0.0;
+               completion_timeout_ns > 0.0 || job_timeout_ns > 0.0 ||
+               hang_rate > 0.0 || poison_rate > 0.0 || smmu_fault_rate > 0.0;
     }
 
     void validate() const;
@@ -118,8 +156,18 @@ class FaultInjector {
     [[nodiscard]] std::uint64_t stream_seed(unsigned site_id,
                                             unsigned dir) const noexcept;
 
+    /// Seed for a device-level stream (hang, poison, per-stream SMMU
+    /// faults). Mixed in a disjoint keyspace from the link streams so a
+    /// device site id can never collide with a (site, dir) pair.
+    [[nodiscard]] std::uint64_t
+    device_stream_seed(unsigned site_id, unsigned channel) const noexcept;
+
     /// Does the Bernoulli corrupt_rate apply to this link?
     [[nodiscard]] bool rate_applies(const std::string& name) const;
+
+    /// Do the device-level Bernoulli rates apply to this endpoint?
+    [[nodiscard]] bool hang_applies(const std::string& name) const;
+    [[nodiscard]] bool poison_applies(const std::string& name) const;
 
     /// Collect this (link, dir)'s explicit faults: one-shot corruption
     /// ticks (sorted) and link-down windows as [start, end) tick pairs
@@ -127,6 +175,22 @@ class FaultInjector {
     void collect(const std::string& name, unsigned dir,
                  std::vector<Tick>& corrupt_ticks,
                  std::vector<std::pair<Tick, Tick>>& down_windows) const;
+
+    /// Collect this endpoint's explicit device faults: one-shot hang /
+    /// poison ticks (sorted) and MMIO-UR windows as [start, end) tick
+    /// pairs (sorted, merged; duration 0 = open-ended).
+    void collect_device(const std::string& name, std::vector<Tick>& hang_ticks,
+                        std::vector<Tick>& poison_ticks,
+                        std::vector<std::pair<Tick, Tick>>& ur_windows) const;
+
+    /// Collect one translation stream's explicit smmu_fault ticks (the
+    /// event's `dir` field carries the stream id).
+    void collect_smmu(const std::string& name, unsigned stream,
+                      std::vector<Tick>& fault_ticks) const;
+
+    /// Any smmu_fault event in the plan (site filter aside)? Lets the SMMU
+    /// skip fault-state allocation for plans that never touch it.
+    [[nodiscard]] bool has_smmu_events() const;
 
   private:
     FaultPlan plan_;

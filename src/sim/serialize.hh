@@ -51,7 +51,8 @@ inline constexpr std::uint64_t kFnvBasis = 0xCBF29CE484222325ULL;
 /// Symmetric checkpoint archive (see file header).
 class Ckpt {
   public:
-    static constexpr std::uint32_t kFormatVersion = 1;
+    // v2: poison bit on Tlp/Packet/InboundRead + endpoint/SMMU fault state.
+    static constexpr std::uint32_t kFormatVersion = 2;
     static constexpr char kMagic[8] = {'A', 'C', 'S', 'Y',
                                        'S', 'C', 'K', 'P'};
 

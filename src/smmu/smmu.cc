@@ -73,6 +73,50 @@ Smmu::Smmu(Simulator& sim, std::string name, const SmmuParams& params,
     utlb_hit_ticks_ = ticks_from_ns(params_.utlb_hit_latency_ns);
     tlb_hit_ticks_ = ticks_from_ns(params_.tlb_hit_latency_ns);
     (void)stream_ctx(0); // default stream exists from the start
+    if (FaultInjector* fi = sim.fault_injector();
+        fi != nullptr && (fi->plan().smmu_fault_rate > 0.0 ||
+                          fi->has_smmu_events())) {
+        fault_ = std::make_unique<SmmuFaultState>(stat_group(), *fi,
+                                                  this->name());
+    }
+}
+
+Smmu::SmmuFaultState::SmmuFaultState(stats::Group& g, FaultInjector& fi_,
+                                     const std::string& name)
+    : fi(&fi_), site_name(name), stats(g)
+{
+    site_id = fi->register_site(site_name);
+    rate = fi->plan().smmu_fault_rate;
+}
+
+Smmu::StreamFault& Smmu::stream_fault(std::uint32_t stream)
+{
+    auto it = fault_->streams.find(stream);
+    if (it == fault_->streams.end()) {
+        it = fault_->streams.emplace(stream, StreamFault{}).first;
+        StreamFault& sf = it->second;
+        sf.rng.reseed(fault_->fi->device_stream_seed(fault_->site_id,
+                                                     stream));
+        fault_->fi->collect_smmu(fault_->site_name, stream, sf.ticks);
+    }
+    return it->second;
+}
+
+bool Smmu::fault_roll(std::uint32_t stream)
+{
+    StreamFault& sf = stream_fault(stream);
+    bool hit = false;
+    if (sf.idx < sf.ticks.size() && now() >= sf.ticks[sf.idx]) {
+        ++sf.idx;
+        hit = true;
+    }
+    if (fault_->rate > 0.0) {
+        // Always consume the stream: one draw per translated request, so
+        // explicit events never shift the Bernoulli sequence.
+        const bool rolled = sf.rng.chance(fault_->rate);
+        hit = hit || rolled;
+    }
+    return hit;
 }
 
 void Smmu::map_stream(std::uint32_t from, std::uint32_t to)
@@ -132,6 +176,28 @@ bool Smmu::recv_req(mem::PacketPtr& pkt)
     const Tick arrived = now();
     const std::uint32_t stream = effective_stream(*pkt);
     StreamCtx& ctx = stream_ctx(stream);
+
+    if (fault_ != nullptr && fault_roll(stream)) {
+        // Seeded translation fault (unmapped page): no walk happens. A
+        // fault record is logged; reads complete poisoned (contained by
+        // the requester's DMA engine), posted writes are dropped.
+        ++fault_->stats.faults;
+        if (fault_->records.size() < kMaxFaultRecords) {
+            fault_->records.push_back(FaultRecord{
+                now(), stream, va,
+                static_cast<std::uint8_t>(pkt->is_write() ? 1 : 0)});
+        }
+        if (pkt->is_read() || !pkt->flags.posted) {
+            ++fault_->stats.faulted_reads;
+            pkt->make_response();
+            pkt->flags.poisoned = true;
+            dev_resp_q_.push(std::move(pkt), now() + tlb_hit_ticks_);
+        } else {
+            ++fault_->stats.dropped_writes;
+            pkt.reset();
+        }
+        return true;
+    }
 
     if (auto ppn = ctx.utlb.lookup(vpn); ppn.has_value()) {
         finish_translation(ctx, std::move(pkt), *ppn, arrived,
@@ -379,13 +445,21 @@ void Smmu::serialize(Ckpt& ar)
             ctx->utlb.serialize(ar);
         }
     } else {
-        ensure(streams_.size() == 1, name(),
-               ": restore into an SMMU with live streams");
+        // Restore lands either in a fresh process (only the default
+        // stream exists; contexts are created here in snapshot order) or
+        // in one that replayed earlier rounds of the identical dispatch
+        // (the same streams already live, in the same creation order the
+        // saving process registered them). Either way the live set must
+        // converge on the snapshot's — a stream the snapshot never saw
+        // means the replay diverged.
         for (std::uint64_t i = 0; i < n_streams; ++i) {
             std::uint32_t sid = 0;
             ar.io(sid);
             stream_ctx(sid).utlb.serialize(ar);
         }
+        ensure(streams_.size() == n_streams, name(),
+               ": restore into an SMMU whose live streams diverge from "
+               "the snapshot");
         last_ctx_ = nullptr;
         last_stream_ = 0;
     }
@@ -490,6 +564,30 @@ void Smmu::serialize(Ckpt& ar)
     mem_port_.serialize(ar);
     dev_resp_q_.serialize(ar);
     mem_q_.serialize(ar);
+
+    if (fault_ != nullptr) {
+        // Config-keyed presence (plan seeds SMMU faults). std::map keeps
+        // the stream order sorted, so checkpoint bytes are stable.
+        std::uint64_t n_sf = fault_->streams.size();
+        ar.io(n_sf);
+        if (ar.saving()) {
+            for (auto& [sid, sf] : fault_->streams) {
+                std::uint32_t id = sid;
+                ar.io(id, sf.idx);
+                sf.rng.serialize(ar);
+            }
+        } else {
+            fault_->streams.clear();
+            for (std::uint64_t i = 0; i < n_sf; ++i) {
+                std::uint32_t id = 0;
+                ar.io(id);
+                StreamFault& sf = stream_fault(id);
+                ar.io(sf.idx);
+                sf.rng.serialize(ar);
+            }
+        }
+        ar.pod_vec(fault_->records);
+    }
 }
 
 void Smmu::report_occupancy(std::string& out) const

@@ -29,6 +29,8 @@
 #include "mem/port.hh"
 #include "smmu/page_table.hh"
 #include "smmu/tlb.hh"
+#include "sim/fault_injector.hh"
+#include "sim/random.hh"
 #include "sim/ring_buffer.hh"
 #include "sim/simulator.hh"
 
@@ -145,6 +147,23 @@ class Smmu final : public SimObject,
     }
     [[nodiscard]] const Tlb& main_tlb() const noexcept { return tlb_; }
 
+    /// One recorded translation fault (seeded unmapped-page event). The log
+    /// is bounded (kMaxFaultRecords); the count lives in the stats.
+    struct FaultRecord {
+        Tick tick = 0;
+        std::uint32_t stream = 0;
+        Addr va = 0;
+        std::uint8_t is_write = 0;
+    };
+    static constexpr std::size_t kMaxFaultRecords = 64;
+
+    /// Recorded translation faults (empty unless the plan seeds them).
+    [[nodiscard]] const std::vector<FaultRecord>& fault_records() const
+    {
+        static const std::vector<FaultRecord> none;
+        return fault_ != nullptr ? fault_->records : none;
+    }
+
     /// Checkpoint/restore: TLBs, in-flight walks, pending waiter chains and
     /// the page-walk cache. Stream contexts are re-created on load (before
     /// the global stats section restores their counters).
@@ -259,6 +278,54 @@ class Smmu final : public SimObject,
     std::unordered_map<PwcKey, std::pair<Addr, std::uint64_t>, PwcKeyHash>
         pwc_;
     std::uint64_t pwc_clock_ = 0;
+
+    /// Per-stream seeded translation-fault source: a private Bernoulli
+    /// stream (device_stream_seed(site, stream) — topology-keyed, so the
+    /// draw order is independent of ACCESYS_THREADS) plus the explicit
+    /// one-shot events targeting this stream.
+    struct StreamFault {
+        Rng rng{0};
+        std::vector<Tick> ticks; ///< one-shot explicit faults
+        std::size_t idx = 0;
+    };
+
+    /// SMMU fault stats: registered only when the plan seeds translation
+    /// faults, so link-only fault plans leave the dump unchanged.
+    struct SmmuFaultStats {
+        explicit SmmuFaultStats(stats::Group& g)
+            : faults(g, "trans_faults",
+                     "seeded translation faults (unmapped-page events)"),
+              faulted_reads(g, "faulted_reads",
+                            "reads answered with a poisoned response"),
+              dropped_writes(g, "dropped_writes",
+                             "posted writes dropped at a translation fault")
+        {
+        }
+        stats::Scalar faults;
+        stats::Scalar faulted_reads;
+        stats::Scalar dropped_writes;
+    };
+
+    /// Allocated iff the fault plan actually seeds SMMU faults (rate or
+    /// explicit events), not merely when any plan is active.
+    struct SmmuFaultState {
+        SmmuFaultState(stats::Group& g, FaultInjector& fi,
+                       const std::string& site_name);
+        FaultInjector* fi = nullptr;
+        std::string site_name;
+        unsigned site_id = 0;
+        double rate = 0.0;
+        std::map<std::uint32_t, StreamFault> streams; ///< lazily created
+        std::vector<FaultRecord> records;
+        SmmuFaultStats stats;
+    };
+    std::unique_ptr<SmmuFaultState> fault_;
+
+    [[nodiscard]] StreamFault& stream_fault(std::uint32_t stream);
+    /// Deterministic per-request fault decision for `stream` (explicit
+    /// one-shot events first, then the Bernoulli stream — always consumed,
+    /// so the draw count per request is fixed).
+    bool fault_roll(std::uint32_t stream);
 
     // Counters mirrored as stats below.
     std::uint64_t translations_ = 0;

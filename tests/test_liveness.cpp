@@ -109,5 +109,35 @@ TEST(Liveness, JobToLatchedFailedLinkBoundedByPollCap)
     EXPECT_GT(sys.stat("link_dn.link_dead_tlps"), 0.0);
 }
 
+TEST(Liveness, AllEndpointsQuarantinedTerminatesWithDiagnostic)
+{
+    // Failover's own liveness bound: with every command hanging
+    // (hang_rate = 1.0 everywhere) and a one-strike quarantine policy,
+    // each endpoint's first round fails and quarantines it. Once the
+    // whole fleet is quarantined with jobs still in the backlog, the
+    // runner must terminate with a diagnostic SimError carrying the
+    // health table and occupancy report — never spin dispatching rounds
+    // at endpoints that can no longer take work.
+    auto cfg = SystemConfig::paper_default();
+    cfg.set_num_devices(2);
+    cfg.threads = 1;
+    cfg.fault_plan.hang_rate = 1.0;
+    cfg.fault_plan.job_timeout_ns = 2e5;
+    cfg.fault_plan.job_max_attempts = 4;
+    cfg.fault_plan.quarantine_failures = 1;
+
+    System sys(cfg);
+    Runner runner(sys);
+    runner.dispatch(0, GemmSpec{32, 32, 32, 3}, Placement::host);
+    runner.dispatch(1, GemmSpec{32, 32, 32, 5}, Placement::host);
+    expect_deadlock_diagnostic([&] { (void)runner.run_dispatched(); },
+                               "quarantined");
+    // Both endpoints froze at their first command boundary, took an FLR,
+    // and were quarantined before the stall was diagnosed.
+    EXPECT_GT(sys.stat("mf.hangs"), 0.0);
+    EXPECT_GT(sys.stat("mf1.hangs"), 0.0);
+    EXPECT_EQ(sys.stat("runner.fleet.quarantines"), 2.0);
+}
+
 } // namespace
 } // namespace accesys::core

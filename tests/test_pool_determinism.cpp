@@ -477,6 +477,129 @@ TEST(CheckpointRoundTrip, MidLinkDownWindowWithSeededCorruption)
     }
 }
 
+TEST(PoolDeterminism, FailoverHangPoisonFlrBitIdenticalAcrossThreads)
+{
+    // The endpoint-level fault contract: device-fault streams (hang,
+    // poison) are keyed by (site, channel) in topology registration
+    // order and drawn only by the owning endpoint's domain thread, and
+    // the Runner's failover rounds (timeout -> FLR -> re-dispatch) are
+    // host-driven, so a seeded hang+poison plan with failover armed is
+    // bit-identical for any ACCESYS_THREADS worker count.
+    FaultPlan plan;
+    plan.seed = 23;
+    plan.poison_rate = 0.005;
+    FaultEvent hang;
+    hang.kind = FaultKind::accel_hang;
+    hang.site = "mf1"; // endpoint 1's first command freezes its FSM
+    hang.at_ns = 0.0;
+    plan.events.push_back(hang);
+    plan.job_timeout_ns = 2e6;
+    plan.job_max_attempts = 3;
+    plan.flr_ns = 2000.0;
+
+    const SimSnapshot serial = run_gemm_sim(4, 32, /*threads=*/1, &plan);
+    EXPECT_TRUE(serial.verified)
+        << "failover must re-dispatch every failed job to completion";
+
+    for (const unsigned threads : {2U, 4U}) {
+        const SimSnapshot par = run_gemm_sim(4, 32, threads, &plan);
+        EXPECT_TRUE(par.verified) << "threads=" << threads;
+        EXPECT_EQ(serial.end_tick, par.end_tick) << "threads=" << threads;
+        EXPECT_EQ(serial.stats_text, par.stats_text)
+            << "threads=" << threads;
+        EXPECT_EQ(serial.stats_json, par.stats_json)
+            << "threads=" << threads;
+    }
+}
+
+TEST(CheckpointRoundTrip, MidFlrCheckpointRoundTripsBitIdentical)
+{
+    // Checkpoint taken *inside* a function-level reset window: the
+    // snapshot must carry the endpoint's flr_until horizon, the hung-flag
+    // clear, the drained DMA/command state and the deferred doorbell
+    // kick, so the resumed run re-arms the endpoint on the same tick and
+    // finishes byte-identical to the straight run. The failover path
+    // stays disarmed (job_max_attempts = 1): the test drives the
+    // hang -> FLR -> re-ring sequence manually in two classic rounds so
+    // the restore protocol (re-run the identical dispatch, then overwrite
+    // dynamic state) applies to the round containing the checkpoint.
+    auto make_cfg = [] {
+        core::SystemConfig cfg = core::SystemConfig::paper_default();
+        cfg.set_num_devices(2);
+        FaultEvent hang;
+        hang.kind = FaultKind::accel_hang;
+        hang.site = "mf1";
+        hang.at_ns = 0.0;
+        cfg.fault_plan.events.push_back(hang);
+        cfg.fault_plan.job_timeout_ns = 1e6;
+        return cfg;
+    };
+    const workload::GemmSpec spec{32, 32, 32, 3};
+    const double flr_ns = 4000.0;
+
+    // One leg = round 1 (endpoint 1 hangs, its job times out), a manual
+    // FLR, then round 2 (both jobs complete). `ckpt_at`, when non-zero,
+    // schedules a checkpoint halfway into the FLR window and the leg
+    // stops there; `restore` resumes round 2 from that snapshot.
+    struct LegResult {
+        SimSnapshot snap;
+        Tick ckpt_at = 0;
+    };
+    auto run_leg = [&](Tick ckpt_at, const std::string& ckpt_path,
+                       const std::string& restore) {
+        core::System sys(make_cfg());
+        core::Runner runner(sys);
+        runner.dispatch(0, spec, core::Placement::host, /*verify=*/true);
+        runner.dispatch(1, spec, core::Placement::host, /*verify=*/true);
+        const auto r1 = runner.run_dispatched();
+        EXPECT_EQ(r1.devices[0].status, core::JobStatus::ok);
+        EXPECT_EQ(r1.devices[1].status, core::JobStatus::timed_out);
+
+        const Tick flr_start = sys.sim().now();
+        sys.accelerator(1).begin_flr(ticks_from_ns(flr_ns));
+
+        LegResult leg;
+        leg.ckpt_at = flr_start + ticks_from_ns(flr_ns / 2);
+        runner.dispatch(0, spec, core::Placement::host, /*verify=*/true);
+        runner.dispatch(1, spec, core::Placement::host, /*verify=*/true);
+        if (ckpt_at != 0) {
+            sys.sim().request_checkpoint_at(ckpt_path, ckpt_at);
+        }
+        if (!restore.empty()) {
+            runner.set_restore_path(restore);
+        }
+        const auto r2 = runner.run_dispatched();
+        if (ckpt_at != 0) {
+            EXPECT_TRUE(r2.checkpointed)
+                << "round 2 finished before the mid-FLR checkpoint";
+        } else {
+            EXPECT_TRUE(r2.all_verified())
+                << "FLR must have unwedged endpoint 1";
+        }
+
+        leg.snap.end_tick = sys.sim().now();
+        std::ostringstream text;
+        sys.stats().write_text(text);
+        leg.snap.stats_text = text.str();
+        std::ostringstream json;
+        sys.stats().write_json(json);
+        leg.snap.stats_json = json.str();
+        return leg;
+    };
+
+    const LegResult straight = run_leg(0, "", "");
+    const std::string path = ::testing::TempDir() + "mid_flr.ckpt";
+    const LegResult save = run_leg(straight.ckpt_at, path, "");
+    const LegResult resumed = run_leg(0, "", path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(straight.snap.end_tick, resumed.snap.end_tick);
+    EXPECT_EQ(straight.snap.stats_text, resumed.snap.stats_text);
+    EXPECT_EQ(straight.snap.stats_json, resumed.snap.stats_json);
+    EXPECT_LT(save.snap.end_tick, straight.snap.end_tick)
+        << "the save leg must have stopped at the mid-FLR checkpoint";
+}
+
 TEST(PoolDeterminism, SteadyStateForwardingAllocatesNothing)
 {
     // Warm-up run, then measure: the second identical sim must not grow
