@@ -182,6 +182,17 @@ std::vector<SwitchConfig> SystemConfig::resolved_switch_tree() const
     return {SwitchConfig{0, pcie_switch, pcie}};
 }
 
+void ServingConfig::validate() const
+{
+    require_cfg(queue_capacity > 0, "serving queue capacity must be > 0");
+    require_cfg(throttle_mark() <= queue_capacity,
+                "serving throttle watermark exceeds the queue capacity");
+    require_cfg(shed_mark() <= queue_capacity,
+                "serving shed watermark exceeds the queue capacity");
+    require_cfg(throttle_mark() <= shed_mark(),
+                "serving throttle watermark above the shed watermark");
+}
+
 void SystemConfig::validate() const
 {
     cpu.validate();

@@ -80,6 +80,55 @@ struct SwitchConfig {
     pcie::LinkParams uplink; ///< link toward the parent (RC for index 0)
 };
 
+/// Overload policy for the Runner's bounded admission queue (see
+/// Runner::serve and ROADMAP "Serving under overload").
+enum class ShedPolicy {
+    /// A full queue refuses new arrivals (JobStatus::rejected); admitted
+    /// jobs always run.
+    reject_new,
+    /// A full queue drops its oldest entry (JobStatus::shed) to admit the
+    /// new arrival — freshest-work-first under sustained overload.
+    shed_oldest,
+    /// reject_new at capacity, plus deadline shedding at dispatch: a job
+    /// reaching the queue head whose tenant deadline can no longer be met
+    /// given the measured service time is shed instead of dispatched.
+    deadline_aware,
+};
+
+/// Knobs for the open-loop serving path (Runner::serve). Watermarks feed
+/// the ServingState backpressure signal only; admission decisions key on
+/// `queue_capacity` and the policy.
+struct ServingConfig {
+    ShedPolicy policy = ShedPolicy::reject_new;
+    /// Bounded admission queue depth (slots; > 0). Retries of admitted
+    /// jobs re-enter at the front and are exempt from the bound, so a
+    /// transient overshoot of at most the endpoint count is possible.
+    std::size_t queue_capacity = 64;
+    /// Queue depth at/above which ServingState reports `throttled`.
+    /// 0 = queue_capacity / 2.
+    std::size_t throttle_watermark = 0;
+    /// Queue depth at/above which ServingState reports `shedding`.
+    /// 0 = 3 * queue_capacity / 4.
+    std::size_t shed_watermark = 0;
+    /// Verify every completed job against the golden model (exercises the
+    /// full functional DMA path; the serving default because overload
+    /// must degrade throughput, never correctness).
+    bool verify = true;
+
+    [[nodiscard]] std::size_t throttle_mark() const
+    {
+        return throttle_watermark != 0 ? throttle_watermark
+                                       : queue_capacity / 2;
+    }
+    [[nodiscard]] std::size_t shed_mark() const
+    {
+        return shed_watermark != 0 ? shed_watermark
+                                   : 3 * queue_capacity / 4;
+    }
+
+    void validate() const;
+};
+
 struct SystemConfig {
     // --- CPU cluster (Table II) ---------------------------------------------
     cpu::CpuParams cpu;

@@ -1,0 +1,207 @@
+#include "workload/request_gen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "sim/random.hh"
+#include "sim/serialize.hh"
+
+namespace accesys::workload {
+
+void RequestGenConfig::validate() const
+{
+    ensure(!tenants.empty(), "RequestGen with no tenants");
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        const TenantSpec& t = tenants[i];
+        ensure(!t.name.empty(), "tenant ", i, " has an empty name");
+        for (std::size_t j = 0; j < i; ++j) {
+            ensure(tenants[j].name != t.name, "duplicate tenant name '",
+                   t.name, "'");
+        }
+        ensure(t.deadline_ns >= 0.0, "tenant '", t.name,
+               "' has a negative deadline");
+        if (mode == Mode::poisson) {
+            ensure(t.rate_jobs_per_s > 0.0, "tenant '", t.name,
+                   "' has no arrival rate in poisson mode");
+            ensure(!t.mix.empty(), "tenant '", t.name,
+                   "' has an empty job mix in poisson mode");
+            for (const GemmSpec& s : t.mix) {
+                ensure(s.m > 0 && s.n > 0 && s.k > 0,
+                       "degenerate GEMM spec in tenant '", t.name,
+                       "' mix");
+            }
+        }
+    }
+    if (mode == Mode::poisson) {
+        ensure(horizon_ns > 0.0, "poisson mode needs a horizon");
+    } else {
+        ensure(!trace_path.empty(), "trace mode needs a trace_path");
+    }
+}
+
+double det_neg_log(double x)
+{
+    ensure(x > 0.0 && x <= 1.0, "det_neg_log domain is (0, 1]");
+    if (x == 1.0) {
+        return 0.0;
+    }
+    // x = f * 2^e with f in [0.5, 1): frexp is an exact bit manipulation.
+    // ln x = e*ln2 + 2*atanh(z) with z = (f-1)/(f+1) in [-1/3, 0); the
+    // atanh series' terms shrink by >= 9x each, so 9 terms leave a
+    // relative error around 1e-9 — far below anything the tick-quantized
+    // arrival times can resolve, and bit-stable because every operation
+    // here is an exactly-rounded IEEE-754 primitive.
+    int e = 0;
+    const double f = std::frexp(x, &e);
+    const double z = (f - 1.0) / (f + 1.0);
+    const double z2 = z * z;
+    double term = z;
+    double sum = z;
+    for (int k = 1; k <= 8; ++k) {
+        term *= z2;
+        sum += term / (2.0 * static_cast<double>(k) + 1.0);
+    }
+    constexpr double kLn2 = 0.6931471805599453; // 0x1.62e42fefa39efp-1
+    const double ln = static_cast<double>(e) * kLn2 + 2.0 * sum;
+    return ln >= 0.0 ? 0.0 : -ln;
+}
+
+RequestGen::RequestGen(Simulator& sim, RequestGenConfig cfg)
+    : SimObject(sim, "reqgen"),
+      cfg_(std::move(cfg)),
+      arrival_ev_("reqgen.arrival", [this] { on_arrival(); })
+{
+    cfg_.validate();
+    if (cfg_.mode == RequestGenConfig::Mode::poisson) {
+        build_poisson();
+    } else {
+        build_trace();
+    }
+    finalize_schedule();
+    scheduled_.set(static_cast<double>(sched_.size()));
+}
+
+void RequestGen::build_poisson()
+{
+    for (std::size_t t = 0; t < cfg_.tenants.size(); ++t) {
+        const TenantSpec& tenant = cfg_.tenants[t];
+        // Disjoint per-tenant streams: reseed() spreads via splitmix64, so
+        // a simple odd-multiplier offset is enough to decorrelate them.
+        Rng rng(cfg_.seed + 0x9E3779B97F4A7C15ULL * (t + 1));
+        const double mean_gap_ns = 1e9 / tenant.rate_jobs_per_s;
+        double t_ns = 0.0;
+        std::uint64_t count = 0;
+        for (;;) {
+            // uniform() is in [0, 1); 1-u is in (0, 1] — det_neg_log's
+            // domain — and -ln(1-u)*mean is the exponential interarrival.
+            const double u = rng.uniform();
+            t_ns += det_neg_log(1.0 - u) * mean_gap_ns;
+            if (t_ns >= cfg_.horizon_ns) {
+                break;
+            }
+            Request r;
+            r.tenant = static_cast<std::uint32_t>(t);
+            r.arrival = ticks_from_ns(t_ns);
+            r.spec = tenant.mix[count % tenant.mix.size()];
+            ++count;
+            sched_.push_back(r);
+        }
+    }
+}
+
+void RequestGen::build_trace()
+{
+    std::ifstream in(cfg_.trace_path);
+    ensure(in.good(), "cannot open request trace '", cfg_.trace_path, "'");
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+            line.resize(hash);
+        }
+        std::istringstream is(line);
+        double arrival_ns = 0.0;
+        std::size_t tenant = 0;
+        GemmSpec spec;
+        if (!(is >> arrival_ns)) {
+            continue; // blank / comment-only line
+        }
+        ensure(static_cast<bool>(is >> tenant >> spec.m >> spec.n >> spec.k),
+               "malformed trace line ", lineno, " in '", cfg_.trace_path,
+               "' (want: arrival_ns tenant m n k)");
+        ensure(tenant < cfg_.tenants.size(), "trace line ", lineno,
+               " names tenant ", tenant, " but only ",
+               cfg_.tenants.size(), " are configured");
+        ensure(arrival_ns >= 0.0, "trace line ", lineno,
+               " has a negative arrival time");
+        ensure(spec.m > 0 && spec.n > 0 && spec.k > 0, "trace line ",
+               lineno, " has a degenerate GEMM shape");
+        Request r;
+        r.tenant = static_cast<std::uint32_t>(tenant);
+        r.arrival = ticks_from_ns(arrival_ns);
+        r.spec = spec;
+        sched_.push_back(r);
+    }
+}
+
+void RequestGen::finalize_schedule()
+{
+    // Merge per-tenant streams into one global order. stable_sort keeps
+    // same-(tick, tenant) trace lines in file order; ids are then dense
+    // and arrival-ordered, so the consumer's ledger can index by id.
+    std::stable_sort(sched_.begin(), sched_.end(),
+                     [](const Request& a, const Request& b) {
+                         return a.arrival != b.arrival
+                                    ? a.arrival < b.arrival
+                                    : a.tenant < b.tenant;
+                     });
+    if (cfg_.max_requests > 0 && sched_.size() > cfg_.max_requests) {
+        sched_.resize(cfg_.max_requests);
+    }
+    for (std::size_t i = 0; i < sched_.size(); ++i) {
+        sched_[i].id = i;
+        // Distinct operand data per job: splitmix-style spread of the id
+        // over the configured seed.
+        std::uint64_t z = cfg_.seed + 0x9E3779B97F4A7C15ULL * (i + 1);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        sched_[i].spec.seed = z ^ (z >> 31);
+    }
+}
+
+void RequestGen::startup()
+{
+    if (fired_ < sched_.size() && !arrival_ev_.scheduled()) {
+        SimObject::schedule(arrival_ev_, sched_[fired_].arrival);
+    }
+}
+
+void RequestGen::on_arrival()
+{
+    ++arrivals_;
+    ++fired_;
+    if (fired_ < sched_.size()) {
+        SimObject::schedule(arrival_ev_, sched_[fired_].arrival);
+    }
+}
+
+std::vector<const Request*> RequestGen::take_until(Tick t)
+{
+    std::vector<const Request*> out;
+    while (drained_ < sched_.size() && sched_[drained_].arrival <= t) {
+        out.push_back(&sched_[drained_]);
+        ++drained_;
+    }
+    return out;
+}
+
+void RequestGen::serialize(Ckpt& ar)
+{
+    ar.io(fired_, drained_);
+    arrival_ev_.serialize(ar, eq());
+}
+
+} // namespace accesys::workload

@@ -6,10 +6,14 @@
 // finish and verify.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "core/runner.hh"
+#include "workload/request_gen.hh"
 
 namespace accesys::core {
 namespace {
@@ -289,6 +293,223 @@ TEST(FaultRecovery, PermanentHangFailsOverAndAllJobsComplete)
     EXPECT_EQ(sys.stat("runner.fleet.redispatches"), 1.0);
     EXPECT_EQ(sys.stat("runner.fleet.degrades"), 1.0);
     EXPECT_EQ(sys.stat("runner.fleet.quarantines"), 0.0);
+}
+
+TEST(FaultRecovery, DegradedEndpointRehabilitatesThenRequarantines)
+{
+    // The full health-hysteresis life cycle on endpoint 1, across five
+    // single-job batches dispatched to it:
+    //   batch 1: hang (event at t=0)  -> timed out, FLR, degraded
+    //   batch 2: clean success        -> still degraded (1 < rehab_successes)
+    //   batch 3: clean success (big)  -> rehabilitated: degraded -> healthy
+    //   batch 4: hang (event at T2)   -> healthy -> degraded again
+    //   batch 5: hang (event at T2)   -> second consecutive failure ->
+    //                                    quarantined
+    // Batch 3 is a deliberately large GEMM so its completion pushes sim
+    // time far past T2 before batch 4 launches; T2 itself sits far above
+    // every earlier command tick, so exactly batches 4 and 5 consume the
+    // two pending one-shot hang events (hang_roll advances at most one
+    // event per command launch).
+    //
+    // The whole sequence is then checkpoint/restored from the middle of
+    // batch 3 — after the rehab count started, before it completed — and
+    // must finish bit-identical.
+    auto make_cfg = [] {
+        auto cfg = SystemConfig::paper_default();
+        cfg.set_num_devices(2);
+        FaultEvent hang;
+        hang.kind = FaultKind::accel_hang;
+        hang.site = "mf1";
+        hang.at_ns = 0.0;
+        cfg.fault_plan.events.push_back(hang);
+        hang.at_ns = 1.15e6; // T2: between batch 3's launch and batch 4's
+        cfg.fault_plan.events.push_back(hang);
+        cfg.fault_plan.events.push_back(hang);
+        // Generous enough for the 256^3 batch's legitimate service time;
+        // a wedged endpoint still gives up well before the next batch.
+        cfg.fault_plan.job_timeout_ns = 1e6;
+        cfg.fault_plan.job_max_attempts = 3;
+        cfg.fault_plan.quarantine_failures = 2;
+        cfg.fault_plan.rehab_successes = 2;
+        return cfg;
+    };
+
+    struct LegResult {
+        Tick end = 0;
+        std::string stats_text;
+        std::string stats_json;
+        std::vector<Tick> batch_ends;
+    };
+    const std::array<GemmSpec, 5> specs = {
+        GemmSpec{32, 32, 32, 7}, GemmSpec{32, 32, 32, 11},
+        GemmSpec{256, 256, 256, 13}, GemmSpec{32, 32, 32, 17},
+        GemmSpec{32, 32, 32, 19}};
+
+    // `ckpt_path` empty = straight leg; `ckpt_at` != 0 = save leg (stop at
+    // the checkpoint); restore leg otherwise.
+    auto run_leg = [&](const std::string& ckpt_path, Tick ckpt_at,
+                       bool restore) {
+        System sys(make_cfg());
+        Runner runner(sys);
+        if (ckpt_at != 0) {
+            sys.sim().request_checkpoint_at(ckpt_path, ckpt_at);
+        }
+        LegResult leg;
+        for (std::size_t b = 0; b < specs.size(); ++b) {
+            runner.dispatch(1, specs[b], Placement::host, true);
+            if (restore && sys.sim().now() == 0 &&
+                leg.batch_ends.size() + 1 == 3) {
+                // Batch 3 contains the checkpoint: re-stage it and resume.
+                runner.set_restore_path(ckpt_path);
+            }
+            const auto res = runner.run_dispatched();
+            if (res.checkpointed) {
+                EXPECT_EQ(leg.batch_ends.size() + 1, 3u)
+                    << "checkpoint must land inside batch 3";
+                return leg;
+            }
+            if (res.devices.size() != 1 || res.health.size() != 2) {
+                ADD_FAILURE() << "unexpected result shape in batch "
+                              << (b + 1);
+                return leg;
+            }
+            EXPECT_EQ(res.devices[0].status, JobStatus::ok)
+                << "batch " << (b + 1);
+            EXPECT_TRUE(res.devices[0].verified) << "batch " << (b + 1);
+            leg.batch_ends.push_back(sys.sim().now());
+            EXPECT_EQ(res.health[0], EndpointHealth::healthy)
+                << "batch " << (b + 1);
+            static const EndpointHealth kExpected[5] = {
+                EndpointHealth::degraded,    // batch 1: first hang
+                EndpointHealth::degraded,    // batch 2: 1 of 2 successes
+                EndpointHealth::healthy,     // batch 3: rehabilitated
+                EndpointHealth::degraded,    // batch 4: second hang
+                EndpointHealth::quarantined, // batch 5: re-quarantined
+            };
+            EXPECT_EQ(res.health[1], kExpected[b]) << "batch " << (b + 1);
+        }
+        leg.end = sys.sim().now();
+        std::ostringstream text;
+        sys.stats().write_text(text);
+        leg.stats_text = text.str();
+        std::ostringstream json;
+        sys.stats().write_json(json);
+        leg.stats_json = json.str();
+        EXPECT_EQ(sys.stat("runner.fleet.degrades"), 2.0);
+        EXPECT_EQ(sys.stat("runner.fleet.rehabs"), 1.0);
+        EXPECT_EQ(sys.stat("runner.fleet.quarantines"), 1.0);
+        EXPECT_EQ(sys.stat("runner.fleet.redispatches"), 3.0);
+        EXPECT_EQ(sys.stat("runner.fleet.flrs"), 3.0);
+        EXPECT_EQ(sys.stat("runner.fleet.job_failures"), 0.0);
+        EXPECT_EQ(sys.stat("mf1.hangs"), 3.0);
+        return leg;
+    };
+
+    const LegResult straight = run_leg("", 0, false);
+    ASSERT_EQ(straight.batch_ends.size(), 5u);
+    ASSERT_FALSE(straight.stats_text.empty());
+
+    // Checkpoint mid-batch-3: strictly after batch 2 completed (the rehab
+    // streak is at 1 of 2) and before batch 3 completes it.
+    const Tick mid =
+        (straight.batch_ends[1] + straight.batch_ends[2]) / 2;
+    const std::string path = ::testing::TempDir() + "rehab.ckpt";
+    const LegResult saved = run_leg(path, mid, false);
+    EXPECT_EQ(saved.batch_ends.size(), 2u)
+        << "save leg must stop inside batch 3";
+
+    const LegResult resumed = run_leg(path, 0, true);
+    std::remove(path.c_str());
+    ASSERT_EQ(resumed.batch_ends.size(), 5u);
+    EXPECT_EQ(resumed.end, straight.end);
+    EXPECT_EQ(resumed.stats_text, straight.stats_text);
+    EXPECT_EQ(resumed.stats_json, straight.stats_json);
+}
+
+TEST(FaultRecovery, ServingOverloadWithWedgedEndpointShedsAndCompletes)
+{
+    // Overload + fault composition: 60 arrivals at one job per 2 us — about
+    // 1.5x what three healthy endpoints sustain for 32^3 jobs — while
+    // endpoint 1 hangs on every command. The serving loop must quarantine
+    // the wedged endpoint after two consecutive failures, shed the overload
+    // deterministically (shed_oldest, capacity 4), and complete every
+    // admitted-and-not-shed job via failover — zero failures, nothing
+    // silently dropped, and the whole composition bit-identical on a rerun.
+    auto run_once = [](std::string* stats_text) {
+        std::ostringstream body;
+        for (int i = 0; i < 60; ++i) {
+            body << (100 + 2000 * i) << " 0 32 32 32\n";
+        }
+        const std::string trace =
+            ::testing::TempDir() + "serving_wedged.trace";
+        {
+            std::ofstream out(trace);
+            out << body.str();
+        }
+        auto cfg = SystemConfig::paper_default();
+        cfg.set_num_devices(4);
+        cfg.fault_plan.hang_rate = 1.0;
+        cfg.fault_plan.hang_site = "mf1";
+        cfg.fault_plan.job_timeout_ns = 2e5;
+        cfg.fault_plan.job_max_attempts = 3;
+        cfg.fault_plan.quarantine_failures = 2;
+        System sys(cfg);
+        workload::RequestGenConfig gcfg;
+        gcfg.mode = workload::RequestGenConfig::Mode::trace;
+        gcfg.trace_path = trace;
+        workload::TenantSpec tenant;
+        tenant.name = "load";
+        gcfg.tenants.push_back(tenant);
+        workload::RequestGen gen(sys.sim(), gcfg);
+
+        ServingConfig scfg;
+        scfg.policy = ShedPolicy::shed_oldest;
+        scfg.queue_capacity = 4;
+        Runner runner(sys);
+        const ServingResult res = runner.serve(gen, scfg);
+        std::remove(trace.c_str());
+        if (stats_text != nullptr) {
+            std::ostringstream text;
+            sys.stats().write_text(text);
+            *stats_text = text.str();
+        }
+        EXPECT_GT(sys.stat("mf1.hangs"), 0.0);
+        return res;
+    };
+
+    std::string first_stats;
+    const ServingResult res = run_once(&first_stats);
+    EXPECT_TRUE(res.accounted())
+        << "offered " << res.offered << " admitted " << res.admitted
+        << " rejected " << res.rejected << " shed " << res.shed
+        << " completed " << res.completed << " failed " << res.failed;
+    EXPECT_EQ(res.offered, 60u);
+    EXPECT_EQ(res.rejected, 0u) << "shed_oldest never refuses at admission";
+    EXPECT_GT(res.shed, 0u) << "1.5x overload must shed";
+    EXPECT_EQ(res.failed, 0u)
+        << "every admitted-and-dispatched job must complete via failover";
+    EXPECT_EQ(res.completed + res.shed, res.admitted);
+    EXPECT_GE(res.redispatches, 2u)
+        << "the wedged endpoint's jobs must fail over";
+    ASSERT_EQ(res.health.size(), 4u);
+    EXPECT_EQ(res.health[1], EndpointHealth::quarantined)
+        << "two consecutive hangs must quarantine the wedged endpoint";
+    EXPECT_EQ(res.health[0], EndpointHealth::healthy);
+    EXPECT_EQ(res.health[2], EndpointHealth::healthy);
+    EXPECT_EQ(res.health[3], EndpointHealth::healthy);
+    for (const ServedJob& j : res.jobs) {
+        if (j.status == JobStatus::ok) {
+            EXPECT_TRUE(j.verified) << "job " << j.id;
+        }
+    }
+
+    // The composition — Bernoulli hang stream, timeouts, FLR, shedding —
+    // is deterministic: a second identical run dumps identical stats.
+    std::string second_stats;
+    const ServingResult rerun = run_once(&second_stats);
+    EXPECT_EQ(rerun.completed, res.completed);
+    EXPECT_EQ(rerun.shed, res.shed);
+    EXPECT_EQ(second_stats, first_stats);
 }
 
 TEST(FaultRecovery, PoisonedCompletionIsContainedNeverConsumed)

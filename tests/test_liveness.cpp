@@ -12,10 +12,13 @@
 //      max_polls_per_op.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "core/runner.hh"
 #include "pcie/link.hh"
+#include "workload/request_gen.hh"
 
 namespace accesys::core {
 namespace {
@@ -136,6 +139,44 @@ TEST(Liveness, AllEndpointsQuarantinedTerminatesWithDiagnostic)
     // and were quarantined before the stall was diagnosed.
     EXPECT_GT(sys.stat("mf.hangs"), 0.0);
     EXPECT_GT(sys.stat("mf1.hangs"), 0.0);
+    EXPECT_EQ(sys.stat("runner.fleet.quarantines"), 2.0);
+}
+
+TEST(Liveness, ServingOnFullyQuarantinedFleetTerminatesWithDiagnostic)
+{
+    // The serving loop's version of the same bound: every endpoint hangs
+    // and a one-strike policy quarantines the whole fleet in the first
+    // dispatch round, leaving admitted jobs queued with nowhere to go.
+    // serve() must raise the diagnostic instead of idling forever.
+    const std::string trace = ::testing::TempDir() + "serving_stall.trace";
+    {
+        std::ofstream out(trace);
+        out << "100 0 32 32 32\n101 0 32 32 32\n"
+               "102 0 32 32 32\n103 0 32 32 32\n";
+    }
+    auto cfg = SystemConfig::paper_default();
+    cfg.set_num_devices(2);
+    cfg.threads = 1;
+    cfg.fault_plan.hang_rate = 1.0;
+    cfg.fault_plan.job_timeout_ns = 2e5;
+    cfg.fault_plan.job_max_attempts = 4;
+    cfg.fault_plan.quarantine_failures = 1;
+
+    System sys(cfg);
+    workload::RequestGenConfig gcfg;
+    gcfg.mode = workload::RequestGenConfig::Mode::trace;
+    gcfg.trace_path = trace;
+    workload::TenantSpec tenant;
+    tenant.name = "t";
+    gcfg.tenants.push_back(tenant);
+    workload::RequestGen gen(sys.sim(), gcfg);
+
+    ServingConfig scfg;
+    scfg.queue_capacity = 8;
+    Runner runner(sys);
+    expect_deadlock_diagnostic([&] { (void)runner.serve(gen, scfg); },
+                               "every endpoint is quarantined");
+    std::remove(trace.c_str());
     EXPECT_EQ(sys.stat("runner.fleet.quarantines"), 2.0);
 }
 

@@ -47,6 +47,7 @@
 #include "pcie/link.hh"
 #include "pcie/tlp.hh"
 #include "sim/simulator.hh"
+#include "workload/request_gen.hh"
 
 namespace {
 
@@ -730,6 +731,55 @@ void ckpt_cost_4ep()
     std::remove(path.c_str());
 }
 
+// --- serving overload goodput -----------------------------------------------
+// The pinned serving scenario from bench_serving's golden mode: a seeded
+// two-tenant Poisson mix at 1.5x the 4-endpoint fleet's capacity through
+// Runner::serve with a bounded shed_oldest admission queue. Records the
+// fleet's goodput under overload — the jobs/s of useful completions once
+// shedding is active. Informational, never --check gated: goodput tracks
+// the serving policy and service-time model rather than the event-loop
+// hot path, and the scenario's bit-exact behavior is already locked by
+// the committed GOLDEN_serving.json byte-compare in CI.
+void serving_overload()
+{
+    core::SystemConfig cfg = core::SystemConfig::paper_default();
+    cfg.set_num_devices(4);
+    if (g_threads != 0) {
+        cfg.threads = g_threads;
+    }
+    workload::RequestGenConfig gcfg;
+    gcfg.seed = 11;
+    gcfg.horizon_ns = 1e5;
+    workload::TenantSpec interactive;
+    interactive.name = "interactive";
+    interactive.rate_jobs_per_s = 6e5 * 2.0 / 3.0;
+    interactive.mix = {workload::GemmSpec{16, 16, 16},
+                       workload::GemmSpec{32, 32, 32}};
+    workload::TenantSpec batch;
+    batch.name = "batch";
+    batch.rate_jobs_per_s = 6e5 / 3.0;
+    batch.mix = {workload::GemmSpec{48, 48, 48}};
+    gcfg.tenants.push_back(interactive);
+    gcfg.tenants.push_back(batch);
+
+    core::System sys(cfg);
+    benchutil::WatchScope watch(sys);
+    workload::RequestGen gen(sys.sim(), gcfg);
+    core::Runner runner(sys);
+    core::ServingConfig scfg;
+    scfg.policy = core::ShedPolicy::shed_oldest;
+    scfg.queue_capacity = 8;
+    const auto res = runner.serve(gen, scfg);
+    if (!res.accounted() || res.shed == 0) {
+        std::fprintf(stderr,
+                     "serving_overload: scenario lost its overload or its "
+                     "accounting — metric skipped\n");
+        return;
+    }
+    record("serving_overload.goodput_jobs_per_s",
+           res.goodput_jobs_per_s());
+}
+
 // --- JSON out / regression check --------------------------------------------
 
 void write_json(const std::string& path)
@@ -973,6 +1023,11 @@ int main(int argc, char** argv)
         // contention config. Informational, never --check gated.
         if (want("ckpt_cost_4ep")) {
             ckpt_cost_4ep();
+        }
+        // Goodput of the pinned serving-under-overload scenario.
+        // Informational, never --check gated.
+        if (want("serving_overload")) {
+            serving_overload();
         }
     };
 
